@@ -1,0 +1,131 @@
+// Ablation bench (ours, not in the paper): isolates the contribution of
+// MAPS's design choices called out in DESIGN.md:
+//   * Delta mode: L-based expected-revenue gain vs the paper's literal
+//     p_new*S(p_new) - p_old*S(p_old);
+//   * warm-starting the UCB tables from Algorithm 1's probes;
+//   * the binomial change detector;
+// plus BaseP as the no-dynamic-pricing reference.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "pricing/base_pricing.h"
+#include "pricing/maps.h"
+#include "pricing/price_postprocess.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace maps;  // NOLINT
+
+struct Variant {
+  std::string name;
+  std::function<std::unique_ptr<PricingStrategy>()> make;
+};
+
+}  // namespace
+
+int main() {
+  SyntheticConfig cfg = maps::bench::Scaled(SyntheticConfig{});
+  cfg.num_workers = cfg.num_workers / 2;  // scarcity makes choices visible
+  cfg.seed = 4242;
+
+  std::vector<Variant> variants;
+  auto add_maps = [&](const std::string& name, auto mutate) {
+    variants.push_back({name, [mutate] {
+                          MapsOptions opts;
+                          mutate(opts);
+                          return std::make_unique<Maps>(opts);
+                        }});
+  };
+  add_maps("MAPS (default: L-delta)", [](MapsOptions&) {});
+  add_maps("MAPS paper-literal delta", [](MapsOptions& o) {
+    o.delta_mode = MapsOptions::DeltaMode::kPaperLiteral;
+  });
+  add_maps("MAPS no warm start", [](MapsOptions& o) {
+    o.warm_start_from_base = false;
+  });
+  add_maps("MAPS no change detector", [](MapsOptions& o) {
+    o.use_change_detector = false;
+  });
+  add_maps("MAPS appendix-C.6 L-approx", [](MapsOptions& o) {
+    o.supply_approx = MapsOptions::SupplyApprox::kTruncatedExpectation;
+  });
+  variants.push_back({"MAPS + spatial smoothing", [] {
+                        PostprocessOptions post;
+                        post.smoothing_lambda = 0.3;
+                        return std::make_unique<PostprocessedStrategy>(
+                            std::make_unique<Maps>(MapsOptions{}), post);
+                      }});
+  variants.push_back({"MAPS + price cap 3.0", [] {
+                        PostprocessOptions post;
+                        post.price_cap = 3.0;
+                        return std::make_unique<PostprocessedStrategy>(
+                            std::make_unique<Maps>(MapsOptions{}), post);
+                      }});
+  variants.push_back({"BaseP reference", [] {
+                        return std::make_unique<BasePricing>(
+                            PricingConfig{});
+                      }});
+
+  auto workload_or = GenerateSynthetic(cfg);
+  if (!workload_or.ok()) {
+    std::cerr << "ablation: " << workload_or.status() << "\n";
+    return 1;
+  }
+  const Workload& workload = workload_or.ValueOrDie();
+
+  Table table({"variant", "revenue", "time_secs", "memory_mb"});
+  for (size_t i = 0; i < variants.size(); ++i) {
+    auto strategy = variants[i].make();
+    SimOptions opts;
+    opts.warmup_stream = 400 + i;
+    auto run = RunSimulation(workload, strategy.get(), opts);
+    if (!run.ok()) {
+      std::cerr << "ablation: " << variants[i].name << ": " << run.status()
+                << "\n";
+      return 1;
+    }
+    const SimulationResult& r = run.ValueOrDie();
+    table.AddRow(variants[i].name, r.total_revenue, r.total_time_sec,
+                 static_cast<double>(r.memory_bytes) / (1024.0 * 1024.0));
+    std::cout << "[ablation] finished " << variants[i].name << "\n";
+  }
+  std::cout << "== ablation ==\n" << table.ToText() << "\n";
+  Status st = table.WriteCsv(maps::bench::CsvDir() + "/ablation.csv");
+  if (!st.ok()) {
+    std::cerr << "ablation: " << st << "\n";
+    return 1;
+  }
+
+  // Worker-repositioning ablation (Sec. 4.2.3's incentive note): idle
+  // drivers chase surged grids with increasing probability.
+  Table repo_table({"reposition_prob", "MAPS_revenue", "matched"});
+  for (double prob : {0.0, 0.2, 0.5}) {
+    auto wl = GenerateSynthetic(cfg);
+    if (!wl.ok()) {
+      std::cerr << "ablation: " << wl.status() << "\n";
+      return 1;
+    }
+    Workload moved = std::move(wl).ValueOrDie();
+    moved.lifecycle.reposition_prob = prob;
+    Maps strategy{MapsOptions{}};
+    auto run = RunSimulation(moved, &strategy);
+    if (!run.ok()) {
+      std::cerr << "ablation: reposition " << prob << ": " << run.status()
+                << "\n";
+      return 1;
+    }
+    repo_table.AddRow(prob, run.ValueOrDie().total_revenue,
+                      run.ValueOrDie().num_matched);
+  }
+  std::cout << "== ablation: worker repositioning ==\n"
+            << repo_table.ToText() << "\n";
+  st = repo_table.WriteCsv(maps::bench::CsvDir() + "/ablation_reposition.csv");
+  if (!st.ok()) {
+    std::cerr << "ablation: " << st << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fig. 10 (appendix D): revenue / time / memory vs the rate alpha of an
+// exponential demand distribution in {0.5, 0.75, 1.0, 1.25, 1.5}.
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::SyntheticPoint;
+  std::vector<SyntheticPoint> points;
+  for (double alpha : {0.5, 0.75, 1.0, 1.25, 1.5}) {
+    maps::SyntheticConfig cfg;
+    cfg.demand_family = maps::SyntheticConfig::DemandFamily::kExponential;
+    cfg.demand_rate = alpha;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.2f", alpha);
+    points.push_back({label, cfg});
+  }
+  return maps::bench::RunSyntheticSweep("fig10_exponential", "alpha",
+                                        points);
+}

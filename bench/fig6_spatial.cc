@@ -1,0 +1,18 @@
+// Fig. 6 column 4 (d, h, l): revenue / time / memory vs the mean of the
+// task spatial distribution (diagonal fraction of the region) in
+// {0.1 .. 0.9}; the worker spatial mean stays at the center.
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::SyntheticPoint;
+  std::vector<SyntheticPoint> points;
+  for (double mean : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    maps::SyntheticConfig cfg;
+    cfg.spatial_mean = mean;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", mean);
+    points.push_back({label, cfg});
+  }
+  return maps::bench::RunSyntheticSweep("fig6_spatial", "mean", points);
+}

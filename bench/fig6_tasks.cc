@@ -1,0 +1,15 @@
+// Fig. 6 column 2 (b, f, j): revenue / time / memory vs the number of tasks
+// |R| in {5000, 10000, 20000, 30000, 40000} (Table 3).
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::SyntheticPoint;
+  std::vector<SyntheticPoint> points;
+  for (int r : {5000, 10000, 20000, 30000, 40000}) {
+    maps::SyntheticConfig cfg;
+    cfg.num_tasks = r;
+    points.push_back({std::to_string(r), cfg});
+  }
+  return maps::bench::RunSyntheticSweep("fig6_tasks", "|R|", points);
+}

@@ -1,0 +1,18 @@
+// Fig. 6 column 3 (c, g, k): revenue / time / memory vs the mean of the
+// task temporal distribution (fraction of T) in {0.1 .. 0.9}; the worker
+// temporal mean stays fixed at T/2 (Sec. 5.2).
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::SyntheticPoint;
+  std::vector<SyntheticPoint> points;
+  for (double mu : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    maps::SyntheticConfig cfg;
+    cfg.temporal_mu = mu;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", mu);
+    points.push_back({label, cfg});
+  }
+  return maps::bench::RunSyntheticSweep("fig6_temporal", "mu", points);
+}

@@ -1,0 +1,15 @@
+// Fig. 6 column 1 (a, e, i): revenue / time / memory vs the number of
+// workers |W| in {1250, 2500, 5000, 7500, 10000} (Table 3).
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::SyntheticPoint;
+  std::vector<SyntheticPoint> points;
+  for (int w : {1250, 2500, 5000, 7500, 10000}) {
+    maps::SyntheticConfig cfg;
+    cfg.num_workers = w;
+    points.push_back({std::to_string(w), cfg});
+  }
+  return maps::bench::RunSyntheticSweep("fig6_workers", "|W|", points);
+}

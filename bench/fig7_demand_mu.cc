@@ -1,0 +1,17 @@
+// Fig. 7 column 1 (a, e, i): revenue / time / memory vs the mean of the
+// (normal) demand distribution in {1.0, 1.5, 2.0, 2.5, 3.0} (Table 3).
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::SyntheticPoint;
+  std::vector<SyntheticPoint> points;
+  for (double mu : {1.0, 1.5, 2.0, 2.5, 3.0}) {
+    maps::SyntheticConfig cfg;
+    cfg.demand_mu = mu;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", mu);
+    points.push_back({label, cfg});
+  }
+  return maps::bench::RunSyntheticSweep("fig7_demand_mu", "mu", points);
+}

@@ -1,0 +1,17 @@
+// Fig. 7 column 2 (b, f, j): revenue / time / memory vs the stddev of the
+// (normal) demand distribution in {0.5, 1.0, 1.5, 2.0, 2.5} (Table 3).
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::SyntheticPoint;
+  std::vector<SyntheticPoint> points;
+  for (double sigma : {0.5, 1.0, 1.5, 2.0, 2.5}) {
+    maps::SyntheticConfig cfg;
+    cfg.demand_sigma = sigma;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", sigma);
+    points.push_back({label, cfg});
+  }
+  return maps::bench::RunSyntheticSweep("fig7_demand_sigma", "sigma", points);
+}

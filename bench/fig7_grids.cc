@@ -1,0 +1,16 @@
+// Fig. 7 column 4 (d, h, l): revenue / time / memory vs the number of grid
+// cells G in {5x5, 10x10, 15x15, 20x20, 25x25} (Table 3).
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::SyntheticPoint;
+  std::vector<SyntheticPoint> points;
+  for (int side : {5, 10, 15, 20, 25}) {
+    maps::SyntheticConfig cfg;
+    cfg.grid_rows = side;
+    cfg.grid_cols = side;
+    points.push_back({std::to_string(side * side), cfg});
+  }
+  return maps::bench::RunSyntheticSweep("fig7_grids", "G", points);
+}

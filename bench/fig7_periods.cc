@@ -1,0 +1,15 @@
+// Fig. 7 column 3 (c, g, k): revenue / time / memory vs the number of time
+// periods T in {200, 400, 600, 800, 1000} (Table 3).
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::SyntheticPoint;
+  std::vector<SyntheticPoint> points;
+  for (int t : {200, 400, 600, 800, 1000}) {
+    maps::SyntheticConfig cfg;
+    cfg.num_periods = t;
+    points.push_back({std::to_string(t), cfg});
+  }
+  return maps::bench::RunSyntheticSweep("fig7_periods", "T", points);
+}

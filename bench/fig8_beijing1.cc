@@ -1,0 +1,22 @@
+// Fig. 8 column 3 (c, g, k): Beijing surrogate dataset #1 (5 pm - 7 pm,
+// |W| = 28210, |R| = 113372), revenue / time / memory vs the worker
+// availability duration delta_w in {5, 10, 15, 20, 25}.
+//
+// The default applies a 0.1 population scale for turnaround time; run with
+// MAPS_BENCH_SCALE=1 for the published population sizes.
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::BeijingPoint;
+  const bool scaled = std::getenv("MAPS_BENCH_SCALE") == nullptr;
+  std::vector<BeijingPoint> points;
+  for (int d : {5, 10, 15, 20, 25}) {
+    maps::BeijingConfig cfg;
+    cfg.window = maps::BeijingConfig::Window::kEveningPeak;
+    cfg.worker_duration = d;
+    cfg.population_scale = scaled ? 0.1 : 1.0;
+    points.push_back({std::to_string(d), cfg});
+  }
+  return maps::bench::RunBeijingSweep("fig8_beijing1", "delta_w", points);
+}

@@ -1,0 +1,19 @@
+// Fig. 8 column 4 (d, h, l): Beijing surrogate dataset #2 (0 am - 2 am,
+// |W| = 19006, |R| = 55659), revenue / time / memory vs the worker
+// availability duration delta_w in {5, 10, 15, 20, 25}.
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::BeijingPoint;
+  const bool scaled = std::getenv("MAPS_BENCH_SCALE") == nullptr;
+  std::vector<BeijingPoint> points;
+  for (int d : {5, 10, 15, 20, 25}) {
+    maps::BeijingConfig cfg;
+    cfg.window = maps::BeijingConfig::Window::kLateNight;
+    cfg.worker_duration = d;
+    cfg.population_scale = scaled ? 0.1 : 1.0;
+    points.push_back({std::to_string(d), cfg});
+  }
+  return maps::bench::RunBeijingSweep("fig8_beijing2", "delta_w", points);
+}

@@ -1,0 +1,15 @@
+// Fig. 8 column 1 (a, e, i): revenue / time / memory vs the worker range
+// radius a_w in {5, 10, 15, 20, 25} (Table 3).
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::SyntheticPoint;
+  std::vector<SyntheticPoint> points;
+  for (int radius : {5, 10, 15, 20, 25}) {
+    maps::SyntheticConfig cfg;
+    cfg.worker_radius = radius;
+    points.push_back({std::to_string(radius), cfg});
+  }
+  return maps::bench::RunSyntheticSweep("fig8_radius", "a_w", points);
+}

@@ -1,0 +1,23 @@
+// Fig. 8 column 2 (b, f, j): scalability — |W| = |R| grows from 100k to
+// 500k over T = 400 periods.
+//
+// NOTE: the full paper-scale sweep takes a while; the default applies a 0.1
+// population scale (10k..50k), which preserves the linear-growth shape.
+// Run with MAPS_BENCH_SCALE=1 for the paper's full sizes.
+
+#include "bench_common.h"
+
+int main() {
+  using maps::bench::SyntheticPoint;
+  const double default_scale =
+      std::getenv("MAPS_BENCH_SCALE") == nullptr ? 0.1 : 1.0;
+  std::vector<SyntheticPoint> points;
+  for (int n : {100000, 200000, 300000, 400000, 500000}) {
+    maps::SyntheticConfig cfg;
+    cfg.num_workers = static_cast<int>(n * default_scale);
+    cfg.num_tasks = static_cast<int>(n * default_scale);
+    points.push_back({std::to_string(cfg.num_workers), cfg});
+  }
+  return maps::bench::RunSyntheticSweep("fig8_scalability", "|W|=|R|",
+                                        points);
+}

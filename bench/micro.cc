@@ -1,0 +1,153 @@
+// Google-benchmark micro-benchmarks for the computational kernels: bipartite
+// graph construction, the three matchers, the possible-world enumerator,
+// demand sampling, and a full MAPS pricing round.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/bipartite_graph.h"
+#include "graph/hopcroft_karp.h"
+#include "graph/kuhn.h"
+#include "graph/max_weight_matching.h"
+#include "graph/possible_worlds.h"
+#include "market/demand_model.h"
+#include "pricing/maps.h"
+#include "rng/random.h"
+#include "sim/synthetic.h"
+
+namespace maps {
+namespace {
+
+BipartiteGraph MakeRandomGraph(int nl, int nr, double density,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> edges;
+  for (int l = 0; l < nl; ++l) {
+    for (int r = 0; r < nr; ++r) {
+      if (rng.NextBernoulli(density)) edges.push_back({l, r});
+    }
+  }
+  return BipartiteGraph::FromEdges(nl, nr, std::move(edges));
+}
+
+void BM_KuhnMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const BipartiteGraph g = MakeRandomGraph(n, n, 8.0 / n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KuhnMatching(g).size);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_KuhnMatching)->Range(64, 4096)->Complexity();
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const BipartiteGraph g = MakeRandomGraph(n, n, 8.0 / n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HopcroftKarpMatching(g).size);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_HopcroftKarp)->Range(64, 4096)->Complexity();
+
+void BM_MaxWeightTaskMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const BipartiteGraph g = MakeRandomGraph(n, n, 8.0 / n, 2);
+  Rng rng(3);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.NextDouble(0.1, 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxWeightTaskMatching(g, weights).total_weight);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MaxWeightTaskMatching)->Range(64, 4096)->Complexity();
+
+void BM_SpatialGraphBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto grid = GridPartition::Make(Rect{0, 0, 100, 100}, 10, 10).ValueOrDie();
+  Rng rng(4);
+  std::vector<Task> tasks(n);
+  std::vector<Worker> workers(n);
+  for (int i = 0; i < n; ++i) {
+    tasks[i].id = i;
+    tasks[i].origin = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    tasks[i].grid = grid.CellOf(tasks[i].origin);
+    workers[i].id = i;
+    workers[i].location = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    workers[i].radius = 15.0;
+    workers[i].grid = grid.CellOf(workers[i].location);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BipartiteGraph::Build(tasks, workers, grid).num_edges());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SpatialGraphBuild)->Range(64, 4096)->Complexity();
+
+void BM_PossibleWorldEnumeration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const BipartiteGraph g = MakeRandomGraph(n, n / 2 + 1, 0.5, 5);
+  std::vector<PricedTask> tasks(n);
+  Rng rng(6);
+  for (auto& t : tasks) {
+    t.distance = rng.NextDouble(0.5, 3.0);
+    t.price = rng.NextDouble(1.0, 5.0);
+    t.accept_prob = rng.NextDouble(0.2, 0.9);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactExpectedRevenue(g, tasks));
+  }
+}
+BENCHMARK(BM_PossibleWorldEnumeration)->DenseRange(4, 16, 4);
+
+void BM_TruncatedNormalSample(benchmark::State& state) {
+  TruncatedNormalDemand demand(2.0, 1.0, 1.0, 5.0);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demand.Sample(rng));
+  }
+}
+BENCHMARK(BM_TruncatedNormalSample);
+
+void BM_MyersonPriceScan(benchmark::State& state) {
+  TruncatedNormalDemand demand(2.0, 1.0, 1.0, 5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demand.MyersonPrice(1.0, 5.0));
+  }
+}
+BENCHMARK(BM_MyersonPriceScan);
+
+void BM_MapsPriceRound(benchmark::State& state) {
+  const int tasks_n = static_cast<int>(state.range(0));
+  SyntheticConfig cfg;
+  cfg.num_tasks = tasks_n;
+  cfg.num_workers = tasks_n / 4;
+  cfg.num_periods = 1;  // everything lands in one snapshot
+  cfg.temporal_sigma = 0.0001;
+  cfg.seed = 99;
+  Workload w = GenerateSynthetic(cfg).ValueOrDie();
+  MapsOptions opts;
+  Maps strategy(opts);
+  DemandOracle history = w.oracle.Fork(9);
+  if (!strategy.Warmup(w.grid, &history).ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  MarketSnapshot snap(&w.grid, 0, w.tasks, w.workers);
+  std::vector<double> prices;
+  for (auto _ : state) {
+    if (!strategy.PriceRound(snap, &prices).ok()) {
+      state.SkipWithError("price round failed");
+      return;
+    }
+    benchmark::DoNotOptimize(prices.data());
+  }
+  state.SetComplexityN(tasks_n);
+}
+BENCHMARK(BM_MapsPriceRound)->Range(256, 4096)->Complexity();
+
+}  // namespace
+}  // namespace maps
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Demand drift: shows MAPS's change detector (Sec. 4.2.2) adapting when the
+// market's willingness to pay collapses mid-run — e.g. a fare-sensitive
+// late-night crowd replacing commuters.
+//
+// The run prices the same grid over 200 periods. At period 100 the true
+// valuation distribution drops from mean 3.2 to mean 1.6. A MAPS instance
+// with the detector re-learns the acceptance ratios and lowers its price; an
+// instance without it keeps pricing against stale statistics.
+//
+//   $ ./build/examples/demand_drift
+
+#include <iostream>
+
+#include "pricing/maps.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace maps;  // NOLINT
+
+constexpr int kPeriods = 200;
+constexpr int kDriftAt = 100;
+constexpr int kTasksPerPeriod = 60;
+
+/// Replays the drifting market against one strategy; returns total revenue.
+double Replay(Maps* strategy, const GridPartition& grid, uint64_t seed,
+              Table* trace, const std::string& label) {
+  TruncatedNormalDemand before(3.2, 0.8, 1.0, 5.0);
+  TruncatedNormalDemand after(1.6, 0.8, 1.0, 5.0);
+
+  // Warm up on the pre-drift demand.
+  DemandOracle warm =
+      DemandOracle::Make(ReplicateDemand(before, 1), seed).ValueOrDie();
+  if (Status st = strategy->Warmup(grid, &warm); !st.ok()) {
+    std::cerr << "warmup failed: " << st << "\n";
+    return 0.0;
+  }
+
+  Rng rng(seed ^ 0xabcdef);
+  double revenue = 0.0;
+  std::vector<double> prices;
+  for (int t = 0; t < kPeriods; ++t) {
+    const DemandModel& truth =
+        t < kDriftAt ? static_cast<const DemandModel&>(before)
+                     : static_cast<const DemandModel&>(after);
+    // One busy grid, plentiful couriers.
+    std::vector<Task> tasks;
+    std::vector<Worker> workers;
+    for (int i = 0; i < kTasksPerPeriod; ++i) {
+      Task task;
+      task.id = i;
+      task.period = t;
+      task.origin = {5.0 + 0.01 * i, 5.0};
+      task.destination = {8.0, 5.0};
+      task.distance = 3.0;
+      task.grid = grid.CellOf(task.origin);
+      tasks.push_back(task);
+      Worker w;
+      w.id = i;
+      w.period = t;
+      w.location = {5.0, 5.0};
+      w.radius = 5.0;
+      w.grid = grid.CellOf(w.location);
+      workers.push_back(w);
+    }
+    MarketSnapshot snap(&grid, t, std::move(tasks), std::move(workers));
+    if (Status st = strategy->PriceRound(snap, &prices); !st.ok()) {
+      std::cerr << "pricing failed: " << st << "\n";
+      return revenue;
+    }
+    const double p = prices[snap.tasks()[0].grid];
+    std::vector<bool> accepted(snap.tasks().size());
+    int accepts = 0;
+    for (size_t i = 0; i < accepted.size(); ++i) {
+      accepted[i] = truth.Sample(rng) >= p;
+      if (accepted[i]) ++accepts;
+    }
+    strategy->ObserveFeedback(snap, prices, accepted);
+    revenue += accepts * 3.0 * p;  // every accepted task finds a courier
+    if (trace != nullptr && t % 20 == 10) {
+      trace->AddRow(label, t, p,
+                    accepts / static_cast<double>(kTasksPerPeriod));
+    }
+  }
+  return revenue;
+}
+
+}  // namespace
+
+int main() {
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+
+  MapsOptions with_detector;
+  with_detector.pricing.alpha = 0.25;
+  with_detector.change_window = 120;  // two periods of feedback per window
+  MapsOptions without_detector = with_detector;
+  without_detector.use_change_detector = false;
+
+  Table trace({"variant", "period", "unit_price", "accept_ratio"});
+  Maps adaptive(with_detector);
+  Maps stale(without_detector);
+  const double adaptive_revenue = Replay(&adaptive, grid, 9, &trace, "MAPS");
+  const double stale_revenue =
+      Replay(&stale, grid, 9, &trace, "MAPS-no-detector");
+
+  std::cout << "Demand drops from mean 3.2 to mean 1.6 at period "
+            << kDriftAt << ".\n\n"
+            << trace.ToText() << "\n";
+  std::cout << "revenue with change detection:    " << adaptive_revenue
+            << "  (" << adaptive.change_resets() << " rung resets)\n";
+  std::cout << "revenue without change detection: " << stale_revenue << "\n";
+  return 0;
+}

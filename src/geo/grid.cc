@@ -1,0 +1,85 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace maps {
+
+GridPartition::GridPartition(const Rect& region, int rows, int cols)
+    : region_(region),
+      rows_(rows),
+      cols_(cols),
+      cell_w_(region.width() / cols),
+      cell_h_(region.height() / rows) {}
+
+Result<GridPartition> GridPartition::Make(const Rect& region, int rows,
+                                          int cols) {
+  if (rows <= 0 || cols <= 0) {
+    return Status::InvalidArgument("grid must have positive dimensions");
+  }
+  if (region.width() <= 0.0 || region.height() <= 0.0) {
+    return Status::InvalidArgument("region must have positive area");
+  }
+  return GridPartition(region, rows, cols);
+}
+
+GridId GridPartition::CellOf(const Point& p) const {
+  int cx = static_cast<int>(std::floor((p.x - region_.min_x) / cell_w_));
+  int cy = static_cast<int>(std::floor((p.y - region_.min_y) / cell_h_));
+  cx = std::clamp(cx, 0, cols_ - 1);
+  cy = std::clamp(cy, 0, rows_ - 1);
+  return cy * cols_ + cx;
+}
+
+Rect GridPartition::CellRect(GridId id) const {
+  MAPS_DCHECK(id >= 0 && id < num_cells());
+  const int cy = id / cols_;
+  const int cx = id % cols_;
+  Rect r;
+  r.min_x = region_.min_x + cx * cell_w_;
+  r.min_y = region_.min_y + cy * cell_h_;
+  r.max_x = r.min_x + cell_w_;
+  r.max_y = r.min_y + cell_h_;
+  return r;
+}
+
+Point GridPartition::CellCenter(GridId id) const {
+  const Rect r = CellRect(id);
+  return Point{(r.min_x + r.max_x) / 2.0, (r.min_y + r.max_y) / 2.0};
+}
+
+std::vector<GridId> GridPartition::CellsIntersectingDisc(const Point& center,
+                                                         double radius) const {
+  std::vector<GridId> out;
+  if (radius < 0.0) return out;
+  // Candidate cell range from the disc's bounding box, then an exact
+  // rect-disc distance test.
+  int cx_lo = static_cast<int>(
+      std::floor((center.x - radius - region_.min_x) / cell_w_));
+  int cx_hi = static_cast<int>(
+      std::floor((center.x + radius - region_.min_x) / cell_w_));
+  int cy_lo = static_cast<int>(
+      std::floor((center.y - radius - region_.min_y) / cell_h_));
+  int cy_hi = static_cast<int>(
+      std::floor((center.y + radius - region_.min_y) / cell_h_));
+  cx_lo = std::clamp(cx_lo, 0, cols_ - 1);
+  cx_hi = std::clamp(cx_hi, 0, cols_ - 1);
+  cy_lo = std::clamp(cy_lo, 0, rows_ - 1);
+  cy_hi = std::clamp(cy_hi, 0, rows_ - 1);
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      const GridId id = cy * cols_ + cx;
+      const Rect r = CellRect(id);
+      const double nx = std::clamp(center.x, r.min_x, r.max_x);
+      const double ny = std::clamp(center.y, r.min_y, r.max_y);
+      const double dx = center.x - nx;
+      const double dy = center.y - ny;
+      if (dx * dx + dy * dy <= radius * radius) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace maps

@@ -1,0 +1,57 @@
+// GridPartition: Definition 1 of the paper. The region of interest is split
+// into rows x cols equal cells, indexed 0..G-1 from the bottom-left,
+// row-major (the paper's Fig. 1c indexes the same way, 1-based).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "util/result.h"
+
+namespace maps {
+
+using GridId = int32_t;
+
+/// \brief Uniform grid partition of a rectangular region.
+class GridPartition {
+ public:
+  /// \param region the region of interest
+  /// \param rows number of cells along y
+  /// \param cols number of cells along x
+  static Result<GridPartition> Make(const Rect& region, int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  /// Total number of grid cells G.
+  int num_cells() const { return rows_ * cols_; }
+  const Rect& region() const { return region_; }
+
+  /// Maps a point to its cell id; points outside the region are clamped to
+  /// the nearest boundary cell (workloads clamp before insertion, so this is
+  /// a belt-and-braces path).
+  GridId CellOf(const Point& p) const;
+
+  /// The cell's bounding rectangle.
+  Rect CellRect(GridId id) const;
+
+  /// The cell's center point.
+  Point CellCenter(GridId id) const;
+
+  /// All cell ids whose rectangle intersects the disc (center, radius).
+  /// Used to enumerate grids a worker can serve.
+  std::vector<GridId> CellsIntersectingDisc(const Point& center,
+                                            double radius) const;
+
+ private:
+  GridPartition(const Rect& region, int rows, int cols);
+
+  Rect region_;
+  int rows_;
+  int cols_;
+  double cell_w_;
+  double cell_h_;
+};
+
+}  // namespace maps

@@ -1,0 +1,69 @@
+// Planar points and axis-aligned rectangles for the region of interest.
+
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace maps {
+
+/// \brief A 2D point. For synthetic workloads the units are abstract
+/// (the paper's 100x100 square); for the Beijing surrogate they are
+/// kilometres in a local tangent plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+/// \brief Euclidean distance (the travel metric d_r and the range test both
+/// use it; Definition 4's range constraint is a disc around the worker).
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// \brief Manhattan distance, offered as an alternative travel metric
+/// (the paper allows "Euclidean or road-network distance"; L1 is the usual
+/// grid-road proxy).
+inline double ManhattanDistance(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// \brief Axis-aligned rectangle [min_x, max_x) x [min_y, max_y).
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x < max_x && p.y >= min_y && p.y < max_y;
+  }
+
+  /// Clamps p into the half-open rectangle (used when Gaussian draws land
+  /// outside the region of interest).
+  Point Clamp(const Point& p) const {
+    Point q = p;
+    const double eps_x = width() * 1e-9;
+    const double eps_y = height() * 1e-9;
+    if (q.x < min_x) q.x = min_x;
+    if (q.x >= max_x) q.x = max_x - eps_x;
+    if (q.y < min_y) q.y = min_y;
+    if (q.y >= max_y) q.y = max_y - eps_y;
+    return q;
+  }
+};
+
+}  // namespace maps

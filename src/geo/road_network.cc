@@ -1,0 +1,133 @@
+#include "geo/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace maps {
+
+RoadNetwork::RoadNetwork(const Rect& region, int nx, int ny)
+    : region_(region),
+      nx_(nx),
+      ny_(ny),
+      step_x_(region.width() / (nx - 1)),
+      step_y_(region.height() / (ny - 1)) {
+  adj_.resize(nx * ny);
+}
+
+Result<RoadNetwork> RoadNetwork::MakeLattice(const Rect& region, int nx,
+                                             int ny,
+                                             double congestion_jitter,
+                                             uint64_t seed) {
+  if (nx < 2 || ny < 2) {
+    return Status::InvalidArgument("lattice needs >= 2 nodes per axis");
+  }
+  if (region.width() <= 0.0 || region.height() <= 0.0) {
+    return Status::InvalidArgument("region must have positive area");
+  }
+  if (congestion_jitter < 0.0) {
+    return Status::InvalidArgument("congestion jitter must be >= 0");
+  }
+  RoadNetwork net(region, nx, ny);
+  Rng rng(seed);
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      const int id = y * nx + x;
+      if (x + 1 < nx) {
+        const double factor = 1.0 + rng.NextDouble(0.0, congestion_jitter);
+        net.AddEdge(id, id + 1, net.step_x_ * factor);
+      }
+      if (y + 1 < ny) {
+        const double factor = 1.0 + rng.NextDouble(0.0, congestion_jitter);
+        net.AddEdge(id, id + nx, net.step_y_ * factor);
+      }
+    }
+  }
+  return net;
+}
+
+void RoadNetwork::AddEdge(int a, int b, double length) {
+  adj_[a].push_back(Edge{b, length});
+  adj_[b].push_back(Edge{a, length});
+}
+
+int RoadNetwork::NearestNode(const Point& p) const {
+  int x = static_cast<int>(std::lround((p.x - region_.min_x) / step_x_));
+  int y = static_cast<int>(std::lround((p.y - region_.min_y) / step_y_));
+  x = std::clamp(x, 0, nx_ - 1);
+  y = std::clamp(y, 0, ny_ - 1);
+  return y * nx_ + x;
+}
+
+Point RoadNetwork::NodeLocation(int id) const {
+  MAPS_DCHECK(id >= 0 && id < num_nodes());
+  const int x = id % nx_;
+  const int y = id / nx_;
+  return Point{region_.min_x + x * step_x_, region_.min_y + y * step_y_};
+}
+
+double RoadNetwork::NodeDistance(int from, int to) const {
+  MAPS_DCHECK(from >= 0 && from < num_nodes());
+  MAPS_DCHECK(to >= 0 && to < num_nodes());
+  if (from == to) return 0.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(num_nodes(), kInf);
+  using QE = std::pair<double, int>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<QE>> queue;
+  dist[from] = 0.0;
+  queue.push({0.0, from});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == to) return d;
+    for (const Edge& e : adj_[u]) {
+      const double nd = d + e.length;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        queue.push({nd, e.to});
+      }
+    }
+  }
+  return dist[to];
+}
+
+double RoadNetwork::Distance(const Point& a, const Point& b) const {
+  const int na = NearestNode(a);
+  const int nb = NearestNode(b);
+  const double approach_a = EuclideanDistance(a, NodeLocation(na));
+  const double approach_b = EuclideanDistance(b, NodeLocation(nb));
+  return approach_a + NodeDistance(na, nb) + approach_b;
+}
+
+void RoadNetwork::CongestArea(const Point& center, double radius,
+                              double factor) {
+  MAPS_CHECK_GE(factor, 1.0);
+  const double r2 = radius * radius;
+  auto inside = [&](int node) {
+    const Point p = NodeLocation(node);
+    const double dx = p.x - center.x;
+    const double dy = p.y - center.y;
+    return dx * dx + dy * dy <= r2;
+  };
+  for (int u = 0; u < num_nodes(); ++u) {
+    for (Edge& e : adj_[u]) {
+      // Each undirected edge is congested exactly once (owner = lower id)
+      // when either endpoint lies in the area.
+      if (e.to < u) continue;
+      if (!inside(u) && !inside(e.to)) continue;
+      e.length *= factor;
+      for (Edge& back : adj_[e.to]) {
+        if (back.to == u) {
+          back.length = e.length;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace maps

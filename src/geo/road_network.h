@@ -1,0 +1,71 @@
+// Road-network travel distances.
+//
+// Definition 2 allows d_r to be "Euclidean or road-network distance". This
+// module provides the latter as a synthetic Manhattan-style lattice: nodes
+// at regular intersections, 4-connected street segments, each segment
+// carrying a congestion factor >= 1. Travel distance between two points is
+// the shortest path (Dijkstra) between their nearest intersections plus the
+// straight-line approaches.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "rng/random.h"
+#include "util/result.h"
+
+namespace maps {
+
+/// \brief A lattice road network over a rectangular region.
+class RoadNetwork {
+ public:
+  /// \param region     covered area
+  /// \param nx, ny     number of intersections along x / y (>= 2 each)
+  /// \param congestion_jitter segments get factor 1 + U(0, jitter); 0 makes
+  ///        every street free-flowing (distance == Manhattan distance up to
+  ///        the lattice approach error)
+  /// \param seed       congestion randomness
+  static Result<RoadNetwork> MakeLattice(const Rect& region, int nx, int ny,
+                                         double congestion_jitter,
+                                         uint64_t seed);
+
+  int num_nodes() const { return nx_ * ny_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+
+  /// Node index of the intersection nearest to p.
+  int NearestNode(const Point& p) const;
+
+  /// Location of node `id`.
+  Point NodeLocation(int id) const;
+
+  /// Shortest road distance between two points: straight-line to the
+  /// nearest intersections plus the shortest path between them.
+  double Distance(const Point& a, const Point& b) const;
+
+  /// Shortest path length between two nodes (Dijkstra).
+  double NodeDistance(int from, int to) const;
+
+  /// Multiplies the congestion factor of every segment touching node ids in
+  /// `nodes` (e.g. to model an incident around a stadium).
+  void CongestArea(const Point& center, double radius, double factor);
+
+ private:
+  RoadNetwork(const Rect& region, int nx, int ny);
+
+  struct Edge {
+    int to;
+    double length;  // congested length
+  };
+
+  void AddEdge(int a, int b, double length);
+
+  Rect region_;
+  int nx_, ny_;
+  double step_x_, step_y_;
+  std::vector<std::vector<Edge>> adj_;
+};
+
+}  // namespace maps

@@ -1,0 +1,59 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace maps {
+
+BipartiteGraph BipartiteGraph::FromEdges(
+    int num_left, int num_right, std::vector<std::pair<int, int>> edges) {
+  BipartiteGraph g;
+  g.num_left_ = num_left;
+  g.num_right_ = num_right;
+  g.offsets_.assign(num_left + 1, 0);
+  for (const auto& [l, r] : edges) {
+    MAPS_CHECK(l >= 0 && l < num_left) << "left vertex out of range";
+    MAPS_CHECK(r >= 0 && r < num_right) << "right vertex out of range";
+    ++g.offsets_[l + 1];
+  }
+  for (int l = 0; l < num_left; ++l) g.offsets_[l + 1] += g.offsets_[l];
+  g.adj_.resize(edges.size());
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [l, r] : edges) {
+    g.adj_[cursor[l]++] = r;
+  }
+  // Deterministic neighbor order regardless of input edge order.
+  for (int l = 0; l < num_left; ++l) {
+    std::sort(g.adj_.begin() + g.offsets_[l], g.adj_.begin() + g.offsets_[l + 1]);
+  }
+  return g;
+}
+
+BipartiteGraph BipartiteGraph::Build(const std::vector<Task>& tasks,
+                                     const std::vector<Worker>& workers,
+                                     const GridPartition& grid) {
+  // Bucket task indices by grid cell.
+  std::vector<std::vector<int>> tasks_by_cell(grid.num_cells());
+  for (int i = 0; i < static_cast<int>(tasks.size()); ++i) {
+    tasks_by_cell[tasks[i].grid].push_back(i);
+  }
+  std::vector<std::pair<int, int>> edges;
+  for (int w = 0; w < static_cast<int>(workers.size()); ++w) {
+    const Worker& worker = workers[w];
+    const double r2 = worker.radius * worker.radius;
+    for (GridId cell :
+         grid.CellsIntersectingDisc(worker.location, worker.radius)) {
+      for (int t : tasks_by_cell[cell]) {
+        const Point& o = tasks[t].origin;
+        const double dx = o.x - worker.location.x;
+        const double dy = o.y - worker.location.y;
+        if (dx * dx + dy * dy <= r2) edges.emplace_back(t, w);
+      }
+    }
+  }
+  return FromEdges(static_cast<int>(tasks.size()),
+                   static_cast<int>(workers.size()), std::move(edges));
+}
+
+}  // namespace maps

@@ -1,0 +1,64 @@
+// BipartiteGraph: tasks (left) x workers (right) with an edge whenever the
+// task origin lies inside the worker's range disc (the probabilistic
+// bipartite graph B^t of Sec. 2.2, minus the probabilities, which live in
+// the demand models).
+//
+// Storage is CSR over the left side: Neighbors(l) is a contiguous span.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geo/grid.h"
+#include "market/task.h"
+#include "market/worker.h"
+
+namespace maps {
+
+/// \brief Immutable bipartite adjacency, left = tasks, right = workers.
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  /// Builds from explicit edges (tests and reductions).
+  static BipartiteGraph FromEdges(int num_left, int num_right,
+                                  std::vector<std::pair<int, int>> edges);
+
+  /// Builds from tasks/workers under the range constraint using a grid
+  /// spatial join: each worker enumerates the cells its disc intersects and
+  /// tests only tasks bucketed there, so construction is near-linear for
+  /// realistic radii instead of O(|R|*|W|).
+  static BipartiteGraph Build(const std::vector<Task>& tasks,
+                              const std::vector<Worker>& workers,
+                              const GridPartition& grid);
+
+  int num_left() const { return num_left_; }
+  int num_right() const { return num_right_; }
+  int64_t num_edges() const { return static_cast<int64_t>(adj_.size()); }
+
+  /// Right-side neighbors of left vertex `l`.
+  std::span<const int> Neighbors(int l) const {
+    return std::span<const int>(adj_.data() + offsets_[l],
+                                adj_.data() + offsets_[l + 1]);
+  }
+
+  int Degree(int l) const {
+    return static_cast<int>(offsets_[l + 1] - offsets_[l]);
+  }
+
+  /// Approximate heap footprint (memory-model accounting).
+  size_t FootprintBytes() const {
+    return adj_.capacity() * sizeof(int) + offsets_.capacity() * sizeof(int64_t);
+  }
+
+ private:
+  int num_left_ = 0;
+  int num_right_ = 0;
+  std::vector<int64_t> offsets_;  // size num_left_+1
+  std::vector<int> adj_;
+};
+
+}  // namespace maps

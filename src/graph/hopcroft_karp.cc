@@ -1,0 +1,70 @@
+#include "graph/hopcroft_karp.h"
+
+#include <functional>
+#include <limits>
+#include <queue>
+
+namespace maps {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+}
+
+Matching HopcroftKarpMatching(const BipartiteGraph& g) {
+  Matching m;
+  m.match_left.assign(g.num_left(), Matching::kUnmatched);
+  m.match_right.assign(g.num_right(), Matching::kUnmatched);
+
+  std::vector<int> dist(g.num_left(), kInf);
+  std::queue<int> bfs_queue;
+
+  auto bfs = [&]() -> bool {
+    for (int l = 0; l < g.num_left(); ++l) {
+      if (m.match_left[l] == Matching::kUnmatched) {
+        dist[l] = 0;
+        bfs_queue.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    while (!bfs_queue.empty()) {
+      const int l = bfs_queue.front();
+      bfs_queue.pop();
+      for (int r : g.Neighbors(l)) {
+        const int l2 = m.match_right[r];
+        if (l2 == Matching::kUnmatched) {
+          found_free_right = true;
+        } else if (dist[l2] == kInf) {
+          dist[l2] = dist[l] + 1;
+          bfs_queue.push(l2);
+        }
+      }
+    }
+    return found_free_right;
+  };
+
+  // Iterative DFS along the BFS layering.
+  std::function<bool(int)> dfs = [&](int l) -> bool {
+    for (int r : g.Neighbors(l)) {
+      const int l2 = m.match_right[r];
+      if (l2 == Matching::kUnmatched ||
+          (dist[l2] == dist[l] + 1 && dfs(l2))) {
+        m.match_left[l] = r;
+        m.match_right[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;  // dead end: prune for the rest of this phase
+    return false;
+  };
+
+  while (bfs()) {
+    for (int l = 0; l < g.num_left(); ++l) {
+      if (m.match_left[l] == Matching::kUnmatched && dfs(l)) ++m.size;
+    }
+  }
+  return m;
+}
+
+}  // namespace maps

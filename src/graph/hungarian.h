@@ -1,0 +1,32 @@
+// Hungarian algorithm (Jonker-Volgenant potentials variant) for maximum
+// weight bipartite matching with ARBITRARY edge weights.
+//
+// O(n^2 * m) over a dense matrix; used only in tests and tiny instances to
+// cross-validate MaxWeightTaskMatching and the possible-world enumerator.
+// The matching does not have to be perfect: missing edges carry weight
+// -infinity and a dummy "stay unmatched" option carries weight 0.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/matching.h"
+
+namespace maps {
+
+/// \brief Exact max-weight (not necessarily perfect, not necessarily maximum
+/// cardinality) bipartite matching on a dense weight matrix.
+///
+/// \param weight weight[l][r] is the gain of matching l to r; negative or
+///        -inf entries mean "no edge". Unmatched vertices contribute 0.
+/// \return optimal matching and its total weight.
+struct DenseWeightedMatchingResult {
+  std::vector<int> match_left;  // -1 = unmatched
+  double total_weight = 0.0;
+};
+
+DenseWeightedMatchingResult HungarianMaxWeight(
+    const std::vector<std::vector<double>>& weight);
+
+}  // namespace maps

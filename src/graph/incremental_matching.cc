@@ -1,0 +1,59 @@
+#include "graph/incremental_matching.h"
+
+#include "util/logging.h"
+
+namespace maps {
+
+IncrementalMatching::IncrementalMatching(const BipartiteGraph* graph)
+    : graph_(graph) {
+  MAPS_CHECK(graph != nullptr);
+  matching_.match_left.assign(graph->num_left(), Matching::kUnmatched);
+  matching_.match_right.assign(graph->num_right(), Matching::kUnmatched);
+  visited_.assign(graph->num_right(), -1);
+}
+
+bool IncrementalMatching::Dfs(int l, bool commit) {
+  for (int r : graph_->Neighbors(l)) {
+    if (visited_[r] == stamp_) continue;
+    visited_[r] = stamp_;
+    const int l2 = matching_.match_right[r];
+    if (l2 == Matching::kUnmatched || Dfs(l2, commit)) {
+      if (commit) {
+        matching_.match_left[l] = r;
+        matching_.match_right[r] = l;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IncrementalMatching::TryAugment(int l) {
+  MAPS_DCHECK(l >= 0 && l < graph_->num_left());
+  if (matching_.IsLeftMatched(l)) return true;
+  ++stamp_;
+  if (Dfs(l, /*commit=*/true)) {
+    ++matching_.size;
+    return true;
+  }
+  return false;
+}
+
+bool IncrementalMatching::AnyAugmentable(const std::vector<int>& candidates) {
+  for (int l : candidates) {
+    if (matching_.IsLeftMatched(l)) continue;
+    ++stamp_;
+    if (Dfs(l, /*commit=*/false)) return true;
+  }
+  return false;
+}
+
+int IncrementalMatching::AugmentFirst(const std::vector<int>& candidates) {
+  for (int l : candidates) {
+    if (matching_.IsLeftMatched(l)) continue;
+    if (TryAugment(l)) return l;
+  }
+  return Matching::kUnmatched;
+}
+
+}  // namespace maps

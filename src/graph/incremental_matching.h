@@ -1,0 +1,55 @@
+// IncrementalMatching: the pre-matching M' of Algorithm 2.
+//
+// MAPS grows the supply of one grid at a time; each growth step must verify
+// that some still-unassigned task of that grid has an augmenting path in the
+// current pre-matching. This class maintains the matching across such
+// single-vertex augmentations.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/matching.h"
+
+namespace maps {
+
+/// \brief Maintains a bipartite matching under one-left-vertex-at-a-time
+/// augmentation requests.
+class IncrementalMatching {
+ public:
+  explicit IncrementalMatching(const BipartiteGraph* graph);
+
+  /// Tries to match left vertex `l` (possibly re-routing existing matches
+  /// along an augmenting path). Returns true and mutates the matching on
+  /// success; leaves the matching untouched on failure. No-op returning
+  /// true if `l` is already matched.
+  bool TryAugment(int l);
+
+  /// True iff some vertex in `candidates` is unmatched but augmentable.
+  /// Does NOT mutate the matching.
+  bool AnyAugmentable(const std::vector<int>& candidates);
+
+  /// Augments the first augmentable unmatched vertex in `candidates`;
+  /// returns its index or Matching::kUnmatched when none succeeds.
+  int AugmentFirst(const std::vector<int>& candidates);
+
+  const Matching& matching() const { return matching_; }
+  int size() const { return matching_.size; }
+
+  size_t FootprintBytes() const {
+    return (matching_.match_left.capacity() +
+            matching_.match_right.capacity() + visited_.capacity()) *
+           sizeof(int);
+  }
+
+ private:
+  bool Dfs(int l, bool commit);
+
+  const BipartiteGraph* graph_;
+  Matching matching_;
+  std::vector<int> visited_;
+  int stamp_ = 0;
+};
+
+}  // namespace maps

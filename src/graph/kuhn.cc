@@ -1,0 +1,35 @@
+#include "graph/kuhn.h"
+
+namespace maps {
+
+namespace {
+
+bool TryAugment(const BipartiteGraph& g, int l, std::vector<int>& visited,
+                int stamp, Matching& m) {
+  for (int r : g.Neighbors(l)) {
+    if (visited[r] == stamp) continue;
+    visited[r] = stamp;
+    if (m.match_right[r] == Matching::kUnmatched ||
+        TryAugment(g, m.match_right[r], visited, stamp, m)) {
+      m.match_left[l] = r;
+      m.match_right[r] = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Matching KuhnMatching(const BipartiteGraph& graph) {
+  Matching m;
+  m.match_left.assign(graph.num_left(), Matching::kUnmatched);
+  m.match_right.assign(graph.num_right(), Matching::kUnmatched);
+  std::vector<int> visited(graph.num_right(), -1);
+  for (int l = 0; l < graph.num_left(); ++l) {
+    if (TryAugment(graph, l, visited, l, m)) ++m.size;
+  }
+  return m;
+}
+
+}  // namespace maps

@@ -1,0 +1,16 @@
+// Kuhn's augmenting-path algorithm for maximum-cardinality bipartite
+// matching: O(V * E). Simple and the reference implementation the other
+// matchers are property-tested against.
+
+#pragma once
+
+#include "graph/bipartite_graph.h"
+#include "graph/matching.h"
+
+namespace maps {
+
+/// \brief Computes a maximum-cardinality matching via repeated augmenting
+/// path searches from each left vertex.
+Matching KuhnMatching(const BipartiteGraph& graph);
+
+}  // namespace maps

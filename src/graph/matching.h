@@ -1,0 +1,22 @@
+// Common result type for bipartite matchings.
+
+#pragma once
+
+#include <vector>
+
+namespace maps {
+
+/// \brief A matching over a BipartiteGraph: match_left[l] is the matched
+/// right vertex (or kUnmatched), and symmetrically for match_right.
+struct Matching {
+  static constexpr int kUnmatched = -1;
+
+  std::vector<int> match_left;
+  std::vector<int> match_right;
+  int size = 0;
+
+  bool IsLeftMatched(int l) const { return match_left[l] != kUnmatched; }
+  bool IsRightMatched(int r) const { return match_right[r] != kUnmatched; }
+};
+
+}  // namespace maps

@@ -1,0 +1,35 @@
+#include "graph/max_weight_matching.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/incremental_matching.h"
+#include "util/logging.h"
+
+namespace maps {
+
+WeightedMatchingResult MaxWeightTaskMatching(
+    const BipartiteGraph& graph, const std::vector<double>& left_weight) {
+  MAPS_CHECK_EQ(static_cast<int>(left_weight.size()), graph.num_left());
+  std::vector<int> order(graph.num_left());
+  std::iota(order.begin(), order.end(), 0);
+  // Stable tie-break on index for determinism.
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (left_weight[a] != left_weight[b])
+      return left_weight[a] > left_weight[b];
+    return a < b;
+  });
+
+  IncrementalMatching inc(&graph);
+  WeightedMatchingResult result;
+  for (int l : order) {
+    if (left_weight[l] < 0.0) continue;  // never profitable
+    if (inc.TryAugment(l)) {
+      result.total_weight += left_weight[l];
+    }
+  }
+  result.matching = inc.matching();
+  return result;
+}
+
+}  // namespace maps

@@ -1,0 +1,59 @@
+#include "graph/possible_worlds.h"
+
+#include "graph/max_weight_matching.h"
+#include "util/logging.h"
+
+namespace maps {
+
+namespace {
+
+double WorldRevenue(const BipartiteGraph& graph,
+                    const std::vector<PricedTask>& tasks,
+                    const std::vector<bool>& accepted) {
+  std::vector<double> weights(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    // Rejected tasks are excluded from the world's graph entirely
+    // (negative weight => greedy matcher skips them).
+    weights[i] = accepted[i] ? tasks[i].distance * tasks[i].price : -1.0;
+  }
+  return MaxWeightTaskMatching(graph, weights).total_weight;
+}
+
+}  // namespace
+
+double ExactExpectedRevenue(const BipartiteGraph& graph,
+                            const std::vector<PricedTask>& tasks) {
+  const int n = static_cast<int>(tasks.size());
+  MAPS_CHECK_EQ(n, graph.num_left());
+  MAPS_CHECK_LE(n, 25) << "possible-world enumeration is 2^n";
+  double expectation = 0.0;
+  std::vector<bool> accepted(n);
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double prob = 1.0;
+    for (int i = 0; i < n; ++i) {
+      accepted[i] = (mask >> i) & 1u;
+      prob *= accepted[i] ? tasks[i].accept_prob : 1.0 - tasks[i].accept_prob;
+    }
+    if (prob == 0.0) continue;
+    expectation += prob * WorldRevenue(graph, tasks, accepted);
+  }
+  return expectation;
+}
+
+double MonteCarloExpectedRevenue(const BipartiteGraph& graph,
+                                 const std::vector<PricedTask>& tasks,
+                                 Rng& rng, int samples) {
+  MAPS_CHECK_GT(samples, 0);
+  MAPS_CHECK_EQ(static_cast<int>(tasks.size()), graph.num_left());
+  double total = 0.0;
+  std::vector<bool> accepted(tasks.size());
+  for (int s = 0; s < samples; ++s) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      accepted[i] = rng.NextBernoulli(tasks[i].accept_prob);
+    }
+    total += WorldRevenue(graph, tasks, accepted);
+  }
+  return total / samples;
+}
+
+}  // namespace maps

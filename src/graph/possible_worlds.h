@@ -1,0 +1,36 @@
+// Exact expected total revenue via possible-world enumeration (Def. 5-6).
+//
+// Each requester independently accepts their offered price with probability
+// S_g(p_r); a possible world is an acceptance subset, its revenue the
+// maximum-weight matching over accepted tasks, and the expectation the
+// probability-weighted sum over all 2^|R| worlds (Fig. 2 of the paper).
+// Exponential, so usable only on small instances — it is the ground truth
+// the pricing strategies are validated against.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "rng/random.h"
+
+namespace maps {
+
+/// \brief A task with its offered price and acceptance probability.
+struct PricedTask {
+  double distance = 0.0;     ///< d_r
+  double price = 0.0;        ///< p_r (unit price)
+  double accept_prob = 0.0;  ///< S_g(p_r)
+};
+
+/// \brief Exact E[U(B^t)] by enumerating all 2^n acceptance subsets.
+/// \pre tasks.size() <= 25 (hard check; beyond that use Monte Carlo).
+double ExactExpectedRevenue(const BipartiteGraph& graph,
+                            const std::vector<PricedTask>& tasks);
+
+/// \brief Monte-Carlo estimate of E[U(B^t)] with `samples` sampled worlds.
+double MonteCarloExpectedRevenue(const BipartiteGraph& graph,
+                                 const std::vector<PricedTask>& tasks,
+                                 Rng& rng, int samples);
+
+}  // namespace maps

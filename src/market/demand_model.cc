@@ -1,0 +1,207 @@
+#include "market/demand_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace maps {
+
+double DemandModel::MyersonPrice(double lo, double hi) const {
+  MAPS_CHECK_LT(lo, hi);
+  // Dense scan: robust to plateaus and step demand; p*S(p) is unimodal for
+  // MHR distributions so the scan brackets the maximizer.
+  constexpr int kScanPoints = 512;
+  double best_p = lo;
+  double best_v = ExpectedUnitRevenue(lo);
+  for (int i = 1; i <= kScanPoints; ++i) {
+    const double p = lo + (hi - lo) * i / kScanPoints;
+    const double v = ExpectedUnitRevenue(p);
+    if (v > best_v) {
+      best_v = v;
+      best_p = p;
+    }
+  }
+  // Ternary refinement in the bracketing interval.
+  double a = std::max(lo, best_p - (hi - lo) / kScanPoints);
+  double b = std::min(hi, best_p + (hi - lo) / kScanPoints);
+  for (int iter = 0; iter < 80; ++iter) {
+    const double m1 = a + (b - a) / 3.0;
+    const double m2 = b - (b - a) / 3.0;
+    if (ExpectedUnitRevenue(m1) < ExpectedUnitRevenue(m2)) {
+      a = m1;
+    } else {
+      b = m2;
+    }
+  }
+  const double refined = (a + b) / 2.0;
+  return ExpectedUnitRevenue(refined) >= best_v ? refined : best_p;
+}
+
+// ---------------------------------------------------------------------------
+// TruncatedNormalDemand
+
+TruncatedNormalDemand::TruncatedNormalDemand(double mean, double stddev,
+                                             double lo, double hi)
+    : dist_(mean, stddev, lo, hi) {}
+
+double TruncatedNormalDemand::Cdf(double p) const { return dist_.Cdf(p); }
+
+double TruncatedNormalDemand::Sample(Rng& rng) const {
+  return dist_.Sample(rng);
+}
+
+std::unique_ptr<DemandModel> TruncatedNormalDemand::Clone() const {
+  return std::make_unique<TruncatedNormalDemand>(*this);
+}
+
+std::string TruncatedNormalDemand::ToString() const {
+  std::ostringstream os;
+  os << "TruncatedNormal(mu=" << dist_.mean_parameter()
+     << ", sigma=" << dist_.stddev_parameter() << ", [" << dist_.lo() << ","
+     << dist_.hi() << "])";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// TruncatedExponentialDemand
+
+TruncatedExponentialDemand::TruncatedExponentialDemand(double rate, double lo,
+                                                       double hi)
+    : rate_(rate), lo_(lo), hi_(hi) {
+  MAPS_CHECK_GT(rate, 0.0);
+  MAPS_CHECK_LT(lo, hi);
+  mass_ = 1.0 - std::exp(-rate_ * (hi_ - lo_));
+  MAPS_CHECK_GT(mass_, 0.0);
+}
+
+double TruncatedExponentialDemand::Cdf(double p) const {
+  if (p <= lo_) return 0.0;
+  if (p >= hi_) return 1.0;
+  return (1.0 - std::exp(-rate_ * (p - lo_))) / mass_;
+}
+
+double TruncatedExponentialDemand::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  // Inverse CDF of the truncated exponential.
+  const double x = -std::log(1.0 - u * mass_) / rate_;
+  return std::min(lo_ + x, hi_);
+}
+
+std::unique_ptr<DemandModel> TruncatedExponentialDemand::Clone() const {
+  return std::make_unique<TruncatedExponentialDemand>(*this);
+}
+
+std::string TruncatedExponentialDemand::ToString() const {
+  std::ostringstream os;
+  os << "TruncatedExponential(rate=" << rate_ << ", [" << lo_ << "," << hi_
+     << "])";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// UniformDemand
+
+UniformDemand::UniformDemand(double lo, double hi) : lo_(lo), hi_(hi) {
+  MAPS_CHECK_LT(lo, hi);
+}
+
+double UniformDemand::Cdf(double p) const {
+  if (p <= lo_) return 0.0;
+  if (p >= hi_) return 1.0;
+  return (p - lo_) / (hi_ - lo_);
+}
+
+double UniformDemand::Sample(Rng& rng) const {
+  return rng.NextDouble(lo_, hi_);
+}
+
+std::unique_ptr<DemandModel> UniformDemand::Clone() const {
+  return std::make_unique<UniformDemand>(*this);
+}
+
+std::string UniformDemand::ToString() const {
+  std::ostringstream os;
+  os << "Uniform[" << lo_ << "," << hi_ << "]";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// PointMassDemand
+
+PointMassDemand::PointMassDemand(double value) : value_(value) {}
+
+double PointMassDemand::Cdf(double p) const {
+  // Pr[v <= p]; the accept rule is v >= p, so strictly below the atom the
+  // CDF must be 0 and at/above it 1 minus nothing: accept iff p <= value.
+  return p > value_ ? 1.0 : 0.0;
+}
+
+double PointMassDemand::Sample(Rng&) const { return value_; }
+
+std::unique_ptr<DemandModel> PointMassDemand::Clone() const {
+  return std::make_unique<PointMassDemand>(*this);
+}
+
+std::string PointMassDemand::ToString() const {
+  std::ostringstream os;
+  os << "PointMass(" << value_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// TabulatedDemand
+
+TabulatedDemand::TabulatedDemand(std::vector<double> prices,
+                                 std::vector<double> accept_ratios,
+                                 double tail)
+    : prices_(std::move(prices)),
+      accept_(std::move(accept_ratios)),
+      tail_(tail) {
+  MAPS_CHECK_EQ(prices_.size(), accept_.size());
+  MAPS_CHECK(!prices_.empty());
+  for (size_t i = 1; i < prices_.size(); ++i) {
+    MAPS_CHECK_LT(prices_[i - 1], prices_[i]);
+    MAPS_CHECK_GE(accept_[i - 1], accept_[i]) << "S(p) must be non-increasing";
+  }
+  MAPS_CHECK_GE(accept_.back(), tail_);
+  MAPS_CHECK_LE(accept_.front(), 1.0);
+  MAPS_CHECK_GE(tail_, 0.0);
+}
+
+double TabulatedDemand::Cdf(double p) const {
+  // Valuations are atoms at the listed prices (plus a reject atom far below
+  // and a tail atom above), so Pr[v >= p] = accept_[i] for the smallest
+  // listed price p_i >= p.
+  if (p > prices_.back()) return 1.0 - tail_;
+  auto it = std::lower_bound(prices_.begin(), prices_.end(), p);
+  const size_t idx = static_cast<size_t>(it - prices_.begin());
+  return 1.0 - accept_[idx];
+}
+
+double TabulatedDemand::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  if (u < tail_) return prices_.back() + 1.0;  // accepts every listed price
+  for (size_t i = prices_.size(); i-- > 0;) {
+    if (u < accept_[i]) return prices_[i];
+  }
+  return prices_.front() - 1e6;  // rejects everything
+}
+
+std::unique_ptr<DemandModel> TabulatedDemand::Clone() const {
+  return std::make_unique<TabulatedDemand>(*this);
+}
+
+std::string TabulatedDemand::ToString() const {
+  std::ostringstream os;
+  os << "Tabulated{";
+  for (size_t i = 0; i < prices_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "S(" << prices_[i] << ")=" << accept_[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace maps

@@ -1,0 +1,136 @@
+// Demand models: the distribution of private valuations v_r in one grid.
+//
+// Definition 3: the acceptance ratio at price p is S(p) = Pr[v_r > p]
+// = 1 - F(p). The paper's analysis assumes F is a Monotone-Hazard-Rate
+// distribution (normal/exponential/uniform all qualify); the Myerson
+// reserve price argmax_p p*S(p) is then the unique maximizer.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/distributions.h"
+#include "rng/random.h"
+
+namespace maps {
+
+/// \brief Distribution of private valuations within one grid cell.
+class DemandModel {
+ public:
+  virtual ~DemandModel() = default;
+
+  /// CDF F(p) = Pr[v_r <= p].
+  virtual double Cdf(double p) const = 0;
+
+  /// Draws one private valuation.
+  virtual double Sample(Rng& rng) const = 0;
+
+  virtual std::unique_ptr<DemandModel> Clone() const = 0;
+
+  virtual std::string ToString() const = 0;
+
+  /// Acceptance ratio S(p) = 1 - F(p) (Definition 3).
+  double AcceptRatio(double p) const { return 1.0 - Cdf(p); }
+
+  /// Expected per-unit-distance revenue p * S(p).
+  double ExpectedUnitRevenue(double p) const { return p * AcceptRatio(p); }
+
+  /// Numerically locates the Myerson reserve price argmax p*S(p) on
+  /// [lo, hi]: dense scan followed by ternary refinement (p*S(p) is
+  /// unimodal for MHR demand).
+  double MyersonPrice(double lo, double hi) const;
+};
+
+/// \brief Valuations ~ Normal(mean, stddev) truncated to [lo, hi]
+/// (the paper's default; Table 3 "demand distribution").
+class TruncatedNormalDemand : public DemandModel {
+ public:
+  TruncatedNormalDemand(double mean, double stddev, double lo, double hi);
+
+  double Cdf(double p) const override;
+  double Sample(Rng& rng) const override;
+  std::unique_ptr<DemandModel> Clone() const override;
+  std::string ToString() const override;
+
+  double mean_parameter() const { return dist_.mean_parameter(); }
+
+ private:
+  TruncatedNormal dist_;
+};
+
+/// \brief Valuations ~ Exponential(rate) shifted to start at lo and truncated
+/// at hi (appendix D varies the rate alpha in {0.5 .. 1.5}).
+class TruncatedExponentialDemand : public DemandModel {
+ public:
+  TruncatedExponentialDemand(double rate, double lo, double hi);
+
+  double Cdf(double p) const override;
+  double Sample(Rng& rng) const override;
+  std::unique_ptr<DemandModel> Clone() const override;
+  std::string ToString() const override;
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_, lo_, hi_;
+  double mass_;  // CDF mass of the untruncated exponential on [0, hi-lo]
+};
+
+/// \brief Valuations ~ Uniform[lo, hi].
+class UniformDemand : public DemandModel {
+ public:
+  UniformDemand(double lo, double hi);
+
+  double Cdf(double p) const override;
+  double Sample(Rng& rng) const override;
+  std::unique_ptr<DemandModel> Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  double lo_, hi_;
+};
+
+/// \brief Deterministic valuation (used by the NP-hardness gadget tests and
+/// for markets with fully known demand).
+class PointMassDemand : public DemandModel {
+ public:
+  explicit PointMassDemand(double value);
+
+  double Cdf(double p) const override;
+  double Sample(Rng& rng) const override;
+  std::unique_ptr<DemandModel> Clone() const override;
+  std::string ToString() const override;
+
+  double value() const { return value_; }
+
+ private:
+  double value_;
+};
+
+/// \brief Piecewise-constant acceptance ratios given at a set of prices,
+/// like Table 1 of the paper (S(1)=0.9, S(2)=0.8, S(3)=0.5).
+///
+/// Between listed prices the acceptance ratio is that of the largest listed
+/// price <= p; above the last listed price it drops to `tail`.
+class TabulatedDemand : public DemandModel {
+ public:
+  /// \param prices ascending prices
+  /// \param accept_ratios S(p) at each listed price, non-increasing
+  /// \param tail S(p) beyond the last price (default 0)
+  TabulatedDemand(std::vector<double> prices,
+                  std::vector<double> accept_ratios, double tail = 0.0);
+
+  double Cdf(double p) const override;
+  double Sample(Rng& rng) const override;
+  std::unique_ptr<DemandModel> Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<double> prices_;
+  std::vector<double> accept_;
+  double tail_;
+};
+
+}  // namespace maps

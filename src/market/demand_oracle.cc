@@ -1,0 +1,65 @@
+#include "market/demand_oracle.h"
+
+#include "util/logging.h"
+
+namespace maps {
+
+DemandOracle::DemandOracle(std::vector<std::unique_ptr<DemandModel>> per_grid,
+                           uint64_t seed)
+    : models_(std::move(per_grid)), rng_(seed), seed_(seed) {}
+
+Result<DemandOracle> DemandOracle::Make(
+    std::vector<std::unique_ptr<DemandModel>> per_grid, uint64_t seed) {
+  if (per_grid.empty()) {
+    return Status::InvalidArgument("oracle needs at least one grid model");
+  }
+  for (const auto& m : per_grid) {
+    if (m == nullptr) {
+      return Status::InvalidArgument("null demand model");
+    }
+  }
+  return DemandOracle(std::move(per_grid), seed);
+}
+
+const DemandModel& DemandOracle::model(int grid) const {
+  MAPS_CHECK(grid >= 0 && grid < num_grids()) << "grid " << grid;
+  return *models_[grid];
+}
+
+double DemandOracle::TrueAcceptRatio(int grid, double p) const {
+  return model(grid).AcceptRatio(p);
+}
+
+bool DemandOracle::ProbeAccept(int grid, double p) {
+  ++num_probes_;
+  const double v = models_[grid]->Sample(rng_);
+  return v >= p;
+}
+
+double DemandOracle::SampleValuation(int grid) {
+  return models_[grid]->Sample(rng_);
+}
+
+DemandOracle DemandOracle::Fork(uint64_t stream) const {
+  std::vector<std::unique_ptr<DemandModel>> copies;
+  copies.reserve(models_.size());
+  for (const auto& m : models_) copies.push_back(m->Clone());
+  return DemandOracle(std::move(copies),
+                      seed_ ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+}
+
+void DemandOracle::ReplaceModel(int grid, std::unique_ptr<DemandModel> model) {
+  MAPS_CHECK(grid >= 0 && grid < num_grids());
+  MAPS_CHECK(model != nullptr);
+  models_[grid] = std::move(model);
+}
+
+std::vector<std::unique_ptr<DemandModel>> ReplicateDemand(
+    const DemandModel& model, int num_grids) {
+  std::vector<std::unique_ptr<DemandModel>> out;
+  out.reserve(num_grids);
+  for (int g = 0; g < num_grids; ++g) out.push_back(model.Clone());
+  return out;
+}
+
+}  // namespace maps

@@ -1,0 +1,69 @@
+// DemandOracle: per-grid ground-truth valuation distributions.
+//
+// The oracle plays two roles:
+//  * the simulator draws true valuations v_r from it when generating tasks;
+//  * pricing strategies probe it during warm-up ("use the price p for h(p)
+//    requesters who recently have issued tasks", Algorithm 1 line 6) —
+//    each probe draws a fresh historical requester and returns only the
+//    accept/reject bit, never the valuation.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "market/demand_model.h"
+#include "rng/random.h"
+#include "util/result.h"
+
+namespace maps {
+
+/// \brief Ground truth demand per grid plus probe bookkeeping.
+class DemandOracle {
+ public:
+  /// \param per_grid one demand model per grid cell (size G)
+  /// \param seed RNG seed for probe draws
+  static Result<DemandOracle> Make(
+      std::vector<std::unique_ptr<DemandModel>> per_grid, uint64_t seed);
+
+  int num_grids() const { return static_cast<int>(models_.size()); }
+
+  const DemandModel& model(int grid) const;
+
+  /// True acceptance ratio S_g(p) — test/benchmark use only; strategies
+  /// must not call this (they only get probes and feedback).
+  double TrueAcceptRatio(int grid, double p) const;
+
+  /// Simulates offering price `p` to one fresh historical requester in
+  /// `grid`; returns whether they accept (v >= p).
+  bool ProbeAccept(int grid, double p);
+
+  /// Draws a fresh valuation (simulator use when generating tasks).
+  double SampleValuation(int grid);
+
+  /// Number of probes issued so far (all grids) — warm-up cost accounting.
+  int64_t num_probes() const { return num_probes_; }
+
+  /// Deep copy with an independent RNG stream; lets every strategy warm up
+  /// against identical ground truth without sharing probe randomness.
+  DemandOracle Fork(uint64_t stream) const;
+
+  /// Replaces the model of one grid (used to emulate demand drift for the
+  /// change-detector tests).
+  void ReplaceModel(int grid, std::unique_ptr<DemandModel> model);
+
+ private:
+  DemandOracle(std::vector<std::unique_ptr<DemandModel>> per_grid,
+               uint64_t seed);
+
+  std::vector<std::unique_ptr<DemandModel>> models_;
+  Rng rng_;
+  uint64_t seed_;
+  int64_t num_probes_ = 0;
+};
+
+/// \brief Convenience: G copies of the same model.
+std::vector<std::unique_ptr<DemandModel>> ReplicateDemand(
+    const DemandModel& model, int num_grids);
+
+}  // namespace maps

@@ -1,0 +1,60 @@
+#include "market/market_state.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace maps {
+
+MarketSnapshot::MarketSnapshot(const GridPartition* grid, int32_t period,
+                               std::vector<Task> tasks,
+                               std::vector<Worker> workers)
+    : grid_(grid),
+      period_(period),
+      tasks_(std::move(tasks)),
+      workers_(std::move(workers)) {
+  MAPS_CHECK(grid_ != nullptr);
+  const int g = grid_->num_cells();
+  tasks_by_grid_.resize(g);
+  workers_by_grid_.resize(g);
+  sorted_dist_by_grid_.resize(g);
+  total_dist_by_grid_.assign(g, 0.0);
+  for (int i = 0; i < static_cast<int>(tasks_.size()); ++i) {
+    const Task& t = tasks_[i];
+    MAPS_DCHECK(t.grid >= 0 && t.grid < g);
+    tasks_by_grid_[t.grid].push_back(i);
+    sorted_dist_by_grid_[t.grid].push_back(t.distance);
+    total_dist_by_grid_[t.grid] += t.distance;
+  }
+  for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
+    const Worker& w = workers_[i];
+    MAPS_DCHECK(w.grid >= 0 && w.grid < g);
+    workers_by_grid_[w.grid].push_back(i);
+  }
+  for (auto& d : sorted_dist_by_grid_) {
+    std::sort(d.begin(), d.end(), std::greater<double>());
+  }
+}
+
+const std::vector<int>& MarketSnapshot::TasksInGrid(GridId g) const {
+  MAPS_DCHECK(g >= 0 && g < num_grids());
+  return tasks_by_grid_[g];
+}
+
+const std::vector<int>& MarketSnapshot::WorkersInGrid(GridId g) const {
+  MAPS_DCHECK(g >= 0 && g < num_grids());
+  return workers_by_grid_[g];
+}
+
+const std::vector<double>& MarketSnapshot::SortedDistancesInGrid(
+    GridId g) const {
+  MAPS_DCHECK(g >= 0 && g < num_grids());
+  return sorted_dist_by_grid_[g];
+}
+
+double MarketSnapshot::TotalDistanceInGrid(GridId g) const {
+  MAPS_DCHECK(g >= 0 && g < num_grids());
+  return total_dist_by_grid_[g];
+}
+
+}  // namespace maps

@@ -1,0 +1,52 @@
+// MarketSnapshot: everything a pricing strategy may observe about one time
+// period — the issued tasks, the available workers, and the grid partition.
+// Valuations are absent by construction.
+
+#pragma once
+
+#include <vector>
+
+#include "geo/grid.h"
+#include "market/task.h"
+#include "market/worker.h"
+
+namespace maps {
+
+/// \brief Immutable per-period view of the market handed to strategies.
+class MarketSnapshot {
+ public:
+  MarketSnapshot(const GridPartition* grid, int32_t period,
+                 std::vector<Task> tasks, std::vector<Worker> workers);
+
+  int32_t period() const { return period_; }
+  const GridPartition& grid() const { return *grid_; }
+  int num_grids() const { return grid_->num_cells(); }
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<Worker>& workers() const { return workers_; }
+
+  /// Indices into tasks() whose origin lies in `g`.
+  const std::vector<int>& TasksInGrid(GridId g) const;
+
+  /// Indices into workers() currently located in `g`.
+  const std::vector<int>& WorkersInGrid(GridId g) const;
+
+  /// Task distances in grid `g`, sorted descending — the d_{r_1} >= d_{r_2}
+  /// >= ... ordering the supply curve of Eq. (1) sums over.
+  const std::vector<double>& SortedDistancesInGrid(GridId g) const;
+
+  /// Sum of all task distances in grid `g` (demand-curve scale C).
+  double TotalDistanceInGrid(GridId g) const;
+
+ private:
+  const GridPartition* grid_;
+  int32_t period_;
+  std::vector<Task> tasks_;
+  std::vector<Worker> workers_;
+  std::vector<std::vector<int>> tasks_by_grid_;
+  std::vector<std::vector<int>> workers_by_grid_;
+  std::vector<std::vector<double>> sorted_dist_by_grid_;
+  std::vector<double> total_dist_by_grid_;
+};
+
+}  // namespace maps

@@ -1,0 +1,32 @@
+// Spatial tasks (Definition 2). The requester's private valuation v_r is
+// deliberately NOT stored here: strategies must never observe it. The
+// simulator keeps valuations in a parallel array (see sim/workload.h) and
+// only reveals accept/reject feedback, exactly like the real platform.
+
+#pragma once
+
+#include <cstdint>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+
+namespace maps {
+
+using TaskId = int64_t;
+
+/// \brief A spatial task r = <t, ori_r, des_r> plus derived fields.
+struct Task {
+  TaskId id = -1;
+  /// Time period the task is issued in.
+  int32_t period = 0;
+  /// Requester's origin; determines the local market (grid).
+  Point origin;
+  /// Destination the worker must travel to.
+  Point destination;
+  /// Travel distance d_r from origin to destination; revenue is d_r * p.
+  double distance = 0.0;
+  /// Grid cell of the origin (cached; equals partition.CellOf(origin)).
+  GridId grid = -1;
+};
+
+}  // namespace maps

@@ -1,0 +1,41 @@
+// Crowd workers (Definition 4).
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+
+namespace maps {
+
+using WorkerId = int64_t;
+
+/// \brief A crowd worker w = <t, l_w, a_w>.
+struct Worker {
+  WorkerId id = -1;
+  /// First time period the worker is available.
+  int32_t period = 0;
+  /// Current location l_w.
+  Point location;
+  /// Range constraint radius a_w: the worker can serve task r iff
+  /// EuclideanDistance(origin_r, location) <= radius.
+  double radius = 0.0;
+  /// Total periods of availability (kUnlimited => stays until matched once;
+  /// the synthetic workloads use single-use workers, the Beijing surrogate
+  /// uses finite durations with ride turnaround).
+  int32_t duration = kUnlimitedDuration;
+  /// Grid cell of the current location.
+  GridId grid = -1;
+
+  static constexpr int32_t kUnlimitedDuration =
+      std::numeric_limits<int32_t>::max();
+
+  /// Range-constraint test against a task origin.
+  bool CanReach(const Point& task_origin) const {
+    return EuclideanDistance(location, task_origin) <= radius;
+  }
+};
+
+}  // namespace maps

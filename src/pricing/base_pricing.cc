@@ -1,0 +1,79 @@
+#include "pricing/base_pricing.h"
+
+#include "stats/hoeffding.h"
+#include "util/logging.h"
+
+namespace maps {
+
+BasePricing::BasePricing(const PricingConfig& config)
+    : config_(config), ladder_(MakeLadderFromConfig(config).ValueOrDie()) {}
+
+Status BasePricing::Warmup(const GridPartition& grid, DemandOracle* history) {
+  if (history == nullptr) {
+    return Status::InvalidArgument("BasePricing warm-up needs history");
+  }
+  if (history->num_grids() != grid.num_cells()) {
+    return Status::InvalidArgument("oracle/grid cell count mismatch");
+  }
+  const int num_grids = grid.num_cells();
+  // The actual candidate count (equals Algorithm 1's k for geometric
+  // ladders, and the explicit set's size otherwise).
+  const int k = ladder_.size();
+
+  grid_myerson_.assign(num_grids, config_.p_min);
+  observed_accept_.assign(num_grids,
+                          std::vector<double>(ladder_.size(), 0.0));
+  probes_.assign(ladder_.size(), 0);
+  for (int i = 0; i < ladder_.size(); ++i) {
+    probes_[i] = ProbeBudget(ladder_.price(i), config_.eps, config_.delta, k);
+  }
+
+  double sum = 0.0;
+  for (int g = 0; g < num_grids; ++g) {
+    double best_value = -1.0;
+    double best_price = config_.p_min;
+    // Ascending ladder scan; strict '>' keeps the smaller price on ties
+    // (a tie at a lower price means a higher acceptance ratio).
+    for (int i = 0; i < ladder_.size(); ++i) {
+      const double p = ladder_.price(i);
+      const int64_t h = probes_[i];
+      int64_t accepts = 0;
+      for (int64_t s = 0; s < h; ++s) {
+        if (history->ProbeAccept(g, p)) ++accepts;
+      }
+      const double s_hat =
+          static_cast<double>(accepts) / static_cast<double>(h);
+      observed_accept_[g][i] = s_hat;
+      if (p * s_hat > best_value) {
+        best_value = p * s_hat;
+        best_price = p;
+      }
+    }
+    grid_myerson_[g] = best_price;
+    sum += best_price;
+  }
+  base_price_ = sum / num_grids;
+  warmed_up_ = true;
+  return Status::OK();
+}
+
+Status BasePricing::PriceRound(const MarketSnapshot& snapshot,
+                               std::vector<double>* grid_prices) {
+  if (!warmed_up_) {
+    return Status::FailedPrecondition("BasePricing used before Warmup");
+  }
+  grid_prices->assign(snapshot.num_grids(), base_price_);
+  return Status::OK();
+}
+
+size_t BasePricing::MemoryFootprintBytes() const {
+  size_t bytes = grid_myerson_.capacity() * sizeof(double) +
+                 probes_.capacity() * sizeof(int64_t) +
+                 ladder_.prices().capacity() * sizeof(double);
+  for (const auto& row : observed_accept_) {
+    bytes += row.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace maps

@@ -1,0 +1,62 @@
+// Base pricing (Sec. 3, Algorithm 1).
+//
+// During warm-up, every grid samples the geometric price ladder with
+// Hoeffding-sized probe budgets, estimates its Myerson reserve price as the
+// ladder argmax of p * S_hat(p) (ties toward the smaller price), and the
+// base price p_b is the arithmetic mean over grids. Every round then prices
+// all grids at p_b.
+
+#pragma once
+
+#include <vector>
+
+#include "pricing/strategy.h"
+#include "stats/price_ladder.h"
+
+namespace maps {
+
+/// \brief The BaseP strategy; also reused by SDR/SDE/MAPS to obtain p_b.
+class BasePricing : public PricingStrategy {
+ public:
+  explicit BasePricing(const PricingConfig& config);
+
+  std::string name() const override { return "BaseP"; }
+
+  Status Warmup(const GridPartition& grid, DemandOracle* history) override;
+
+  Status PriceRound(const MarketSnapshot& snapshot,
+                    std::vector<double>* grid_prices) override;
+
+  size_t MemoryFootprintBytes() const override;
+
+  /// The unified base price p_b (valid after Warmup).
+  double base_price() const { return base_price_; }
+
+  /// Estimated per-grid Myerson reserve prices p_m^g (valid after Warmup).
+  const std::vector<double>& grid_myerson_prices() const {
+    return grid_myerson_; }
+
+  /// Observed acceptance ratios S_hat_g(p) per ladder rung (valid after
+  /// Warmup); exposed so MAPS can warm-start its UCB tables.
+  const std::vector<std::vector<double>>& observed_accept_ratios() const {
+    return observed_accept_;
+  }
+
+  /// Probe count per rung (identical across grids by construction).
+  const std::vector<int64_t>& probes_per_rung() const { return probes_; }
+
+  const PriceLadder& ladder() const { return ladder_; }
+  const PricingConfig& config() const { return config_; }
+  bool warmed_up() const { return warmed_up_; }
+
+ private:
+  PricingConfig config_;
+  PriceLadder ladder_;
+  std::vector<double> grid_myerson_;
+  std::vector<std::vector<double>> observed_accept_;
+  std::vector<int64_t> probes_;
+  double base_price_ = 0.0;
+  bool warmed_up_ = false;
+};
+
+}  // namespace maps

@@ -1,0 +1,105 @@
+#include "pricing/capped_ucb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/hoeffding.h"
+#include "util/logging.h"
+
+namespace maps {
+
+CappedUcb::CappedUcb(const PricingConfig& config, bool warm_start)
+    : config_(config),
+      warm_start_(warm_start),
+      ladder_(MakeLadderFromConfig(config).ValueOrDie()) {}
+
+void CappedUcb::EnsureGridState(int num_grids) {
+  if (static_cast<int>(ucb_.size()) == num_grids) return;
+  ucb_.clear();
+  ucb_.reserve(num_grids);
+  for (int g = 0; g < num_grids; ++g) ucb_.emplace_back(&ladder_);
+  arrivals_.assign(num_grids, {});
+}
+
+Status CappedUcb::Warmup(const GridPartition& grid, DemandOracle* history) {
+  EnsureGridState(grid.num_cells());
+  if (warm_start_) {
+    if (history == nullptr) {
+      return Status::InvalidArgument("CappedUCB warm-up needs history");
+    }
+    // Same probe schedule as Algorithm 1, for a fair comparison: every
+    // learning strategy starts with identical demand knowledge.
+    const int k = ladder_.size();
+    for (int g = 0; g < grid.num_cells(); ++g) {
+      for (int i = 0; i < ladder_.size(); ++i) {
+        const double p = ladder_.price(i);
+        const int64_t h = ProbeBudget(p, config_.eps, config_.delta, k);
+        int64_t accepts = 0;
+        for (int64_t s = 0; s < h; ++s) {
+          if (history->ProbeAccept(g, p)) ++accepts;
+        }
+        ucb_[g].ObserveBulk(i, h, accepts);
+      }
+    }
+  }
+  warmed_up_ = true;
+  return Status::OK();
+}
+
+Status CappedUcb::PriceRound(const MarketSnapshot& snapshot,
+                             std::vector<double>* grid_prices) {
+  if (!warmed_up_) {
+    return Status::FailedPrecondition("CappedUCB used before Warmup");
+  }
+  EnsureGridState(snapshot.num_grids());
+  grid_prices->assign(snapshot.num_grids(), ladder_.p_min());
+  for (int g = 0; g < snapshot.num_grids(); ++g) {
+    const double demand =
+        static_cast<double>(snapshot.TasksInGrid(g).size());
+    const double supply =
+        static_cast<double>(snapshot.WorkersInGrid(g).size());
+    arrivals_[g].emplace_back(static_cast<int32_t>(demand),
+                              static_cast<int32_t>(supply));
+    double best_index = -1.0;
+    double best_price = ladder_.p_min();
+    // Ascending scan with strict '>' implements the paper's general tie
+    // rule (smaller price wins ties). This matters when |W^{tg}| = 0: every
+    // index is zero and CappedUCB, blind to workers that could roam in from
+    // neighboring grids, prices at p_min.
+    for (int i = 0; i < ladder_.size(); ++i) {
+      const double p = ladder_.price(i);
+      // Uncapped optimism, same reasoning as Maps::CalcMaximizer: the
+      // supply term bounds unexplored rungs.
+      const double optimistic = ucb_[g].OptimisticUnitRevenue(i);
+      const double index = std::min(demand * optimistic, supply * p);
+      if (index > best_index) {
+        best_index = index;
+        best_price = p;
+      }
+    }
+    (*grid_prices)[g] = best_price;
+  }
+  return Status::OK();
+}
+
+void CappedUcb::ObserveFeedback(const MarketSnapshot& snapshot,
+                                const std::vector<double>& grid_prices,
+                                const std::vector<bool>& accepted) {
+  MAPS_CHECK_EQ(accepted.size(), snapshot.tasks().size());
+  for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
+    const int g = snapshot.tasks()[i].grid;
+    const int idx = ladder_.SnapIndex(grid_prices[g]);
+    ucb_[g].Observe(idx, accepted[i]);
+  }
+}
+
+size_t CappedUcb::MemoryFootprintBytes() const {
+  size_t bytes = ladder_.prices().capacity() * sizeof(double);
+  for (const auto& u : ucb_) bytes += u.FootprintBytes();
+  for (const auto& log : arrivals_) {
+    bytes += log.capacity() * sizeof(std::pair<int32_t, int32_t>);
+  }
+  return bytes;
+}
+
+}  // namespace maps

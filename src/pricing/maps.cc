@@ -1,0 +1,310 @@
+#include "pricing/maps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace maps {
+
+namespace {
+
+constexpr double kInfDelta = std::numeric_limits<double>::infinity();
+// Increases at or below this are "zero" (finalize the grid).
+constexpr double kDeltaEps = 1e-12;
+// Priority scale for plateau growth (see PriceRound): small enough that a
+// plateau step always ranks below any real revenue increase.
+constexpr double kPlateauPriority = 1e-9;
+
+/// One max-heap tuple ((g, n_new, p_new), Delta^g) of Algorithm 2.
+struct HeapEntry {
+  double delta = 0.0;
+  int grid = -1;
+  int n_new = 0;
+  double p_new = 0.0;
+  double l_new = 0.0;
+  double unit_new = 0.0;
+  uint64_t seq = 0;  // FIFO tie-break for determinism
+};
+
+struct HeapLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.delta != b.delta) return a.delta < b.delta;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+Maps::Maps(const MapsOptions& options)
+    : options_(options),
+      ladder_(MakeLadderFromConfig(options.pricing).ValueOrDie()),
+      base_(options.pricing) {}
+
+void Maps::EnsureGridState(int num_grids) {
+  if (static_cast<int>(ucb_.size()) == num_grids) return;
+  ucb_.clear();
+  change_.clear();
+  ucb_.reserve(num_grids);
+  change_.reserve(num_grids);
+  for (int g = 0; g < num_grids; ++g) {
+    ucb_.emplace_back(&ladder_);
+    std::vector<ChangeDetector> row;
+    row.reserve(ladder_.size());
+    for (int i = 0; i < ladder_.size(); ++i) {
+      row.emplace_back(options_.change_window);
+    }
+    change_.push_back(std::move(row));
+  }
+}
+
+Status Maps::Warmup(const GridPartition& grid, DemandOracle* history) {
+  EnsureGridState(grid.num_cells());
+  if (options_.warm_start_from_base) {
+    MAPS_RETURN_NOT_OK(base_.Warmup(grid, history));
+    // Seed the UCB tables with Algorithm 1's probe statistics so online
+    // pricing starts from the same demand knowledge the base price has.
+    const auto& ratios = base_.observed_accept_ratios();
+    const auto& probes = base_.probes_per_rung();
+    for (int g = 0; g < grid.num_cells(); ++g) {
+      for (int i = 0; i < ladder_.size(); ++i) {
+        const int64_t trials = probes[i];
+        const int64_t accepts = static_cast<int64_t>(
+            std::llround(ratios[g][i] * static_cast<double>(trials)));
+        ucb_[g].ObserveBulk(i, trials, accepts);
+      }
+    }
+  }
+  warmed_up_ = true;
+  return Status::OK();
+}
+
+Maps::Maximizer Maps::CalcMaximizer(int g,
+                                    const std::vector<double>& sorted_dist,
+                                    double total_dist, int n) const {
+  MAPS_DCHECK_GT(total_dist, 0.0);
+  MAPS_DCHECK(n >= 1 && n <= static_cast<int>(sorted_dist.size()));
+
+  if (options_.supply_approx == MapsOptions::SupplyApprox::kMinOfCurves) {
+    double topn_dist = 0.0;
+    for (int i = 0; i < n; ++i) topn_dist += sorted_dist[i];
+    const double ratio = std::min(topn_dist / total_dist, 1.0);
+    Maximizer best;
+    double best_index = -1.0;
+    // Algorithm 3 iterates prices from large to small with a strict '<'
+    // improvement test, so ties keep the larger price.
+    for (int i = ladder_.size() - 1; i >= 0; --i) {
+      const double p = ladder_.price(i);
+      // The paper's index, uncapped: clamping the optimistic term (e.g. at
+      // p, since S <= 1) would break UCB's shift-neutrality — low rungs
+      // whose optimistic value exceeds the clamp get clipped while high
+      // rungs do not, biasing the argmax upward. Unexplored rungs
+      // (radius = +inf) are bounded by the supply term, exactly as Eq. (1)
+      // intends.
+      const double optimistic = ucb_[g].OptimisticUnitRevenue(i);
+      const double index = std::min(optimistic, ratio * p);
+      if (index > best_index) {
+        best_index = index;
+        best.price = p;
+        best.l_value = total_dist * index;
+        best.unit_revenue = p * ucb_[g].mean(i);
+      }
+      best.ceiling = std::max(best.ceiling, std::min(optimistic, p));
+    }
+    return best;
+  }
+
+  // Appendix C.6's alternative: L = sum_{i<=k} d_{r_i} * p * S(p) with
+  // k = min(ceil(|R| * S(p)), n) — the expected accepted demand truncated
+  // by the allocated supply, valued at the expected unit revenue.
+  const int num_tasks = static_cast<int>(sorted_dist.size());
+  Maximizer best;
+  double best_value = -1.0;
+  for (int i = ladder_.size() - 1; i >= 0; --i) {
+    const double p = ladder_.price(i);
+    // Optimistic acceptance ratio derived from the UCB index, in [0, 1].
+    const double s_opt =
+        std::min(ucb_[g].OptimisticUnitRevenue(i) / p, 1.0);
+    const int expected_accepts =
+        static_cast<int>(std::ceil(num_tasks * s_opt));
+    auto value_with_supply = [&](int supply) {
+      const int k = std::min(expected_accepts, supply);
+      double prefix = 0.0;
+      for (int j = 0; j < k; ++j) prefix += sorted_dist[j];
+      return prefix * p * s_opt;
+    };
+    const double value = value_with_supply(n);
+    if (value > best_value) {
+      best_value = value;
+      best.price = p;
+      best.l_value = value;
+      best.unit_revenue = p * ucb_[g].mean(i);
+    }
+    // Ceiling: the value with unbounded supply (k = expected accepts).
+    best.ceiling =
+        std::max(best.ceiling, value_with_supply(num_tasks) / total_dist);
+  }
+  return best;
+}
+
+Status Maps::PriceRound(const MarketSnapshot& snapshot,
+                        std::vector<double>* grid_prices) {
+  if (!warmed_up_) {
+    return Status::FailedPrecondition("MAPS used before Warmup");
+  }
+  const int num_grids = snapshot.num_grids();
+  EnsureGridState(num_grids);
+
+  const double p_b =
+      options_.warm_start_from_base
+          ? base_.base_price()
+          : ladder_.Snap(std::sqrt(ladder_.p_min() * ladder_.p_max()));
+
+  // Line 1: the bipartite graph under the range constraints.
+  const BipartiteGraph graph = BipartiteGraph::Build(
+      snapshot.tasks(), snapshot.workers(), snapshot.grid());
+  // Line 2: the pre-matching M'.
+  IncrementalMatching pre_matching(&graph);
+
+  grid_prices->assign(num_grids, p_b);
+  last_supply_.assign(num_grids, 0);
+  last_delta_trace_.assign(num_grids, {});
+
+  std::vector<double> cur_price(num_grids, p_b);
+  std::vector<double> cur_l(num_grids, 0.0);
+  std::vector<double> cur_unit(num_grids, 0.0);
+  std::vector<char> finalized(num_grids, 0);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
+  uint64_t seq = 0;
+  // Lines 3-4: one infinity-keyed tuple per grid.
+  for (int g = 0; g < num_grids; ++g) {
+    heap.push(HeapEntry{kInfDelta, g, 0, p_b, 0.0, 0.0, seq++});
+  }
+
+  // Lines 5-21.
+  while (!heap.empty()) {
+    HeapEntry e = heap.top();
+    heap.pop();
+    const int g = e.grid;
+    const auto& grid_tasks = snapshot.TasksInGrid(g);
+
+    if (e.delta != kInfDelta) {
+      if (e.delta <= kDeltaEps) {
+        // Lines 11-14: zero increase => final price, capped at p_max.
+        grid_prices->at(g) = std::min(e.p_new, ladder_.p_max());
+        finalized[g] = 1;
+        continue;
+      }
+      // Lines 9-10: admit the increase; the augmenting path may have been
+      // invalidated by another grid's admission since this entry was
+      // pushed, in which case the grid can no longer grow.
+      const int augmented = pre_matching.AugmentFirst(grid_tasks);
+      if (augmented == Matching::kUnmatched) {
+        heap.push(HeapEntry{0.0, g, last_supply_[g], cur_price[g], cur_l[g],
+                            cur_unit[g], seq++});
+        continue;
+      }
+      last_supply_[g] = e.n_new;
+      cur_price[g] = e.p_new;
+      cur_l[g] = e.l_new;
+      cur_unit[g] = e.unit_new;
+      last_delta_trace_[g].push_back(e.delta);
+    }
+
+    // Lines 16-21: attempt to grow the grid's supply by one worker.
+    if (grid_tasks.empty() || !pre_matching.AnyAugmentable(grid_tasks)) {
+      heap.push(HeapEntry{0.0, g, last_supply_[g], cur_price[g], cur_l[g],
+                          cur_unit[g], seq++});
+      continue;
+    }
+    const int n_next = last_supply_[g] + 1;
+    const auto& sorted_dist = snapshot.SortedDistancesInGrid(g);
+    MAPS_DCHECK_LE(n_next, static_cast<int>(sorted_dist.size()));
+    const double total = snapshot.TotalDistanceInGrid(g);
+    const Maximizer maxi = CalcMaximizer(g, sorted_dist, total, n_next);
+    double delta =
+        options_.delta_mode == MapsOptions::DeltaMode::kExpectedRevenueGain
+            ? maxi.l_value - cur_l[g]
+            : maxi.unit_revenue - cur_unit[g];
+    if (delta <= kDeltaEps &&
+        options_.delta_mode ==
+            MapsOptions::DeltaMode::kExpectedRevenueGain) {
+      // Plateau handling. On the continuous revenue curve a zero increase
+      // is permanent (the paper's Lemma 9 argument), but on a discrete
+      // ladder max_p min(opt(p), ratio*p) can stall and then jump: a high
+      // rung saturates at its opt value while a better low rung is still
+      // supply-bound. If headroom to the supply-unconstrained ceiling
+      // remains, keep growing this grid — at a priority far below every
+      // genuine increase, so plateau growth never steals a worker from a
+      // grid with real marginal revenue.
+      const double headroom = total * maxi.ceiling - maxi.l_value;
+      if (headroom > 1e-9 * std::max(total, 1.0)) {
+        delta = kPlateauPriority * headroom;
+      }
+    }
+    if (delta <= kDeltaEps) {
+      heap.push(HeapEntry{0.0, g, last_supply_[g], cur_price[g], cur_l[g],
+                          cur_unit[g], seq++});
+    } else {
+      heap.push(HeapEntry{delta, g, n_next, maxi.price, maxi.l_value,
+                          maxi.unit_revenue, seq++});
+    }
+  }
+
+  for (int g = 0; g < num_grids; ++g) {
+    MAPS_DCHECK(finalized[g]) << "grid " << g << " never finalized";
+  }
+
+  const size_t round_bytes =
+      graph.FootprintBytes() + pre_matching.FootprintBytes();
+  peak_round_bytes_ = std::max(peak_round_bytes_, round_bytes);
+  return Status::OK();
+}
+
+void Maps::ObserveFeedback(const MarketSnapshot& snapshot,
+                           const std::vector<double>& grid_prices,
+                           const std::vector<bool>& accepted) {
+  MAPS_CHECK_EQ(accepted.size(), snapshot.tasks().size());
+  MAPS_CHECK_EQ(static_cast<int>(grid_prices.size()), snapshot.num_grids());
+  for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
+    const int g = snapshot.tasks()[i].grid;
+    const int idx = ladder_.SnapIndex(grid_prices[g]);
+    ucb_[g].Observe(idx, accepted[i]);
+    if (options_.use_change_detector &&
+        change_[g][idx].Observe(accepted[i])) {
+      // S_g(p) drifted at this price: drop the rung's history and re-seed
+      // it from the detector's just-completed window, which reflects the
+      // post-change rate. Two deliberate deviations from a naive reading
+      // of the paper (see DESIGN.md):
+      //  * only the flagged rung is touched — the detector compares two
+      //    noisy windows and false-flags ~16% of the time on stationary
+      //    demand, so whole-grid resets would routinely destroy good
+      //    estimates;
+      //  * re-seeding (instead of resetting to "unobserved") prevents the
+      //    rung from becoming infinitely optimistic and dragging the
+      //    grid's price to p_max for dozens of periods while it relearns.
+      ChangeDetector& det = change_[g][idx];
+      const int64_t window = det.window_size();
+      const int64_t window_accepts = static_cast<int64_t>(
+          std::llround(det.reference_rate() * static_cast<double>(window)));
+      ucb_[g].ResetRung(idx);
+      ucb_[g].ObserveBulk(idx, window, window_accepts);
+      ++change_resets_;
+    }
+  }
+}
+
+size_t Maps::MemoryFootprintBytes() const {
+  // Persistent state only; the per-round graph/matching are freed every
+  // round and tracked via peak_round_bytes().
+  size_t bytes = base_.MemoryFootprintBytes();
+  for (const auto& u : ucb_) bytes += u.FootprintBytes();
+  bytes += change_.size() * ladder_.size() * sizeof(ChangeDetector);
+  bytes += last_supply_.capacity() * sizeof(int);
+  return bytes;
+}
+
+}  // namespace maps

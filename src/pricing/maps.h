@@ -1,0 +1,143 @@
+// MAPS: MAtching-based Pricing Strategy (Sec. 4, Algorithms 2-3).
+//
+// Per period, MAPS (i) builds the task x worker bipartite graph under the
+// range constraints, (ii) greedily distributes the dependent supply: a
+// max-heap over grids repeatedly admits the single worker addition with the
+// largest increase Delta^g in the approximate expected revenue
+//     L^g(n, p) = min( sum_r d_r * p * S_g(p),  sum_{i<=n} d_{r_i} * p ),
+// verifying feasibility through augmenting paths in a pre-matching M', and
+// (iii) prices each grid at the UCB-index maximizer of Algorithm 3 for its
+// final supply level. Acceptance ratios are learned online with UCB and
+// guarded by a binomial change detector.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/incremental_matching.h"
+#include "pricing/base_pricing.h"
+#include "pricing/strategy.h"
+#include "stats/change_detector.h"
+#include "stats/price_ladder.h"
+#include "stats/ucb.h"
+
+namespace maps {
+
+/// \brief MAPS tuning knobs.
+struct MapsOptions {
+  PricingConfig pricing;
+
+  /// How Delta^g is computed when a grid contemplates one more worker.
+  enum class DeltaMode {
+    /// Increase of the L^g estimate itself (what Theorem 8's submodularity
+    /// argument needs); the default.
+    kExpectedRevenueGain,
+    /// The literal return of Algorithm 3's listing:
+    /// p_new*S_hat(p_new) - p_old*S_hat(p_old).
+    kPaperLiteral,
+  };
+  DeltaMode delta_mode = DeltaMode::kExpectedRevenueGain;
+
+  /// How the per-grid expected revenue is approximated (Eq. (1) vs the
+  /// alternative the paper's appendix C.6 proposes and "leaves to future
+  /// work").
+  enum class SupplyApprox {
+    /// Eq. (1): L = min( sum_r d_r p S(p), sum_{i<=n} d_{r_i} p ).
+    kMinOfCurves,
+    /// Appendix C.6: L = sum_{i=1}^{min(ceil(|R^{tg}| S(p)), n)}
+    /// d_{r_i} p S(p) — expected accepted demand truncated by the supply.
+    kTruncatedExpectation,
+  };
+  SupplyApprox supply_approx = SupplyApprox::kMinOfCurves;
+
+  /// Run Algorithm 1 during Warmup to obtain p_b and warm-start the UCB
+  /// tables from its probes (the paper feeds p_b into Algorithm 2).
+  bool warm_start_from_base = true;
+
+  /// Binomial change detection (Sec. 4.2.2); a flagged change re-seeds the
+  /// flagged rung's UCB statistics from the most recent window.
+  bool use_change_detector = true;
+  /// Observations per detector window (the paper's m, unspecified there).
+  /// Larger windows trade detection latency for fewer false flags on
+  /// stationary demand.
+  int change_window = 200;
+};
+
+/// \brief The MAPS pricing strategy.
+class Maps : public PricingStrategy {
+ public:
+  explicit Maps(const MapsOptions& options);
+
+  std::string name() const override { return "MAPS"; }
+
+  Status Warmup(const GridPartition& grid, DemandOracle* history) override;
+
+  Status PriceRound(const MarketSnapshot& snapshot,
+                    std::vector<double>* grid_prices) override;
+
+  void ObserveFeedback(const MarketSnapshot& snapshot,
+                       const std::vector<double>& grid_prices,
+                       const std::vector<bool>& accepted) override;
+
+  size_t MemoryFootprintBytes() const override;
+
+  double base_price() const { return base_.base_price(); }
+  const PriceLadder& ladder() const { return ladder_; }
+  const MapsOptions& options() const { return options_; }
+
+  /// Supply levels n^{tg} chosen in the most recent PriceRound.
+  const std::vector<int>& last_supply() const { return last_supply_; }
+
+  /// Delta^g sequences admitted per grid in the most recent PriceRound
+  /// (exposed for the Lemma 9 monotonicity tests).
+  const std::vector<std::vector<double>>& last_delta_trace() const {
+    return last_delta_trace_;
+  }
+
+  /// Number of UCB resets triggered by the change detector so far.
+  int64_t change_resets() const { return change_resets_; }
+
+  /// Peak bytes of the per-round transient structures (bipartite graph +
+  /// pre-matching). Reported separately from MemoryFootprintBytes() because
+  /// they are freed at the end of every round; the ablation bench surfaces
+  /// them.
+  size_t peak_round_bytes() const { return peak_round_bytes_; }
+
+ private:
+  struct Maximizer {
+    double price = 0.0;
+    double l_value = 0.0;      // L-hat at (n, price), absolute units
+    double unit_revenue = 0.0; // p * S_hat(p) at the chosen price
+    /// Supply-unconstrained ceiling of the index, max_p min(opt(p), p):
+    /// since ratio <= 1, no supply level can push L-hat above
+    /// total_dist * ceiling. Used to detect plateaus of the discretized
+    /// index (see PriceRound).
+    double ceiling = 0.0;
+  };
+
+  /// Algorithm 3: best ladder price for grid g at supply level n.
+  /// \param sorted_dist task distances of the grid, descending
+  /// \param total_dist  C' = sum of all distances (== sum of sorted_dist)
+  /// \param n           contemplated supply level (1 <= n <= |sorted_dist|)
+  Maximizer CalcMaximizer(int g, const std::vector<double>& sorted_dist,
+                          double total_dist, int n) const;
+
+  void EnsureGridState(int num_grids);
+
+  MapsOptions options_;
+  PriceLadder ladder_;
+  BasePricing base_;
+  bool warmed_up_ = false;
+
+  std::vector<UcbEstimator> ucb_;                  // per grid
+  std::vector<std::vector<ChangeDetector>> change_;  // per grid x rung
+
+  std::vector<int> last_supply_;
+  std::vector<std::vector<double>> last_delta_trace_;
+  int64_t change_resets_ = 0;
+  size_t peak_round_bytes_ = 0;
+};
+
+}  // namespace maps

@@ -1,0 +1,71 @@
+#include "pricing/oracle_search.h"
+
+#include <cmath>
+
+#include "graph/bipartite_graph.h"
+#include "graph/possible_worlds.h"
+#include "util/logging.h"
+
+namespace maps {
+
+double ExpectedRevenueOfPrices(const MarketSnapshot& snapshot,
+                               const DemandOracle& truth,
+                               const std::vector<double>& grid_prices) {
+  const BipartiteGraph graph = BipartiteGraph::Build(
+      snapshot.tasks(), snapshot.workers(), snapshot.grid());
+  std::vector<PricedTask> priced;
+  priced.reserve(snapshot.tasks().size());
+  for (const Task& t : snapshot.tasks()) {
+    const double p = grid_prices[t.grid];
+    priced.push_back(
+        PricedTask{t.distance, p, truth.TrueAcceptRatio(t.grid, p)});
+  }
+  return ExactExpectedRevenue(graph, priced);
+}
+
+Result<OracleSearchResult> OracleSearch(const MarketSnapshot& snapshot,
+                                        const DemandOracle& truth,
+                                        const PriceLadder& ladder) {
+  if (snapshot.tasks().size() > 25) {
+    return Status::InvalidArgument("too many tasks for exact enumeration");
+  }
+  std::vector<int> busy_grids;
+  for (int g = 0; g < snapshot.num_grids(); ++g) {
+    if (!snapshot.TasksInGrid(g).empty()) busy_grids.push_back(g);
+  }
+  const double combos =
+      std::pow(static_cast<double>(ladder.size()),
+               static_cast<double>(busy_grids.size()));
+  if (combos > 2e6) {
+    return Status::InvalidArgument("price combination space too large");
+  }
+
+  OracleSearchResult best;
+  best.grid_prices.assign(snapshot.num_grids(), ladder.p_min());
+  best.expected_revenue = -1.0;
+
+  std::vector<int> choice(busy_grids.size(), 0);
+  std::vector<double> prices(snapshot.num_grids(), ladder.p_min());
+  while (true) {
+    for (size_t i = 0; i < busy_grids.size(); ++i) {
+      prices[busy_grids[i]] = ladder.price(choice[i]);
+    }
+    const double value = ExpectedRevenueOfPrices(snapshot, truth, prices);
+    if (value > best.expected_revenue) {
+      best.expected_revenue = value;
+      best.grid_prices = prices;
+    }
+    // Odometer increment.
+    size_t pos = 0;
+    while (pos < choice.size()) {
+      if (++choice[pos] < ladder.size()) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == choice.size()) break;
+    if (choice.empty()) break;
+  }
+  return best;
+}
+
+}  // namespace maps

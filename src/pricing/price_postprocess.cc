@@ -1,0 +1,119 @@
+#include "pricing/price_postprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace maps {
+
+void ApplyPriceBounds(double floor, double cap, std::vector<double>* prices) {
+  MAPS_CHECK_LE(floor, cap);
+  for (double& p : *prices) p = std::clamp(p, floor, cap);
+}
+
+void SmoothPrices(const GridPartition& grid, double lambda, int rounds,
+                  std::vector<double>* prices) {
+  MAPS_CHECK(lambda >= 0.0 && lambda <= 1.0) << "lambda " << lambda;
+  MAPS_CHECK_EQ(static_cast<int>(prices->size()), grid.num_cells());
+  if (lambda == 0.0 || rounds <= 0) return;
+  const int rows = grid.rows();
+  const int cols = grid.cols();
+  std::vector<double> next(prices->size());
+  for (int round = 0; round < rounds; ++round) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const int g = r * cols + c;
+        double sum = 0.0;
+        int n = 0;
+        if (r > 0) {
+          sum += (*prices)[g - cols];
+          ++n;
+        }
+        if (r + 1 < rows) {
+          sum += (*prices)[g + cols];
+          ++n;
+        }
+        if (c > 0) {
+          sum += (*prices)[g - 1];
+          ++n;
+        }
+        if (c + 1 < cols) {
+          sum += (*prices)[g + 1];
+          ++n;
+        }
+        next[g] = n > 0
+                      ? (1.0 - lambda) * (*prices)[g] + lambda * sum / n
+                      : (*prices)[g];
+      }
+    }
+    prices->swap(next);
+  }
+}
+
+double MaxNeighborGap(const GridPartition& grid,
+                      const std::vector<double>& prices) {
+  MAPS_CHECK_EQ(static_cast<int>(prices.size()), grid.num_cells());
+  const int rows = grid.rows();
+  const int cols = grid.cols();
+  double gap = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int g = r * cols + c;
+      if (r + 1 < rows) {
+        gap = std::max(gap, std::abs(prices[g] - prices[g + cols]));
+      }
+      if (c + 1 < cols) {
+        gap = std::max(gap, std::abs(prices[g] - prices[g + 1]));
+      }
+    }
+  }
+  return gap;
+}
+
+PostprocessedStrategy::PostprocessedStrategy(
+    std::unique_ptr<PricingStrategy> inner, const PostprocessOptions& options)
+    : inner_(std::move(inner)), options_(options) {
+  MAPS_CHECK(inner_ != nullptr);
+}
+
+std::string PostprocessedStrategy::name() const {
+  std::string out = inner_->name();
+  if (options_.smoothing_lambda > 0.0) out += "+smooth";
+  if (options_.price_cap || options_.price_floor) out += "+cap";
+  return out;
+}
+
+Status PostprocessedStrategy::Warmup(const GridPartition& grid,
+                                     DemandOracle* history) {
+  return inner_->Warmup(grid, history);
+}
+
+Status PostprocessedStrategy::PriceRound(const MarketSnapshot& snapshot,
+                                         std::vector<double>* grid_prices) {
+  MAPS_RETURN_NOT_OK(inner_->PriceRound(snapshot, grid_prices));
+  if (options_.smoothing_lambda > 0.0) {
+    SmoothPrices(snapshot.grid(), options_.smoothing_lambda,
+                 options_.smoothing_rounds, grid_prices);
+  }
+  if (options_.price_floor || options_.price_cap) {
+    const double lo = options_.price_floor.value_or(0.0);
+    const double hi = options_.price_cap.value_or(
+        std::numeric_limits<double>::infinity());
+    ApplyPriceBounds(lo, hi, grid_prices);
+  }
+  return Status::OK();
+}
+
+void PostprocessedStrategy::ObserveFeedback(
+    const MarketSnapshot& snapshot, const std::vector<double>& grid_prices,
+    const std::vector<bool>& accepted) {
+  inner_->ObserveFeedback(snapshot, grid_prices, accepted);
+}
+
+size_t PostprocessedStrategy::MemoryFootprintBytes() const {
+  return inner_->MemoryFootprintBytes() + sizeof(*this);
+}
+
+}  // namespace maps

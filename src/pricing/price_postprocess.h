@@ -1,0 +1,72 @@
+// Price post-processors implementing the practical notes of Sec. 4.2.3:
+//
+//   "A cap on the unit prices can be set[ ] bounded prices. Spatial
+//    smoothing can also be integrated to reduce the gap of unit prices
+//    among neighbouring grids."
+//
+// Both are pure transforms over a round's price vector and compose with any
+// PricingStrategy via PostprocessedStrategy.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "pricing/strategy.h"
+
+namespace maps {
+
+/// \brief Clamps every grid price into [floor, cap].
+void ApplyPriceBounds(double floor, double cap, std::vector<double>* prices);
+
+/// \brief Diffusive spatial smoothing: `rounds` Jacobi steps of
+///   p_g <- (1 - lambda) * p_g + lambda * mean(4-neighborhood of g).
+/// lambda in [0, 1]; boundary cells average over their existing neighbors.
+void SmoothPrices(const GridPartition& grid, double lambda, int rounds,
+                  std::vector<double>* prices);
+
+/// \brief Largest absolute price difference across 4-adjacent cells —
+/// the "gap of unit prices among neighbouring grids" the smoothing bounds.
+double MaxNeighborGap(const GridPartition& grid,
+                      const std::vector<double>& prices);
+
+/// \brief Post-processing configuration.
+struct PostprocessOptions {
+  /// Hard bounds applied after smoothing (disabled when unset).
+  std::optional<double> price_floor;
+  std::optional<double> price_cap;
+  /// Smoothing strength per round; 0 disables smoothing.
+  double smoothing_lambda = 0.0;
+  int smoothing_rounds = 1;
+};
+
+/// \brief Decorator running a post-processor over an inner strategy's
+/// prices each round. Feedback is forwarded with the *processed* prices,
+/// because those are what requesters actually saw.
+class PostprocessedStrategy : public PricingStrategy {
+ public:
+  PostprocessedStrategy(std::unique_ptr<PricingStrategy> inner,
+                        const PostprocessOptions& options);
+
+  std::string name() const override;
+
+  Status Warmup(const GridPartition& grid, DemandOracle* history) override;
+
+  Status PriceRound(const MarketSnapshot& snapshot,
+                    std::vector<double>* grid_prices) override;
+
+  void ObserveFeedback(const MarketSnapshot& snapshot,
+                       const std::vector<double>& grid_prices,
+                       const std::vector<bool>& accepted) override;
+
+  size_t MemoryFootprintBytes() const override;
+
+  PricingStrategy* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<PricingStrategy> inner_;
+  PostprocessOptions options_;
+};
+
+}  // namespace maps

@@ -1,0 +1,40 @@
+#include "pricing/sde.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maps {
+
+Sde::Sde(const PricingConfig& config) : config_(config), base_(config) {}
+
+Status Sde::Warmup(const GridPartition& grid, DemandOracle* history) {
+  return base_.Warmup(grid, history);
+}
+
+Status Sde::PriceRound(const MarketSnapshot& snapshot,
+                       std::vector<double>* grid_prices) {
+  if (!base_.warmed_up()) {
+    return Status::FailedPrecondition("SDE used before Warmup");
+  }
+  const double p_b = base_.base_price();
+  grid_prices->assign(snapshot.num_grids(), p_b);
+  for (int g = 0; g < snapshot.num_grids(); ++g) {
+    const double demand =
+        static_cast<double>(snapshot.TasksInGrid(g).size());
+    const double supply =
+        static_cast<double>(snapshot.WorkersInGrid(g).size());
+    if (demand > supply) {
+      // supply - demand < 0 here, so the exp term is in (0, 1).
+      const double multiplier = 1.0 + 2.0 * std::exp(supply - demand);
+      (*grid_prices)[g] =
+          std::clamp(p_b * multiplier, config_.p_min, config_.p_max);
+    }
+  }
+  return Status::OK();
+}
+
+size_t Sde::MemoryFootprintBytes() const {
+  return base_.MemoryFootprintBytes() + sizeof(*this);
+}
+
+}  // namespace maps

@@ -1,0 +1,36 @@
+// SDE baseline (Sec. 5.1): prices by the supply-demand DIFFERENCE through an
+// exponential,
+//   p^{tg} = p_b * (1 + 2 * e^{|W^{tg}| - |R^{tg}|})  when |R^{tg}| > |W^{tg}|,
+//   p^{tg} = p_b                                      otherwise.
+// The exponent is negative in the surge branch, so the multiplier lies in
+// (1, 3]; prices are clamped to [p_min, p_max].
+
+#pragma once
+
+#include "pricing/base_pricing.h"
+#include "pricing/strategy.h"
+
+namespace maps {
+
+/// \brief Supply-Demand-difference-Exponential heuristic baseline.
+class Sde : public PricingStrategy {
+ public:
+  explicit Sde(const PricingConfig& config);
+
+  std::string name() const override { return "SDE"; }
+
+  Status Warmup(const GridPartition& grid, DemandOracle* history) override;
+
+  Status PriceRound(const MarketSnapshot& snapshot,
+                    std::vector<double>* grid_prices) override;
+
+  size_t MemoryFootprintBytes() const override;
+
+  double base_price() const { return base_.base_price(); }
+
+ private:
+  PricingConfig config_;
+  BasePricing base_;
+};
+
+}  // namespace maps

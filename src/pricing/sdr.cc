@@ -1,0 +1,40 @@
+#include "pricing/sdr.h"
+
+#include <algorithm>
+
+namespace maps {
+
+Sdr::Sdr(const PricingConfig& config, double coefficient)
+    : config_(config), coefficient_(coefficient), base_(config) {}
+
+Status Sdr::Warmup(const GridPartition& grid, DemandOracle* history) {
+  return base_.Warmup(grid, history);
+}
+
+Status Sdr::PriceRound(const MarketSnapshot& snapshot,
+                       std::vector<double>* grid_prices) {
+  if (!base_.warmed_up()) {
+    return Status::FailedPrecondition("SDR used before Warmup");
+  }
+  const double p_b = base_.base_price();
+  grid_prices->assign(snapshot.num_grids(), p_b);
+  for (int g = 0; g < snapshot.num_grids(); ++g) {
+    const size_t demand = snapshot.TasksInGrid(g).size();
+    const size_t supply = snapshot.WorkersInGrid(g).size();
+    if (demand > supply) {
+      const double ratio = supply > 0
+                               ? static_cast<double>(demand) /
+                                     static_cast<double>(supply)
+                               : static_cast<double>(demand);
+      (*grid_prices)[g] = std::clamp(coefficient_ * p_b * ratio,
+                                     config_.p_min, config_.p_max);
+    }
+  }
+  return Status::OK();
+}
+
+size_t Sdr::MemoryFootprintBytes() const {
+  return base_.MemoryFootprintBytes() + sizeof(*this);
+}
+
+}  // namespace maps

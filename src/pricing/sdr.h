@@ -1,0 +1,37 @@
+// SDR baseline (Sec. 5.1): prices a grid by the inverse supply-demand ratio,
+//   p^{tg} = coef * p_b * |R^{tg}| / |W^{tg}|   when |R^{tg}| > |W^{tg}|,
+//   p^{tg} = p_b                                otherwise,
+// with the paper's empirically-tuned coefficient 0.5. Prices are clamped to
+// [p_min, p_max] like every strategy's output.
+
+#pragma once
+
+#include "pricing/base_pricing.h"
+#include "pricing/strategy.h"
+
+namespace maps {
+
+/// \brief Supply-Demand-Ratio heuristic baseline.
+class Sdr : public PricingStrategy {
+ public:
+  /// \param coefficient the paper uses 0.5 after empirical tuning
+  explicit Sdr(const PricingConfig& config, double coefficient = 0.5);
+
+  std::string name() const override { return "SDR"; }
+
+  Status Warmup(const GridPartition& grid, DemandOracle* history) override;
+
+  Status PriceRound(const MarketSnapshot& snapshot,
+                    std::vector<double>* grid_prices) override;
+
+  size_t MemoryFootprintBytes() const override;
+
+  double base_price() const { return base_.base_price(); }
+
+ private:
+  PricingConfig config_;
+  double coefficient_;
+  BasePricing base_;
+};
+
+}  // namespace maps

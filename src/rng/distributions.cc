@@ -1,0 +1,101 @@
+#include "rng/distributions.h"
+
+#include "util/logging.h"
+
+namespace maps {
+
+double StdNormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double StdNormalPdf(double x) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double StdNormalQuantile(double p) {
+  MAPS_CHECK(p > 0.0 && p < 1.0) << "quantile input " << p;
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  static const double p_low = 0.02425;
+  double q, r, x;
+  if (p < p_low) {
+    q = std::sqrt(-2 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  } else if (p <= 1 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  } else {
+    q = std::sqrt(-2 * std::log(1 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  // One step of Halley's method against the true CDF tightens the tails.
+  double e = StdNormalCdf(x) - p;
+  double u = e * std::sqrt(2 * M_PI) * std::exp(x * x / 2);
+  x = x - u / (1 + x * u / 2);
+  return x;
+}
+
+double SampleNormal(Rng& rng, double mean, double stddev) {
+  // Box-Muller; we intentionally burn the second variate to keep one
+  // uniform-pair -> one sample (stream alignment beats a 2x speedup here).
+  double u1 = rng.NextDouble();
+  double u2 = rng.NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double SampleExponential(Rng& rng, double rate) {
+  MAPS_CHECK_GT(rate, 0.0);
+  double u = rng.NextDouble();
+  if (u >= 1.0) u = 1.0 - 0x1.0p-53;
+  return -std::log(1.0 - u) / rate;
+}
+
+TruncatedNormal::TruncatedNormal(double mean, double stddev, double lo,
+                                 double hi)
+    : mean_(mean), stddev_(stddev), lo_(lo), hi_(hi) {
+  MAPS_CHECK_GT(stddev, 0.0);
+  MAPS_CHECK_LT(lo, hi);
+  alpha_ = (lo - mean) / stddev;
+  beta_ = (hi - mean) / stddev;
+  cdf_alpha_ = StdNormalCdf(alpha_);
+  z_ = StdNormalCdf(beta_) - cdf_alpha_;
+  MAPS_CHECK_GT(z_, 0.0) << "truncation interval has no mass";
+}
+
+double TruncatedNormal::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  double p = cdf_alpha_ + u * z_;
+  // Clamp away from {0,1} for the quantile's domain.
+  p = std::min(std::max(p, 0x1.0p-53), 1.0 - 0x1.0p-53);
+  double x = mean_ + stddev_ * StdNormalQuantile(p);
+  return std::min(std::max(x, lo_), hi_);
+}
+
+double TruncatedNormal::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (StdNormalCdf((x - mean_) / stddev_) - cdf_alpha_) / z_;
+}
+
+double TruncatedNormal::Pdf(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  return StdNormalPdf((x - mean_) / stddev_) / (stddev_ * z_);
+}
+
+}  // namespace maps

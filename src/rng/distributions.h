@@ -1,0 +1,55 @@
+// Samplers and closed-form CDFs for the distributions the paper uses:
+// normal (temporal/spatial/demand), truncated normal (valuations restricted
+// to [1,5]), exponential (appendix D), and uniform.
+
+#pragma once
+
+#include <cmath>
+
+#include "rng/random.h"
+
+namespace maps {
+
+/// \brief Standard normal CDF Phi(x).
+double StdNormalCdf(double x);
+
+/// \brief Standard normal density phi(x).
+double StdNormalPdf(double x);
+
+/// \brief Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9). Input must lie in (0, 1).
+double StdNormalQuantile(double p);
+
+/// \brief Draws one N(mean, stddev^2) sample (Box-Muller, deterministic).
+double SampleNormal(Rng& rng, double mean, double stddev);
+
+/// \brief Draws an Exp(rate) sample via inversion.
+double SampleExponential(Rng& rng, double rate);
+
+/// \brief Normal distribution truncated to [lo, hi], sampled by inversion so
+/// a single uniform drives one sample (keeps streams aligned).
+class TruncatedNormal {
+ public:
+  TruncatedNormal(double mean, double stddev, double lo, double hi);
+
+  double Sample(Rng& rng) const;
+
+  /// CDF of the truncated distribution at x.
+  double Cdf(double x) const;
+
+  /// Density of the truncated distribution at x.
+  double Pdf(double x) const;
+
+  double mean_parameter() const { return mean_; }
+  double stddev_parameter() const { return stddev_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double mean_, stddev_, lo_, hi_;
+  double alpha_, beta_;   // standardized bounds
+  double z_;              // Phi(beta) - Phi(alpha)
+  double cdf_alpha_;
+};
+
+}  // namespace maps

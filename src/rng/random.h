@@ -1,0 +1,65 @@
+// Deterministic random number engines.
+//
+// Every experiment in the repository is seeded; identical seeds must produce
+// bit-identical runs across platforms, so we implement the engines ourselves
+// instead of relying on (implementation-defined) std::normal_distribution.
+
+#pragma once
+
+#include <cstdint>
+
+namespace maps {
+
+/// \brief SplitMix64: used to expand a single 64-bit seed into engine state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+///
+/// Satisfies UniformRandomBitGenerator so it can also drive <random> adaptors
+/// in tests.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return NextUint64(); }
+
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBernoulli(double p);
+
+  /// Derives an independent child generator; `stream` diversifies children
+  /// created from the same parent state.
+  Rng Fork(uint64_t stream);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace maps

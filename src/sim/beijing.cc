@@ -1,0 +1,181 @@
+#include "sim/beijing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.h"
+#include "util/logging.h"
+
+namespace maps {
+
+namespace {
+
+// Table 4 constants. The lon/lat rectangle is mapped to a local tangent
+// plane in km: 0.2 deg lon * cos(39.9 deg) * 111.32 km ~= 17.08 km wide,
+// 0.16 deg lat * 111.32 km ~= 17.81 km tall; 10 columns x 8 rows of
+// 0.02 deg x 0.02 deg cells.
+constexpr double kRegionWidthKm = 17.08;
+constexpr double kRegionHeightKm = 17.81;
+constexpr int kGridCols = 10;
+constexpr int kGridRows = 8;
+constexpr int kNumPeriods = 120;
+constexpr double kWorkerRadiusKm = 3.0;
+constexpr int kPeakWorkers = 28210;
+constexpr int kPeakTasks = 113372;
+constexpr int kNightWorkers = 19006;
+constexpr int kNightTasks = 55659;
+
+struct Hotspot {
+  Point center;
+  double sigma;
+  double weight;
+};
+
+Point SampleFromMixture(Rng& rng, const std::vector<Hotspot>& spots,
+                        double uniform_weight, const Rect& region) {
+  double total = uniform_weight;
+  for (const auto& h : spots) total += h.weight;
+  double u = rng.NextDouble() * total;
+  for (const auto& h : spots) {
+    if (u < h.weight) {
+      return region.Clamp(Point{SampleNormal(rng, h.center.x, h.sigma),
+                                SampleNormal(rng, h.center.y, h.sigma)});
+    }
+    u -= h.weight;
+  }
+  return Point{rng.NextDouble(region.min_x, region.max_x),
+               rng.NextDouble(region.min_y, region.max_y)};
+}
+
+}  // namespace
+
+Result<Workload> GenerateBeijing(const BeijingConfig& cfg) {
+  if (cfg.worker_duration <= 0) {
+    return Status::InvalidArgument("worker_duration must be positive");
+  }
+  if (cfg.population_scale <= 0.0 || cfg.population_scale > 1.0) {
+    return Status::InvalidArgument("population_scale must be in (0, 1]");
+  }
+
+  const bool peak = cfg.window == BeijingConfig::Window::kEveningPeak;
+  const int num_tasks = static_cast<int>(
+      (peak ? kPeakTasks : kNightTasks) * cfg.population_scale);
+  const int num_workers = static_cast<int>(
+      (peak ? kPeakWorkers : kNightWorkers) * cfg.population_scale);
+
+  Rect region{0.0, 0.0, kRegionWidthKm, kRegionHeightKm};
+  MAPS_ASSIGN_OR_RETURN(
+      GridPartition grid, GridPartition::Make(region, kGridRows, kGridCols));
+
+  // Hotspot geography. Evening peak: task origins at business districts
+  // (CBD east, Zhongguancun northwest, Financial Street center), spreading
+  // to residential destinations. Late night: origins at entertainment
+  // districts (Sanlitun, Houhai), destinations residential.
+  std::vector<Hotspot> origin_spots, dest_spots, worker_spots;
+  if (peak) {
+    origin_spots = {{{13.0, 10.0}, 1.6, 0.35},
+                    {{4.0, 13.5}, 1.8, 0.25},
+                    {{8.5, 9.0}, 1.5, 0.20}};
+    dest_spots = {{{3.0, 4.0}, 2.5, 0.25},
+                  {{14.0, 15.0}, 2.5, 0.25},
+                  {{9.0, 3.0}, 2.5, 0.20}};
+    worker_spots = {{{12.0, 9.5}, 2.5, 0.30}, {{7.0, 9.0}, 3.0, 0.30}};
+  } else {
+    origin_spots = {{{12.5, 11.5}, 1.2, 0.45}, {{8.0, 12.0}, 1.4, 0.30}};
+    dest_spots = {{{4.0, 5.0}, 3.0, 0.30}, {{13.0, 4.0}, 3.0, 0.30}};
+    worker_spots = {{{11.0, 10.5}, 3.0, 0.40}};
+  }
+
+  Rng master(cfg.seed);
+  Rng grid_rng = master.Fork(1);
+  Rng task_rng = master.Fork(2);
+  Rng worker_rng = master.Fork(3);
+  Rng valuation_rng = master.Fork(4);
+
+  // Valuations: truncated normal per grid. Late-night requesters pay more
+  // (scarce supply, urgency); hotspot-adjacent grids value rides higher.
+  std::vector<std::unique_ptr<DemandModel>> models;
+  models.reserve(grid.num_cells());
+  const double base_mu = peak ? 2.0 : 2.5;
+  for (int g = 0; g < grid.num_cells(); ++g) {
+    const Point c = grid.CellCenter(g);
+    double spot_boost = 0.0;
+    for (const auto& h : origin_spots) {
+      spot_boost = std::max(
+          spot_boost, 0.6 * std::exp(-EuclideanDistance(c, h.center) / 6.0));
+    }
+    const double jitter = grid_rng.NextDouble(-0.2, 0.2);
+    const double mu = std::clamp(base_mu + spot_boost + jitter, 1.0, 5.0);
+    models.push_back(
+        std::make_unique<TruncatedNormalDemand>(mu, 1.0, 1.0, 5.0));
+  }
+  MAPS_ASSIGN_OR_RETURN(
+      DemandOracle oracle,
+      DemandOracle::Make(std::move(models), master.NextUint64()));
+
+  Workload w(std::move(grid), std::move(oracle));
+  w.name = peak ? "beijing#1 (5pm-7pm)" : "beijing#2 (0am-2am)";
+  w.num_periods = kNumPeriods;
+  w.lifecycle.single_use = false;
+  w.lifecycle.speed = cfg.speed_km_per_period;
+
+  // Temporal profile: evening demand peaks mid-window; late-night demand
+  // decays from the start (bars close, then the city sleeps).
+  auto sample_task_period = [&](Rng& rng) -> int32_t {
+    if (peak) {
+      const double x = SampleNormal(rng, 0.5 * kNumPeriods, 0.25 * kNumPeriods);
+      return static_cast<int32_t>(
+          std::clamp(x, 0.0, static_cast<double>(kNumPeriods - 1)));
+    }
+    const double x = SampleExponential(rng, 1.0 / (0.35 * kNumPeriods));
+    return static_cast<int32_t>(
+        std::clamp(x, 0.0, static_cast<double>(kNumPeriods - 1)));
+  };
+
+  w.tasks.reserve(num_tasks);
+  w.valuations.reserve(num_tasks);
+  for (int i = 0; i < num_tasks; ++i) {
+    Task t;
+    t.period = sample_task_period(task_rng);
+    t.origin = SampleFromMixture(task_rng, origin_spots, 0.20, region);
+    t.destination = SampleFromMixture(task_rng, dest_spots, 0.25, region);
+    t.distance = EuclideanDistance(t.origin, t.destination);
+    t.grid = w.grid.CellOf(t.origin);
+    w.tasks.push_back(t);
+  }
+  std::stable_sort(w.tasks.begin(), w.tasks.end(),
+                   [](const Task& a, const Task& b) {
+                     return a.period < b.period;
+                   });
+  for (size_t i = 0; i < w.tasks.size(); ++i) {
+    w.tasks[i].id = static_cast<TaskId>(i);
+    w.valuations.push_back(
+        w.oracle.model(w.tasks[i].grid).Sample(valuation_rng));
+  }
+
+  // Workers trickle in over the first three quarters of the window so late
+  // arrivals can still serve delta_w periods.
+  w.workers.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    Worker ww;
+    ww.period = static_cast<int32_t>(
+        worker_rng.NextBounded(static_cast<uint64_t>(kNumPeriods * 3 / 4)));
+    ww.location = SampleFromMixture(worker_rng, worker_spots, 0.40, region);
+    ww.radius = kWorkerRadiusKm;
+    ww.duration = cfg.worker_duration;
+    ww.grid = w.grid.CellOf(ww.location);
+    w.workers.push_back(ww);
+  }
+  std::stable_sort(w.workers.begin(), w.workers.end(),
+                   [](const Worker& a, const Worker& b) {
+                     return a.period < b.period;
+                   });
+  for (size_t i = 0; i < w.workers.size(); ++i) {
+    w.workers[i].id = static_cast<WorkerId>(i);
+  }
+
+  MAPS_RETURN_NOT_OK(ValidateWorkload(w));
+  return w;
+}
+
+}  // namespace maps

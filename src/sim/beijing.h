@@ -1,0 +1,49 @@
+// Beijing taxi-trace SURROGATE generator (Table 4 of the paper).
+//
+// The original evaluation uses proprietary Didi Chuxing taxi-calling logs.
+// This generator synthesizes traces calibrated to every statistic Table 4
+// publishes — population counts, the 10x8 grid over (116.30, 39.84)-
+// (116.50, 40.0) (~17.1 km x 17.8 km), 120 one-minute periods, 3 km worker
+// radius — and to the qualitative structure of the two windows:
+//
+//   #1 evening peak (5-7 pm): |W| = 28210, |R| = 113372; heavy demand
+//      clustered at business-district hotspots, destinations spread toward
+//      residential areas, arrival rate peaking mid-window.
+//   #2 late night (0-2 am):   |W| = 19006, |R| = 55659; demand clustered at
+//      entertainment districts, thinning over time, higher valuations.
+//
+// Workers complete a ride in ceil(d_r / speed) periods, reappear at the
+// destination, and retire delta_w periods after entering (the paper's
+// x-axis for Figs. 8c-8l). See DESIGN.md for the substitution argument.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/workload.h"
+#include "util/result.h"
+
+namespace maps {
+
+/// \brief Parameters of the surrogate trace.
+struct BeijingConfig {
+  enum class Window { kEveningPeak, kLateNight };
+  Window window = Window::kEveningPeak;
+
+  /// Worker availability duration delta_w in periods (paper sweeps 5..25).
+  int worker_duration = 15;
+
+  /// Scale factor on the published population counts (1.0 = full size;
+  /// tests use smaller scales).
+  double population_scale = 1.0;
+
+  /// Taxi speed in km per one-minute period (1.0 => 60 km/h).
+  double speed_km_per_period = 1.0;
+
+  uint64_t seed = 2016;
+};
+
+/// \brief Materializes the surrogate workload.
+Result<Workload> GenerateBeijing(const BeijingConfig& config);
+
+}  // namespace maps

@@ -1,0 +1,259 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "graph/bipartite_graph.h"
+#include "graph/max_weight_matching.h"
+#include "rng/random.h"
+#include "util/logging.h"
+
+namespace maps {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Mutable per-worker lifecycle state.
+struct WorkerState {
+  int32_t next_free = 0;   // first period the worker is idle again
+  int32_t retire_at = 0;   // first period the worker is gone
+  bool consumed = false;   // single-use worker already served a task
+  Point location;          // current position (turnaround moves it)
+  GridId grid = -1;
+};
+
+}  // namespace
+
+Result<SimulationResult> RunSimulation(const Workload& workload,
+                                       PricingStrategy* strategy,
+                                       const SimOptions& options) {
+  if (strategy == nullptr) {
+    return Status::InvalidArgument("null strategy");
+  }
+  MAPS_RETURN_NOT_OK(ValidateWorkload(workload));
+
+  SimulationResult result;
+
+  // Warm-up against a fork of the ground truth: independent probe
+  // randomness, identical demand.
+  if (!options.skip_warmup) {
+    const auto warm_start = Clock::now();
+    DemandOracle history = workload.oracle.Fork(options.warmup_stream);
+    MAPS_RETURN_NOT_OK(strategy->Warmup(workload.grid, &history));
+    result.warmup_time_sec = Seconds(warm_start, Clock::now());
+  }
+
+  const bool single_use = workload.lifecycle.single_use;
+  const double speed = workload.lifecycle.speed;
+
+  std::vector<WorkerState> state(workload.workers.size());
+  for (size_t i = 0; i < workload.workers.size(); ++i) {
+    const Worker& w = workload.workers[i];
+    state[i].next_free = w.period;
+    state[i].retire_at =
+        w.duration == Worker::kUnlimitedDuration
+            ? std::numeric_limits<int32_t>::max()
+            : w.period + w.duration;
+    state[i].location = w.location;
+    state[i].grid = w.grid;
+  }
+
+  // Worker scheduling: pending entry pointer + busy heap + idle list.
+  size_t next_entry = 0;
+  using BusyEntry = std::pair<int32_t, int>;  // (next_free, pool index)
+  std::priority_queue<BusyEntry, std::vector<BusyEntry>,
+                      std::greater<BusyEntry>>
+      busy;
+  std::vector<int> idle;
+
+  size_t next_task = 0;
+  size_t peak_platform_bytes = 0;
+  size_t peak_strategy_bytes = 0;
+  Rng reposition_rng(workload.lifecycle.reposition_seed);
+
+  std::vector<double> prices;
+  std::vector<bool> accepted;
+  std::vector<double> weights;
+  std::vector<int> pool_of;  // snapshot worker index -> pool index
+  std::vector<char> matched_flag(workload.workers.size(), 0);
+
+  for (int32_t t = 0; t < workload.num_periods; ++t) {
+    // Admit workers entering this period.
+    while (next_entry < workload.workers.size() &&
+           workload.workers[next_entry].period == t) {
+      idle.push_back(static_cast<int>(next_entry));
+      ++next_entry;
+    }
+    // Return workers whose ride finished.
+    while (!busy.empty() && busy.top().first <= t) {
+      idle.push_back(busy.top().second);
+      busy.pop();
+    }
+
+    // Collect this period's tasks.
+    std::vector<Task> period_tasks;
+    while (next_task < workload.tasks.size() &&
+           workload.tasks[next_task].period == t) {
+      period_tasks.push_back(workload.tasks[next_task]);
+      ++next_task;
+    }
+
+    // Collect available workers, dropping retired ones permanently.
+    std::vector<Worker> period_workers;
+    pool_of.clear();
+    size_t keep = 0;
+    for (int idx : idle) {
+      if (state[idx].consumed || t >= state[idx].retire_at) continue;
+      idle[keep++] = idx;
+      Worker w = workload.workers[idx];
+      w.location = state[idx].location;
+      w.grid = state[idx].grid;
+      period_workers.push_back(w);
+      pool_of.push_back(idx);
+    }
+    idle.resize(keep);
+
+    if (period_tasks.empty() && period_workers.empty()) continue;
+
+    MarketSnapshot snapshot(&workload.grid, t, std::move(period_tasks),
+                            std::move(period_workers));
+
+    // Price.
+    const auto price_start = Clock::now();
+    MAPS_RETURN_NOT_OK(strategy->PriceRound(snapshot, &prices));
+    if (static_cast<int>(prices.size()) != snapshot.num_grids()) {
+      return Status::Internal(strategy->name() +
+                              " returned wrong price vector size");
+    }
+
+    // Requesters decide; the strategy sees only the bits.
+    accepted.assign(snapshot.tasks().size(), false);
+    for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
+      const Task& task = snapshot.tasks()[i];
+      accepted[i] = workload.valuations[task.id] >= prices[task.grid];
+    }
+    strategy->ObserveFeedback(snapshot, prices, accepted);
+    result.pricing_time_sec += Seconds(price_start, Clock::now());
+
+    // Assignment: maximum-weight matching over accepted tasks (Def. 5).
+    const BipartiteGraph graph = BipartiteGraph::Build(
+        snapshot.tasks(), snapshot.workers(), workload.grid);
+    weights.assign(snapshot.tasks().size(), -1.0);
+    int32_t n_accepted = 0;
+    for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
+      if (!accepted[i]) continue;
+      ++n_accepted;
+      weights[i] =
+          snapshot.tasks()[i].distance * prices[snapshot.tasks()[i].grid];
+    }
+    const WeightedMatchingResult match = MaxWeightTaskMatching(graph, weights);
+
+    // Revenue and worker lifecycle updates.
+    double period_revenue = 0.0;
+    int32_t n_matched = 0;
+    for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
+      const int r = match.matching.match_left[i];
+      if (r == Matching::kUnmatched) continue;
+      MAPS_DCHECK(accepted[i]);
+      ++n_matched;
+      period_revenue += weights[i];
+      const int pool_idx = pool_of[r];
+      if (single_use) {
+        state[pool_idx].consumed = true;
+      } else {
+        const Task& task = snapshot.tasks()[i];
+        const int32_t ride = std::max(
+            1, static_cast<int32_t>(std::ceil(task.distance / speed)));
+        state[pool_idx].next_free = t + ride;
+        state[pool_idx].location = task.destination;
+        state[pool_idx].grid = workload.grid.CellOf(task.destination);
+        busy.push({state[pool_idx].next_free, pool_idx});
+      }
+      matched_flag[pool_idx] = 1;
+    }
+
+    // Drop matched workers from the idle list in one pass.
+    if (n_matched > 0) {
+      size_t keep2 = 0;
+      for (int idx : idle) {
+        if (matched_flag[idx]) {
+          matched_flag[idx] = 0;
+        } else {
+          idle[keep2++] = idx;
+        }
+      }
+      idle.resize(keep2);
+    }
+
+    // Idle workers chase surge prices (Sec. 4.2.3): move to the best-priced
+    // adjacent cell with probability reposition_prob.
+    if (workload.lifecycle.reposition_prob > 0.0) {
+      const GridPartition& gp = workload.grid;
+      for (int idx : idle) {
+        if (!reposition_rng.NextBernoulli(
+                workload.lifecycle.reposition_prob)) {
+          continue;
+        }
+        const GridId here = state[idx].grid;
+        const int row = here / gp.cols();
+        const int col = here % gp.cols();
+        GridId best = here;
+        for (int dr = -1; dr <= 1; ++dr) {
+          for (int dc = -1; dc <= 1; ++dc) {
+            const int nr = row + dr;
+            const int nc = col + dc;
+            if (nr < 0 || nr >= gp.rows() || nc < 0 || nc >= gp.cols()) {
+              continue;
+            }
+            const GridId cand = nr * gp.cols() + nc;
+            if (prices[cand] > prices[best]) best = cand;
+          }
+        }
+        if (best != here) {
+          state[idx].location = gp.CellCenter(best);
+          state[idx].grid = best;
+        }
+      }
+    }
+
+    result.total_revenue += period_revenue;
+    result.num_tasks += static_cast<int64_t>(snapshot.tasks().size());
+    result.num_accepted += n_accepted;
+    result.num_matched += n_matched;
+
+    const size_t platform_bytes =
+        graph.FootprintBytes() +
+        snapshot.tasks().capacity() * sizeof(Task) +
+        snapshot.workers().capacity() * sizeof(Worker) +
+        state.capacity() * sizeof(WorkerState);
+    peak_platform_bytes = std::max(peak_platform_bytes, platform_bytes);
+    peak_strategy_bytes =
+        std::max(peak_strategy_bytes, strategy->MemoryFootprintBytes());
+
+    if (options.collect_per_period) {
+      PeriodStats ps;
+      ps.period = t;
+      ps.revenue = period_revenue;
+      ps.num_tasks = static_cast<int32_t>(snapshot.tasks().size());
+      ps.num_accepted = n_accepted;
+      ps.num_matched = n_matched;
+      ps.num_available_workers =
+          static_cast<int32_t>(snapshot.workers().size());
+      result.per_period.push_back(ps);
+    }
+  }
+
+  result.total_time_sec = result.warmup_time_sec + result.pricing_time_sec;
+  result.memory_bytes = peak_platform_bytes + peak_strategy_bytes;
+  return result;
+}
+
+}  // namespace maps

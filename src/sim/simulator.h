@@ -1,0 +1,69 @@
+// The platform simulator: replays a Workload against one PricingStrategy.
+//
+// Per time period t (batch mode, Sec. 2):
+//   1. collect the tasks issued in t and the currently available workers;
+//   2. the strategy prices every grid (PriceRound);
+//   3. each requester accepts iff their hidden valuation v_r >= the price of
+//      their grid; the strategy observes only the accept/reject bits;
+//   4. the platform assigns workers to accepted tasks by maximum-weight
+//      bipartite matching under the range constraints (Definition 5; exact
+//      via the transversal-matroid greedy matcher);
+//   5. revenue += sum of matched d_r * p; matched workers either leave
+//      (single-use) or turn around at the destination (Beijing lifecycle).
+
+#pragma once
+
+#include <vector>
+
+#include "pricing/strategy.h"
+#include "sim/workload.h"
+#include "util/result.h"
+
+namespace maps {
+
+/// \brief Simulation knobs.
+struct SimOptions {
+  /// Stream id for the strategy's warm-up oracle fork, so different
+  /// strategies draw independent probe randomness over identical ground
+  /// truth.
+  uint64_t warmup_stream = 7;
+  /// Record per-period statistics (tests; costs memory on long runs).
+  bool collect_per_period = false;
+  /// Skip the strategy Warmup() call (for pre-warmed strategies).
+  bool skip_warmup = false;
+};
+
+/// \brief Per-period accounting (optional).
+struct PeriodStats {
+  int32_t period = 0;
+  double revenue = 0.0;
+  int32_t num_tasks = 0;
+  int32_t num_accepted = 0;
+  int32_t num_matched = 0;
+  int32_t num_available_workers = 0;
+};
+
+/// \brief Aggregate outcome of one simulation run.
+struct SimulationResult {
+  double total_revenue = 0.0;
+  /// Warm-up wall time (Algorithm 1 probing etc.).
+  double warmup_time_sec = 0.0;
+  /// Strategy wall time across all periods (PriceRound + ObserveFeedback).
+  double pricing_time_sec = 0.0;
+  /// warmup + pricing: the per-strategy cost reported by the benches.
+  double total_time_sec = 0.0;
+  /// Peak strategy footprint plus the platform's per-period market share.
+  size_t memory_bytes = 0;
+  int64_t num_tasks = 0;
+  int64_t num_accepted = 0;
+  int64_t num_matched = 0;
+  std::vector<PeriodStats> per_period;
+};
+
+/// \brief Runs `strategy` over the workload. The workload is not mutated;
+/// identical (workload, strategy, options) runs are bit-identical.
+Result<SimulationResult> RunSimulation(const Workload& workload,
+                                       PricingStrategy* strategy,
+                                       const SimOptions& options = {});
+
+}  // namespace maps

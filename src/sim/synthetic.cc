@@ -1,0 +1,168 @@
+#include "sim/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <optional>
+
+#include "geo/road_network.h"
+#include "rng/distributions.h"
+#include "util/logging.h"
+
+namespace maps {
+
+namespace {
+
+/// Normal draw "conditioned on the entire time span": re-draw until the
+/// sample falls in [0, T), with a clamped fallback to stay total.
+int32_t SampledPeriod(Rng& rng, double mu, double sigma, int num_periods) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = SampleNormal(rng, mu, sigma);
+    if (x >= 0.0 && x < num_periods) return static_cast<int32_t>(x);
+  }
+  const double x =
+      std::clamp(SampleNormal(rng, mu, sigma), 0.0,
+                 static_cast<double>(num_periods) - 1.0);
+  return static_cast<int32_t>(x);
+}
+
+Point SampleGaussianPoint(Rng& rng, const Rect& region, double mean_frac,
+                          double sigma) {
+  const Point mean{region.min_x + mean_frac * region.width(),
+                   region.min_y + mean_frac * region.height()};
+  const Point raw{SampleNormal(rng, mean.x, sigma),
+                  SampleNormal(rng, mean.y, sigma)};
+  return region.Clamp(raw);
+}
+
+}  // namespace
+
+Result<Workload> GenerateSynthetic(const SyntheticConfig& cfg) {
+  if (cfg.num_tasks < 0 || cfg.num_workers < 0) {
+    return Status::InvalidArgument("negative population");
+  }
+  if (cfg.num_periods <= 0) {
+    return Status::InvalidArgument("num_periods must be positive");
+  }
+  if (cfg.v_lo >= cfg.v_hi) {
+    return Status::InvalidArgument("valuation interval empty");
+  }
+
+  Rect region{0.0, 0.0, cfg.region_size, cfg.region_size};
+  MAPS_ASSIGN_OR_RETURN(GridPartition grid,
+                        GridPartition::Make(region, cfg.grid_rows,
+                                            cfg.grid_cols));
+
+  Rng master(cfg.seed);
+  Rng grid_rng = master.Fork(1);
+  Rng task_rng = master.Fork(2);
+  Rng worker_rng = master.Fork(3);
+  Rng valuation_rng = master.Fork(4);
+
+  // Per-grid demand models: base parameters with seeded per-grid jitter
+  // ("the valuations v_r are drawn ... w.r.t. the mean of g").
+  std::vector<std::unique_ptr<DemandModel>> models;
+  models.reserve(grid.num_cells());
+  for (int g = 0; g < grid.num_cells(); ++g) {
+    const double jitter =
+        grid_rng.NextDouble(-cfg.grid_mu_jitter, cfg.grid_mu_jitter);
+    if (cfg.demand_family == SyntheticConfig::DemandFamily::kNormal) {
+      const double mu = std::clamp(cfg.demand_mu + jitter, cfg.v_lo, cfg.v_hi);
+      models.push_back(std::make_unique<TruncatedNormalDemand>(
+          mu, cfg.demand_sigma, cfg.v_lo, cfg.v_hi));
+    } else {
+      // Jitter scales the rate by up to +/-10% so grids stay heterogeneous.
+      const double scale =
+          1.0 + 0.1 * jitter / std::max(cfg.grid_mu_jitter, 1e-9);
+      models.push_back(std::make_unique<TruncatedExponentialDemand>(
+          cfg.demand_rate * scale, cfg.v_lo, cfg.v_hi));
+    }
+  }
+  MAPS_ASSIGN_OR_RETURN(
+      DemandOracle oracle,
+      DemandOracle::Make(std::move(models), master.NextUint64()));
+
+  Workload w(std::move(grid), std::move(oracle));
+  w.name = "synthetic";
+  w.num_periods = cfg.num_periods;
+  w.lifecycle.single_use = true;
+
+  const double temporal_sigma = cfg.temporal_sigma * cfg.num_periods;
+
+  // Travel metric for d_r.
+  std::optional<RoadNetwork> roads;
+  if (cfg.distance_metric == SyntheticConfig::DistanceMetric::kRoadNetwork) {
+    MAPS_ASSIGN_OR_RETURN(
+        RoadNetwork net,
+        RoadNetwork::MakeLattice(region, cfg.road_nodes_per_axis,
+                                 cfg.road_nodes_per_axis,
+                                 cfg.road_congestion_jitter,
+                                 master.NextUint64()));
+    roads.emplace(std::move(net));
+  }
+  auto travel_distance = [&](const Point& a, const Point& b) {
+    switch (cfg.distance_metric) {
+      case SyntheticConfig::DistanceMetric::kManhattan:
+        return ManhattanDistance(a, b);
+      case SyntheticConfig::DistanceMetric::kRoadNetwork:
+        return roads->Distance(a, b);
+      case SyntheticConfig::DistanceMetric::kEuclidean:
+        break;
+    }
+    return EuclideanDistance(a, b);
+  };
+
+  // Tasks.
+  w.tasks.reserve(cfg.num_tasks);
+  w.valuations.reserve(cfg.num_tasks);
+  for (int i = 0; i < cfg.num_tasks; ++i) {
+    Task t;
+    t.period = SampledPeriod(task_rng, cfg.temporal_mu * cfg.num_periods,
+                             temporal_sigma, cfg.num_periods);
+    t.origin =
+        SampleGaussianPoint(task_rng, region, cfg.spatial_mean,
+                            cfg.spatial_sigma);
+    t.destination = Point{task_rng.NextDouble(0.0, cfg.region_size),
+                          task_rng.NextDouble(0.0, cfg.region_size)};
+    t.distance = travel_distance(t.origin, t.destination);
+    t.grid = w.grid.CellOf(t.origin);
+    w.tasks.push_back(t);
+  }
+  std::stable_sort(w.tasks.begin(), w.tasks.end(),
+                   [](const Task& a, const Task& b) {
+                     return a.period < b.period;
+                   });
+  for (size_t i = 0; i < w.tasks.size(); ++i) {
+    w.tasks[i].id = static_cast<TaskId>(i);
+    w.valuations.push_back(w.oracle.model(w.tasks[i].grid)
+                               .Sample(valuation_rng));
+  }
+
+  // Workers (single-use; unlimited duration until matched).
+  w.workers.reserve(cfg.num_workers);
+  for (int i = 0; i < cfg.num_workers; ++i) {
+    Worker ww;
+    ww.period =
+        SampledPeriod(worker_rng, cfg.worker_temporal_mu * cfg.num_periods,
+                      temporal_sigma, cfg.num_periods);
+    ww.location = SampleGaussianPoint(worker_rng, region,
+                                      cfg.worker_spatial_mean,
+                                      cfg.spatial_sigma);
+    ww.radius = cfg.worker_radius;
+    ww.duration = Worker::kUnlimitedDuration;
+    ww.grid = w.grid.CellOf(ww.location);
+    w.workers.push_back(ww);
+  }
+  std::stable_sort(w.workers.begin(), w.workers.end(),
+                   [](const Worker& a, const Worker& b) {
+                     return a.period < b.period;
+                   });
+  for (size_t i = 0; i < w.workers.size(); ++i) {
+    w.workers[i].id = static_cast<WorkerId>(i);
+  }
+
+  MAPS_RETURN_NOT_OK(ValidateWorkload(w));
+  return w;
+}
+
+}  // namespace maps

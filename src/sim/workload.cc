@@ -1,0 +1,65 @@
+#include "sim/workload.h"
+
+#include <sstream>
+
+namespace maps {
+
+Status ValidateWorkload(const Workload& w) {
+  if (w.num_periods <= 0) {
+    return Status::InvalidArgument("workload needs >= 1 period");
+  }
+  if (w.tasks.size() != w.valuations.size()) {
+    return Status::InvalidArgument("valuations not aligned with tasks");
+  }
+  if (w.oracle.num_grids() != w.grid.num_cells()) {
+    return Status::InvalidArgument("oracle grid count mismatch");
+  }
+  int32_t prev_period = 0;
+  for (size_t i = 0; i < w.tasks.size(); ++i) {
+    const Task& t = w.tasks[i];
+    std::ostringstream ctx;
+    ctx << "task " << i;
+    if (t.id != static_cast<TaskId>(i)) {
+      return Status::InvalidArgument(ctx.str() + ": id must equal index");
+    }
+    if (t.period < 0 || t.period >= w.num_periods) {
+      return Status::InvalidArgument(ctx.str() + ": period out of range");
+    }
+    if (t.period < prev_period) {
+      return Status::InvalidArgument(ctx.str() + ": tasks not period-sorted");
+    }
+    prev_period = t.period;
+    if (t.grid != w.grid.CellOf(t.origin)) {
+      return Status::InvalidArgument(ctx.str() + ": cached grid id wrong");
+    }
+    if (t.distance < 0.0) {
+      return Status::InvalidArgument(ctx.str() + ": negative distance");
+    }
+  }
+  prev_period = 0;
+  for (size_t i = 0; i < w.workers.size(); ++i) {
+    const Worker& ww = w.workers[i];
+    std::ostringstream ctx;
+    ctx << "worker " << i;
+    if (ww.period < 0 || ww.period >= w.num_periods) {
+      return Status::InvalidArgument(ctx.str() + ": period out of range");
+    }
+    if (ww.period < prev_period) {
+      return Status::InvalidArgument(ctx.str() +
+                                     ": workers not period-sorted");
+    }
+    prev_period = ww.period;
+    if (ww.radius <= 0.0) {
+      return Status::InvalidArgument(ctx.str() + ": non-positive radius");
+    }
+    if (ww.grid != w.grid.CellOf(ww.location)) {
+      return Status::InvalidArgument(ctx.str() + ": cached grid id wrong");
+    }
+  }
+  if (!w.lifecycle.single_use && w.lifecycle.speed <= 0.0) {
+    return Status::InvalidArgument("turnaround lifecycle needs speed > 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace maps

@@ -1,0 +1,70 @@
+// Workload: a fully materialized experiment instance — grid partition,
+// tasks with hidden valuations, workers, and the ground-truth demand oracle.
+//
+// A Workload is generated once per experiment point and reused across all
+// strategies so every strategy faces the identical market (identical tasks,
+// valuations, workers); only warm-up probe randomness differs (per-strategy
+// oracle forks).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/grid.h"
+#include "market/demand_oracle.h"
+#include "market/task.h"
+#include "market/worker.h"
+
+namespace maps {
+
+/// \brief Worker lifecycle policy of a workload.
+struct WorkerLifecycle {
+  /// true: a worker disappears after serving one task (the paper's synthetic
+  /// setting); false: the worker is busy for the ride duration, reappears at
+  /// the task's destination, and retires after `Worker::duration` periods of
+  /// membership (the Beijing setting).
+  bool single_use = true;
+  /// Travel speed in distance units per period; ride time is
+  /// ceil(d_r / speed) periods. Only used when !single_use.
+  double speed = 1.0;
+
+  /// Idle-worker repositioning (Sec. 4.2.3's practical note: higher unit
+  /// prices "motivate more drivers to move to these regions"). Each period,
+  /// every idle worker independently moves, with this probability, to the
+  /// highest-priced cell in its 8-neighborhood when that price beats the
+  /// current cell's. 0 disables repositioning.
+  double reposition_prob = 0.0;
+  /// Seed of the repositioning decision stream (keeps runs deterministic).
+  uint64_t reposition_seed = 77;
+};
+
+/// \brief One experiment instance.
+struct Workload {
+  std::string name;
+  GridPartition grid;
+  int num_periods = 0;
+
+  /// All tasks across all periods, sorted by (period, id).
+  std::vector<Task> tasks;
+  /// valuations[i] is the hidden v_r of tasks[i] (index == Task::id).
+  std::vector<double> valuations;
+  /// All workers, sorted by (period, id).
+  std::vector<Worker> workers;
+
+  /// Ground-truth demand; strategies only ever receive forks of it.
+  DemandOracle oracle;
+
+  WorkerLifecycle lifecycle;
+
+  Workload(GridPartition g, DemandOracle o)
+      : grid(std::move(g)), oracle(std::move(o)) {}
+};
+
+/// \brief Validates internal consistency (ids, ordering, grid bounds).
+/// Generators call this before returning; tests call it on hand-built
+/// workloads.
+Status ValidateWorkload(const Workload& w);
+
+}  // namespace maps

@@ -1,0 +1,48 @@
+#include "stats/change_detector.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace maps {
+
+ChangeDetector::ChangeDetector(int window_size) : window_size_(window_size) {
+  MAPS_CHECK_GT(window_size, 0);
+}
+
+bool ChangeDetector::WindowDeviates() const {
+  const double m = static_cast<double>(window_size_);
+  const double expected = m * reference_rate_;
+  const double band =
+      2.0 * std::sqrt(m * reference_rate_ * (1.0 - reference_rate_));
+  const double observed = static_cast<double>(accepts_);
+  // A degenerate reference (rate 0 or 1) has a zero-width band; any
+  // disagreement at all is then a change.
+  return observed < expected - band || observed > expected + band;
+}
+
+bool ChangeDetector::Observe(bool accepted) {
+  ++in_window_;
+  if (accepted) ++accepts_;
+  if (in_window_ < window_size_) return false;
+
+  bool changed = false;
+  if (has_reference_) {
+    changed = WindowDeviates();
+  }
+  reference_rate_ =
+      static_cast<double>(accepts_) / static_cast<double>(window_size_);
+  has_reference_ = true;
+  in_window_ = 0;
+  accepts_ = 0;
+  return changed;
+}
+
+void ChangeDetector::Reset() {
+  in_window_ = 0;
+  accepts_ = 0;
+  has_reference_ = false;
+  reference_rate_ = 0.0;
+}
+
+}  // namespace maps

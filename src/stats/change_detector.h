@@ -1,0 +1,44 @@
+// Binomial change detector for drifting acceptance ratios (Sec. 4.2.2,
+// "statistically-significant deviations").
+//
+// For a tested price, accepts in a window of m requesters follow
+// Binomial(m, S(p)). With the previous window's estimate S_hat, a new window
+// whose accept count lands outside m*S_hat +/- 2*sqrt(m*S_hat*(1-S_hat))
+// (about a 95% band) flags a demand change; the caller then resets the UCB
+// statistics of the grid.
+
+#pragma once
+
+#include <cstdint>
+
+namespace maps {
+
+/// \brief Windowed binomial deviation test for one (grid, price) stream.
+class ChangeDetector {
+ public:
+  /// \param window_size m, the number of observations per test window
+  explicit ChangeDetector(int window_size);
+
+  /// Feeds one observation; returns true when the completed window deviates
+  /// significantly from the previous window's rate (a flagged change).
+  bool Observe(bool accepted);
+
+  /// True once at least one full reference window exists.
+  bool HasReference() const { return has_reference_; }
+
+  double reference_rate() const { return reference_rate_; }
+  int window_size() const { return window_size_; }
+
+  void Reset();
+
+ private:
+  bool WindowDeviates() const;
+
+  int window_size_;
+  int in_window_ = 0;
+  int accepts_ = 0;
+  bool has_reference_ = false;
+  double reference_rate_ = 0.0;
+};
+
+}  // namespace maps

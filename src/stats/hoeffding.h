@@ -1,0 +1,38 @@
+// Hoeffding-based sample-size schedule of Algorithm 1.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace maps {
+
+/// \brief Number of candidate prices k = ceil(ln(p_max/p_min) / ln(1+alpha))
+/// (Algorithm 1, line 1).
+inline int LadderSize(double p_min, double p_max, double alpha) {
+  if (p_max <= p_min) return 1;
+  return static_cast<int>(
+      std::ceil(std::log(p_max / p_min) / std::log(1.0 + alpha)));
+}
+
+/// \brief Probe budget h(p) = ceil((2 p^2 / eps^2) * ln(2k / delta))
+/// (Algorithm 1, line 5). Guarantees |S_hat(p) - S(p)| <= eps/(2p) w.p.
+/// 1 - delta/k via Hoeffding's inequality (Theorem 2's proof).
+inline int64_t ProbeBudget(double p, double eps, double delta, int k) {
+  const double h = (2.0 * p * p / (eps * eps)) * std::log(2.0 * k / delta);
+  return static_cast<int64_t>(std::ceil(h));
+}
+
+/// \brief Two-sided Hoeffding deviation bound: Pr[|mean - E| > eps] for n
+/// i.i.d. samples in [0,1].
+inline double HoeffdingTailProb(double eps, int64_t n) {
+  return 2.0 * std::exp(-2.0 * eps * eps * static_cast<double>(n));
+}
+
+/// \brief Samples needed so the two-sided Hoeffding tail is at most delta.
+inline int64_t HoeffdingSampleCount(double eps, double delta) {
+  return static_cast<int64_t>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * eps * eps)));
+}
+
+}  // namespace maps

@@ -1,0 +1,65 @@
+// Small online statistics helpers (Welford mean/variance, Bernoulli counts).
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace maps {
+
+/// \brief Welford's online mean/variance accumulator.
+class OnlineMeanVar {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void Reset() {
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+  }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// \brief Bernoulli success-rate counter.
+class BernoulliCounter {
+ public:
+  void Add(bool success) {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  int64_t trials() const { return trials_; }
+  int64_t successes() const { return successes_; }
+  double rate() const {
+    return trials_ > 0 ? static_cast<double>(successes_) /
+                             static_cast<double>(trials_)
+                       : 0.0;
+  }
+
+  void Reset() {
+    trials_ = 0;
+    successes_ = 0;
+  }
+
+ private:
+  int64_t trials_ = 0;
+  int64_t successes_ = 0;
+};
+
+}  // namespace maps

@@ -1,0 +1,54 @@
+#include "stats/price_ladder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace maps {
+
+PriceLadder::PriceLadder(double p_min, double p_max, double alpha,
+                         std::vector<double> prices)
+    : p_min_(p_min), p_max_(p_max), alpha_(alpha), prices_(std::move(prices)) {}
+
+Result<PriceLadder> PriceLadder::Make(double p_min, double p_max,
+                                      double alpha) {
+  if (p_min <= 0.0) return Status::InvalidArgument("p_min must be positive");
+  if (p_max < p_min) return Status::InvalidArgument("p_max < p_min");
+  if (alpha <= 0.0) return Status::InvalidArgument("alpha must be positive");
+  std::vector<double> prices;
+  for (double p = p_min; p <= p_max * (1.0 + 1e-12); p *= (1.0 + alpha)) {
+    prices.push_back(std::min(p, p_max));
+  }
+  if (prices.empty()) prices.push_back(p_min);
+  return PriceLadder(p_min, p_max, alpha, std::move(prices));
+}
+
+Result<PriceLadder> PriceLadder::FromPrices(std::vector<double> prices) {
+  if (prices.empty()) return Status::InvalidArgument("empty price set");
+  for (size_t i = 0; i < prices.size(); ++i) {
+    if (prices[i] <= 0.0) {
+      return Status::InvalidArgument("prices must be positive");
+    }
+    if (i > 0 && prices[i] <= prices[i - 1]) {
+      return Status::InvalidArgument("prices must be strictly ascending");
+    }
+  }
+  const double lo = prices.front();
+  const double hi = prices.back();
+  return PriceLadder(lo, hi, /*alpha=*/0.0, std::move(prices));
+}
+
+int PriceLadder::SnapIndex(double p) const {
+  // Lower-bound then compare with the previous rung.
+  auto it = std::lower_bound(prices_.begin(), prices_.end(), p);
+  if (it == prices_.begin()) return 0;
+  if (it == prices_.end()) return size() - 1;
+  const int hi = static_cast<int>(it - prices_.begin());
+  const int lo = hi - 1;
+  // Ties toward the lower rung (paper breaks price ties low: higher
+  // acceptance ratio).
+  return (p - prices_[lo] <= prices_[hi] - p) ? lo : hi;
+}
+
+}  // namespace maps

@@ -1,0 +1,44 @@
+// Geometric candidate price ladder: p_min, (1+alpha)p_min, (1+alpha)^2 p_min,
+// ... <= p_max. Both Algorithm 1 and Algorithm 3 iterate this ladder; MAPS
+// snaps every offered price onto it so UCB statistics accumulate per rung.
+
+#pragma once
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace maps {
+
+/// \brief Immutable geometric price grid on [p_min, p_max].
+class PriceLadder {
+ public:
+  static Result<PriceLadder> Make(double p_min, double p_max, double alpha);
+
+  /// Explicit ascending candidate set (e.g. the paper's running example
+  /// uses {1, 2, 3}); alpha is retained only for reporting.
+  static Result<PriceLadder> FromPrices(std::vector<double> prices);
+
+  double p_min() const { return p_min_; }
+  double p_max() const { return p_max_; }
+  double alpha() const { return alpha_; }
+
+  int size() const { return static_cast<int>(prices_.size()); }
+  double price(int i) const { return prices_[i]; }
+  const std::vector<double>& prices() const { return prices_; }
+
+  /// Index of the rung nearest to `p` (ties toward the lower rung).
+  int SnapIndex(double p) const;
+
+  /// Nearest rung value.
+  double Snap(double p) const { return prices_[SnapIndex(p)]; }
+
+ private:
+  PriceLadder(double p_min, double p_max, double alpha,
+              std::vector<double> prices);
+
+  double p_min_, p_max_, alpha_;
+  std::vector<double> prices_;
+};
+
+}  // namespace maps

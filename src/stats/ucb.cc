@@ -1,0 +1,74 @@
+#include "stats/ucb.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace maps {
+
+UcbEstimator::UcbEstimator(const PriceLadder* ladder) : ladder_(ladder) {
+  MAPS_CHECK(ladder != nullptr);
+  count_.assign(ladder->size(), 0);
+  accepts_.assign(ladder->size(), 0);
+}
+
+void UcbEstimator::Observe(int idx, bool accepted) {
+  MAPS_DCHECK(idx >= 0 && idx < ladder_->size());
+  ++count_[idx];
+  if (accepted) ++accepts_[idx];
+  ++total_;
+}
+
+void UcbEstimator::ObserveBulk(int idx, int64_t trials, int64_t accepts) {
+  MAPS_DCHECK(idx >= 0 && idx < ladder_->size());
+  MAPS_CHECK_GE(trials, accepts);
+  MAPS_CHECK_GE(accepts, 0);
+  count_[idx] += trials;
+  accepts_[idx] += accepts;
+  total_ += trials;
+}
+
+double UcbEstimator::mean(int idx) const {
+  MAPS_DCHECK(idx >= 0 && idx < ladder_->size());
+  if (count_[idx] == 0) return 0.0;
+  return static_cast<double>(accepts_[idx]) /
+         static_cast<double>(count_[idx]);
+}
+
+double UcbEstimator::Radius(int idx) const {
+  MAPS_DCHECK(idx >= 0 && idx < ladder_->size());
+  if (count_[idx] == 0) {
+    // Unobserved rung: infinite optimism so it gets explored. (The paper
+    // states the radius is zero when N(p)=0, but then an unobserved rung
+    // could never win the index; standard UCB1 treats unpulled arms as
+    // maximally optimistic, which is what makes exploration start.)
+    return std::numeric_limits<double>::infinity();
+  }
+  if (total_ < 2) return 0.0;
+  const double p = ladder_->price(idx);
+  return p * std::sqrt(2.0 * std::log(static_cast<double>(total_)) /
+                       static_cast<double>(count_[idx]));
+}
+
+double UcbEstimator::OptimisticUnitRevenue(int idx) const {
+  const double p = ladder_->price(idx);
+  const double r = Radius(idx);
+  if (std::isinf(r)) return std::numeric_limits<double>::infinity();
+  return p * mean(idx) + r;
+}
+
+void UcbEstimator::ResetRung(int idx) {
+  MAPS_DCHECK(idx >= 0 && idx < ladder_->size());
+  total_ -= count_[idx];
+  count_[idx] = 0;
+  accepts_[idx] = 0;
+}
+
+void UcbEstimator::Reset() {
+  std::fill(count_.begin(), count_.end(), 0);
+  std::fill(accepts_.begin(), accepts_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace maps

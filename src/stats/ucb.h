@@ -1,0 +1,70 @@
+// UCB acceptance-ratio estimator (Sec. 4.2.2).
+//
+// One UcbEstimator per grid tracks, per ladder rung p:
+//   S_hat(p)  sample mean of accept/reject feedback at p,
+//   N(p)      times p was offered,
+//   N         total requesters observed in the grid,
+// and exposes the optimistic estimate S_hat(p) + sqrt(2 ln N / N(p)) / 1
+// via the confidence radius c(p) = p * sqrt(2 ln N / N(p)).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/price_ladder.h"
+
+namespace maps {
+
+/// \brief Per-grid UCB statistics over a price ladder.
+class UcbEstimator {
+ public:
+  explicit UcbEstimator(const PriceLadder* ladder);
+
+  /// Records one accept/reject observation for rung `idx`.
+  void Observe(int idx, bool accepted);
+
+  /// Bulk-seeds rung `idx` with `trials` observations of which `accepts`
+  /// accepted (warm-starting from Algorithm 1's probe statistics).
+  void ObserveBulk(int idx, int64_t trials, int64_t accepts);
+
+  /// Number of requesters observed so far in this grid (N).
+  int64_t total_observations() const { return total_; }
+
+  /// Times rung `idx` was offered (N(p)).
+  int64_t count(int idx) const { return count_[idx]; }
+
+  /// Sample mean S_hat(p); 0 when unobserved.
+  double mean(int idx) const;
+
+  /// Confidence radius c(p) = p * sqrt(2 ln N / N(p)); +infinity when the
+  /// rung is unobserved (forces exploration), 0 when N < 2.
+  double Radius(int idx) const;
+
+  /// Optimistic unit revenue p * S_hat(p) + c(p), the first operand of the
+  /// index of Algorithm 3.
+  double OptimisticUnitRevenue(int idx) const;
+
+  /// Drops all statistics.
+  void Reset();
+
+  /// Drops one rung's statistics (the change detector flagged a shift in
+  /// S(p) at that price); the rung becomes maximally optimistic again and
+  /// is relearned, while the other rungs keep their knowledge.
+  void ResetRung(int idx);
+
+  const PriceLadder& ladder() const { return *ladder_; }
+
+  size_t FootprintBytes() const {
+    return count_.capacity() * sizeof(int64_t) +
+           accepts_.capacity() * sizeof(int64_t);
+  }
+
+ private:
+  const PriceLadder* ladder_;
+  std::vector<int64_t> count_;
+  std::vector<int64_t> accepts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace maps

@@ -1,0 +1,67 @@
+// CSV table writer used by the benchmark harnesses.
+//
+// Every bench binary prints the paper's series to stdout in an aligned table
+// and optionally mirrors the rows to a CSV file for plotting.
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace maps {
+
+/// \brief Accumulates rows of string cells and renders them as CSV and as an
+/// aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with operator<<.
+  template <typename... Ts>
+  void AddRow(const Ts&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(Ts));
+    (row.push_back(FormatCell(cells)), ...);
+    AddRow(std::move(row));
+  }
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders an aligned, human-readable table.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  std::string ToCsv() const;
+
+  /// Writes the CSV rendering to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  template <typename T>
+  static std::string FormatCell(const T& v) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return v;
+    } else if constexpr (std::is_convertible_v<T, const char*>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return FormatDouble(static_cast<double>(v));
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  static std::string FormatDouble(double v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace maps

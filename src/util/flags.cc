@@ -1,0 +1,65 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace maps {
+
+Result<FlagSet> FlagSet::Parse(int argc, const char* const* argv) {
+  FlagSet out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a flag");
+    }
+    const size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      out.flags_[body] = "true";
+    } else if (eq == 0) {
+      return Status::InvalidArgument("flag with empty name: " + arg);
+    } else {
+      out.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+std::string FlagSet::GetString(const std::string& key,
+                               const std::string& fallback) const {
+  read_.insert(key);
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+int64_t FlagSet::GetInt(const std::string& key, int64_t fallback) const {
+  read_.insert(key);
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::atoll(it->second.c_str());
+}
+
+double FlagSet::GetDouble(const std::string& key, double fallback) const {
+  read_.insert(key);
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool FlagSet::GetBool(const std::string& key, bool fallback) const {
+  read_.insert(key);
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::set<std::string> FlagSet::UnreadKeys() const {
+  std::set<std::string> out;
+  for (const auto& [k, v] : flags_) {
+    if (read_.count(k) == 0) out.insert(k);
+  }
+  return out;
+}
+
+}  // namespace maps

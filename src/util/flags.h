@@ -1,0 +1,42 @@
+// Minimal --key=value command-line parsing for the CLI tools. No external
+// dependencies; unknown flags are an error so typos fail loudly.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace maps {
+
+/// \brief Parsed command line: positional arguments plus --key=value flags
+/// (`--flag` alone stores "true").
+class FlagSet {
+ public:
+  /// Parses argv; returns an error for malformed tokens.
+  static Result<FlagSet> Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Keys that were provided but never read — surfaced so a CLI can reject
+  /// unknown flags after it finished querying.
+  std::set<std::string> UnreadKeys() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::set<std::string> read_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace maps

@@ -1,0 +1,76 @@
+// Minimal leveled logging plus CHECK macros, Arrow/RocksDB style.
+//
+// MAPS_CHECK* abort on violation and are kept in release builds: invariant
+// violations in a pricing engine must fail loudly, not corrupt revenue
+// accounting. MAPS_DCHECK* compile out in NDEBUG builds.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace maps {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates a log line and emits it (or aborts for fatal) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace maps
+
+#define MAPS_LOG(level)                                                  \
+  ::maps::internal::LogMessage(::maps::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+#define MAPS_CHECK(cond)                                                    \
+  if (!(cond))                                                              \
+  ::maps::internal::LogMessage(::maps::LogLevel::kError, __FILE__,          \
+                               __LINE__, /*fatal=*/true)                    \
+      << "Check failed: " #cond " "
+
+#define MAPS_CHECK_OP(a, b, op) MAPS_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define MAPS_CHECK_EQ(a, b) MAPS_CHECK_OP(a, b, ==)
+#define MAPS_CHECK_NE(a, b) MAPS_CHECK_OP(a, b, !=)
+#define MAPS_CHECK_LT(a, b) MAPS_CHECK_OP(a, b, <)
+#define MAPS_CHECK_LE(a, b) MAPS_CHECK_OP(a, b, <=)
+#define MAPS_CHECK_GT(a, b) MAPS_CHECK_OP(a, b, >)
+#define MAPS_CHECK_GE(a, b) MAPS_CHECK_OP(a, b, >=)
+
+#ifdef NDEBUG
+#define MAPS_DCHECK(cond) \
+  while (false) MAPS_CHECK(cond)
+#else
+#define MAPS_DCHECK(cond) MAPS_CHECK(cond)
+#endif
+
+#define MAPS_DCHECK_EQ(a, b) MAPS_DCHECK((a) == (b))
+#define MAPS_DCHECK_NE(a, b) MAPS_DCHECK((a) != (b))
+#define MAPS_DCHECK_LT(a, b) MAPS_DCHECK((a) < (b))
+#define MAPS_DCHECK_LE(a, b) MAPS_DCHECK((a) <= (b))
+#define MAPS_DCHECK_GT(a, b) MAPS_DCHECK((a) > (b))
+#define MAPS_DCHECK_GE(a, b) MAPS_DCHECK((a) >= (b))

@@ -1,0 +1,69 @@
+#include "util/memory_model.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace maps {
+
+void MemoryModel::Set(const std::string& component, size_t bytes) {
+  auto it = components_.find(component);
+  size_t old = (it == components_.end()) ? 0 : it->second;
+  components_[component] = bytes;
+  current_ += bytes;
+  current_ -= old;
+  UpdatePeak();
+}
+
+void MemoryModel::Add(const std::string& component, size_t bytes) {
+  components_[component] += bytes;
+  current_ += bytes;
+  UpdatePeak();
+}
+
+void MemoryModel::Release(const std::string& component, size_t bytes) {
+  auto it = components_.find(component);
+  if (it == components_.end()) return;
+  size_t dec = bytes < it->second ? bytes : it->second;
+  it->second -= dec;
+  current_ -= dec;
+}
+
+size_t MemoryModel::CurrentBytes() const { return current_; }
+
+void MemoryModel::Reset() {
+  components_.clear();
+  current_ = 0;
+  peak_ = 0;
+}
+
+void MemoryModel::UpdatePeak() {
+  if (current_ > peak_) peak_ = current_;
+}
+
+size_t ProcessRssBytes() {
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return 0;
+  size_t total = 0, resident = 0;
+  statm >> total >> resident;
+  return resident * static_cast<size_t>(sysconf(_SC_PAGESIZE));
+}
+
+size_t ProcessPeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      size_t kb = 0;
+      std::sscanf(line.c_str(), "VmHWM: %zu kB", &kb);
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+}  // namespace maps

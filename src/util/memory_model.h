@@ -1,0 +1,55 @@
+// Analytic per-strategy memory accounting, plus process RSS helpers.
+//
+// The paper reports per-strategy memory (Figs. 6-8, third rows). Comparing
+// strategies via process RSS inside one binary is meaningless (the allocator
+// never returns pages), so the library models the live footprint of each
+// strategy's data structures: components register their byte counts with a
+// MemoryModel and benches report the peak.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace maps {
+
+/// \brief Tracks named byte counts and the overall peak.
+class MemoryModel {
+ public:
+  /// Sets the current footprint of `component` to `bytes`.
+  void Set(const std::string& component, size_t bytes);
+
+  /// Adds `bytes` to `component` (may be negative via Release()).
+  void Add(const std::string& component, size_t bytes);
+  void Release(const std::string& component, size_t bytes);
+
+  /// Sum of all components right now.
+  size_t CurrentBytes() const;
+
+  /// Largest value CurrentBytes() has reached.
+  size_t PeakBytes() const { return peak_; }
+
+  double PeakMiB() const {
+    return static_cast<double>(peak_) / (1024.0 * 1024.0);
+  }
+
+  void Reset();
+
+ private:
+  void UpdatePeak();
+
+  std::unordered_map<std::string, size_t> components_;
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+/// \brief Reads the process's current resident set size in bytes
+/// (Linux /proc/self/statm); returns 0 when unavailable.
+size_t ProcessRssBytes();
+
+/// \brief Reads the process's peak RSS (VmHWM) in bytes; 0 when unavailable.
+size_t ProcessPeakRssBytes();
+
+}  // namespace maps

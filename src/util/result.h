@@ -1,0 +1,81 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace maps {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result aborts; callers must check
+/// ok() first or use ValueOrDie() only when the invariant is guaranteed.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(state_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(state_);
+  }
+
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(state_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(state_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(state_));
+  }
+
+  /// Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(state_);
+    return fallback;
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status().ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> state_;
+};
+
+}  // namespace maps
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define MAPS_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto MAPS_CONCAT_(result_, __LINE__) = (rexpr);  \
+  if (!MAPS_CONCAT_(result_, __LINE__).ok())       \
+    return MAPS_CONCAT_(result_, __LINE__).status(); \
+  lhs = std::move(MAPS_CONCAT_(result_, __LINE__)).ValueOrDie()
+
+#define MAPS_CONCAT_INNER_(a, b) a##b
+#define MAPS_CONCAT_(a, b) MAPS_CONCAT_INNER_(a, b)

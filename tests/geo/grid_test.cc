@@ -1,0 +1,122 @@
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geo/point.h"
+#include "rng/random.h"
+
+namespace maps {
+namespace {
+
+Rect UnitRegion(double size) { return Rect{0.0, 0.0, size, size}; }
+
+TEST(PointTest, Distances) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(RectTest, ContainsHalfOpen) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_TRUE(r.Contains({9.999, 9.999}));
+  EXPECT_FALSE(r.Contains({10, 5}));
+  EXPECT_FALSE(r.Contains({5, 10}));
+  EXPECT_FALSE(r.Contains({-0.1, 5}));
+}
+
+TEST(RectTest, ClampPullsInside) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.Contains(r.Clamp({-5, 20})));
+  EXPECT_TRUE(r.Contains(r.Clamp({10, 10})));
+  const Point inside{3, 4};
+  EXPECT_EQ(r.Clamp(inside), inside);
+}
+
+TEST(GridPartitionTest, MakeRejectsBadInputs) {
+  EXPECT_FALSE(GridPartition::Make(UnitRegion(10), 0, 5).ok());
+  EXPECT_FALSE(GridPartition::Make(UnitRegion(10), 5, -1).ok());
+  EXPECT_FALSE(GridPartition::Make(Rect{0, 0, 0, 10}, 2, 2).ok());
+}
+
+TEST(GridPartitionTest, PaperExampleIndexing) {
+  // Example 2: 8x8 region, cells of side 2, indexed from the bottom-left.
+  // (Paper is 1-based; we are 0-based: paper grid 7 == our cell 6.)
+  auto grid = GridPartition::Make(Rect{0, 0, 8, 8}, 4, 4).ValueOrDie();
+  EXPECT_EQ(grid.num_cells(), 16);
+  EXPECT_EQ(grid.CellOf({5, 3}), 6);   // w3 at (5,3): paper grid 7
+  EXPECT_EQ(grid.CellOf({1, 5}), 8);   // r2 at (1,5): paper grid 9
+  EXPECT_EQ(grid.CellOf({0, 0}), 0);
+  EXPECT_EQ(grid.CellOf({7.9, 7.9}), 15);
+}
+
+TEST(GridPartitionTest, CellRectRoundTrip) {
+  auto grid = GridPartition::Make(UnitRegion(100), 10, 10).ValueOrDie();
+  for (GridId id = 0; id < grid.num_cells(); ++id) {
+    const Point c = grid.CellCenter(id);
+    EXPECT_EQ(grid.CellOf(c), id);
+    const Rect r = grid.CellRect(id);
+    EXPECT_TRUE(r.Contains(c));
+    EXPECT_DOUBLE_EQ(r.width(), 10.0);
+    EXPECT_DOUBLE_EQ(r.height(), 10.0);
+  }
+}
+
+TEST(GridPartitionTest, OutOfRegionPointsClampToBoundaryCells) {
+  auto grid = GridPartition::Make(UnitRegion(100), 10, 10).ValueOrDie();
+  EXPECT_EQ(grid.CellOf({-5, -5}), 0);
+  EXPECT_EQ(grid.CellOf({150, 150}), 99);
+  EXPECT_EQ(grid.CellOf({150, -5}), 9);
+}
+
+TEST(GridPartitionTest, NonSquareGrid) {
+  // The Beijing grid is 10 columns x 8 rows.
+  auto grid =
+      GridPartition::Make(Rect{0, 0, 17.08, 17.81}, 8, 10).ValueOrDie();
+  EXPECT_EQ(grid.num_cells(), 80);
+  EXPECT_EQ(grid.rows(), 8);
+  EXPECT_EQ(grid.cols(), 10);
+  // Top-right corner cell.
+  EXPECT_EQ(grid.CellOf({17.0, 17.8}), 79);
+}
+
+TEST(GridPartitionTest, DiscIntersectionExactOnRandomInstances) {
+  auto grid = GridPartition::Make(UnitRegion(100), 7, 13).ValueOrDie();
+  Rng rng(404);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point c{rng.NextDouble(-20, 120), rng.NextDouble(-20, 120)};
+    const double radius = rng.NextDouble(0.0, 40.0);
+    auto cells = grid.CellsIntersectingDisc(c, radius);
+    std::vector<bool> flagged(grid.num_cells(), false);
+    for (GridId id : cells) flagged[id] = true;
+    // Brute-force verification against the exact rect-disc test.
+    for (GridId id = 0; id < grid.num_cells(); ++id) {
+      const Rect r = grid.CellRect(id);
+      const double nx = std::clamp(c.x, r.min_x, r.max_x);
+      const double ny = std::clamp(c.y, r.min_y, r.max_y);
+      const bool intersects =
+          (c.x - nx) * (c.x - nx) + (c.y - ny) * (c.y - ny) <=
+          radius * radius;
+      ASSERT_EQ(flagged[id], intersects)
+          << "cell " << id << " center (" << c.x << "," << c.y << ") r="
+          << radius;
+    }
+  }
+}
+
+TEST(GridPartitionTest, DiscWithNegativeRadiusEmpty) {
+  auto grid = GridPartition::Make(UnitRegion(10), 2, 2).ValueOrDie();
+  EXPECT_TRUE(grid.CellsIntersectingDisc({5, 5}, -1.0).empty());
+}
+
+TEST(GridPartitionTest, ZeroRadiusDiscHitsOwnCell) {
+  auto grid = GridPartition::Make(UnitRegion(10), 2, 2).ValueOrDie();
+  auto cells = grid.CellsIntersectingDisc({2.5, 2.5}, 0.0);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], grid.CellOf({2.5, 2.5}));
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,149 @@
+#include "sim/synthetic.h"
+
+#include "geo/road_network.h"
+
+#include <gtest/gtest.h>
+
+namespace maps {
+namespace {
+
+Rect Region() { return Rect{0, 0, 100, 100}; }
+
+TEST(RoadNetworkTest, MakeRejectsBadInputs) {
+  EXPECT_FALSE(RoadNetwork::MakeLattice(Region(), 1, 5, 0.0, 1).ok());
+  EXPECT_FALSE(RoadNetwork::MakeLattice(Region(), 5, 1, 0.0, 1).ok());
+  EXPECT_FALSE(RoadNetwork::MakeLattice(Region(), 5, 5, -0.1, 1).ok());
+  EXPECT_FALSE(
+      RoadNetwork::MakeLattice(Rect{0, 0, 0, 10}, 5, 5, 0.0, 1).ok());
+}
+
+TEST(RoadNetworkTest, FreeFlowingLatticeEqualsManhattanBetweenNodes) {
+  auto net = RoadNetwork::MakeLattice(Region(), 11, 11, 0.0, 1).ValueOrDie();
+  // Node spacing is 10; the nodes at (0,0) and (30,40) are 7 hops apart.
+  const int a = net.NearestNode({0, 0});
+  const int b = net.NearestNode({30, 40});
+  EXPECT_DOUBLE_EQ(net.NodeDistance(a, b), 70.0);
+  EXPECT_DOUBLE_EQ(net.Distance({0, 0}, {30, 40}),
+                   ManhattanDistance({0, 0}, {30, 40}));
+}
+
+TEST(RoadNetworkTest, DistanceIsSymmetricAndNonNegative) {
+  auto net = RoadNetwork::MakeLattice(Region(), 9, 9, 0.5, 7).ValueOrDie();
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point a{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    const Point b{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    const double ab = net.Distance(a, b);
+    const double ba = net.Distance(b, a);
+    ASSERT_GE(ab, 0.0);
+    ASSERT_NEAR(ab, ba, 1e-9);
+  }
+}
+
+TEST(RoadNetworkTest, NeverShorterThanStraightLineBetweenNodes) {
+  auto net = RoadNetwork::MakeLattice(Region(), 9, 9, 0.5, 7).ValueOrDie();
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int a = static_cast<int>(rng.NextBounded(net.num_nodes()));
+    const int b = static_cast<int>(rng.NextBounded(net.num_nodes()));
+    ASSERT_GE(net.NodeDistance(a, b) + 1e-9,
+              EuclideanDistance(net.NodeLocation(a), net.NodeLocation(b)));
+  }
+}
+
+TEST(RoadNetworkTest, TriangleInequalityOnNodes) {
+  auto net = RoadNetwork::MakeLattice(Region(), 7, 7, 0.4, 9).ValueOrDie();
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int a = static_cast<int>(rng.NextBounded(net.num_nodes()));
+    const int b = static_cast<int>(rng.NextBounded(net.num_nodes()));
+    const int c = static_cast<int>(rng.NextBounded(net.num_nodes()));
+    ASSERT_LE(net.NodeDistance(a, c),
+              net.NodeDistance(a, b) + net.NodeDistance(b, c) + 1e-9);
+  }
+}
+
+TEST(RoadNetworkTest, SamePointIsZero) {
+  auto net = RoadNetwork::MakeLattice(Region(), 5, 5, 0.3, 2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(net.NodeDistance(7, 7), 0.0);
+  // Same off-node point still pays the approach twice; a point exactly on
+  // a node pays nothing.
+  const Point on_node = net.NodeLocation(12);
+  EXPECT_DOUBLE_EQ(net.Distance(on_node, on_node), 0.0);
+}
+
+TEST(RoadNetworkTest, CongestionLengthensPaths) {
+  auto net = RoadNetwork::MakeLattice(Region(), 11, 11, 0.0, 1).ValueOrDie();
+  const int a = net.NearestNode({0, 50});
+  const int b = net.NearestNode({100, 50});
+  const double before = net.NodeDistance(a, b);
+  net.CongestArea({50, 50}, 25.0, 3.0);
+  const double after = net.NodeDistance(a, b);
+  EXPECT_GT(after, before);
+  // Routing around the congested core is possible, so the slowdown is less
+  // than the raw 3x factor.
+  EXPECT_LT(after, 3.0 * before);
+}
+
+TEST(RoadNetworkTest, CongestionOutsidePathIrrelevant) {
+  auto net = RoadNetwork::MakeLattice(Region(), 11, 11, 0.0, 1).ValueOrDie();
+  const int a = net.NearestNode({0, 0});
+  const int b = net.NearestNode({30, 0});
+  const double before = net.NodeDistance(a, b);
+  net.CongestArea({90, 90}, 5.0, 10.0);
+  EXPECT_DOUBLE_EQ(net.NodeDistance(a, b), before);
+}
+
+TEST(RoadNetworkTest, DeterministicUnderSeed) {
+  auto n1 = RoadNetwork::MakeLattice(Region(), 9, 9, 0.5, 42).ValueOrDie();
+  auto n2 = RoadNetwork::MakeLattice(Region(), 9, 9, 0.5, 42).ValueOrDie();
+  for (int i = 0; i < 9 * 9; i += 7) {
+    for (int j = 0; j < 9 * 9; j += 11) {
+      ASSERT_DOUBLE_EQ(n1.NodeDistance(i, j), n2.NodeDistance(i, j));
+    }
+  }
+}
+
+TEST(SyntheticRoadMetricTest, RoadDistancesDominateEuclidean) {
+  SyntheticConfig cfg;
+  cfg.num_workers = 50;
+  cfg.num_tasks = 300;
+  cfg.num_periods = 20;
+  cfg.grid_rows = 4;
+  cfg.grid_cols = 4;
+  cfg.seed = 6;
+  cfg.distance_metric = SyntheticConfig::DistanceMetric::kRoadNetwork;
+  Workload road = GenerateSynthetic(cfg).ValueOrDie();
+  cfg.distance_metric = SyntheticConfig::DistanceMetric::kEuclidean;
+  Workload euclid = GenerateSynthetic(cfg).ValueOrDie();
+  ASSERT_EQ(road.tasks.size(), euclid.tasks.size());
+  // Identical seeds give identical endpoints; the road metric can only be
+  // longer (congestion >= 1 and lattice detours).
+  int longer = 0;
+  for (size_t i = 0; i < road.tasks.size(); ++i) {
+    ASSERT_GE(road.tasks[i].distance + 1e-6,
+              EuclideanDistance(road.tasks[i].origin,
+                                road.tasks[i].destination));
+    if (road.tasks[i].distance > euclid.tasks[i].distance) ++longer;
+  }
+  EXPECT_GT(longer, static_cast<int>(road.tasks.size()) * 9 / 10);
+}
+
+TEST(SyntheticRoadMetricTest, ManhattanMetricMatchesFormula) {
+  SyntheticConfig cfg;
+  cfg.num_workers = 10;
+  cfg.num_tasks = 50;
+  cfg.num_periods = 10;
+  cfg.grid_rows = 2;
+  cfg.grid_cols = 2;
+  cfg.seed = 8;
+  cfg.distance_metric = SyntheticConfig::DistanceMetric::kManhattan;
+  Workload w = GenerateSynthetic(cfg).ValueOrDie();
+  for (const Task& t : w.tasks) {
+    ASSERT_DOUBLE_EQ(t.distance,
+                     ManhattanDistance(t.origin, t.destination));
+  }
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,98 @@
+#include "graph/bipartite_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rng/random.h"
+
+namespace maps {
+namespace {
+
+TEST(BipartiteGraphTest, FromEdgesBasics) {
+  auto g = BipartiteGraph::FromEdges(3, 2, {{0, 1}, {0, 0}, {2, 1}});
+  EXPECT_EQ(g.num_left(), 3);
+  EXPECT_EQ(g.num_right(), 2);
+  EXPECT_EQ(g.num_edges(), 3);
+  // Neighbors are sorted regardless of insertion order.
+  EXPECT_EQ(std::vector<int>(g.Neighbors(0).begin(), g.Neighbors(0).end()),
+            (std::vector<int>{0, 1}));
+  EXPECT_TRUE(g.Neighbors(1).empty());
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(1), 0);
+  EXPECT_EQ(g.Degree(2), 1);
+}
+
+TEST(BipartiteGraphTest, EmptyGraph) {
+  auto g = BipartiteGraph::FromEdges(0, 0, {});
+  EXPECT_EQ(g.num_left(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(BipartiteGraphDeathTest, RejectsOutOfRangeVertices) {
+  EXPECT_DEATH(BipartiteGraph::FromEdges(1, 1, {{1, 0}}), "out of range");
+  EXPECT_DEATH(BipartiteGraph::FromEdges(1, 1, {{0, -1}}), "out of range");
+}
+
+TEST(BipartiteGraphTest, SpatialBuildMatchesBruteForce) {
+  // Property: the grid-accelerated Build() must produce exactly the edges
+  // the O(|R|*|W|) definition gives, across random geometries.
+  auto grid = GridPartition::Make(Rect{0, 0, 100, 100}, 8, 8).ValueOrDie();
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int nt = 1 + static_cast<int>(rng.NextBounded(40));
+    const int nw = 1 + static_cast<int>(rng.NextBounded(25));
+    std::vector<Task> tasks(nt);
+    for (int i = 0; i < nt; ++i) {
+      tasks[i].id = i;
+      tasks[i].origin = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+      tasks[i].grid = grid.CellOf(tasks[i].origin);
+    }
+    std::vector<Worker> workers(nw);
+    for (int i = 0; i < nw; ++i) {
+      workers[i].id = i;
+      workers[i].location = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+      workers[i].radius = rng.NextDouble(0.5, 35.0);
+      workers[i].grid = grid.CellOf(workers[i].location);
+    }
+
+    auto g = BipartiteGraph::Build(tasks, workers, grid);
+    std::set<std::pair<int, int>> expected;
+    for (int t = 0; t < nt; ++t) {
+      for (int w = 0; w < nw; ++w) {
+        if (workers[w].CanReach(tasks[t].origin)) expected.insert({t, w});
+      }
+    }
+    std::set<std::pair<int, int>> actual;
+    for (int t = 0; t < nt; ++t) {
+      for (int w : g.Neighbors(t)) actual.insert({t, w});
+    }
+    ASSERT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+TEST(BipartiteGraphTest, RangeConstraintBoundaryInclusive) {
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  std::vector<Task> tasks(1);
+  tasks[0].origin = {5, 5};
+  tasks[0].grid = 0;
+  std::vector<Worker> workers(1);
+  workers[0].location = {5, 2};  // distance exactly 3
+  workers[0].radius = 3.0;
+  workers[0].grid = 0;
+  auto g = BipartiteGraph::Build(tasks, workers, grid);
+  EXPECT_EQ(g.num_edges(), 1);  // <= is inclusive (Definition 4)
+}
+
+TEST(BipartiteGraphTest, FootprintGrowsWithEdges) {
+  auto small = BipartiteGraph::FromEdges(2, 2, {{0, 0}});
+  std::vector<std::pair<int, int>> many;
+  for (int l = 0; l < 50; ++l) {
+    for (int r = 0; r < 50; ++r) many.push_back({l, r});
+  }
+  auto big = BipartiteGraph::FromEdges(50, 50, std::move(many));
+  EXPECT_GT(big.FootprintBytes(), small.FootprintBytes());
+}
+
+}  // namespace
+}  // namespace maps

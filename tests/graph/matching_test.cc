@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/bipartite_graph.h"
+#include "graph/hopcroft_karp.h"
+#include "graph/incremental_matching.h"
+#include "graph/kuhn.h"
+#include "rng/random.h"
+
+namespace maps {
+namespace {
+
+BipartiteGraph RandomGraph(Rng& rng, int max_l, int max_r, double density) {
+  const int nl = 1 + static_cast<int>(rng.NextBounded(max_l));
+  const int nr = 1 + static_cast<int>(rng.NextBounded(max_r));
+  std::vector<std::pair<int, int>> edges;
+  for (int l = 0; l < nl; ++l) {
+    for (int r = 0; r < nr; ++r) {
+      if (rng.NextBernoulli(density)) edges.push_back({l, r});
+    }
+  }
+  return BipartiteGraph::FromEdges(nl, nr, std::move(edges));
+}
+
+void CheckValidMatching(const BipartiteGraph& g, const Matching& m) {
+  int count = 0;
+  for (int l = 0; l < g.num_left(); ++l) {
+    const int r = m.match_left[l];
+    if (r == Matching::kUnmatched) continue;
+    ++count;
+    ASSERT_EQ(m.match_right[r], l) << "asymmetric match";
+    auto nb = g.Neighbors(l);
+    ASSERT_TRUE(std::find(nb.begin(), nb.end(), r) != nb.end())
+        << "matched along a non-edge";
+  }
+  ASSERT_EQ(count, m.size);
+}
+
+TEST(KuhnTest, KnownSmallCases) {
+  // Perfect matching on a 2x2 cycle.
+  auto g = BipartiteGraph::FromEdges(2, 2, {{0, 0}, {0, 1}, {1, 0}});
+  auto m = KuhnMatching(g);
+  EXPECT_EQ(m.size, 2);
+
+  // Star: 3 lefts all pointing at one right -> size 1.
+  auto star = BipartiteGraph::FromEdges(3, 1, {{0, 0}, {1, 0}, {2, 0}});
+  EXPECT_EQ(KuhnMatching(star).size, 1);
+
+  // No edges.
+  auto empty = BipartiteGraph::FromEdges(3, 3, {});
+  EXPECT_EQ(KuhnMatching(empty).size, 0);
+}
+
+TEST(HopcroftKarpTest, KnownSmallCases) {
+  auto g = BipartiteGraph::FromEdges(
+      3, 3, {{0, 0}, {0, 1}, {1, 0}, {2, 1}, {2, 2}});
+  EXPECT_EQ(HopcroftKarpMatching(g).size, 3);
+}
+
+class MatchingEquivalenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MatchingEquivalenceTest, KuhnEqualsHopcroftKarpEqualsIncremental) {
+  // Property: all three matchers agree on maximum cardinality.
+  Rng rng(static_cast<uint64_t>(GetParam() * 1000) + 5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const BipartiteGraph g = RandomGraph(rng, 30, 30, GetParam());
+    const Matching kuhn = KuhnMatching(g);
+    const Matching hk = HopcroftKarpMatching(g);
+    CheckValidMatching(g, kuhn);
+    CheckValidMatching(g, hk);
+    ASSERT_EQ(kuhn.size, hk.size) << "trial " << trial;
+
+    IncrementalMatching inc(&g);
+    for (int l = 0; l < g.num_left(); ++l) inc.TryAugment(l);
+    CheckValidMatching(g, inc.matching());
+    ASSERT_EQ(inc.size(), kuhn.size) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DensitySweep, MatchingEquivalenceTest,
+                         ::testing::Values(0.02, 0.05, 0.15, 0.4, 0.8));
+
+TEST(IncrementalMatchingTest, TryAugmentIdempotentOnMatchedVertex) {
+  auto g = BipartiteGraph::FromEdges(2, 1, {{0, 0}, {1, 0}});
+  IncrementalMatching inc(&g);
+  EXPECT_TRUE(inc.TryAugment(0));
+  EXPECT_EQ(inc.size(), 1);
+  EXPECT_TRUE(inc.TryAugment(0));  // already matched: true, no growth
+  EXPECT_EQ(inc.size(), 1);
+  EXPECT_FALSE(inc.TryAugment(1));  // the only worker is taken
+}
+
+TEST(IncrementalMatchingTest, AugmentingPathReroutesExistingMatches) {
+  // l0-{r0}, l1-{r0, r1}: matching l1 first to r0 must not block l0.
+  auto g = BipartiteGraph::FromEdges(2, 2, {{0, 0}, {1, 0}, {1, 1}});
+  IncrementalMatching inc(&g);
+  EXPECT_TRUE(inc.TryAugment(1));
+  EXPECT_TRUE(inc.TryAugment(0));  // forces l1 to reroute to r1
+  EXPECT_EQ(inc.size(), 2);
+  EXPECT_EQ(inc.matching().match_left[0], 0);
+  EXPECT_EQ(inc.matching().match_left[1], 1);
+}
+
+TEST(IncrementalMatchingTest, AnyAugmentableDoesNotMutate) {
+  auto g = BipartiteGraph::FromEdges(2, 1, {{0, 0}, {1, 0}});
+  IncrementalMatching inc(&g);
+  EXPECT_TRUE(inc.AnyAugmentable({0, 1}));
+  EXPECT_EQ(inc.size(), 0);  // probe only
+  EXPECT_TRUE(inc.TryAugment(0));
+  EXPECT_FALSE(inc.AnyAugmentable({1}));
+  EXPECT_EQ(inc.size(), 1);
+}
+
+TEST(IncrementalMatchingTest, AugmentFirstSkipsMatchedAndPicksFirstFeasible) {
+  auto g = BipartiteGraph::FromEdges(3, 2, {{0, 0}, {1, 0}, {2, 1}});
+  IncrementalMatching inc(&g);
+  EXPECT_EQ(inc.AugmentFirst({0, 1, 2}), 0);
+  EXPECT_EQ(inc.AugmentFirst({0, 1, 2}), 2);  // 0 matched, 1 blocked
+  EXPECT_EQ(inc.AugmentFirst({0, 1, 2}), Matching::kUnmatched);
+}
+
+TEST(IncrementalMatchingTest, MonotoneUnderInterleavedCandidates) {
+  // Once AnyAugmentable(S) is false for a candidate set S, it stays false
+  // as other vertices are matched (transversal-matroid monotonicity MAPS
+  // relies on).
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BipartiteGraph g = RandomGraph(rng, 20, 12, 0.15);
+    IncrementalMatching inc(&g);
+    std::vector<int> half_a, half_b;
+    for (int l = 0; l < g.num_left(); ++l) {
+      (l % 2 == 0 ? half_a : half_b).push_back(l);
+    }
+    bool a_dead = false;
+    for (int step = 0; step < g.num_left(); ++step) {
+      if (!inc.AnyAugmentable(half_a)) a_dead = true;
+      if (a_dead) {
+        ASSERT_FALSE(inc.AnyAugmentable(half_a)) << "dead set revived";
+      }
+      if (inc.AugmentFirst(half_b) == Matching::kUnmatched &&
+          inc.AugmentFirst(half_a) == Matching::kUnmatched) {
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,158 @@
+#include "market/demand_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rng/random.h"
+
+namespace maps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generic properties, parameterized over every demand family.
+
+std::unique_ptr<DemandModel> MakeModel(int which) {
+  switch (which) {
+    case 0:
+      return std::make_unique<TruncatedNormalDemand>(2.0, 1.0, 1.0, 5.0);
+    case 1:
+      return std::make_unique<TruncatedExponentialDemand>(1.0, 1.0, 5.0);
+    case 2:
+      return std::make_unique<UniformDemand>(1.0, 5.0);
+    case 3:
+      return std::make_unique<TabulatedDemand>(
+          std::vector<double>{1, 2, 3}, std::vector<double>{0.9, 0.8, 0.5});
+    default:
+      return std::make_unique<PointMassDemand>(2.5);
+  }
+}
+
+class DemandFamilyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DemandFamilyTest, CdfMonotoneNonDecreasing) {
+  auto model = MakeModel(GetParam());
+  double prev = -1.0;
+  for (double p = 0.0; p <= 6.0; p += 0.05) {
+    const double c = model->Cdf(p);
+    ASSERT_GE(c, prev - 1e-12) << model->ToString() << " at p=" << p;
+    ASSERT_GE(c, 0.0);
+    ASSERT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST_P(DemandFamilyTest, AcceptRatioComplementsCdf) {
+  auto model = MakeModel(GetParam());
+  for (double p : {1.0, 2.0, 3.3, 4.9}) {
+    EXPECT_DOUBLE_EQ(model->AcceptRatio(p), 1.0 - model->Cdf(p));
+  }
+}
+
+TEST_P(DemandFamilyTest, SampleAcceptanceMatchesAcceptRatio) {
+  // The fundamental contract: Pr[sampled v >= p] == AcceptRatio(p).
+  auto model = MakeModel(GetParam());
+  Rng rng(99);
+  const int n = 60000;
+  for (double p : {1.0, 2.0, 3.0}) {
+    int accepts = 0;
+    for (int i = 0; i < n; ++i) {
+      if (model->Sample(rng) >= p) ++accepts;
+    }
+    EXPECT_NEAR(accepts / static_cast<double>(n), model->AcceptRatio(p), 0.01)
+        << model->ToString() << " at p=" << p;
+  }
+}
+
+TEST_P(DemandFamilyTest, CloneBehavesIdentically) {
+  auto model = MakeModel(GetParam());
+  auto clone = model->Clone();
+  for (double p = 0.5; p <= 5.5; p += 0.25) {
+    EXPECT_DOUBLE_EQ(model->Cdf(p), clone->Cdf(p));
+  }
+  EXPECT_EQ(model->ToString(), clone->ToString());
+}
+
+TEST_P(DemandFamilyTest, MyersonPriceIsLadderOptimum) {
+  auto model = MakeModel(GetParam());
+  const double pm = model->MyersonPrice(1.0, 5.0);
+  const double best = model->ExpectedUnitRevenue(pm);
+  for (double p = 1.0; p <= 5.0; p += 0.01) {
+    ASSERT_LE(model->ExpectedUnitRevenue(p), best + 1e-6)
+        << model->ToString() << ": p=" << p << " beats pm=" << pm;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DemandFamilyTest,
+                         ::testing::Range(0, 5));
+
+// ---------------------------------------------------------------------------
+// Family-specific checks.
+
+TEST(UniformDemandTest, ClosedFormMyerson) {
+  // For v ~ U[0, b], p*S(p) = p(1 - p/b) peaks at b/2. With support [1, 5]:
+  // p*(5-p)/4 peaks at p = 2.5.
+  UniformDemand u(1.0, 5.0);
+  EXPECT_NEAR(u.MyersonPrice(1.0, 5.0), 2.5, 1e-4);
+  EXPECT_NEAR(u.ExpectedUnitRevenue(2.5), 2.5 * (5 - 2.5) / 4.0, 1e-12);
+}
+
+TEST(UniformDemandTest, MyersonClampsToInterval) {
+  UniformDemand u(1.0, 5.0);
+  // Search restricted right of the true optimum: boundary wins.
+  EXPECT_NEAR(u.MyersonPrice(3.0, 5.0), 3.0, 1e-4);
+}
+
+TEST(PointMassDemandTest, StepAcceptance) {
+  PointMassDemand d(2.0);
+  EXPECT_DOUBLE_EQ(d.AcceptRatio(1.99), 1.0);
+  EXPECT_DOUBLE_EQ(d.AcceptRatio(2.0), 1.0);  // accept iff p <= v
+  EXPECT_DOUBLE_EQ(d.AcceptRatio(2.01), 0.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(d.Sample(rng), 2.0);
+  // Myerson price of a point mass is the valuation itself.
+  EXPECT_NEAR(d.MyersonPrice(1.0, 5.0), 2.0, 1e-3);
+}
+
+TEST(TabulatedDemandTest, PaperTableOne) {
+  // Table 1: S(1)=0.9, S(2)=0.8, S(3)=0.5.
+  TabulatedDemand d({1, 2, 3}, {0.9, 0.8, 0.5});
+  EXPECT_DOUBLE_EQ(d.AcceptRatio(1.0), 0.9);
+  EXPECT_DOUBLE_EQ(d.AcceptRatio(2.0), 0.8);
+  EXPECT_DOUBLE_EQ(d.AcceptRatio(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.AcceptRatio(3.5), 0.0);  // beyond the table
+  // Unit-revenue maximizer among {1,2,3} is 2 (0.9 < 1.6 > 1.5), matching
+  // Example 1's "a unit price of 2 will maximize the expected revenue".
+  EXPECT_NEAR(d.MyersonPrice(1.0, 3.0), 2.0, 0.01);
+}
+
+TEST(TabulatedDemandTest, RejectsMalformedTables) {
+  EXPECT_DEATH(TabulatedDemand({2, 1}, {0.9, 0.8}), "Check failed");
+  EXPECT_DEATH(TabulatedDemand({1, 2}, {0.5, 0.8}), "non-increasing");
+  EXPECT_DEATH(TabulatedDemand({1}, {1.1}), "Check failed");
+}
+
+TEST(TruncatedExponentialDemandTest, CdfClosedForm) {
+  TruncatedExponentialDemand d(1.0, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(5.0), 1.0);
+  const double mass = 1.0 - std::exp(-4.0);
+  EXPECT_NEAR(d.Cdf(2.0), (1.0 - std::exp(-1.0)) / mass, 1e-12);
+}
+
+TEST(TruncatedNormalDemandTest, HigherMeanRaisesAcceptance) {
+  TruncatedNormalDemand lo(1.5, 1.0, 1.0, 5.0);
+  TruncatedNormalDemand hi(3.0, 1.0, 1.0, 5.0);
+  for (double p : {1.5, 2.0, 2.5, 3.0}) {
+    EXPECT_GT(hi.AcceptRatio(p), lo.AcceptRatio(p)) << "p=" << p;
+  }
+}
+
+TEST(TruncatedNormalDemandTest, MyersonMovesWithMean) {
+  TruncatedNormalDemand lo(1.5, 1.0, 1.0, 5.0);
+  TruncatedNormalDemand hi(3.0, 1.0, 1.0, 5.0);
+  EXPECT_LT(lo.MyersonPrice(1.0, 5.0), hi.MyersonPrice(1.0, 5.0));
+}
+
+}  // namespace
+}  // namespace maps

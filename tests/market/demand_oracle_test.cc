@@ -1,0 +1,87 @@
+#include "market/demand_oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace maps {
+namespace {
+
+DemandOracle MakeOracle(int grids, uint64_t seed = 1) {
+  TruncatedNormalDemand proto(2.0, 1.0, 1.0, 5.0);
+  return DemandOracle::Make(ReplicateDemand(proto, grids), seed).ValueOrDie();
+}
+
+TEST(DemandOracleTest, MakeRejectsBadInputs) {
+  EXPECT_FALSE(DemandOracle::Make({}, 1).ok());
+  std::vector<std::unique_ptr<DemandModel>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_FALSE(DemandOracle::Make(std::move(with_null), 1).ok());
+}
+
+TEST(DemandOracleTest, ProbesConvergeToTrueAcceptRatio) {
+  DemandOracle oracle = MakeOracle(2);
+  const double p = 2.5;
+  const int n = 50000;
+  int accepts = 0;
+  for (int i = 0; i < n; ++i) {
+    if (oracle.ProbeAccept(0, p)) ++accepts;
+  }
+  EXPECT_NEAR(accepts / static_cast<double>(n), oracle.TrueAcceptRatio(0, p),
+              0.01);
+  EXPECT_EQ(oracle.num_probes(), n);
+}
+
+TEST(DemandOracleTest, PerGridModelsIndependent) {
+  std::vector<std::unique_ptr<DemandModel>> models;
+  models.push_back(std::make_unique<TruncatedNormalDemand>(1.5, 1.0, 1.0, 5.0));
+  models.push_back(std::make_unique<TruncatedNormalDemand>(3.5, 1.0, 1.0, 5.0));
+  DemandOracle oracle = DemandOracle::Make(std::move(models), 7).ValueOrDie();
+  EXPECT_LT(oracle.TrueAcceptRatio(0, 2.5), oracle.TrueAcceptRatio(1, 2.5));
+}
+
+TEST(DemandOracleTest, ForkSharesTruthNotRandomness) {
+  DemandOracle a = MakeOracle(1, 11);
+  DemandOracle b = a.Fork(0);
+  DemandOracle c = a.Fork(1);
+  // Identical ground truth.
+  for (double p : {1.5, 2.5, 3.5}) {
+    EXPECT_DOUBLE_EQ(b.TrueAcceptRatio(0, p), a.TrueAcceptRatio(0, p));
+    EXPECT_DOUBLE_EQ(c.TrueAcceptRatio(0, p), a.TrueAcceptRatio(0, p));
+  }
+  // Different probe streams.
+  int agree = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (b.SampleValuation(0) == c.SampleValuation(0)) ++agree;
+  }
+  EXPECT_LT(agree, 5);
+}
+
+TEST(DemandOracleTest, ForkIsDeterministicPerStream) {
+  DemandOracle a1 = MakeOracle(1, 11);
+  DemandOracle a2 = MakeOracle(1, 11);
+  DemandOracle f1 = a1.Fork(3);
+  DemandOracle f2 = a2.Fork(3);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(f1.SampleValuation(0), f2.SampleValuation(0));
+  }
+}
+
+TEST(DemandOracleTest, ReplaceModelChangesTruth) {
+  DemandOracle oracle = MakeOracle(1);
+  const double before = oracle.TrueAcceptRatio(0, 2.0);
+  oracle.ReplaceModel(0, std::make_unique<PointMassDemand>(5.0));
+  EXPECT_DOUBLE_EQ(oracle.TrueAcceptRatio(0, 2.0), 1.0);
+  EXPECT_NE(before, 1.0);
+}
+
+TEST(DemandOracleTest, ReplicateDemandClones) {
+  TruncatedNormalDemand proto(2.0, 1.0, 1.0, 5.0);
+  auto models = ReplicateDemand(proto, 5);
+  ASSERT_EQ(models.size(), 5u);
+  for (const auto& m : models) {
+    ASSERT_NE(m, nullptr);
+    EXPECT_DOUBLE_EQ(m->Cdf(2.5), proto.Cdf(2.5));
+  }
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,75 @@
+#include "market/market_state.h"
+
+#include <gtest/gtest.h>
+
+namespace maps {
+namespace {
+
+class MarketSnapshotTest : public ::testing::Test {
+ protected:
+  MarketSnapshotTest()
+      : grid_(GridPartition::Make(Rect{0, 0, 10, 10}, 2, 2).ValueOrDie()) {}
+
+  Task MakeTask(TaskId id, Point origin, double distance) {
+    Task t;
+    t.id = id;
+    t.period = 0;
+    t.origin = origin;
+    t.destination = origin;  // distance stored explicitly
+    t.distance = distance;
+    t.grid = grid_.CellOf(origin);
+    return t;
+  }
+
+  Worker MakeWorker(WorkerId id, Point loc, double radius) {
+    Worker w;
+    w.id = id;
+    w.period = 0;
+    w.location = loc;
+    w.radius = radius;
+    w.grid = grid_.CellOf(loc);
+    return w;
+  }
+
+  GridPartition grid_;
+};
+
+TEST_F(MarketSnapshotTest, BucketsTasksAndWorkersByGrid) {
+  std::vector<Task> tasks = {MakeTask(0, {1, 1}, 2.0), MakeTask(1, {2, 2}, 1.0),
+                             MakeTask(2, {8, 8}, 3.0)};
+  std::vector<Worker> workers = {MakeWorker(0, {1, 8}, 5.0),
+                                 MakeWorker(1, {8, 1}, 5.0)};
+  MarketSnapshot snap(&grid_, 3, tasks, workers);
+
+  EXPECT_EQ(snap.period(), 3);
+  EXPECT_EQ(snap.num_grids(), 4);
+  EXPECT_EQ(snap.TasksInGrid(0), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(snap.TasksInGrid(1).empty());
+  EXPECT_EQ(snap.TasksInGrid(3), (std::vector<int>{2}));
+  EXPECT_EQ(snap.WorkersInGrid(2), (std::vector<int>{0}));
+  EXPECT_EQ(snap.WorkersInGrid(1), (std::vector<int>{1}));
+}
+
+TEST_F(MarketSnapshotTest, SortedDistancesDescending) {
+  std::vector<Task> tasks = {MakeTask(0, {1, 1}, 2.0), MakeTask(1, {2, 2}, 5.0),
+                             MakeTask(2, {3, 3}, 3.5)};
+  MarketSnapshot snap(&grid_, 0, tasks, {});
+  EXPECT_EQ(snap.SortedDistancesInGrid(0),
+            (std::vector<double>{5.0, 3.5, 2.0}));
+  EXPECT_DOUBLE_EQ(snap.TotalDistanceInGrid(0), 10.5);
+  EXPECT_TRUE(snap.SortedDistancesInGrid(1).empty());
+  EXPECT_DOUBLE_EQ(snap.TotalDistanceInGrid(1), 0.0);
+}
+
+TEST_F(MarketSnapshotTest, EmptySnapshot) {
+  MarketSnapshot snap(&grid_, 0, {}, {});
+  EXPECT_TRUE(snap.tasks().empty());
+  EXPECT_TRUE(snap.workers().empty());
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_TRUE(snap.TasksInGrid(g).empty());
+    EXPECT_TRUE(snap.WorkersInGrid(g).empty());
+  }
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,148 @@
+#include "pricing/base_pricing.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "market/demand_model.h"
+
+namespace maps {
+namespace {
+
+using testing_util::TableOneOracle;
+
+GridPartition SmallGrid(int cells_per_side = 2) {
+  return GridPartition::Make(Rect{0, 0, 10, 10}, cells_per_side,
+                             cells_per_side)
+      .ValueOrDie();
+}
+
+TEST(BasePricingTest, RequiresWarmup) {
+  PricingConfig cfg;
+  BasePricing base(cfg);
+  GridPartition grid = SmallGrid();
+  MarketSnapshot snap(&grid, 0, {}, {});
+  std::vector<double> prices;
+  EXPECT_EQ(base.PriceRound(snap, &prices).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(base.warmed_up());
+}
+
+TEST(BasePricingTest, WarmupNeedsMatchingOracle) {
+  PricingConfig cfg;
+  BasePricing base(cfg);
+  GridPartition grid = SmallGrid();
+  EXPECT_TRUE(base.Warmup(grid, nullptr).IsInvalidArgument());
+  DemandOracle wrong = TableOneOracle(3);  // grid has 4 cells
+  EXPECT_TRUE(base.Warmup(grid, &wrong).IsInvalidArgument());
+}
+
+TEST(BasePricingTest, TableOneDemandGivesBasePriceTwo) {
+  // Every grid has Table 1 demand; with candidates {1,2,3}, p*S_hat(p) is
+  // ~{0.9, 1.6, 1.5}, so every grid picks 2 and p_b = 2.
+  PricingConfig cfg;
+  cfg.explicit_ladder = {1.0, 2.0, 3.0};
+  BasePricing base(cfg);
+  GridPartition grid = SmallGrid();
+  DemandOracle oracle = TableOneOracle(grid.num_cells());
+  ASSERT_TRUE(base.Warmup(grid, &oracle).ok());
+  EXPECT_DOUBLE_EQ(base.base_price(), 2.0);
+  for (double pm : base.grid_myerson_prices()) {
+    EXPECT_DOUBLE_EQ(pm, 2.0);
+  }
+  // Observed ratios should be close to the table.
+  const auto& obs = base.observed_accept_ratios();
+  EXPECT_NEAR(obs[0][0], 0.9, 0.06);
+  EXPECT_NEAR(obs[0][1], 0.8, 0.06);
+  EXPECT_NEAR(obs[0][2], 0.5, 0.06);
+}
+
+TEST(BasePricingTest, PriceRoundReturnsBasePriceEverywhere) {
+  PricingConfig cfg;
+  cfg.explicit_ladder = {1.0, 2.0, 3.0};
+  BasePricing base(cfg);
+  GridPartition grid = SmallGrid();
+  DemandOracle oracle = TableOneOracle(grid.num_cells());
+  ASSERT_TRUE(base.Warmup(grid, &oracle).ok());
+  MarketSnapshot snap(&grid, 0, {}, {});
+  std::vector<double> prices;
+  ASSERT_TRUE(base.PriceRound(snap, &prices).ok());
+  ASSERT_EQ(static_cast<int>(prices.size()), grid.num_cells());
+  for (double p : prices) EXPECT_DOUBLE_EQ(p, 2.0);
+}
+
+TEST(BasePricingTest, ProbeBudgetsFollowAlgorithmOne) {
+  PricingConfig cfg;  // geometric defaults: ladder {1, 1.5, 2.25, 3.375}
+  BasePricing base(cfg);
+  GridPartition grid = SmallGrid();
+  DemandOracle oracle = TableOneOracle(grid.num_cells());
+  ASSERT_TRUE(base.Warmup(grid, &oracle).ok());
+  ASSERT_EQ(base.ladder().size(), 4);
+  // Example 4: h(1) = 335 with k=4, eps=0.2, delta=0.01.
+  EXPECT_EQ(base.probes_per_rung()[0], 335);
+  // Total probes = G * sum h(p).
+  int64_t per_grid = 0;
+  for (int64_t h : base.probes_per_rung()) per_grid += h;
+  EXPECT_EQ(oracle.num_probes(), grid.num_cells() * per_grid);
+}
+
+TEST(BasePricingTest, EstimateApproachesTrueMyersonForUniformDemand) {
+  // Theorem 3: p_m S(p_m) >= (1 - alpha) p* S(p*). For U[1,5], p* = 2.5 and
+  // p* S(p*) = 1.5625.
+  PricingConfig cfg;
+  cfg.alpha = 0.1;
+  cfg.eps = 0.05;
+  BasePricing base(cfg);
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  UniformDemand uniform(1.0, 5.0);
+  DemandOracle oracle =
+      DemandOracle::Make(ReplicateDemand(uniform, 1), 3).ValueOrDie();
+  ASSERT_TRUE(base.Warmup(grid, &oracle).ok());
+  const double pm = base.grid_myerson_prices()[0];
+  const double achieved = uniform.ExpectedUnitRevenue(pm);
+  const double optimal = uniform.ExpectedUnitRevenue(2.5);
+  EXPECT_GE(achieved, (1.0 - cfg.alpha) * optimal - cfg.eps);
+}
+
+TEST(BasePricingTest, TieOnZeroRevenuePicksSmallerPrice) {
+  // PointMass(2) with candidates {3, 4}: both rungs have S=0, p*S=0 for
+  // both, and the ascending strict-'>' scan keeps the smaller price.
+  PricingConfig cfg;
+  cfg.explicit_ladder = {3.0, 4.0};
+  BasePricing base(cfg);
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  PointMassDemand pm(2.0);
+  DemandOracle oracle =
+      DemandOracle::Make(ReplicateDemand(pm, 1), 3).ValueOrDie();
+  ASSERT_TRUE(base.Warmup(grid, &oracle).ok());
+  EXPECT_DOUBLE_EQ(base.base_price(), 3.0);
+}
+
+TEST(BasePricingTest, HeterogeneousGridsAverage) {
+  // Grid 0 wants price 2 (point mass at 2), grid 1 wants 3 (point mass at
+  // 3): p_b = 2.5. (With point masses, p*S is exactly p below the atom.)
+  PricingConfig cfg;
+  cfg.explicit_ladder = {1.0, 2.0, 3.0};
+  BasePricing base(cfg);
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 2).ValueOrDie();
+  std::vector<std::unique_ptr<DemandModel>> models;
+  models.push_back(std::make_unique<PointMassDemand>(2.0));
+  models.push_back(std::make_unique<PointMassDemand>(3.0));
+  DemandOracle oracle =
+      DemandOracle::Make(std::move(models), 3).ValueOrDie();
+  ASSERT_TRUE(base.Warmup(grid, &oracle).ok());
+  EXPECT_DOUBLE_EQ(base.grid_myerson_prices()[0], 2.0);
+  EXPECT_DOUBLE_EQ(base.grid_myerson_prices()[1], 3.0);
+  EXPECT_DOUBLE_EQ(base.base_price(), 2.5);
+}
+
+TEST(BasePricingTest, MemoryFootprintPositiveAfterWarmup) {
+  PricingConfig cfg;
+  BasePricing base(cfg);
+  GridPartition grid = SmallGrid();
+  DemandOracle oracle = TableOneOracle(grid.num_cells());
+  ASSERT_TRUE(base.Warmup(grid, &oracle).ok());
+  EXPECT_GT(base.MemoryFootprintBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace maps

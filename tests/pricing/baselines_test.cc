@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "pricing/capped_ucb.h"
+#include "pricing/sde.h"
+#include "pricing/sdr.h"
+
+namespace maps {
+namespace {
+
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+using testing_util::TableOneOracle;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest()
+      : grid_(GridPartition::Make(Rect{0, 0, 20, 20}, 2, 2).ValueOrDie()),
+        oracle_(TableOneOracle(grid_.num_cells(), 9)) {
+    cfg_.explicit_ladder = {1.0, 2.0, 3.0};
+  }
+
+  /// Grid 0 (bottom-left cell): `demand` tasks and `supply` workers.
+  MarketSnapshot SnapshotWithCounts(int demand, int supply) {
+    std::vector<Task> tasks;
+    for (int i = 0; i < demand; ++i) {
+      tasks.push_back(MakeTask(grid_, i, {1.0 + 0.1 * i, 1.0}, 2.0));
+    }
+    std::vector<Worker> workers;
+    for (int i = 0; i < supply; ++i) {
+      workers.push_back(MakeWorker(grid_, i, {2.0 + 0.1 * i, 2.0}, 5.0));
+    }
+    return MarketSnapshot(&grid_, 0, std::move(tasks), std::move(workers));
+  }
+
+  GridPartition grid_;
+  DemandOracle oracle_;
+  PricingConfig cfg_;
+};
+
+TEST_F(BaselineTest, SdrFormulaInSurgeConditions) {
+  Sdr sdr(cfg_);
+  DemandOracle history = oracle_.Fork(0);
+  ASSERT_TRUE(sdr.Warmup(grid_, &history).ok());
+  const double pb = sdr.base_price();  // 2.0 under Table 1 demand
+  ASSERT_DOUBLE_EQ(pb, 2.0);
+
+  // demand 6 > supply 2: price = 0.5 * pb * 6/2 = 3.0.
+  MarketSnapshot surge = SnapshotWithCounts(6, 2);
+  std::vector<double> prices;
+  ASSERT_TRUE(sdr.PriceRound(surge, &prices).ok());
+  EXPECT_DOUBLE_EQ(prices[0], 0.5 * pb * 3.0);
+  // Grids without surge keep the base price.
+  EXPECT_DOUBLE_EQ(prices[1], pb);
+}
+
+TEST_F(BaselineTest, SdrClampsToPriceBounds) {
+  Sdr sdr(cfg_);
+  DemandOracle history = oracle_.Fork(0);
+  ASSERT_TRUE(sdr.Warmup(grid_, &history).ok());
+  // demand 50, supply 1: raw 0.5*2*50 = 50 clamps to p_max=5 (default cfg
+  // p_max; explicit ladder only constrains candidates, SDR clamps to the
+  // config interval).
+  MarketSnapshot extreme = SnapshotWithCounts(50, 1);
+  std::vector<double> prices;
+  ASSERT_TRUE(sdr.PriceRound(extreme, &prices).ok());
+  EXPECT_DOUBLE_EQ(prices[0], cfg_.p_max);
+}
+
+TEST_F(BaselineTest, SdrZeroSupplyUsesDemandAsRatio) {
+  Sdr sdr(cfg_);
+  DemandOracle history = oracle_.Fork(0);
+  ASSERT_TRUE(sdr.Warmup(grid_, &history).ok());
+  MarketSnapshot snap = SnapshotWithCounts(3, 0);
+  std::vector<double> prices;
+  ASSERT_TRUE(sdr.PriceRound(snap, &prices).ok());
+  EXPECT_DOUBLE_EQ(prices[0], 0.5 * 2.0 * 3.0);  // coef * pb * |R|
+}
+
+TEST_F(BaselineTest, SdrBalancedSupplyKeepsBasePrice) {
+  Sdr sdr(cfg_);
+  DemandOracle history = oracle_.Fork(0);
+  ASSERT_TRUE(sdr.Warmup(grid_, &history).ok());
+  MarketSnapshot snap = SnapshotWithCounts(3, 3);
+  std::vector<double> prices;
+  ASSERT_TRUE(sdr.PriceRound(snap, &prices).ok());
+  EXPECT_DOUBLE_EQ(prices[0], 2.0);
+}
+
+TEST_F(BaselineTest, SdeFormulaInSurgeConditions) {
+  Sde sde(cfg_);
+  DemandOracle history = oracle_.Fork(0);
+  ASSERT_TRUE(sde.Warmup(grid_, &history).ok());
+  const double pb = sde.base_price();
+  ASSERT_DOUBLE_EQ(pb, 2.0);
+
+  // demand 5 > supply 2: price = pb * (1 + 2e^{2-5}).
+  MarketSnapshot surge = SnapshotWithCounts(5, 2);
+  std::vector<double> prices;
+  ASSERT_TRUE(sde.PriceRound(surge, &prices).ok());
+  EXPECT_NEAR(prices[0], pb * (1.0 + 2.0 * std::exp(-3.0)), 1e-12);
+  EXPECT_DOUBLE_EQ(prices[1], pb);
+}
+
+TEST_F(BaselineTest, SdeSurgeMultiplierBoundedByThree) {
+  Sde sde(cfg_);
+  DemandOracle history = oracle_.Fork(0);
+  ASSERT_TRUE(sde.Warmup(grid_, &history).ok());
+  // Tiny deficit (demand 3, supply 2) maximizes the multiplier at
+  // 1 + 2e^{-1}; huge deficits push it toward 1.
+  MarketSnapshot small_deficit = SnapshotWithCounts(3, 2);
+  MarketSnapshot big_deficit = SnapshotWithCounts(20, 2);
+  std::vector<double> p_small, p_big;
+  ASSERT_TRUE(sde.PriceRound(small_deficit, &p_small).ok());
+  ASSERT_TRUE(sde.PriceRound(big_deficit, &p_big).ok());
+  EXPECT_GT(p_small[0], p_big[0]);
+  EXPECT_LT(p_small[0], 3.0 * sde.base_price());
+}
+
+TEST_F(BaselineTest, CappedUcbPricesAtMyersonWhenSupplyAmple) {
+  CappedUcb capped(cfg_);
+  DemandOracle history = oracle_.Fork(0);
+  ASSERT_TRUE(capped.Warmup(grid_, &history).ok());
+  // supply 10 >= demand 4: the cap never binds, argmax p*S_hat(p) = 2.
+  MarketSnapshot snap = SnapshotWithCounts(4, 10);
+  std::vector<double> prices;
+  ASSERT_TRUE(capped.PriceRound(snap, &prices).ok());
+  EXPECT_DOUBLE_EQ(prices[0], 2.0);
+}
+
+TEST_F(BaselineTest, CappedUcbSurgesUnderLimitedSupply) {
+  CappedUcb capped(cfg_);
+  DemandOracle history = oracle_.Fork(0);
+  ASSERT_TRUE(capped.Warmup(grid_, &history).ok());
+  // demand 10, supply 1: Table 1 index at p: min(10*p*S(p), 1*p) =
+  // {1: min(9, 1)=1, 2: min(16, 2)=2, 3: min(15, 3)=3} -> price 3.
+  MarketSnapshot snap = SnapshotWithCounts(10, 1);
+  std::vector<double> prices;
+  ASSERT_TRUE(capped.PriceRound(snap, &prices).ok());
+  EXPECT_DOUBLE_EQ(prices[0], 3.0);
+}
+
+TEST_F(BaselineTest, CappedUcbIgnoresCrossGridWorkers) {
+  // The documented weakness: workers physically in grid 1 that could reach
+  // grid 0's tasks are invisible to CappedUCB's per-grid cap.
+  CappedUcb capped(cfg_);
+  DemandOracle history = oracle_.Fork(0);
+  ASSERT_TRUE(capped.Warmup(grid_, &history).ok());
+  std::vector<Task> tasks = {MakeTask(grid_, 0, {9.0, 9.0}, 2.0)};
+  // Worker sits across the cell boundary but within range.
+  std::vector<Worker> workers = {MakeWorker(grid_, 0, {11.0, 9.0}, 5.0)};
+  MarketSnapshot snap(&grid_, 0, std::move(tasks), std::move(workers));
+  std::vector<double> prices;
+  ASSERT_TRUE(capped.PriceRound(snap, &prices).ok());
+  // Supply count for the task's grid is zero => the supply term is 0 for
+  // every candidate, and the tie rule keeps p_min — even though a real
+  // worker could roam in from the neighboring cell. (MAPS sees that worker
+  // through the bipartite graph and would price the market properly.)
+  EXPECT_DOUBLE_EQ(prices[0], 1.0);
+}
+
+TEST_F(BaselineTest, CappedUcbWithoutWarmStartLearnsFromFeedback) {
+  CappedUcb capped(cfg_, /*warm_start=*/false);
+  ASSERT_TRUE(capped.Warmup(grid_, nullptr).ok());
+  std::vector<double> prices;
+  // With ample supply and feedback matching Table 1, the learned price
+  // should converge to the Myerson candidate 2.
+  Rng rng(77);
+  for (int round = 0; round < 300; ++round) {
+    MarketSnapshot snap = SnapshotWithCounts(8, 20);
+    ASSERT_TRUE(capped.PriceRound(snap, &prices).ok());
+    std::vector<bool> accepted(snap.tasks().size());
+    for (size_t i = 0; i < accepted.size(); ++i) {
+      accepted[i] =
+          rng.NextBernoulli(oracle_.TrueAcceptRatio(0, prices[0]));
+    }
+    capped.ObserveFeedback(snap, prices, accepted);
+  }
+  MarketSnapshot snap = SnapshotWithCounts(8, 20);
+  ASSERT_TRUE(capped.PriceRound(snap, &prices).ok());
+  EXPECT_DOUBLE_EQ(prices[0], 2.0);
+}
+
+TEST_F(BaselineTest, CappedUcbWithWarmStartRequiresHistory) {
+  CappedUcb capped(cfg_);
+  EXPECT_TRUE(capped.Warmup(grid_, nullptr).IsInvalidArgument());
+}
+
+TEST_F(BaselineTest, CappedUcbMemoryGrowsWithHistory) {
+  CappedUcb capped(cfg_);
+  DemandOracle history = oracle_.Fork(0);
+  ASSERT_TRUE(capped.Warmup(grid_, &history).ok());
+  const size_t before = capped.MemoryFootprintBytes();
+  std::vector<double> prices;
+  for (int round = 0; round < 200; ++round) {
+    MarketSnapshot snap = SnapshotWithCounts(3, 2);
+    ASSERT_TRUE(capped.PriceRound(snap, &prices).ok());
+  }
+  EXPECT_GT(capped.MemoryFootprintBytes(), before);
+}
+
+TEST_F(BaselineTest, AllBaselinesRequireWarmup) {
+  std::vector<double> prices;
+  MarketSnapshot snap = SnapshotWithCounts(1, 1);
+  Sdr sdr(cfg_);
+  EXPECT_EQ(sdr.PriceRound(snap, &prices).code(),
+            StatusCode::kFailedPrecondition);
+  Sde sde(cfg_);
+  EXPECT_EQ(sde.PriceRound(snap, &prices).code(),
+            StatusCode::kFailedPrecondition);
+  CappedUcb capped(cfg_);
+  EXPECT_EQ(capped.PriceRound(snap, &prices).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,332 @@
+#include "pricing/maps.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "pricing/oracle_search.h"
+
+namespace maps {
+namespace {
+
+using testing_util::RandomSnapshot;
+using testing_util::TableOneOracle;
+
+MapsOptions DefaultOptions() {
+  MapsOptions opts;
+  opts.pricing.explicit_ladder = {1.0, 1.5, 2.0, 2.5, 3.0};
+  return opts;
+}
+
+DemandOracle UniformOracle(int num_grids, uint64_t seed) {
+  UniformDemand proto(1.0, 5.0);
+  return DemandOracle::Make(ReplicateDemand(proto, num_grids), seed)
+      .ValueOrDie();
+}
+
+TEST(MapsTest, RequiresWarmup) {
+  Maps strategy(DefaultOptions());
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 2, 2).ValueOrDie();
+  MarketSnapshot snap(&grid, 0, {}, {});
+  std::vector<double> prices;
+  EXPECT_EQ(strategy.PriceRound(snap, &prices).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MapsTest, PricesStayWithinLadderBounds) {
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 20}, 4, 4).ValueOrDie();
+  Rng rng(31);
+  Maps strategy(DefaultOptions());
+  DemandOracle oracle = UniformOracle(grid.num_cells(), 3);
+  DemandOracle history = oracle.Fork(0);
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+  for (int round = 0; round < 10; ++round) {
+    MarketSnapshot snap = RandomSnapshot(grid, rng, 12, 6, 1.0, 8.0);
+    std::vector<double> prices;
+    ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+    ASSERT_EQ(static_cast<int>(prices.size()), grid.num_cells());
+    for (double p : prices) {
+      ASSERT_GE(p, 1.0);
+      ASSERT_LE(p, 3.0);
+    }
+  }
+}
+
+TEST(MapsTest, DeterministicAcrossIdenticalRuns) {
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 20}, 3, 3).ValueOrDie();
+  std::vector<double> prices1, prices2;
+  for (std::vector<double>* out : {&prices1, &prices2}) {
+    Maps strategy(DefaultOptions());
+    DemandOracle oracle = UniformOracle(grid.num_cells(), 17);
+    DemandOracle history = oracle.Fork(4);
+    ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+    Rng rng(55);
+    MarketSnapshot snap = RandomSnapshot(grid, rng, 15, 8, 2.0, 9.0);
+    ASSERT_TRUE(strategy.PriceRound(snap, out).ok());
+  }
+  EXPECT_EQ(prices1, prices2);
+}
+
+TEST(MapsTest, DeltaTraceNonIncreasingPerGrid) {
+  // Lemma 9: within a round, a grid's admitted increases are non-increasing.
+  auto grid = GridPartition::Make(Rect{0, 0, 30, 30}, 3, 3).ValueOrDie();
+  Rng rng(101);
+  for (int trial = 0; trial < 25; ++trial) {
+    Maps strategy(DefaultOptions());
+    DemandOracle oracle = UniformOracle(grid.num_cells(), trial);
+    DemandOracle history = oracle.Fork(0);
+    ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+    MarketSnapshot snap = RandomSnapshot(grid, rng, 30, 20, 3.0, 15.0);
+    std::vector<double> prices;
+    ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+    // Lemma 9 is proven on the continuous concave revenue curve; on a
+    // discrete ladder the index can plateau and later jump, and MAPS
+    // deliberately grows through plateaus at negligible priority (see
+    // maps.cc). The lemma therefore applies to the prefix of genuine
+    // increases before the first plateau step.
+    constexpr double kPlateauCutoff = 1e-6;
+    for (const auto& trace : strategy.last_delta_trace()) {
+      for (size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_GT(trace[i], 0.0) << "admitted a non-positive increase";
+      }
+      for (size_t i = 1; i < trace.size(); ++i) {
+        if (trace[i] < kPlateauCutoff || trace[i - 1] < kPlateauCutoff) {
+          break;
+        }
+        ASSERT_LE(trace[i], trace[i - 1] + 1e-9)
+            << "trial " << trial
+            << ": Delta increased within a grid's pre-plateau prefix";
+      }
+    }
+  }
+}
+
+TEST(MapsTest, SupplyNeverExceedsGridDemandOrWorkerCount) {
+  auto grid = GridPartition::Make(Rect{0, 0, 30, 30}, 3, 3).ValueOrDie();
+  Rng rng(202);
+  Maps strategy(DefaultOptions());
+  DemandOracle oracle = UniformOracle(grid.num_cells(), 6);
+  DemandOracle history = oracle.Fork(0);
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+  for (int round = 0; round < 10; ++round) {
+    MarketSnapshot snap = RandomSnapshot(grid, rng, 25, 10, 2.0, 12.0);
+    std::vector<double> prices;
+    ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+    int total_supply = 0;
+    for (int g = 0; g < grid.num_cells(); ++g) {
+      const int n = strategy.last_supply()[g];
+      ASSERT_GE(n, 0);
+      ASSERT_LE(n, static_cast<int>(snap.TasksInGrid(g).size()));
+      total_supply += n;
+    }
+    ASSERT_LE(total_supply, static_cast<int>(snap.workers().size()));
+  }
+}
+
+class MapsApproximationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MapsApproximationTest, NearOptimalOnBruteForcedInstances) {
+  // Theorem 8-flavored check: MAPS's prices achieve a large fraction of the
+  // brute-force optimum on tiny instances. The bound is (1 - 1/e) on the
+  // L approximation with exact acceptance ratios; we allow slack for the
+  // sampling error of the learned ratios.
+  const int seed = GetParam();
+  auto grid = GridPartition::Make(Rect{0, 0, 12, 12}, 2, 2).ValueOrDie();
+  Rng rng(9000 + seed);
+  MapsOptions opts;
+  opts.pricing.explicit_ladder = {1.0, 2.0, 3.0};
+  Maps strategy(opts);
+  DemandOracle oracle = TableOneOracle(grid.num_cells(), 70 + seed);
+  DemandOracle history = oracle.Fork(0);
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+
+  MarketSnapshot snap = RandomSnapshot(grid, rng, 6, 4, 2.0, 8.0);
+  std::vector<double> prices;
+  ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+  const double achieved = ExpectedRevenueOfPrices(snap, oracle, prices);
+
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0, 3.0}).ValueOrDie();
+  const double optimal =
+      OracleSearch(snap, oracle, ladder).ValueOrDie().expected_revenue;
+  if (optimal <= 0.0) {
+    GTEST_SKIP() << "degenerate instance: no task is reachable";
+  }
+  EXPECT_GE(achieved, 0.5 * optimal)
+      << "achieved " << achieved << " vs optimal " << optimal;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapsApproximationTest,
+                         ::testing::Range(0, 12));
+
+TEST(MapsTest, PaperLiteralDeltaModeAlsoWorks) {
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 20}, 2, 2).ValueOrDie();
+  MapsOptions opts = DefaultOptions();
+  opts.delta_mode = MapsOptions::DeltaMode::kPaperLiteral;
+  Maps strategy(opts);
+  DemandOracle oracle = UniformOracle(grid.num_cells(), 8);
+  DemandOracle history = oracle.Fork(0);
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+  Rng rng(66);
+  MarketSnapshot snap = RandomSnapshot(grid, rng, 10, 5, 2.0, 10.0);
+  std::vector<double> prices;
+  ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+  for (double p : prices) {
+    ASSERT_GE(p, 1.0);
+    ASSERT_LE(p, 3.0);
+  }
+}
+
+TEST(MapsTest, FeedbackUpdatesUcbAndChangeDetectorResets) {
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  MapsOptions opts;
+  opts.pricing.explicit_ladder = {1.0, 2.0, 3.0};
+  opts.change_window = 25;
+  Maps strategy(opts);
+  DemandOracle oracle = TableOneOracle(1, 4);
+  DemandOracle history = oracle.Fork(0);
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+
+  // Feed rounds whose acceptance flips from "always" to "never": the
+  // binomial detector must fire at least once.
+  Rng rng(10);
+  std::vector<double> prices;
+  for (int round = 0; round < 40; ++round) {
+    MarketSnapshot snap = RandomSnapshot(grid, rng, 10, 5, 2.0, 6.0);
+    ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+    const bool accept_all = round < 20;
+    std::vector<bool> accepted(snap.tasks().size(), accept_all);
+    strategy.ObserveFeedback(snap, prices, accepted);
+  }
+  EXPECT_GT(strategy.change_resets(), 0);
+}
+
+TEST(MapsTest, NoWarmStartStillPricesViaExploration) {
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 2, 2).ValueOrDie();
+  MapsOptions opts = DefaultOptions();
+  opts.warm_start_from_base = false;
+  Maps strategy(opts);
+  ASSERT_TRUE(strategy.Warmup(grid, nullptr).ok());  // no probes needed
+  Rng rng(12);
+  MarketSnapshot snap = RandomSnapshot(grid, rng, 8, 4, 2.0, 8.0);
+  std::vector<double> prices;
+  ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+  for (double p : prices) {
+    ASSERT_GE(p, 1.0);
+    ASSERT_LE(p, 3.0);
+  }
+}
+
+TEST(MapsTest, AmpleSupplyConvergesToPerGridMyersonRung) {
+  // Plateau regression test: with far more workers than tasks, every grid
+  // must end at (close to) its ladder-optimal Myerson rung — not stranded
+  // at a high intersection price by a zero-Delta plateau of the
+  // discretized index.
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 20}, 2, 2).ValueOrDie();
+  MapsOptions opts;
+  opts.pricing.explicit_ladder = {1.0, 1.5, 2.0, 2.5, 3.0, 4.0};
+  Maps strategy(opts);
+  // Heterogeneous demand: one cheap grid, one expensive grid.
+  std::vector<std::unique_ptr<DemandModel>> models;
+  models.push_back(std::make_unique<TruncatedNormalDemand>(1.5, 1.0, 1, 5));
+  models.push_back(std::make_unique<TruncatedNormalDemand>(3.0, 1.0, 1, 5));
+  models.push_back(std::make_unique<TruncatedNormalDemand>(2.0, 1.0, 1, 5));
+  models.push_back(std::make_unique<TruncatedNormalDemand>(2.5, 1.0, 1, 5));
+  DemandOracle oracle =
+      DemandOracle::Make(std::move(models), 5).ValueOrDie();
+  DemandOracle history = oracle.Fork(0);
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+
+  // 6 tasks per grid, 40 workers covering everything: supply is ample.
+  std::vector<Task> tasks;
+  std::vector<Worker> workers;
+  int id = 0;
+  for (int g = 0; g < 4; ++g) {
+    const Point center = grid.CellCenter(g);
+    for (int i = 0; i < 6; ++i) {
+      tasks.push_back(testing_util::MakeTask(
+          grid, id++, {center.x - 2.0 + i * 0.5, center.y}, 2.0 + i));
+    }
+  }
+  for (int i = 0; i < 40; ++i) {
+    workers.push_back(testing_util::MakeWorker(
+        grid, i, {1.0 + (i % 8) * 2.5, 1.0 + (i / 8) * 4.0}, 30.0));
+  }
+  MarketSnapshot snap(&grid, 0, std::move(tasks), std::move(workers));
+  std::vector<double> prices;
+  ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+
+  auto ladder = PriceLadder::FromPrices({1.0, 1.5, 2.0, 2.5, 3.0, 4.0})
+                    .ValueOrDie();
+  for (int g = 0; g < 4; ++g) {
+    // Supply grew at least until the demand curve unbinds (growth may stop
+    // once the index reaches its supply-unconstrained ceiling, which can
+    // happen below n = |R_tg|).
+    EXPECT_GE(strategy.last_supply()[g], 3) << "grid " << g;
+    // Chosen rung within one rung of the true ladder optimum.
+    double best_v = -1.0;
+    int best_i = 0;
+    for (int i = 0; i < ladder.size(); ++i) {
+      const double v =
+          ladder.price(i) * oracle.TrueAcceptRatio(g, ladder.price(i));
+      if (v > best_v) {
+        best_v = v;
+        best_i = i;
+      }
+    }
+    const int chosen = ladder.SnapIndex(prices[g]);
+    EXPECT_LE(std::abs(chosen - best_i), 1)
+        << "grid " << g << " chose rung " << ladder.price(chosen)
+        << " but the optimum is " << ladder.price(best_i);
+  }
+  // The cheap and expensive grids must be priced differently.
+  EXPECT_LT(prices[0], prices[1]);
+}
+
+TEST(MapsTest, TruncatedExpectationApproxAlsoPricesSanely) {
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 20}, 2, 2).ValueOrDie();
+  MapsOptions opts = DefaultOptions();
+  opts.supply_approx = MapsOptions::SupplyApprox::kTruncatedExpectation;
+  Maps strategy(opts);
+  DemandOracle oracle = UniformOracle(grid.num_cells(), 8);
+  DemandOracle history = oracle.Fork(0);
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+  Rng rng(66);
+  for (int round = 0; round < 5; ++round) {
+    MarketSnapshot snap = RandomSnapshot(grid, rng, 12, 6, 2.0, 10.0);
+    std::vector<double> prices;
+    ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+    for (double p : prices) {
+      ASSERT_GE(p, 1.0);
+      ASSERT_LE(p, 3.0);
+    }
+  }
+}
+
+TEST(MapsTest, EmptyMarketFallsBackToBasePrice) {
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 2, 2).ValueOrDie();
+  Maps strategy(DefaultOptions());
+  DemandOracle oracle = UniformOracle(grid.num_cells(), 2);
+  DemandOracle history = oracle.Fork(0);
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+  MarketSnapshot snap(&grid, 0, {}, {});
+  std::vector<double> prices;
+  ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+  for (double p : prices) {
+    EXPECT_DOUBLE_EQ(p, strategy.base_price());
+  }
+}
+
+TEST(MapsTest, MemoryFootprintGrowsWithGrids) {
+  auto small = GridPartition::Make(Rect{0, 0, 10, 10}, 2, 2).ValueOrDie();
+  auto large = GridPartition::Make(Rect{0, 0, 10, 10}, 10, 10).ValueOrDie();
+  Maps s1(DefaultOptions()), s2(DefaultOptions());
+  DemandOracle o1 = UniformOracle(small.num_cells(), 1);
+  DemandOracle o2 = UniformOracle(large.num_cells(), 1);
+  ASSERT_TRUE(s1.Warmup(small, &o1).ok());
+  ASSERT_TRUE(s2.Warmup(large, &o2).ok());
+  EXPECT_GT(s2.MemoryFootprintBytes(), s1.MemoryFootprintBytes());
+}
+
+}  // namespace
+}  // namespace maps

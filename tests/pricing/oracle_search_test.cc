@@ -1,0 +1,83 @@
+#include "pricing/oracle_search.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace maps {
+namespace {
+
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+using testing_util::TableOneOracle;
+
+TEST(OracleSearchTest, SingleTaskPicksMyersonCandidate) {
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(1);
+  std::vector<Task> tasks = {MakeTask(grid, 0, {5, 5}, 2.0)};
+  std::vector<Worker> workers = {MakeWorker(grid, 0, {5, 5}, 3.0)};
+  MarketSnapshot snap(&grid, 0, std::move(tasks), std::move(workers));
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0, 3.0}).ValueOrDie();
+  auto best = OracleSearch(snap, oracle, ladder).ValueOrDie();
+  // Sufficient supply: optimum is the unit-revenue maximizer 2, giving
+  // revenue d * p * S = 2 * 2 * 0.8.
+  EXPECT_DOUBLE_EQ(best.grid_prices[0], 2.0);
+  EXPECT_NEAR(best.expected_revenue, 2.0 * 2.0 * 0.8, 1e-12);
+}
+
+TEST(OracleSearchTest, NoTasksYieldsZero) {
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(1);
+  MarketSnapshot snap(&grid, 0, {}, {});
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0}).ValueOrDie();
+  auto best = OracleSearch(snap, oracle, ladder).ValueOrDie();
+  EXPECT_DOUBLE_EQ(best.expected_revenue, 0.0);
+}
+
+TEST(OracleSearchTest, BeatsEveryManualAssignment) {
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 10}, 1, 2).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(2);
+  std::vector<Task> tasks = {MakeTask(grid, 0, {2, 5}, 1.5),
+                             MakeTask(grid, 1, {12, 5}, 3.0)};
+  std::vector<Worker> workers = {MakeWorker(grid, 0, {5, 5}, 20.0)};
+  MarketSnapshot snap(&grid, 0, std::move(tasks), std::move(workers));
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0, 3.0}).ValueOrDie();
+  auto best = OracleSearch(snap, oracle, ladder).ValueOrDie();
+  for (double pa : ladder.prices()) {
+    for (double pb : ladder.prices()) {
+      const double v =
+          ExpectedRevenueOfPrices(snap, oracle, {pa, pb});
+      ASSERT_LE(v, best.expected_revenue + 1e-12)
+          << "(" << pa << "," << pb << ") beats the 'optimal' result";
+    }
+  }
+}
+
+TEST(OracleSearchTest, RefusesOversizedInstances) {
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(1);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 26; ++i) {
+    tasks.push_back(MakeTask(grid, i, {5, 5}, 1.0));
+  }
+  MarketSnapshot snap(&grid, 0, std::move(tasks), {});
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0}).ValueOrDie();
+  EXPECT_FALSE(OracleSearch(snap, oracle, ladder).ok());
+}
+
+TEST(OracleSearchTest, RefusesHugePriceSpaces) {
+  auto grid = GridPartition::Make(Rect{0, 0, 100, 100}, 10, 10).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(100);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back(
+        MakeTask(grid, i, {5.0 + 10.0 * (i % 10), 5.0 + 10.0 * (i / 10)},
+                 1.0));
+  }
+  MarketSnapshot snap(&grid, 0, std::move(tasks), {});
+  auto ladder = PriceLadder::Make(1.0, 5.0, 0.1).ValueOrDie();  // 17 rungs
+  EXPECT_FALSE(OracleSearch(snap, oracle, ladder).ok());
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,151 @@
+#include "pricing/price_postprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "../test_util.h"
+#include "pricing/maps.h"
+
+namespace maps {
+namespace {
+
+using testing_util::RandomSnapshot;
+using testing_util::TableOneOracle;
+
+GridPartition MakeGrid(int rows, int cols) {
+  return GridPartition::Make(Rect{0, 0, 10.0 * cols, 10.0 * rows}, rows,
+                             cols)
+      .ValueOrDie();
+}
+
+TEST(PriceBoundsTest, ClampsBothSides) {
+  std::vector<double> prices = {0.5, 2.0, 9.0};
+  ApplyPriceBounds(1.0, 5.0, &prices);
+  EXPECT_EQ(prices, (std::vector<double>{1.0, 2.0, 5.0}));
+}
+
+TEST(PriceBoundsTest, RejectsInvertedBounds) {
+  std::vector<double> prices = {1.0};
+  EXPECT_DEATH(ApplyPriceBounds(5.0, 1.0, &prices), "Check failed");
+}
+
+TEST(SmoothPricesTest, LambdaZeroIsIdentity) {
+  GridPartition grid = MakeGrid(2, 2);
+  std::vector<double> prices = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> copy = prices;
+  SmoothPrices(grid, 0.0, 3, &prices);
+  EXPECT_EQ(prices, copy);
+}
+
+TEST(SmoothPricesTest, UniformFieldIsFixedPoint) {
+  GridPartition grid = MakeGrid(3, 4);
+  std::vector<double> prices(12, 2.5);
+  SmoothPrices(grid, 0.7, 5, &prices);
+  for (double p : prices) EXPECT_DOUBLE_EQ(p, 2.5);
+}
+
+TEST(SmoothPricesTest, ReducesNeighborGap) {
+  GridPartition grid = MakeGrid(4, 4);
+  std::vector<double> prices(16, 1.0);
+  prices[5] = 5.0;  // a single surged cell
+  const double gap_before = MaxNeighborGap(grid, prices);
+  SmoothPrices(grid, 0.5, 1, &prices);
+  const double gap_after = MaxNeighborGap(grid, prices);
+  EXPECT_LT(gap_after, gap_before);
+  // The surge diffuses into neighbors instead of disappearing.
+  EXPECT_GT(prices[5], prices[0]);
+  EXPECT_GT(prices[4], 1.0);
+}
+
+TEST(SmoothPricesTest, MoreRoundsSmootherField) {
+  GridPartition grid = MakeGrid(5, 5);
+  std::vector<double> base(25, 1.0);
+  base[12] = 5.0;
+  std::vector<double> one = base, many = base;
+  SmoothPrices(grid, 0.5, 1, &one);
+  SmoothPrices(grid, 0.5, 8, &many);
+  EXPECT_LT(MaxNeighborGap(grid, many), MaxNeighborGap(grid, one));
+}
+
+TEST(SmoothPricesTest, PreservesMeanOnInteriorHeavyGrids) {
+  // Jacobi smoothing with symmetric neighborhoods approximately preserves
+  // total price mass; verify drift is small.
+  GridPartition grid = MakeGrid(6, 6);
+  Rng rng(5);
+  std::vector<double> prices(36);
+  for (auto& p : prices) p = rng.NextDouble(1.0, 5.0);
+  const double mean_before =
+      std::accumulate(prices.begin(), prices.end(), 0.0) /
+      static_cast<double>(prices.size());
+  SmoothPrices(grid, 0.4, 3, &prices);
+  const double mean_after =
+      std::accumulate(prices.begin(), prices.end(), 0.0) /
+      static_cast<double>(prices.size());
+  EXPECT_NEAR(mean_after, mean_before, 0.25);
+}
+
+TEST(MaxNeighborGapTest, KnownField) {
+  GridPartition grid = MakeGrid(2, 2);
+  // Layout (row-major from bottom-left): 1 2 / 7 3.
+  std::vector<double> prices = {1.0, 2.0, 7.0, 3.0};
+  // Adjacent pairs: (1,2), (1,7), (2,3), (7,3) -> max |diff| = 6.
+  EXPECT_DOUBLE_EQ(MaxNeighborGap(grid, prices), 6.0);
+}
+
+TEST(PostprocessedStrategyTest, SmoothsAndCapsMapsPrices) {
+  GridPartition grid = MakeGrid(4, 4);
+  DemandOracle oracle = TableOneOracle(grid.num_cells(), 3);
+
+  MapsOptions opts;
+  opts.pricing.explicit_ladder = {1.0, 2.0, 3.0};
+  PostprocessOptions post;
+  post.smoothing_lambda = 0.5;
+  post.price_cap = 2.5;
+  post.price_floor = 1.0;
+  PostprocessedStrategy strategy(std::make_unique<Maps>(opts), post);
+  EXPECT_EQ(strategy.name(), "MAPS+smooth+cap");
+
+  DemandOracle history = oracle.Fork(0);
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+  Rng rng(8);
+  MarketSnapshot snap = RandomSnapshot(grid, rng, 20, 4, 3.0, 12.0);
+  std::vector<double> prices;
+  ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+  for (double p : prices) {
+    ASSERT_GE(p, 1.0);
+    ASSERT_LE(p, 2.5);  // the cap binds below the ladder's 3.0
+  }
+}
+
+TEST(PostprocessedStrategyTest, SmoothingReducesGapVersusRawMaps) {
+  GridPartition grid = MakeGrid(4, 4);
+  DemandOracle oracle = TableOneOracle(grid.num_cells(), 3);
+  MapsOptions opts;
+  opts.pricing.explicit_ladder = {1.0, 2.0, 3.0};
+
+  auto run = [&](double lambda) {
+    PostprocessOptions post;
+    post.smoothing_lambda = lambda;
+    PostprocessedStrategy strategy(std::make_unique<Maps>(opts), post);
+    DemandOracle history = oracle.Fork(0);
+    EXPECT_TRUE(strategy.Warmup(grid, &history).ok());
+    Rng rng(8);
+    MarketSnapshot snap = RandomSnapshot(grid, rng, 20, 3, 3.0, 12.0);
+    std::vector<double> prices;
+    EXPECT_TRUE(strategy.PriceRound(snap, &prices).ok());
+    return MaxNeighborGap(grid, prices);
+  };
+  EXPECT_LE(run(0.6), run(0.0));
+}
+
+TEST(PostprocessedStrategyTest, PlainDecoratorKeepsName) {
+  MapsOptions opts;
+  PostprocessedStrategy strategy(std::make_unique<Maps>(opts),
+                                 PostprocessOptions{});
+  EXPECT_EQ(strategy.name(), "MAPS");
+  EXPECT_NE(strategy.inner(), nullptr);
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,115 @@
+#include "rng/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace maps {
+namespace {
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int agree = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++agree;
+  }
+  EXPECT_EQ(agree, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t x = rng.NextBounded(7);
+    ASSERT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedApproxUniform) {
+  Rng rng(13);
+  std::vector<int> hist(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hist[rng.NextBounded(10)];
+  for (int h : hist) {
+    EXPECT_NEAR(h, n / 10, 500);  // ~5 sigma of binomial(1e5, .1)
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCasesAndRate) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_FALSE(rng.NextBernoulli(-1.0));
+  EXPECT_TRUE(rng.NextBernoulli(2.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsIndependent) {
+  Rng parent(99);
+  Rng c1 = parent.Fork(0);
+  Rng c2 = parent.Fork(1);
+  int agree = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.NextUint64() == c2.NextUint64()) ++agree;
+  }
+  EXPECT_EQ(agree, 0);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng p1(5), p2(5);
+  Rng a = p1.Fork(3);
+  Rng b = p2.Fork(3);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const uint64_t first = sm.Next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.Next(), first);
+  EXPECT_NE(sm.Next(), first);
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,297 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "sim/synthetic.h"
+
+namespace maps {
+namespace {
+
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+
+/// Prices every grid at a fixed value; optionally lies about the vector
+/// size to exercise the simulator's defenses.
+class FixedPriceStrategy : public PricingStrategy {
+ public:
+  explicit FixedPriceStrategy(double price, bool wrong_size = false)
+      : price_(price), wrong_size_(wrong_size) {}
+
+  std::string name() const override { return "Fixed"; }
+
+  Status PriceRound(const MarketSnapshot& snapshot,
+                    std::vector<double>* grid_prices) override {
+    grid_prices->assign(
+        wrong_size_ ? snapshot.num_grids() + 1 : snapshot.num_grids(),
+        price_);
+    ++rounds_;
+    return Status::OK();
+  }
+
+  void ObserveFeedback(const MarketSnapshot&, const std::vector<double>&,
+                       const std::vector<bool>& accepted) override {
+    for (bool a : accepted) feedback_ += a ? 1 : 0;
+  }
+
+  int rounds() const { return rounds_; }
+  int accepted_seen() const { return feedback_; }
+
+ private:
+  double price_;
+  bool wrong_size_;
+  int rounds_ = 0;
+  int feedback_ = 0;
+};
+
+Workload TinyWorkload(std::vector<double> valuations) {
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  DemandOracle oracle = testing_util::TableOneOracle(1);
+  Workload w(grid, std::move(oracle));
+  w.name = "tiny";
+  w.num_periods = 2;
+  // Three tasks in period 0 with distances 3, 2, 1; one worker reaching all.
+  w.tasks = {MakeTask(w.grid, 0, {5, 5}, 3.0, 0),
+             MakeTask(w.grid, 1, {5, 6}, 2.0, 0),
+             MakeTask(w.grid, 2, {6, 5}, 1.0, 0)};
+  w.valuations = std::move(valuations);
+  w.workers = {MakeWorker(w.grid, 0, {5, 5}, 5.0, 0)};
+  return w;
+}
+
+TEST(SimulatorTest, RevenueIsMaxWeightOverAcceptedTasks) {
+  // Valuations {1, 3, 3} at price 2: tasks 1 and 2 accept (v >= p), task 0
+  // rejects. One worker serves the heavier accepted task: d=2, revenue 4.
+  Workload w = TinyWorkload({1.0, 3.0, 3.0});
+  FixedPriceStrategy fixed(2.0);
+  auto r = RunSimulation(w, &fixed).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.total_revenue, 2.0 * 2.0);
+  EXPECT_EQ(r.num_tasks, 3);
+  EXPECT_EQ(r.num_accepted, 2);
+  EXPECT_EQ(r.num_matched, 1);
+  EXPECT_EQ(fixed.accepted_seen(), 2);
+}
+
+TEST(SimulatorTest, AcceptanceRuleIsVGreaterEqualPrice) {
+  // Valuation exactly at the price accepts (v >= p).
+  Workload w = TinyWorkload({2.0, 1.99, 0.5});
+  FixedPriceStrategy fixed(2.0);
+  auto r = RunSimulation(w, &fixed).ValueOrDie();
+  EXPECT_EQ(r.num_accepted, 1);
+  EXPECT_DOUBLE_EQ(r.total_revenue, 3.0 * 2.0);  // task 0, d=3
+}
+
+TEST(SimulatorTest, SingleUseWorkerServesOnce) {
+  // Two periods, one task each, one single-use worker: only period 0's task
+  // is served.
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  Workload w(grid, testing_util::TableOneOracle(1));
+  w.num_periods = 2;
+  w.tasks = {MakeTask(w.grid, 0, {5, 5}, 2.0, 0),
+             MakeTask(w.grid, 1, {5, 5}, 2.0, 1)};
+  w.valuations = {5.0, 5.0};
+  w.workers = {MakeWorker(w.grid, 0, {5, 5}, 5.0, 0)};
+  FixedPriceStrategy fixed(1.0);
+  auto r = RunSimulation(w, &fixed).ValueOrDie();
+  EXPECT_EQ(r.num_matched, 1);
+  EXPECT_DOUBLE_EQ(r.total_revenue, 2.0);
+}
+
+TEST(SimulatorTest, TurnaroundWorkerServesAgainAfterRide) {
+  // Ride takes ceil(2/1) = 2 periods: matched in period 0, free again in
+  // period 2, serving the second task.
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  Workload w(grid, testing_util::TableOneOracle(1));
+  w.num_periods = 4;
+  w.lifecycle.single_use = false;
+  w.lifecycle.speed = 1.0;
+  Task t0 = MakeTask(w.grid, 0, {5, 5}, 2.0, 0);
+  t0.destination = {7, 5};
+  Task t1 = MakeTask(w.grid, 1, {7, 5}, 1.0, 2);
+  Task t_blocked = MakeTask(w.grid, 2, {5, 5}, 1.0, 1);  // worker busy
+  w.tasks = {t0, t_blocked, t1};
+  w.tasks[1].id = 1;
+  w.tasks[2].id = 2;
+  std::swap(w.tasks[1], w.tasks[1]);
+  w.valuations = {5.0, 5.0, 5.0};
+  Worker ww = MakeWorker(w.grid, 0, {5, 5}, 5.0, 0);
+  ww.duration = 100;
+  w.workers = {ww};
+  FixedPriceStrategy fixed(1.0);
+  auto r = RunSimulation(w, &fixed).ValueOrDie();
+  // t0 (d=2) and t1 (d=1) are served; the period-1 task finds no worker.
+  EXPECT_EQ(r.num_matched, 2);
+  EXPECT_DOUBLE_EQ(r.total_revenue, 2.0 + 1.0);
+}
+
+TEST(SimulatorTest, WorkerRetiresAfterDuration) {
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  Workload w(grid, testing_util::TableOneOracle(1));
+  w.num_periods = 10;
+  w.lifecycle.single_use = false;
+  w.lifecycle.speed = 1.0;
+  // Worker enters at period 0 with duration 3: gone from period 3 onward.
+  Worker ww = MakeWorker(w.grid, 0, {5, 5}, 5.0, 0);
+  ww.duration = 3;
+  w.workers = {ww};
+  w.tasks = {MakeTask(w.grid, 0, {5, 5}, 1.0, 5)};
+  w.valuations = {5.0};
+  FixedPriceStrategy fixed(1.0);
+  auto r = RunSimulation(w, &fixed).ValueOrDie();
+  EXPECT_EQ(r.num_matched, 0);
+  EXPECT_DOUBLE_EQ(r.total_revenue, 0.0);
+}
+
+TEST(SimulatorTest, ConservationInvariants) {
+  SyntheticConfig cfg;
+  cfg.num_workers = 100;
+  cfg.num_tasks = 400;
+  cfg.num_periods = 20;
+  cfg.grid_rows = 4;
+  cfg.grid_cols = 4;
+  cfg.seed = 5;
+  // (Using the synthetic generator here gives a non-trivial instance.)
+  Workload w = GenerateSynthetic(cfg).ValueOrDie();
+  FixedPriceStrategy fixed(2.0);
+  SimOptions opts;
+  opts.collect_per_period = true;
+  auto r = RunSimulation(w, &fixed, opts).ValueOrDie();
+  EXPECT_EQ(r.num_tasks, 400);
+  EXPECT_LE(r.num_matched, r.num_accepted);
+  EXPECT_LE(r.num_accepted, r.num_tasks);
+  EXPECT_LE(r.num_matched, 100);  // single-use workers
+  double revenue = 0.0;
+  int64_t matched = 0;
+  for (const auto& ps : r.per_period) {
+    EXPECT_LE(ps.num_matched, ps.num_accepted);
+    EXPECT_LE(ps.num_accepted, ps.num_tasks);
+    EXPECT_LE(ps.num_matched, ps.num_available_workers);
+    revenue += ps.revenue;
+    matched += ps.num_matched;
+  }
+  EXPECT_NEAR(revenue, r.total_revenue, 1e-9);
+  EXPECT_EQ(matched, r.num_matched);
+}
+
+TEST(SimulatorTest, DeterministicRuns) {
+  SyntheticConfig cfg;
+  cfg.num_workers = 50;
+  cfg.num_tasks = 200;
+  cfg.num_periods = 10;
+  cfg.grid_rows = 3;
+  cfg.grid_cols = 3;
+  cfg.seed = 12;
+  Workload w = GenerateSynthetic(cfg).ValueOrDie();
+  FixedPriceStrategy f1(2.0), f2(2.0);
+  auto r1 = RunSimulation(w, &f1).ValueOrDie();
+  auto r2 = RunSimulation(w, &f2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r1.total_revenue, r2.total_revenue);
+  EXPECT_EQ(r1.num_matched, r2.num_matched);
+}
+
+TEST(SimulatorTest, HigherValuationsNeverReduceFixedPriceRevenue) {
+  // With all valuations raised above the price, every task accepts.
+  Workload lo = TinyWorkload({1.0, 1.0, 1.0});
+  Workload hi = TinyWorkload({5.0, 5.0, 5.0});
+  FixedPriceStrategy f1(2.0), f2(2.0);
+  const double rev_lo = RunSimulation(lo, &f1).ValueOrDie().total_revenue;
+  const double rev_hi = RunSimulation(hi, &f2).ValueOrDie().total_revenue;
+  EXPECT_LE(rev_lo, rev_hi);
+  EXPECT_DOUBLE_EQ(rev_hi, 3.0 * 2.0);  // heaviest accepted task
+}
+
+TEST(SimulatorTest, RejectsNullStrategyAndBadPriceVector) {
+  Workload w = TinyWorkload({1.0, 1.0, 1.0});
+  EXPECT_FALSE(RunSimulation(w, nullptr).ok());
+  FixedPriceStrategy liar(2.0, /*wrong_size=*/true);
+  auto r = RunSimulation(w, &liar);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+/// Prices one designated grid high and the rest low.
+class SurgeOneGridStrategy : public PricingStrategy {
+ public:
+  explicit SurgeOneGridStrategy(GridId hot) : hot_(hot) {}
+  std::string name() const override { return "SurgeOne"; }
+  Status PriceRound(const MarketSnapshot& snapshot,
+                    std::vector<double>* grid_prices) override {
+    grid_prices->assign(snapshot.num_grids(), 1.0);
+    (*grid_prices)[hot_] = 5.0;
+    return Status::OK();
+  }
+
+ private:
+  GridId hot_;
+};
+
+TEST(SimulatorTest, RepositioningDriftsIdleWorkersTowardSurge) {
+  // 2x2 grid; all workers start in cell 0; cell 3 surges every period.
+  // With reposition_prob = 1 every idle worker steps toward the surge via
+  // the 8-neighborhood each period.
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 20}, 2, 2).ValueOrDie();
+  Workload w(grid, testing_util::TableOneOracle(4));
+  w.num_periods = 6;
+  w.lifecycle.reposition_prob = 1.0;
+  for (int i = 0; i < 8; ++i) {
+    w.workers.push_back(MakeWorker(w.grid, i, {2.0 + 0.2 * i, 2.0}, 3.0, 0));
+  }
+  // One task at the end inside the surged cell, reachable only if workers
+  // migrated there (origin is far from cell 0).
+  Task late = MakeTask(w.grid, 0, {15.0, 15.0}, 2.0, 5);
+  w.tasks = {late};
+  w.valuations = {5.0};  // accepts the surge price
+  SurgeOneGridStrategy strategy(3);
+  auto r = RunSimulation(w, &strategy).ValueOrDie();
+  // Without migration no worker could reach (15,15) (radius 3 from ~(2,2));
+  // with it the task is served at the surge price.
+  EXPECT_EQ(r.num_matched, 1);
+  EXPECT_DOUBLE_EQ(r.total_revenue, 2.0 * 5.0);
+}
+
+TEST(SimulatorTest, RepositioningOffKeepsWorkersPut) {
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 20}, 2, 2).ValueOrDie();
+  Workload w(grid, testing_util::TableOneOracle(4));
+  w.num_periods = 6;
+  w.lifecycle.reposition_prob = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    w.workers.push_back(MakeWorker(w.grid, i, {2.0 + 0.2 * i, 2.0}, 3.0, 0));
+  }
+  Task late = MakeTask(w.grid, 0, {15.0, 15.0}, 2.0, 5);
+  w.tasks = {late};
+  w.valuations = {5.0};
+  SurgeOneGridStrategy strategy(3);
+  auto r = RunSimulation(w, &strategy).ValueOrDie();
+  EXPECT_EQ(r.num_matched, 0);
+  EXPECT_DOUBLE_EQ(r.total_revenue, 0.0);
+}
+
+TEST(SimulatorTest, RepositioningIsDeterministic) {
+  SyntheticConfig cfg;
+  cfg.num_workers = 80;
+  cfg.num_tasks = 300;
+  cfg.num_periods = 15;
+  cfg.grid_rows = 3;
+  cfg.grid_cols = 3;
+  cfg.seed = 77;
+  Workload w = GenerateSynthetic(cfg).ValueOrDie();
+  w.lifecycle.reposition_prob = 0.4;
+  FixedPriceStrategy f1(2.0), f2(2.0);
+  auto r1 = RunSimulation(w, &f1).ValueOrDie();
+  auto r2 = RunSimulation(w, &f2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r1.total_revenue, r2.total_revenue);
+  EXPECT_EQ(r1.num_matched, r2.num_matched);
+}
+
+TEST(SimulatorTest, StrategySeesEveryNonEmptyPeriod) {
+  Workload w = TinyWorkload({1.0, 1.0, 1.0});
+  // Period 1 has no tasks but the (unmatched at price 99) worker remains
+  // available, so the strategy is still consulted.
+  FixedPriceStrategy fixed(99.0);
+  auto r = RunSimulation(w, &fixed).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.total_revenue, 0.0);
+  EXPECT_EQ(fixed.rounds(), 2);
+}
+
+}  // namespace
+}  // namespace maps

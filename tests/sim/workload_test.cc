@@ -1,0 +1,88 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace maps {
+namespace {
+
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+
+Workload MakeMinimalWorkload() {
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 2, 2).ValueOrDie();
+  DemandOracle oracle = testing_util::TableOneOracle(grid.num_cells());
+  Workload w(grid, std::move(oracle));
+  w.num_periods = 3;
+  w.tasks = {MakeTask(w.grid, 0, {1, 1}, 2.0, 0),
+             MakeTask(w.grid, 1, {8, 8}, 1.0, 1)};
+  w.valuations = {2.5, 3.0};
+  w.workers = {MakeWorker(w.grid, 0, {2, 2}, 5.0, 0)};
+  return w;
+}
+
+TEST(WorkloadTest, ValidPassesValidation) {
+  Workload w = MakeMinimalWorkload();
+  EXPECT_TRUE(ValidateWorkload(w).ok());
+}
+
+TEST(WorkloadTest, CatchesMisalignedValuations) {
+  Workload w = MakeMinimalWorkload();
+  w.valuations.pop_back();
+  EXPECT_TRUE(ValidateWorkload(w).IsInvalidArgument());
+}
+
+TEST(WorkloadTest, CatchesBadTaskIds) {
+  Workload w = MakeMinimalWorkload();
+  w.tasks[1].id = 7;
+  EXPECT_TRUE(ValidateWorkload(w).IsInvalidArgument());
+}
+
+TEST(WorkloadTest, CatchesUnsortedTasks) {
+  Workload w = MakeMinimalWorkload();
+  std::swap(w.tasks[0], w.tasks[1]);
+  w.tasks[0].id = 0;
+  w.tasks[1].id = 1;
+  EXPECT_TRUE(ValidateWorkload(w).IsInvalidArgument());
+}
+
+TEST(WorkloadTest, CatchesPeriodOutOfRange) {
+  Workload w = MakeMinimalWorkload();
+  w.tasks[1].period = 99;
+  EXPECT_TRUE(ValidateWorkload(w).IsInvalidArgument());
+  Workload w2 = MakeMinimalWorkload();
+  w2.workers[0].period = -1;
+  EXPECT_TRUE(ValidateWorkload(w2).IsInvalidArgument());
+}
+
+TEST(WorkloadTest, CatchesStaleGridCache) {
+  Workload w = MakeMinimalWorkload();
+  w.tasks[0].grid = 3;  // actual cell is 0
+  EXPECT_TRUE(ValidateWorkload(w).IsInvalidArgument());
+}
+
+TEST(WorkloadTest, CatchesNegativeDistanceAndRadius) {
+  Workload w = MakeMinimalWorkload();
+  w.tasks[0].distance = -1.0;
+  EXPECT_TRUE(ValidateWorkload(w).IsInvalidArgument());
+  Workload w2 = MakeMinimalWorkload();
+  w2.workers[0].radius = 0.0;
+  EXPECT_TRUE(ValidateWorkload(w2).IsInvalidArgument());
+}
+
+TEST(WorkloadTest, CatchesBadLifecycle) {
+  Workload w = MakeMinimalWorkload();
+  w.lifecycle.single_use = false;
+  w.lifecycle.speed = 0.0;
+  EXPECT_TRUE(ValidateWorkload(w).IsInvalidArgument());
+}
+
+TEST(WorkloadTest, CatchesZeroPeriods) {
+  Workload w = MakeMinimalWorkload();
+  w.num_periods = 0;
+  EXPECT_TRUE(ValidateWorkload(w).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,102 @@
+#include "stats/change_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/random.h"
+
+namespace maps {
+namespace {
+
+TEST(ChangeDetectorTest, NeedsFullReferenceWindowFirst) {
+  ChangeDetector det(10);
+  EXPECT_FALSE(det.HasReference());
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FALSE(det.Observe(true));
+    EXPECT_FALSE(det.HasReference());
+  }
+  EXPECT_FALSE(det.Observe(true));  // completes the reference window
+  EXPECT_TRUE(det.HasReference());
+  EXPECT_DOUBLE_EQ(det.reference_rate(), 1.0);
+}
+
+TEST(ChangeDetectorTest, DetectsLargeShift) {
+  ChangeDetector det(50);
+  Rng rng(3);
+  // Reference window at rate 0.8.
+  for (int i = 0; i < 50; ++i) det.Observe(rng.NextBernoulli(0.8));
+  // Demand collapses to 0.1: the next completed window must flag.
+  bool flagged = false;
+  for (int i = 0; i < 50; ++i) {
+    flagged = det.Observe(rng.NextBernoulli(0.1)) || flagged;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(ChangeDetectorTest, StableRateFlagsFarLessThanShiftedRate) {
+  // The paper's test compares one noisy window against the previous noisy
+  // window, so its stable-rate false-alarm rate is ~16% (the difference of
+  // two window means has twice the variance the 2-sigma band assumes). The
+  // meaningful property is separation: a genuine shift must flag far more
+  // often than a stable stream.
+  Rng rng(17);
+  int stable_flags = 0;
+  {
+    ChangeDetector det(100);
+    for (int w = 0; w < 41; ++w) {
+      for (int i = 0; i < 100; ++i) {
+        if (det.Observe(rng.NextBernoulli(0.6))) ++stable_flags;
+      }
+    }
+  }
+  int shifted_flags = 0;
+  {
+    ChangeDetector det(100);
+    for (int w = 0; w < 41; ++w) {
+      const double rate = (w % 2 == 0) ? 0.8 : 0.3;  // oscillating demand
+      for (int i = 0; i < 100; ++i) {
+        if (det.Observe(rng.NextBernoulli(rate))) ++shifted_flags;
+      }
+    }
+  }
+  EXPECT_LE(stable_flags, 12);      // < ~30% of 40 windows
+  EXPECT_GE(shifted_flags, 35);     // nearly every window flags
+  EXPECT_GT(shifted_flags, 3 * stable_flags);
+}
+
+TEST(ChangeDetectorTest, DegenerateReferenceFlagsAnyDisagreement) {
+  ChangeDetector det(5);
+  for (int i = 0; i < 5; ++i) det.Observe(true);  // reference rate 1.0
+  // A window with a single rejection deviates (zero-width band).
+  det.Observe(true);
+  det.Observe(true);
+  det.Observe(false);
+  det.Observe(true);
+  EXPECT_TRUE(det.Observe(true));
+}
+
+TEST(ChangeDetectorTest, ReferenceRolls) {
+  ChangeDetector det(4);
+  for (int i = 0; i < 4; ++i) det.Observe(true);
+  EXPECT_DOUBLE_EQ(det.reference_rate(), 1.0);
+  det.Observe(false);
+  det.Observe(false);
+  det.Observe(true);
+  det.Observe(true);  // window completes; reference becomes 0.5
+  EXPECT_DOUBLE_EQ(det.reference_rate(), 0.5);
+}
+
+TEST(ChangeDetectorTest, ResetForgetsReference) {
+  ChangeDetector det(3);
+  for (int i = 0; i < 3; ++i) det.Observe(true);
+  EXPECT_TRUE(det.HasReference());
+  det.Reset();
+  EXPECT_FALSE(det.HasReference());
+  EXPECT_DOUBLE_EQ(det.reference_rate(), 0.0);
+}
+
+TEST(ChangeDetectorDeathTest, RejectsNonPositiveWindow) {
+  EXPECT_DEATH(ChangeDetector(0), "Check failed");
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,74 @@
+#include "stats/price_ladder.h"
+
+#include <gtest/gtest.h>
+
+namespace maps {
+namespace {
+
+TEST(PriceLadderTest, ExampleFourLadder) {
+  // Example 4: sample prices are 1, 1.5, 2.25, 3.375.
+  auto ladder = PriceLadder::Make(1.0, 5.0, 0.5).ValueOrDie();
+  ASSERT_EQ(ladder.size(), 4);
+  EXPECT_DOUBLE_EQ(ladder.price(0), 1.0);
+  EXPECT_DOUBLE_EQ(ladder.price(1), 1.5);
+  EXPECT_DOUBLE_EQ(ladder.price(2), 2.25);
+  EXPECT_DOUBLE_EQ(ladder.price(3), 3.375);
+}
+
+TEST(PriceLadderTest, ExactPowerEndpointIncluded) {
+  auto ladder = PriceLadder::Make(1.0, 4.0, 1.0).ValueOrDie();
+  ASSERT_EQ(ladder.size(), 3);
+  EXPECT_DOUBLE_EQ(ladder.price(2), 4.0);
+}
+
+TEST(PriceLadderTest, MakeRejectsBadParameters) {
+  EXPECT_FALSE(PriceLadder::Make(0.0, 5.0, 0.5).ok());
+  EXPECT_FALSE(PriceLadder::Make(-1.0, 5.0, 0.5).ok());
+  EXPECT_FALSE(PriceLadder::Make(5.0, 1.0, 0.5).ok());
+  EXPECT_FALSE(PriceLadder::Make(1.0, 5.0, 0.0).ok());
+  EXPECT_FALSE(PriceLadder::Make(1.0, 5.0, -0.5).ok());
+}
+
+TEST(PriceLadderTest, DegenerateSingleRung) {
+  auto ladder = PriceLadder::Make(2.0, 2.0, 0.5).ValueOrDie();
+  ASSERT_EQ(ladder.size(), 1);
+  EXPECT_DOUBLE_EQ(ladder.price(0), 2.0);
+  EXPECT_EQ(ladder.SnapIndex(100.0), 0);
+}
+
+TEST(PriceLadderTest, FromPricesExplicitSet) {
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0, 3.0}).ValueOrDie();
+  EXPECT_EQ(ladder.size(), 3);
+  EXPECT_DOUBLE_EQ(ladder.p_min(), 1.0);
+  EXPECT_DOUBLE_EQ(ladder.p_max(), 3.0);
+}
+
+TEST(PriceLadderTest, FromPricesValidation) {
+  EXPECT_FALSE(PriceLadder::FromPrices({}).ok());
+  EXPECT_FALSE(PriceLadder::FromPrices({1.0, 1.0}).ok());
+  EXPECT_FALSE(PriceLadder::FromPrices({2.0, 1.0}).ok());
+  EXPECT_FALSE(PriceLadder::FromPrices({-1.0, 2.0}).ok());
+}
+
+TEST(PriceLadderTest, SnapNearestWithLowTieBreak) {
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0, 4.0}).ValueOrDie();
+  EXPECT_EQ(ladder.SnapIndex(0.5), 0);   // below range
+  EXPECT_EQ(ladder.SnapIndex(1.0), 0);   // exact rung
+  EXPECT_EQ(ladder.SnapIndex(1.4), 0);
+  EXPECT_EQ(ladder.SnapIndex(1.5), 0);   // tie -> lower rung
+  EXPECT_EQ(ladder.SnapIndex(1.6), 1);
+  EXPECT_EQ(ladder.SnapIndex(2.9), 1);
+  EXPECT_EQ(ladder.SnapIndex(3.1), 2);
+  EXPECT_EQ(ladder.SnapIndex(99.0), 2);  // above range
+  EXPECT_DOUBLE_EQ(ladder.Snap(1.6), 2.0);
+}
+
+TEST(PriceLadderTest, SnapIsIdempotentOnRungs) {
+  auto ladder = PriceLadder::Make(1.0, 5.0, 0.5).ValueOrDie();
+  for (int i = 0; i < ladder.size(); ++i) {
+    EXPECT_EQ(ladder.SnapIndex(ladder.price(i)), i);
+  }
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,131 @@
+#include "stats/ucb.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/random.h"
+
+namespace maps {
+namespace {
+
+class UcbTest : public ::testing::Test {
+ protected:
+  UcbTest() : ladder_(PriceLadder::FromPrices({1, 2, 3}).ValueOrDie()) {}
+  PriceLadder ladder_;
+};
+
+TEST_F(UcbTest, UnobservedRungIsInfinitelyOptimistic) {
+  UcbEstimator ucb(&ladder_);
+  EXPECT_EQ(ucb.count(0), 0);
+  EXPECT_DOUBLE_EQ(ucb.mean(0), 0.0);
+  EXPECT_TRUE(std::isinf(ucb.Radius(0)));
+  EXPECT_TRUE(std::isinf(ucb.OptimisticUnitRevenue(0)));
+}
+
+TEST_F(UcbTest, MeanTracksObservations) {
+  UcbEstimator ucb(&ladder_);
+  ucb.Observe(1, true);
+  ucb.Observe(1, true);
+  ucb.Observe(1, false);
+  ucb.Observe(1, true);
+  EXPECT_EQ(ucb.count(1), 4);
+  EXPECT_DOUBLE_EQ(ucb.mean(1), 0.75);
+  EXPECT_EQ(ucb.total_observations(), 4);
+}
+
+TEST_F(UcbTest, RadiusFormula) {
+  UcbEstimator ucb(&ladder_);
+  for (int i = 0; i < 10; ++i) ucb.Observe(0, true);
+  for (int i = 0; i < 6; ++i) ucb.Observe(2, false);
+  // c(p) = p * sqrt(2 ln N / N(p)), N = 16.
+  const double expected0 = 1.0 * std::sqrt(2.0 * std::log(16.0) / 10.0);
+  const double expected2 = 3.0 * std::sqrt(2.0 * std::log(16.0) / 6.0);
+  EXPECT_NEAR(ucb.Radius(0), expected0, 1e-12);
+  EXPECT_NEAR(ucb.Radius(2), expected2, 1e-12);
+  EXPECT_NEAR(ucb.OptimisticUnitRevenue(2), 0.0 + expected2, 1e-12);
+}
+
+TEST_F(UcbTest, RadiusShrinksWithMorePulls) {
+  UcbEstimator ucb(&ladder_);
+  ucb.Observe(0, true);
+  ucb.Observe(0, true);
+  const double r2 = ucb.Radius(0);
+  for (int i = 0; i < 100; ++i) ucb.Observe(0, true);
+  EXPECT_LT(ucb.Radius(0), r2);
+}
+
+TEST_F(UcbTest, ObserveBulkEquivalentToLoop) {
+  UcbEstimator bulk(&ladder_), loop(&ladder_);
+  bulk.ObserveBulk(1, 100, 40);
+  for (int i = 0; i < 40; ++i) loop.Observe(1, true);
+  for (int i = 0; i < 60; ++i) loop.Observe(1, false);
+  EXPECT_DOUBLE_EQ(bulk.mean(1), loop.mean(1));
+  EXPECT_EQ(bulk.count(1), loop.count(1));
+  EXPECT_DOUBLE_EQ(bulk.Radius(1), loop.Radius(1));
+}
+
+TEST_F(UcbTest, ResetClearsEverything) {
+  UcbEstimator ucb(&ladder_);
+  ucb.ObserveBulk(0, 50, 25);
+  ucb.Reset();
+  EXPECT_EQ(ucb.total_observations(), 0);
+  EXPECT_EQ(ucb.count(0), 0);
+  EXPECT_TRUE(std::isinf(ucb.Radius(0)));
+}
+
+TEST_F(UcbTest, UcbIdentifiesBestArmQuickly) {
+  // Classic bandit sanity: arms with true unit revenues 1*0.9, 2*0.8, 3*0.4
+  // (best: p=2). Pull the argmax of the optimistic index; after warm-up the
+  // best arm dominates the pull counts.
+  const double true_s[3] = {0.9, 0.8, 0.4};
+  UcbEstimator ucb(&ladder_);
+  Rng rng(5);
+  for (int round = 0; round < 4000; ++round) {
+    int best = 0;
+    double best_v = -1.0;
+    for (int i = 0; i < 3; ++i) {
+      const double v = ucb.OptimisticUnitRevenue(i);
+      if (v > best_v) {
+        best_v = v;
+        best = i;
+      }
+    }
+    ucb.Observe(best, rng.NextBernoulli(true_s[best]));
+  }
+  EXPECT_GT(ucb.count(1), ucb.count(0));
+  EXPECT_GT(ucb.count(1), ucb.count(2));
+  EXPECT_GT(ucb.count(1), 3000);
+}
+
+TEST_F(UcbTest, ResetRungClearsOnlyThatRung) {
+  UcbEstimator ucb(&ladder_);
+  ucb.ObserveBulk(0, 100, 90);
+  ucb.ObserveBulk(1, 200, 100);
+  ucb.ResetRung(1);
+  EXPECT_EQ(ucb.count(1), 0);
+  EXPECT_DOUBLE_EQ(ucb.mean(1), 0.0);
+  EXPECT_TRUE(std::isinf(ucb.Radius(1)));
+  // Rung 0 untouched; total excludes the dropped observations.
+  EXPECT_EQ(ucb.count(0), 100);
+  EXPECT_DOUBLE_EQ(ucb.mean(0), 0.9);
+  EXPECT_EQ(ucb.total_observations(), 100);
+}
+
+TEST_F(UcbTest, ResetRungThenReseedBehavesLikeFreshWindow) {
+  UcbEstimator ucb(&ladder_);
+  ucb.ObserveBulk(2, 500, 400);
+  ucb.ResetRung(2);
+  ucb.ObserveBulk(2, 50, 10);  // the change detector's new window
+  EXPECT_DOUBLE_EQ(ucb.mean(2), 0.2);
+  EXPECT_EQ(ucb.count(2), 50);
+}
+
+TEST_F(UcbTest, BulkRejectsInconsistentCounts) {
+  UcbEstimator ucb(&ladder_);
+  EXPECT_DEATH(ucb.ObserveBulk(0, 5, 6), "Check failed");
+  EXPECT_DEATH(ucb.ObserveBulk(0, 5, -1), "Check failed");
+}
+
+}  // namespace
+}  // namespace maps

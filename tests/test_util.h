@@ -1,0 +1,68 @@
+// Shared builders for pricing/simulation tests.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "market/demand_oracle.h"
+#include "market/market_state.h"
+#include "rng/random.h"
+
+namespace maps {
+namespace testing_util {
+
+/// Builds a task with an explicit travel distance (destination is synthetic).
+inline Task MakeTask(const GridPartition& grid, TaskId id, Point origin,
+                     double distance, int32_t period = 0) {
+  Task t;
+  t.id = id;
+  t.period = period;
+  t.origin = origin;
+  t.destination = Point{origin.x + distance, origin.y};
+  t.distance = distance;
+  t.grid = grid.CellOf(origin);
+  return t;
+}
+
+inline Worker MakeWorker(const GridPartition& grid, WorkerId id, Point loc,
+                         double radius, int32_t period = 0) {
+  Worker w;
+  w.id = id;
+  w.period = period;
+  w.location = loc;
+  w.radius = radius;
+  w.grid = grid.CellOf(loc);
+  return w;
+}
+
+/// A random small market over `grid`: tasks and workers scattered uniformly,
+/// worker radii in [r_lo, r_hi].
+inline MarketSnapshot RandomSnapshot(const GridPartition& grid, Rng& rng,
+                                     int num_tasks, int num_workers,
+                                     double r_lo, double r_hi) {
+  const Rect& region = grid.region();
+  std::vector<Task> tasks;
+  for (int i = 0; i < num_tasks; ++i) {
+    const Point o{rng.NextDouble(region.min_x, region.max_x),
+                  rng.NextDouble(region.min_y, region.max_y)};
+    tasks.push_back(MakeTask(grid, i, o, rng.NextDouble(0.5, 5.0)));
+  }
+  std::vector<Worker> workers;
+  for (int i = 0; i < num_workers; ++i) {
+    const Point l{rng.NextDouble(region.min_x, region.max_x),
+                  rng.NextDouble(region.min_y, region.max_y)};
+    workers.push_back(MakeWorker(grid, i, l, rng.NextDouble(r_lo, r_hi)));
+  }
+  return MarketSnapshot(&grid, 0, std::move(tasks), std::move(workers));
+}
+
+/// An oracle with Table 1's acceptance ratios in every grid.
+inline DemandOracle TableOneOracle(int num_grids, uint64_t seed = 1) {
+  TabulatedDemand proto({1.0, 2.0, 3.0}, {0.9, 0.8, 0.5});
+  return DemandOracle::Make(ReplicateDemand(proto, num_grids), seed)
+      .ValueOrDie();
+}
+
+}  // namespace testing_util
+}  // namespace maps

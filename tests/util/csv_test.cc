@@ -1,0 +1,77 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace maps {
+namespace {
+
+TEST(TableTest, CsvRendering) {
+  Table t({"x", "strategy", "revenue"});
+  t.AddRow("5", std::string("MAPS"), 12.5);
+  t.AddRow("5", std::string("BaseP"), 10.0);
+  const std::string csv = t.ToCsv();
+  EXPECT_EQ(csv,
+            "x,strategy,revenue\n"
+            "5,MAPS,12.5000\n"
+            "5,BaseP,10.0000\n");
+}
+
+TEST(TableTest, TextRenderingAligned) {
+  Table t({"a", "bbbb"});
+  t.AddRow("xxxxx", 1);
+  const std::string text = t.ToText();
+  // Header, separator, one row.
+  EXPECT_NE(text.find("a      bbbb"), std::string::npos);
+  EXPECT_NE(text.find("xxxxx  1"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, IntegerAndLargeDoubleFormatting) {
+  Table t({"v"});
+  t.AddRow(1234567);
+  t.AddRow(2.5e7);
+  t.AddRow(0.0001);
+  const auto& rows = t.rows();
+  EXPECT_EQ(rows[0][0], "1234567");
+  EXPECT_EQ(rows[1][0], "2.5e+07");
+  EXPECT_EQ(rows[2][0], "0.0001");
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table t({"k", "v"});
+  t.AddRow(1, 2);
+  const std::string path = ::testing::TempDir() + "/maps_csv_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvBadPathFails) {
+  Table t({"k"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent-dir/foo.csv").ok());
+}
+
+TEST(TableTest, RowCountTracksAdds) {
+  Table t({"k"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow(1);
+  t.AddRow(2);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableDeathTest, ArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow(std::vector<std::string>{"only-one"}),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace maps

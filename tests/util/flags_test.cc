@@ -1,0 +1,60 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace maps {
+namespace {
+
+FlagSet Parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return FlagSet::Parse(static_cast<int>(argv.size()), argv.data())
+      .ValueOrDie();
+}
+
+TEST(FlagsTest, PositionalAndFlags) {
+  FlagSet f = Parse({"synthetic", "--workers=100", "--verbose"});
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "synthetic");
+  EXPECT_EQ(f.GetInt("workers", 0), 100);
+  EXPECT_TRUE(f.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  FlagSet f = Parse({});
+  EXPECT_EQ(f.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(f.GetString("missing", "x"), "x");
+  EXPECT_FALSE(f.GetBool("missing", false));
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(FlagsTest, TypedParsing) {
+  FlagSet f = Parse({"--rate=0.25", "--count=-3", "--on=yes", "--off=0"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 0), 0.25);
+  EXPECT_EQ(f.GetInt("count", 0), -3);
+  EXPECT_TRUE(f.GetBool("on", false));
+  EXPECT_FALSE(f.GetBool("off", true));
+}
+
+TEST(FlagsTest, UnreadKeysTracksTypos) {
+  FlagSet f = Parse({"--used=1", "--typo=2"});
+  EXPECT_EQ(f.GetInt("used", 0), 1);
+  auto unread = f.UnreadKeys();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_TRUE(unread.count("typo"));
+}
+
+TEST(FlagsTest, MalformedFlagsRejected) {
+  const char* argv1[] = {"prog", "--"};
+  EXPECT_FALSE(FlagSet::Parse(2, argv1).ok());
+  const char* argv2[] = {"prog", "--=value"};
+  EXPECT_FALSE(FlagSet::Parse(2, argv2).ok());
+}
+
+TEST(FlagsTest, LastDuplicateWins) {
+  FlagSet f = Parse({"--k=1", "--k=2"});
+  EXPECT_EQ(f.GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace maps

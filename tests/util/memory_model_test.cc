@@ -1,0 +1,55 @@
+#include "util/memory_model.h"
+
+#include <gtest/gtest.h>
+
+namespace maps {
+namespace {
+
+TEST(MemoryModelTest, SetTracksCurrentAndPeak) {
+  MemoryModel m;
+  m.Set("graph", 1000);
+  m.Set("ucb", 500);
+  EXPECT_EQ(m.CurrentBytes(), 1500u);
+  EXPECT_EQ(m.PeakBytes(), 1500u);
+  m.Set("graph", 200);  // shrink
+  EXPECT_EQ(m.CurrentBytes(), 700u);
+  EXPECT_EQ(m.PeakBytes(), 1500u);  // peak sticks
+}
+
+TEST(MemoryModelTest, AddAndRelease) {
+  MemoryModel m;
+  m.Add("pool", 100);
+  m.Add("pool", 50);
+  EXPECT_EQ(m.CurrentBytes(), 150u);
+  m.Release("pool", 60);
+  EXPECT_EQ(m.CurrentBytes(), 90u);
+  // Releasing more than held clamps at zero instead of underflowing.
+  m.Release("pool", 1000);
+  EXPECT_EQ(m.CurrentBytes(), 0u);
+  m.Release("unknown", 10);  // no-op
+  EXPECT_EQ(m.CurrentBytes(), 0u);
+}
+
+TEST(MemoryModelTest, PeakInMiB) {
+  MemoryModel m;
+  m.Set("x", 2 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(m.PeakMiB(), 2.0);
+}
+
+TEST(MemoryModelTest, ResetClearsEverything) {
+  MemoryModel m;
+  m.Set("x", 10);
+  m.Reset();
+  EXPECT_EQ(m.CurrentBytes(), 0u);
+  EXPECT_EQ(m.PeakBytes(), 0u);
+}
+
+TEST(ProcessMemoryTest, RssReadable) {
+  const size_t rss = ProcessRssBytes();
+  EXPECT_GT(rss, 0u);
+  const size_t peak = ProcessPeakRssBytes();
+  EXPECT_GE(peak, rss / 2);  // peak is at least in the same ballpark
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,158 @@
+// maps_cli: run any strategy on any workload from the command line.
+//
+//   maps_cli synthetic [--workers=5000 --tasks=20000 --periods=400
+//                       --grid=10 --radius=15 --temporal-mu=0.5
+//                       --spatial-mean=0.5 --demand-mu=2 --demand-sigma=1
+//                       --demand=normal|exponential --metric=euclidean|
+//                       manhattan|road --seed=42]
+//   maps_cli beijing   [--window=peak|night --duration=15 --scale=0.1
+//                       --seed=2016]
+// Common flags:
+//   --strategy=MAPS|BaseP|SDR|SDE|CappedUCB|all   (default all)
+//   --alpha=0.25 --pmin=1 --pmax=5                 pricing ladder
+//   --smooth=0.0 --cap=<price>                     post-processing
+//   --reposition=0.0                               idle-driver migration
+//   --csv=<path>                                   write results as CSV
+
+#include <iostream>
+
+#include "pricing/price_postprocess.h"
+#include "sim/beijing.h"
+#include "sim/metrics.h"
+#include "sim/synthetic.h"
+#include "util/flags.h"
+
+namespace maps {
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "maps_cli: " << message << "\n";
+  return 1;
+}
+
+Result<Workload> BuildWorkload(const std::string& kind, const FlagSet& flags) {
+  if (kind == "synthetic") {
+    SyntheticConfig cfg;
+    cfg.num_workers = static_cast<int>(flags.GetInt("workers", 5000));
+    cfg.num_tasks = static_cast<int>(flags.GetInt("tasks", 20000));
+    cfg.num_periods = static_cast<int>(flags.GetInt("periods", 400));
+    const int grid = static_cast<int>(flags.GetInt("grid", 10));
+    cfg.grid_rows = grid;
+    cfg.grid_cols = grid;
+    cfg.worker_radius = flags.GetDouble("radius", 15.0);
+    cfg.temporal_mu = flags.GetDouble("temporal-mu", 0.5);
+    cfg.spatial_mean = flags.GetDouble("spatial-mean", 0.5);
+    cfg.demand_mu = flags.GetDouble("demand-mu", 2.0);
+    cfg.demand_sigma = flags.GetDouble("demand-sigma", 1.0);
+    cfg.demand_rate = flags.GetDouble("demand-rate", 1.0);
+    cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    const std::string family = flags.GetString("demand", "normal");
+    if (family == "exponential") {
+      cfg.demand_family = SyntheticConfig::DemandFamily::kExponential;
+    } else if (family != "normal") {
+      return Status::InvalidArgument("unknown --demand=" + family);
+    }
+    const std::string metric = flags.GetString("metric", "euclidean");
+    if (metric == "manhattan") {
+      cfg.distance_metric = SyntheticConfig::DistanceMetric::kManhattan;
+    } else if (metric == "road") {
+      cfg.distance_metric = SyntheticConfig::DistanceMetric::kRoadNetwork;
+    } else if (metric != "euclidean") {
+      return Status::InvalidArgument("unknown --metric=" + metric);
+    }
+    return GenerateSynthetic(cfg);
+  }
+  if (kind == "beijing") {
+    BeijingConfig cfg;
+    const std::string window = flags.GetString("window", "peak");
+    if (window == "night") {
+      cfg.window = BeijingConfig::Window::kLateNight;
+    } else if (window != "peak") {
+      return Status::InvalidArgument("unknown --window=" + window);
+    }
+    cfg.worker_duration = static_cast<int>(flags.GetInt("duration", 15));
+    cfg.population_scale = flags.GetDouble("scale", 0.1);
+    cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 2016));
+    return GenerateBeijing(cfg);
+  }
+  return Status::InvalidArgument(
+      "unknown workload '" + kind + "' (expected synthetic|beijing)");
+}
+
+}  // namespace
+}  // namespace maps
+
+int main(int argc, char** argv) {
+  using namespace maps;  // NOLINT
+
+  auto flags_or = FlagSet::Parse(argc, argv);
+  if (!flags_or.ok()) return Fail(flags_or.status().ToString());
+  const FlagSet& flags = flags_or.ValueOrDie();
+  if (flags.positional().size() != 1) {
+    return Fail("usage: maps_cli <synthetic|beijing> [--flags]");
+  }
+
+  PricingConfig pricing;
+  pricing.p_min = flags.GetDouble("pmin", 1.0);
+  pricing.p_max = flags.GetDouble("pmax", 5.0);
+  pricing.alpha = flags.GetDouble("alpha", 0.25);
+
+  PostprocessOptions post;
+  post.smoothing_lambda = flags.GetDouble("smooth", 0.0);
+  if (flags.Has("cap")) post.price_cap = flags.GetDouble("cap", 5.0);
+  const bool postprocess =
+      post.smoothing_lambda > 0.0 || post.price_cap.has_value();
+
+  const std::string which = flags.GetString("strategy", "all");
+  const double reposition = flags.GetDouble("reposition", 0.0);
+  const std::string csv = flags.GetString("csv", "");
+
+  auto workload_or = BuildWorkload(flags.positional()[0], flags);
+
+  if (const auto unread = flags.UnreadKeys(); !unread.empty()) {
+    std::string joined;
+    for (const auto& k : unread) joined += " --" + k;
+    return Fail("unknown flag(s):" + joined);
+  }
+  if (!workload_or.ok()) return Fail(workload_or.status().ToString());
+  Workload& workload = workload_or.ValueOrDie();
+  workload.lifecycle.reposition_prob = reposition;
+
+  std::cout << "workload: " << workload.name << " — "
+            << workload.tasks.size() << " tasks, " << workload.workers.size()
+            << " workers, " << workload.grid.num_cells() << " grids, "
+            << workload.num_periods << " periods\n\n";
+
+  Table table({"strategy", "revenue", "time_secs", "memory_mb", "accepted",
+               "matched"});
+  auto strategies = DefaultStrategies(pricing);
+  size_t ran = 0;
+  for (size_t s = 0; s < strategies.size(); ++s) {
+    if (which != "all" && which != strategies[s].name) continue;
+    std::unique_ptr<PricingStrategy> strategy = strategies[s].make();
+    if (postprocess) {
+      strategy = std::make_unique<PostprocessedStrategy>(std::move(strategy),
+                                                         post);
+    }
+    SimOptions opts;
+    opts.warmup_stream = 300 + s;
+    auto run = RunSimulation(workload, strategy.get(), opts);
+    if (!run.ok()) {
+      return Fail(strategies[s].name + ": " + run.status().ToString());
+    }
+    const SimulationResult& r = run.ValueOrDie();
+    table.AddRow(strategy->name(), r.total_revenue, r.total_time_sec,
+                 static_cast<double>(r.memory_bytes) / (1024.0 * 1024.0),
+                 r.num_accepted, r.num_matched);
+    ++ran;
+  }
+  if (ran == 0) return Fail("no strategy matched --strategy=" + which);
+  std::cout << table.ToText();
+  if (!csv.empty()) {
+    if (Status st = table.WriteCsv(csv); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::cout << "\nwrote " << csv << "\n";
+  }
+  return 0;
+}
