@@ -1,8 +1,19 @@
 // Google-benchmark micro-benchmarks for the computational kernels: bipartite
 // graph construction, the three matchers, the possible-world enumerator,
 // demand sampling, and a full MAPS pricing round.
+//
+// After the google-benchmark suite runs, main() emits BENCH_micro.json —
+// per-op nanoseconds and peak bytes for the three tracked hot paths
+// (PriceRound, graph build, OracleSearch) — so the perf trajectory across
+// PRs is machine-readable. MAPS_BENCH_SCALE scales the tracked instance
+// sizes (e.g. 0.05 for a CI smoke pass).
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 
 #include "graph/bipartite_graph.h"
 #include "graph/hopcroft_karp.h"
@@ -11,6 +22,7 @@
 #include "graph/possible_worlds.h"
 #include "market/demand_model.h"
 #include "pricing/maps.h"
+#include "pricing/oracle_search.h"
 #include "rng/random.h"
 #include "sim/synthetic.h"
 
@@ -85,6 +97,33 @@ void BM_SpatialGraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_SpatialGraphBuild)->Range(64, 4096)->Complexity();
 
+void BM_SpatialGraphBuildPooled(benchmark::State& state) {
+  // Steady-state variant: workspace and graph storage reused across builds,
+  // as PriceRound and the simulator do every round.
+  const int n = static_cast<int>(state.range(0));
+  auto grid = GridPartition::Make(Rect{0, 0, 100, 100}, 10, 10).ValueOrDie();
+  Rng rng(4);
+  std::vector<Task> tasks(n);
+  std::vector<Worker> workers(n);
+  for (int i = 0; i < n; ++i) {
+    tasks[i].id = i;
+    tasks[i].origin = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    tasks[i].grid = grid.CellOf(tasks[i].origin);
+    workers[i].id = i;
+    workers[i].location = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    workers[i].radius = 15.0;
+    workers[i].grid = grid.CellOf(workers[i].location);
+  }
+  GraphBuildWorkspace ws;
+  BipartiteGraph g;
+  for (auto _ : state) {
+    BipartiteGraph::BuildInto(tasks, workers, grid, &ws, &g);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SpatialGraphBuildPooled)->Range(64, 4096)->Complexity();
+
 void BM_PossibleWorldEnumeration(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const BipartiteGraph g = MakeRandomGraph(n, n / 2 + 1, 0.5, 5);
@@ -147,7 +186,182 @@ void BM_MapsPriceRound(benchmark::State& state) {
 }
 BENCHMARK(BM_MapsPriceRound)->Range(256, 4096)->Complexity();
 
+// ---------------------------------------------------------------------------
+// BENCH_micro.json: machine-readable per-op ns and peak bytes for the three
+// tracked hot paths. Kept separate from the google-benchmark suite so the
+// file's schema is stable regardless of --benchmark_filter.
+// ---------------------------------------------------------------------------
+
+double BenchScale() {
+  const char* s = std::getenv("MAPS_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+struct TrackedResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  size_t peak_bytes = 0;
+  int iterations = 0;
+  int problem_size = 0;
+};
+
+/// Runs `op` until ~min_seconds of wall time accumulate; returns ns/op.
+template <typename Op>
+double TimeOp(Op&& op, int* iterations, double min_seconds = 0.25) {
+  using Clock = std::chrono::steady_clock;
+  int iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    op();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  *iterations = iters;
+  return elapsed * 1e9 / iters;
+}
+
+bool EmitTrackedJson(const std::string& path) {
+  const double scale = BenchScale();
+  std::vector<TrackedResult> results;
+
+  // Fig-8-scale PriceRound: the paper's scalability sweep tops out around
+  // 4k tasks per period at full scale.
+  {
+    const int tasks_n = std::max(32, static_cast<int>(4096 * scale));
+    SyntheticConfig cfg;
+    cfg.num_tasks = tasks_n;
+    cfg.num_workers = tasks_n / 4;
+    cfg.num_periods = 1;
+    cfg.temporal_sigma = 0.0001;
+    cfg.seed = 99;
+    Workload w = GenerateSynthetic(cfg).ValueOrDie();
+    MapsOptions opts;
+    Maps strategy(opts);
+    DemandOracle history = w.oracle.Fork(9);
+    if (!strategy.Warmup(w.grid, &history).ok()) {
+      std::cerr << "MAPS warmup failed; no tracked results\n";
+      return false;
+    }
+    MarketSnapshot snap(&w.grid, 0, w.tasks, w.workers);
+    std::vector<double> prices;
+    TrackedResult r;
+    r.name = "maps_price_round";
+    r.problem_size = tasks_n;
+    r.ns_per_op = TimeOp(
+        [&] {
+          if (!strategy.PriceRound(snap, &prices).ok()) std::abort();
+        },
+        &r.iterations);
+    r.peak_bytes = strategy.peak_round_bytes();
+    results.push_back(r);
+
+    // Same market, pooled spatial-join graph build.
+    GraphBuildWorkspace ws;
+    BipartiteGraph g;
+    TrackedResult b;
+    b.name = "bipartite_graph_build";
+    b.problem_size = tasks_n;
+    b.ns_per_op = TimeOp(
+        [&] {
+          BipartiteGraph::BuildInto(snap.tasks(), snap.workers(), snap.grid(),
+                                    &ws, &g);
+          benchmark::DoNotOptimize(g.num_edges());
+        },
+        &b.iterations);
+    // Peak = finished CSR plus the build workspace's transient buffers
+    // (edge list, cell buckets), which dominate during assembly.
+    b.peak_bytes = g.FootprintBytes() + ws.FootprintBytes();
+    results.push_back(b);
+  }
+
+  // Exact oracle on a tiny instance (its cost is exponential; the tracked
+  // number guards the one-build-per-invocation and workspace pooling).
+  {
+    auto grid = GridPartition::Make(Rect{0, 0, 20, 20}, 2, 2).ValueOrDie();
+    Rng rng(7);
+    std::vector<Task> tasks;
+    std::vector<Worker> workers;
+    // Clamp to the exact enumerator's 25-task cap (2^n worlds) so up-scale
+    // runs (MAPS_BENCH_SCALE > 2) don't trip its hard check.
+    const int num_tasks =
+        std::min(20, std::max(4, static_cast<int>(12 * scale)));
+    for (int i = 0; i < num_tasks; ++i) {
+      Task t;
+      t.id = i;
+      t.origin = {rng.NextDouble(0, 20), rng.NextDouble(0, 20)};
+      t.destination = {rng.NextDouble(0, 20), rng.NextDouble(0, 20)};
+      t.distance = rng.NextDouble(0.5, 5.0);
+      t.grid = grid.CellOf(t.origin);
+      tasks.push_back(t);
+    }
+    for (int i = 0; i < num_tasks / 2; ++i) {
+      Worker w;
+      w.id = i;
+      w.location = {rng.NextDouble(0, 20), rng.NextDouble(0, 20)};
+      w.radius = 8.0;
+      w.grid = grid.CellOf(w.location);
+      workers.push_back(w);
+    }
+    MarketSnapshot snap(&grid, 0, std::move(tasks), std::move(workers));
+    TabulatedDemand proto({1.0, 2.0, 3.0}, {0.9, 0.8, 0.5});
+    DemandOracle oracle =
+        DemandOracle::Make(ReplicateDemand(proto, grid.num_cells()), 3)
+            .ValueOrDie();
+    auto ladder = PriceLadder::FromPrices({1.0, 2.0, 3.0}).ValueOrDie();
+    TrackedResult r;
+    r.name = "oracle_search";
+    r.problem_size = num_tasks;
+    r.ns_per_op = TimeOp(
+        [&] {
+          auto best = OracleSearch(snap, oracle, ladder);
+          if (!best.ok()) std::abort();
+          benchmark::DoNotOptimize(best.ValueOrDie().expected_revenue);
+        },
+        &r.iterations, 0.5);
+    // The oracle's transient peak is dominated by the one graph it builds
+    // (replicated here including the build workspace it uses internally).
+    GraphBuildWorkspace ows;
+    BipartiteGraph og;
+    BipartiteGraph::BuildInto(snap.tasks(), snap.workers(), snap.grid(),
+                              &ows, &og);
+    r.peak_bytes = og.FootprintBytes() + ows.FootprintBytes();
+    results.push_back(r);
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << "{\n  \"schema\": \"maps-bench-micro-v1\",\n  \"scale\": " << scale
+      << ",\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const TrackedResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"ns_per_op\": " << r.ns_per_op
+        << ", \"peak_bytes\": " << r.peak_bytes
+        << ", \"iterations\": " << r.iterations
+        << ", \"problem_size\": " << r.problem_size << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return true;
+}
+
 }  // namespace
 }  // namespace maps
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* json_path = std::getenv("MAPS_BENCH_JSON");
+  const std::string path =
+      json_path != nullptr ? json_path : "BENCH_micro.json";
+  if (!maps::EmitTrackedJson(path)) return 1;
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}

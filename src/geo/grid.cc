@@ -53,7 +53,14 @@ Point GridPartition::CellCenter(GridId id) const {
 std::vector<GridId> GridPartition::CellsIntersectingDisc(const Point& center,
                                                          double radius) const {
   std::vector<GridId> out;
-  if (radius < 0.0) return out;
+  CellsIntersectingDisc(center, radius, &out);
+  return out;
+}
+
+void GridPartition::CellsIntersectingDisc(const Point& center, double radius,
+                                          std::vector<GridId>* out) const {
+  out->clear();
+  if (radius < 0.0) return;
   // Candidate cell range from the disc's bounding box, then an exact
   // rect-disc distance test.
   int cx_lo = static_cast<int>(
@@ -76,10 +83,9 @@ std::vector<GridId> GridPartition::CellsIntersectingDisc(const Point& center,
       const double ny = std::clamp(center.y, r.min_y, r.max_y);
       const double dx = center.x - nx;
       const double dy = center.y - ny;
-      if (dx * dx + dy * dy <= radius * radius) out.push_back(id);
+      if (dx * dx + dy * dy <= radius * radius) out->push_back(id);
     }
   }
-  return out;
 }
 
 }  // namespace maps

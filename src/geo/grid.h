@@ -44,6 +44,11 @@ class GridPartition {
   std::vector<GridId> CellsIntersectingDisc(const Point& center,
                                             double radius) const;
 
+  /// Allocation-free variant: clears and fills `out` (hot-loop callers keep
+  /// one scratch vector alive across queries).
+  void CellsIntersectingDisc(const Point& center, double radius,
+                             std::vector<GridId>* out) const;
+
  private:
   GridPartition(const Rect& region, int rows, int cols);
 

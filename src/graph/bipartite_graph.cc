@@ -1,59 +1,92 @@
 #include "graph/bipartite_graph.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/logging.h"
 
 namespace maps {
 
-BipartiteGraph BipartiteGraph::FromEdges(
-    int num_left, int num_right, std::vector<std::pair<int, int>> edges) {
-  BipartiteGraph g;
-  g.num_left_ = num_left;
-  g.num_right_ = num_right;
-  g.offsets_.assign(num_left + 1, 0);
+namespace {
+
+std::atomic<int64_t> g_build_count{0};
+
+}  // namespace
+
+int64_t BipartiteGraph::TotalBuildCount() {
+  return g_build_count.load(std::memory_order_relaxed);
+}
+
+void BipartiteGraph::AssignFromEdges(
+    int num_left, int num_right,
+    const std::vector<std::pair<int, int>>& edges,
+    std::vector<int64_t>* cursor) {
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
+  num_left_ = num_left;
+  num_right_ = num_right;
+  offsets_.assign(num_left + 1, 0);
   for (const auto& [l, r] : edges) {
     MAPS_CHECK(l >= 0 && l < num_left) << "left vertex out of range";
     MAPS_CHECK(r >= 0 && r < num_right) << "right vertex out of range";
-    ++g.offsets_[l + 1];
+    ++offsets_[l + 1];
   }
-  for (int l = 0; l < num_left; ++l) g.offsets_[l + 1] += g.offsets_[l];
-  g.adj_.resize(edges.size());
-  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (int l = 0; l < num_left; ++l) offsets_[l + 1] += offsets_[l];
+  adj_.resize(edges.size());
+  cursor->assign(offsets_.begin(), offsets_.end() - 1);
   for (const auto& [l, r] : edges) {
-    g.adj_[cursor[l]++] = r;
+    adj_[(*cursor)[l]++] = r;
   }
   // Deterministic neighbor order regardless of input edge order.
   for (int l = 0; l < num_left; ++l) {
-    std::sort(g.adj_.begin() + g.offsets_[l], g.adj_.begin() + g.offsets_[l + 1]);
+    std::sort(adj_.begin() + offsets_[l], adj_.begin() + offsets_[l + 1]);
   }
+}
+
+BipartiteGraph BipartiteGraph::FromEdges(
+    int num_left, int num_right,
+    const std::vector<std::pair<int, int>>& edges) {
+  BipartiteGraph g;
+  std::vector<int64_t> cursor;
+  g.AssignFromEdges(num_left, num_right, edges, &cursor);
   return g;
+}
+
+void BipartiteGraph::BuildInto(const std::vector<Task>& tasks,
+                               const std::vector<Worker>& workers,
+                               const GridPartition& grid,
+                               GraphBuildWorkspace* ws, BipartiteGraph* out) {
+  // Bucket task indices by grid cell, clearing (not freeing) old buckets.
+  ws->tasks_by_cell.resize(grid.num_cells());
+  for (auto& cell : ws->tasks_by_cell) cell.clear();
+  for (int i = 0; i < static_cast<int>(tasks.size()); ++i) {
+    ws->tasks_by_cell[tasks[i].grid].push_back(i);
+  }
+  ws->edges.clear();
+  for (int w = 0; w < static_cast<int>(workers.size()); ++w) {
+    const Worker& worker = workers[w];
+    const double r2 = worker.radius * worker.radius;
+    grid.CellsIntersectingDisc(worker.location, worker.radius, &ws->cells);
+    for (GridId cell : ws->cells) {
+      for (int t : ws->tasks_by_cell[cell]) {
+        const Point& o = tasks[t].origin;
+        const double dx = o.x - worker.location.x;
+        const double dy = o.y - worker.location.y;
+        if (dx * dx + dy * dy <= r2) ws->edges.emplace_back(t, w);
+      }
+    }
+  }
+  out->AssignFromEdges(static_cast<int>(tasks.size()),
+                       static_cast<int>(workers.size()), ws->edges,
+                       &ws->cursor);
 }
 
 BipartiteGraph BipartiteGraph::Build(const std::vector<Task>& tasks,
                                      const std::vector<Worker>& workers,
                                      const GridPartition& grid) {
-  // Bucket task indices by grid cell.
-  std::vector<std::vector<int>> tasks_by_cell(grid.num_cells());
-  for (int i = 0; i < static_cast<int>(tasks.size()); ++i) {
-    tasks_by_cell[tasks[i].grid].push_back(i);
-  }
-  std::vector<std::pair<int, int>> edges;
-  for (int w = 0; w < static_cast<int>(workers.size()); ++w) {
-    const Worker& worker = workers[w];
-    const double r2 = worker.radius * worker.radius;
-    for (GridId cell :
-         grid.CellsIntersectingDisc(worker.location, worker.radius)) {
-      for (int t : tasks_by_cell[cell]) {
-        const Point& o = tasks[t].origin;
-        const double dx = o.x - worker.location.x;
-        const double dy = o.y - worker.location.y;
-        if (dx * dx + dy * dy <= r2) edges.emplace_back(t, w);
-      }
-    }
-  }
-  return FromEdges(static_cast<int>(tasks.size()),
-                   static_cast<int>(workers.size()), std::move(edges));
+  GraphBuildWorkspace ws;
+  BipartiteGraph g;
+  BuildInto(tasks, workers, grid, &ws, &g);
+  return g;
 }
 
 }  // namespace maps

@@ -18,6 +18,29 @@
 
 namespace maps {
 
+/// \brief Reusable buffers for repeated spatial-join graph builds (one per
+/// pricing round). Holding one per call site makes steady-state builds
+/// allocation-free.
+struct GraphBuildWorkspace {
+  std::vector<std::vector<int>> tasks_by_cell;
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int64_t> cursor;
+  std::vector<GridId> cells;
+
+  /// Approximate heap footprint (memory-model accounting). The edge list
+  /// dominates a build's transient peak, ahead of the finished CSR.
+  size_t FootprintBytes() const {
+    size_t bytes = edges.capacity() * sizeof(std::pair<int, int>) +
+                   cursor.capacity() * sizeof(int64_t) +
+                   cells.capacity() * sizeof(GridId) +
+                   tasks_by_cell.capacity() * sizeof(std::vector<int>);
+    for (const auto& cell : tasks_by_cell) {
+      bytes += cell.capacity() * sizeof(int);
+    }
+    return bytes;
+  }
+};
+
 /// \brief Immutable bipartite adjacency, left = tasks, right = workers.
 class BipartiteGraph {
  public:
@@ -25,7 +48,7 @@ class BipartiteGraph {
 
   /// Builds from explicit edges (tests and reductions).
   static BipartiteGraph FromEdges(int num_left, int num_right,
-                                  std::vector<std::pair<int, int>> edges);
+                                  const std::vector<std::pair<int, int>>& edges);
 
   /// Builds from tasks/workers under the range constraint using a grid
   /// spatial join: each worker enumerates the cells its disc intersects and
@@ -34,6 +57,18 @@ class BipartiteGraph {
   static BipartiteGraph Build(const std::vector<Task>& tasks,
                               const std::vector<Worker>& workers,
                               const GridPartition& grid);
+
+  /// As Build(), but reuses `ws` scratch and `out`'s own storage so a
+  /// steady-state rebuild performs no heap allocation.
+  static void BuildInto(const std::vector<Task>& tasks,
+                        const std::vector<Worker>& workers,
+                        const GridPartition& grid, GraphBuildWorkspace* ws,
+                        BipartiteGraph* out);
+
+  /// Number of graphs constructed process-wide (any builder). Exposed so
+  /// tests can assert hot paths build exactly as often as intended — e.g.
+  /// OracleSearch must build once per invocation, not once per price combo.
+  static int64_t TotalBuildCount();
 
   int num_left() const { return num_left_; }
   int num_right() const { return num_right_; }
@@ -55,6 +90,11 @@ class BipartiteGraph {
   }
 
  private:
+  /// CSR assembly shared by every builder; reuses this graph's storage.
+  void AssignFromEdges(int num_left, int num_right,
+                       const std::vector<std::pair<int, int>>& edges,
+                       std::vector<int64_t>* cursor);
+
   int num_left_ = 0;
   int num_right_ = 0;
   std::vector<int64_t> offsets_;  // size num_left_+1

@@ -4,56 +4,117 @@
 
 namespace maps {
 
-IncrementalMatching::IncrementalMatching(const BipartiteGraph* graph)
-    : graph_(graph) {
-  MAPS_CHECK(graph != nullptr);
-  matching_.match_left.assign(graph->num_left(), Matching::kUnmatched);
-  matching_.match_right.assign(graph->num_right(), Matching::kUnmatched);
-  visited_.assign(graph->num_right(), -1);
+IncrementalMatching::IncrementalMatching(const BipartiteGraph* graph) {
+  Reset(graph);
 }
 
-bool IncrementalMatching::Dfs(int l, bool commit) {
-  for (int r : graph_->Neighbors(l)) {
+void IncrementalMatching::Reset(const BipartiteGraph* graph) {
+  MAPS_CHECK(graph != nullptr);
+  graph_ = graph;
+  matching_.match_left.assign(graph->num_left(), Matching::kUnmatched);
+  matching_.match_right.assign(graph->num_right(), Matching::kUnmatched);
+  matching_.size = 0;
+  visited_.assign(graph->num_right(), -1);
+  stamp_ = 0;
+  frames_.clear();
+}
+
+bool IncrementalMatching::Search(int root) {
+  frames_.clear();
+  frames_.push_back(Frame{root, 0, -1});
+  while (!frames_.empty()) {
+    Frame& f = frames_.back();
+    const auto neighbors = graph_->Neighbors(f.l);
+    if (f.next >= static_cast<int>(neighbors.size())) {
+      frames_.pop_back();
+      continue;
+    }
+    const int r = neighbors[f.next++];
     if (visited_[r] == stamp_) continue;
     visited_[r] = stamp_;
+    f.r = r;
     const int l2 = matching_.match_right[r];
-    if (l2 == Matching::kUnmatched || Dfs(l2, commit)) {
-      if (commit) {
-        matching_.match_left[l] = r;
-        matching_.match_right[r] = l;
-      }
-      return true;
-    }
+    if (l2 == Matching::kUnmatched) return true;
+    frames_.push_back(Frame{l2, 0, -1});
   }
   return false;
+}
+
+void IncrementalMatching::CommitFrames() {
+  for (const Frame& f : frames_) {
+    matching_.match_left[f.l] = f.r;
+    matching_.match_right[f.r] = f.l;
+  }
+  ++matching_.size;
 }
 
 bool IncrementalMatching::TryAugment(int l) {
   MAPS_DCHECK(l >= 0 && l < graph_->num_left());
   if (matching_.IsLeftMatched(l)) return true;
   ++stamp_;
-  if (Dfs(l, /*commit=*/true)) {
-    ++matching_.size;
+  if (Search(l)) {
+    CommitFrames();
     return true;
   }
   return false;
 }
 
 bool IncrementalMatching::AnyAugmentable(const std::vector<int>& candidates) {
+  ++stamp_;
   for (int l : candidates) {
     if (matching_.IsLeftMatched(l)) continue;
-    ++stamp_;
-    if (Dfs(l, /*commit=*/false)) return true;
+    if (Search(l)) return true;
   }
   return false;
 }
 
 int IncrementalMatching::AugmentFirst(const std::vector<int>& candidates) {
+  ++stamp_;
   for (int l : candidates) {
     if (matching_.IsLeftMatched(l)) continue;
-    if (TryAugment(l)) return l;
+    if (Search(l)) {
+      CommitFrames();
+      return l;
+    }
   }
   return Matching::kUnmatched;
+}
+
+int IncrementalMatching::FindAugmentablePath(
+    const std::vector<int>& candidates, RecordedPath* out) {
+  ++stamp_;
+  for (int l : candidates) {
+    if (matching_.IsLeftMatched(l)) continue;
+    if (Search(l)) {
+      out->edges.clear();
+      out->edges.reserve(frames_.size());
+      for (const Frame& f : frames_) out->edges.emplace_back(f.l, f.r);
+      return l;
+    }
+  }
+  out->clear();
+  return Matching::kUnmatched;
+}
+
+bool IncrementalMatching::CommitPath(const RecordedPath& path) {
+  if (path.empty()) return false;
+  // Valid iff the root is still free, each interior right vertex is still
+  // matched to the recorded successor, and the terminal right vertex is
+  // still free. Edges themselves are immutable, so this is sufficient.
+  if (matching_.IsLeftMatched(path.edges.front().first)) return false;
+  const size_t k = path.edges.size();
+  for (size_t i = 0; i < k; ++i) {
+    const int r = path.edges[i].second;
+    const int expected = (i + 1 < k) ? path.edges[i + 1].first
+                                     : Matching::kUnmatched;
+    if (matching_.match_right[r] != expected) return false;
+  }
+  for (const auto& [l, r] : path.edges) {
+    matching_.match_left[l] = r;
+    matching_.match_right[r] = l;
+  }
+  ++matching_.size;
+  return true;
 }
 
 }  // namespace maps

@@ -4,9 +4,17 @@
 // that some still-unassigned task of that grid has an augmenting path in the
 // current pre-matching. This class maintains the matching across such
 // single-vertex augmentations.
+//
+// The search core is a single iterative DFS over reusable stack/visited
+// buffers. It records the augmenting path it finds, so callers can separate
+// "does a path exist?" (probe) from "apply it" (commit) without walking the
+// alternating tree twice: a recorded path is revalidated in O(path length)
+// and applied in O(path length), falling back to one fresh search only when
+// an interleaved augmentation invalidated it.
 
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
@@ -14,11 +22,27 @@
 
 namespace maps {
 
+/// \brief An augmenting path recorded by a probe: edges_[i] = (l_i, r_i)
+/// where l_0 is the free root, r_last is a free right vertex, and each
+/// l_{i+1} is the vertex currently matched to r_i. Applying the path matches
+/// every (l_i, r_i) pair, growing the matching by one.
+struct RecordedPath {
+  std::vector<std::pair<int, int>> edges;
+
+  bool empty() const { return edges.empty(); }
+  void clear() { edges.clear(); }
+};
+
 /// \brief Maintains a bipartite matching under one-left-vertex-at-a-time
 /// augmentation requests.
 class IncrementalMatching {
  public:
+  IncrementalMatching() = default;
   explicit IncrementalMatching(const BipartiteGraph* graph);
+
+  /// Rebinds to `graph` and clears the matching, reusing all internal
+  /// buffers (no steady-state allocations when graph sizes are stable).
+  void Reset(const BipartiteGraph* graph);
 
   /// Tries to match left vertex `l` (possibly re-routing existing matches
   /// along an augmenting path). Returns true and mutates the matching on
@@ -34,22 +58,55 @@ class IncrementalMatching {
   /// returns its index or Matching::kUnmatched when none succeeds.
   int AugmentFirst(const std::vector<int>& candidates);
 
+  /// Probe: finds the first unmatched vertex in `candidates` with an
+  /// augmenting path and records that path into `out` WITHOUT mutating the
+  /// matching. Returns the vertex, or Matching::kUnmatched (and clears
+  /// `out`) when none is augmentable. The visited set is shared across
+  /// candidates: a failed search from one root proves every vertex it
+  /// reached is exhausted for all later roots, so the whole probe costs one
+  /// graph walk instead of one per candidate.
+  int FindAugmentablePath(const std::vector<int>& candidates,
+                          RecordedPath* out);
+
+  /// Commit: re-validates `path` against the current matching in O(length)
+  /// and applies it on success. Returns false (matching untouched) when an
+  /// interleaved augmentation re-routed one of its vertices.
+  bool CommitPath(const RecordedPath& path);
+
   const Matching& matching() const { return matching_; }
   int size() const { return matching_.size; }
 
   size_t FootprintBytes() const {
     return (matching_.match_left.capacity() +
             matching_.match_right.capacity() + visited_.capacity()) *
-           sizeof(int);
+               sizeof(int) +
+           frames_.capacity() * sizeof(Frame);
   }
 
  private:
-  bool Dfs(int l, bool commit);
+  /// One frame of the iterative DFS: `l` is the left vertex being expanded,
+  /// `next` the cursor into its neighbor span, `r` the right vertex the
+  /// search descended through (valid once the frame has a child or the
+  /// search succeeded at this frame).
+  struct Frame {
+    int l;
+    int next;
+    int r;
+  };
 
-  const BipartiteGraph* graph_;
+  /// Iterative DFS from `root` under the current visited stamp. On success
+  /// frames_ holds the augmenting path as (l, r) pairs; the matching is not
+  /// mutated. Does NOT bump the stamp (callers choose sharing semantics).
+  bool Search(int root);
+
+  /// Applies the path currently held in frames_.
+  void CommitFrames();
+
+  const BipartiteGraph* graph_ = nullptr;
   Matching matching_;
   std::vector<int> visited_;
   int stamp_ = 0;
+  std::vector<Frame> frames_;
 };
 
 }  // namespace maps

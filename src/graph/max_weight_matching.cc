@@ -3,33 +3,51 @@
 #include <algorithm>
 #include <numeric>
 
-#include "graph/incremental_matching.h"
 #include "util/logging.h"
 
 namespace maps {
 
-WeightedMatchingResult MaxWeightTaskMatching(
-    const BipartiteGraph& graph, const std::vector<double>& left_weight) {
+namespace {
+
+double GreedyMatroidMatch(const BipartiteGraph& graph,
+                          const std::vector<double>& left_weight,
+                          MaxWeightMatchingWorkspace* ws) {
   MAPS_CHECK_EQ(static_cast<int>(left_weight.size()), graph.num_left());
-  std::vector<int> order(graph.num_left());
-  std::iota(order.begin(), order.end(), 0);
+  ws->order.resize(graph.num_left());
+  std::iota(ws->order.begin(), ws->order.end(), 0);
   // Stable tie-break on index for determinism.
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
+  std::sort(ws->order.begin(), ws->order.end(), [&](int a, int b) {
     if (left_weight[a] != left_weight[b])
       return left_weight[a] > left_weight[b];
     return a < b;
   });
 
-  IncrementalMatching inc(&graph);
-  WeightedMatchingResult result;
-  for (int l : order) {
+  ws->inc.Reset(&graph);
+  double total = 0.0;
+  for (int l : ws->order) {
     if (left_weight[l] < 0.0) continue;  // never profitable
-    if (inc.TryAugment(l)) {
-      result.total_weight += left_weight[l];
+    if (ws->inc.TryAugment(l)) {
+      total += left_weight[l];
     }
   }
-  result.matching = inc.matching();
+  return total;
+}
+
+}  // namespace
+
+WeightedMatchingResult MaxWeightTaskMatching(
+    const BipartiteGraph& graph, const std::vector<double>& left_weight) {
+  MaxWeightMatchingWorkspace ws;
+  WeightedMatchingResult result;
+  result.total_weight = GreedyMatroidMatch(graph, left_weight, &ws);
+  result.matching = ws.inc.matching();
   return result;
+}
+
+double MaxWeightTaskMatchingValue(const BipartiteGraph& graph,
+                                  const std::vector<double>& left_weight,
+                                  MaxWeightMatchingWorkspace* ws) {
+  return GreedyMatroidMatch(graph, left_weight, ws);
 }
 
 }  // namespace maps

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "graph/incremental_matching.h"
 #include "graph/matching.h"
 
 namespace maps {
@@ -25,9 +26,24 @@ struct WeightedMatchingResult {
   double total_weight = 0.0;
 };
 
+/// \brief Reusable buffers for repeated MaxWeightTaskMatching calls over
+/// graphs of similar size (the possible-world enumerator solves one matching
+/// per world; pooling removes every per-world allocation).
+struct MaxWeightMatchingWorkspace {
+  std::vector<int> order;
+  IncrementalMatching inc;
+};
+
 /// \brief Exact max-weight matching when weight[l] is attached to the left
-/// vertex (weights must be non-negative).
+/// vertex (weights must be non-negative; negative-weight vertices are
+/// skipped).
 WeightedMatchingResult MaxWeightTaskMatching(
     const BipartiteGraph& graph, const std::vector<double>& left_weight);
+
+/// \brief Allocation-free variant: returns only the total weight, reusing
+/// `ws` buffers. The matching itself stays in ws->inc.matching().
+double MaxWeightTaskMatchingValue(const BipartiteGraph& graph,
+                                  const std::vector<double>& left_weight,
+                                  MaxWeightMatchingWorkspace* ws);
 
 }  // namespace maps

@@ -1,59 +1,102 @@
 #include "graph/possible_worlds.h"
 
-#include "graph/max_weight_matching.h"
+#include <algorithm>
+#include <numeric>
+
 #include "util/logging.h"
 
 namespace maps {
 
 namespace {
 
-double WorldRevenue(const BipartiteGraph& graph,
-                    const std::vector<PricedTask>& tasks,
-                    const std::vector<bool>& accepted) {
-  std::vector<double> weights(tasks.size());
-  for (size_t i = 0; i < tasks.size(); ++i) {
-    // Rejected tasks are excluded from the world's graph entirely
-    // (negative weight => greedy matcher skips them).
-    weights[i] = accepted[i] ? tasks[i].distance * tasks[i].price : -1.0;
+/// Precomputes the world-independent parts: per-task value d_r * p_r and
+/// the greedy processing order (value descending, index ascending). A
+/// world's revenue is then one pass over `order` skipping rejected tasks —
+/// identical to sorting that world's weights, since rejection preserves the
+/// relative order of the surviving tasks.
+void PrepareWorkspace(const std::vector<PricedTask>& tasks,
+                      PossibleWorldsWorkspace* ws) {
+  const size_t n = tasks.size();
+  ws->accepted.assign(n, 0);
+  ws->value.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    ws->value[i] = tasks[i].distance * tasks[i].price;
   }
-  return MaxWeightTaskMatching(graph, weights).total_weight;
+  ws->order.resize(n);
+  std::iota(ws->order.begin(), ws->order.end(), 0);
+  std::sort(ws->order.begin(), ws->order.end(), [&](int a, int b) {
+    if (ws->value[a] != ws->value[b]) return ws->value[a] > ws->value[b];
+    return a < b;
+  });
+}
+
+// NOTE: this is the same greedy transversal-matroid discipline as
+// MaxWeightTaskMatching (value-descending order, augmentability as the
+// independence oracle); the possible_worlds test suite cross-validates the
+// two against the Hungarian algorithm so they cannot silently diverge.
+double WorldRevenue(const BipartiteGraph& graph,
+                    PossibleWorldsWorkspace* ws) {
+  ws->inc.Reset(&graph);
+  double total = 0.0;
+  for (int l : ws->order) {
+    if (!ws->accepted[l]) continue;  // rejected: excluded from the world
+    if (ws->inc.TryAugment(l)) total += ws->value[l];
+  }
+  return total;
 }
 
 }  // namespace
 
 double ExactExpectedRevenue(const BipartiteGraph& graph,
-                            const std::vector<PricedTask>& tasks) {
+                            const std::vector<PricedTask>& tasks,
+                            PossibleWorldsWorkspace* ws) {
   const int n = static_cast<int>(tasks.size());
   MAPS_CHECK_EQ(n, graph.num_left());
   MAPS_CHECK_LE(n, 25) << "possible-world enumeration is 2^n";
+  PrepareWorkspace(tasks, ws);
   double expectation = 0.0;
-  std::vector<bool> accepted(n);
   for (uint32_t mask = 0; mask < (1u << n); ++mask) {
     double prob = 1.0;
     for (int i = 0; i < n; ++i) {
-      accepted[i] = (mask >> i) & 1u;
-      prob *= accepted[i] ? tasks[i].accept_prob : 1.0 - tasks[i].accept_prob;
+      ws->accepted[i] = static_cast<char>((mask >> i) & 1u);
+      prob *= ws->accepted[i] ? tasks[i].accept_prob
+                              : 1.0 - tasks[i].accept_prob;
     }
     if (prob == 0.0) continue;
-    expectation += prob * WorldRevenue(graph, tasks, accepted);
+    expectation += prob * WorldRevenue(graph, ws);
   }
   return expectation;
+}
+
+double ExactExpectedRevenue(const BipartiteGraph& graph,
+                            const std::vector<PricedTask>& tasks) {
+  PossibleWorldsWorkspace ws;
+  return ExactExpectedRevenue(graph, tasks, &ws);
+}
+
+double MonteCarloExpectedRevenue(const BipartiteGraph& graph,
+                                 const std::vector<PricedTask>& tasks,
+                                 Rng& rng, int samples,
+                                 PossibleWorldsWorkspace* ws) {
+  MAPS_CHECK_GT(samples, 0);
+  MAPS_CHECK_EQ(static_cast<int>(tasks.size()), graph.num_left());
+  PrepareWorkspace(tasks, ws);
+  double total = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      ws->accepted[i] =
+          static_cast<char>(rng.NextBernoulli(tasks[i].accept_prob));
+    }
+    total += WorldRevenue(graph, ws);
+  }
+  return total / samples;
 }
 
 double MonteCarloExpectedRevenue(const BipartiteGraph& graph,
                                  const std::vector<PricedTask>& tasks,
                                  Rng& rng, int samples) {
-  MAPS_CHECK_GT(samples, 0);
-  MAPS_CHECK_EQ(static_cast<int>(tasks.size()), graph.num_left());
-  double total = 0.0;
-  std::vector<bool> accepted(tasks.size());
-  for (int s = 0; s < samples; ++s) {
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      accepted[i] = rng.NextBernoulli(tasks[i].accept_prob);
-    }
-    total += WorldRevenue(graph, tasks, accepted);
-  }
-  return total / samples;
+  PossibleWorldsWorkspace ws;
+  return MonteCarloExpectedRevenue(graph, tasks, rng, samples, &ws);
 }
 
 }  // namespace maps

@@ -6,12 +6,17 @@
 // probability-weighted sum over all 2^|R| worlds (Fig. 2 of the paper).
 // Exponential, so usable only on small instances — it is the ground truth
 // the pricing strategies are validated against.
+//
+// Per-world work is allocation-free: task values d_r * p_r and their greedy
+// order are world-independent, so both are computed once per task set and a
+// pooled workspace carries the acceptance/matching scratch across worlds.
 
 #pragma once
 
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "graph/incremental_matching.h"
 #include "rng/random.h"
 
 namespace maps {
@@ -23,14 +28,34 @@ struct PricedTask {
   double accept_prob = 0.0;  ///< S_g(p_r)
 };
 
+/// \brief Scratch reused across worlds (and across whole evaluations when
+/// the caller keeps it alive, e.g. OracleSearch's odometer loop).
+struct PossibleWorldsWorkspace {
+  std::vector<char> accepted;   ///< acceptance vector of the current world
+  std::vector<double> value;    ///< d_r * p_r per task
+  std::vector<int> order;       ///< task indices, value-descending
+  IncrementalMatching inc;      ///< per-world greedy matching state
+};
+
 /// \brief Exact E[U(B^t)] by enumerating all 2^n acceptance subsets.
 /// \pre tasks.size() <= 25 (hard check; beyond that use Monte Carlo).
 double ExactExpectedRevenue(const BipartiteGraph& graph,
                             const std::vector<PricedTask>& tasks);
 
+/// \brief As above, reusing `ws` buffers across calls.
+double ExactExpectedRevenue(const BipartiteGraph& graph,
+                            const std::vector<PricedTask>& tasks,
+                            PossibleWorldsWorkspace* ws);
+
 /// \brief Monte-Carlo estimate of E[U(B^t)] with `samples` sampled worlds.
 double MonteCarloExpectedRevenue(const BipartiteGraph& graph,
                                  const std::vector<PricedTask>& tasks,
                                  Rng& rng, int samples);
+
+/// \brief As above, reusing `ws` buffers across calls.
+double MonteCarloExpectedRevenue(const BipartiteGraph& graph,
+                                 const std::vector<PricedTask>& tasks,
+                                 Rng& rng, int samples,
+                                 PossibleWorldsWorkspace* ws);
 
 }  // namespace maps

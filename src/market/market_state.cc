@@ -17,23 +17,41 @@ MarketSnapshot::MarketSnapshot(const GridPartition* grid, int32_t period,
   const int g = grid_->num_cells();
   tasks_by_grid_.resize(g);
   workers_by_grid_.resize(g);
-  sorted_dist_by_grid_.resize(g);
+  dist_prefix_by_grid_.resize(g);
   total_dist_by_grid_.assign(g, 0.0);
   for (int i = 0; i < static_cast<int>(tasks_.size()); ++i) {
     const Task& t = tasks_[i];
     MAPS_DCHECK(t.grid >= 0 && t.grid < g);
     tasks_by_grid_[t.grid].push_back(i);
-    sorted_dist_by_grid_[t.grid].push_back(t.distance);
-    total_dist_by_grid_[t.grid] += t.distance;
   }
   for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
     const Worker& w = workers_[i];
     MAPS_DCHECK(w.grid >= 0 && w.grid < g);
     workers_by_grid_[w.grid].push_back(i);
   }
-  for (auto& d : sorted_dist_by_grid_) {
-    std::sort(d.begin(), d.end(), std::greater<double>());
+  // Sort each grid's distances descending in scratch, then keep only the
+  // prefix sums (the maximizer reads top-n sums, never single distances).
+  std::vector<double> sorted;
+  for (int c = 0; c < g; ++c) {
+    sorted.clear();
+    for (int i : tasks_by_grid_[c]) sorted.push_back(tasks_[i].distance);
+    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    auto& prefix = dist_prefix_by_grid_[c];
+    prefix.resize(sorted.size() + 1);
+    prefix[0] = 0.0;
+    for (size_t k = 0; k < sorted.size(); ++k) {
+      prefix[k + 1] = prefix[k] + sorted[k];
+    }
+    // Same summation order as the prefix, so top-n/total ratios computed
+    // from the two can never exceed 1 by a rounding ulp.
+    total_dist_by_grid_[c] = prefix.back();
   }
+}
+
+const std::vector<double>& MarketSnapshot::DistancePrefixSumsInGrid(
+    GridId g) const {
+  MAPS_DCHECK(g >= 0 && g < num_grids());
+  return dist_prefix_by_grid_[g];
 }
 
 const std::vector<int>& MarketSnapshot::TasksInGrid(GridId g) const {
@@ -44,12 +62,6 @@ const std::vector<int>& MarketSnapshot::TasksInGrid(GridId g) const {
 const std::vector<int>& MarketSnapshot::WorkersInGrid(GridId g) const {
   MAPS_DCHECK(g >= 0 && g < num_grids());
   return workers_by_grid_[g];
-}
-
-const std::vector<double>& MarketSnapshot::SortedDistancesInGrid(
-    GridId g) const {
-  MAPS_DCHECK(g >= 0 && g < num_grids());
-  return sorted_dist_by_grid_[g];
 }
 
 double MarketSnapshot::TotalDistanceInGrid(GridId g) const {

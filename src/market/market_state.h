@@ -31,9 +31,14 @@ class MarketSnapshot {
   /// Indices into workers() currently located in `g`.
   const std::vector<int>& WorkersInGrid(GridId g) const;
 
-  /// Task distances in grid `g`, sorted descending — the d_{r_1} >= d_{r_2}
-  /// >= ... ordering the supply curve of Eq. (1) sums over.
-  const std::vector<double>& SortedDistancesInGrid(GridId g) const;
+  /// Prefix sums over grid `g`'s task distances in descending order —
+  /// element k is the sum of the k largest distances (element 0 is 0;
+  /// size = tasks-in-grid + 1). This is the d_{r_1} >= d_{r_2} >= ...
+  /// ordering the supply curve of Eq. (1) sums over, cached so the
+  /// Algorithm 3 maximizer evaluates any top-n sum in O(1) instead of
+  /// re-summing per ladder rung. The k-th largest distance itself is
+  /// prefix[k] - prefix[k-1].
+  const std::vector<double>& DistancePrefixSumsInGrid(GridId g) const;
 
   /// Sum of all task distances in grid `g` (demand-curve scale C).
   double TotalDistanceInGrid(GridId g) const;
@@ -45,7 +50,7 @@ class MarketSnapshot {
   std::vector<Worker> workers_;
   std::vector<std::vector<int>> tasks_by_grid_;
   std::vector<std::vector<int>> workers_by_grid_;
-  std::vector<std::vector<double>> sorted_dist_by_grid_;
+  std::vector<std::vector<double>> dist_prefix_by_grid_;
   std::vector<double> total_dist_by_grid_;
 };
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 
 #include "util/logging.h"
 
@@ -18,24 +17,6 @@ constexpr double kDeltaEps = 1e-12;
 // plateau step always ranks below any real revenue increase.
 constexpr double kPlateauPriority = 1e-9;
 
-/// One max-heap tuple ((g, n_new, p_new), Delta^g) of Algorithm 2.
-struct HeapEntry {
-  double delta = 0.0;
-  int grid = -1;
-  int n_new = 0;
-  double p_new = 0.0;
-  double l_new = 0.0;
-  double unit_new = 0.0;
-  uint64_t seq = 0;  // FIFO tie-break for determinism
-};
-
-struct HeapLess {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    if (a.delta != b.delta) return a.delta < b.delta;
-    return a.seq > b.seq;
-  }
-};
-
 }  // namespace
 
 Maps::Maps(const MapsOptions& options)
@@ -44,7 +25,20 @@ Maps::Maps(const MapsOptions& options)
       base_(options.pricing) {}
 
 void Maps::EnsureGridState(int num_grids) {
-  if (static_cast<int>(ucb_.size()) == num_grids) return;
+  const int current = static_cast<int>(ucb_.size());
+  if (current == num_grids) return;
+  if (current > 0) {
+    // A different grid count means a different partition of the region, so
+    // grid indices no longer denote the same geographic cells — carrying
+    // statistics over by index would silently price cells from another
+    // area's learned demand. Reset everything, but never silently: this
+    // discards all learned UCB/change-detector state.
+    MAPS_LOG(Warning) << "MAPS grid count changed from " << current << " to "
+                      << num_grids
+                      << "; resetting all learned UCB/change-detector state"
+                      << " (cell indices changed meaning)";
+    ++grid_state_resets_;
+  }
   ucb_.clear();
   change_.clear();
   ucb_.reserve(num_grids);
@@ -58,6 +52,11 @@ void Maps::EnsureGridState(int num_grids) {
     }
     change_.push_back(std::move(row));
   }
+}
+
+int64_t Maps::UcbObservations(int g) const {
+  MAPS_CHECK(g >= 0 && g < static_cast<int>(ucb_.size()));
+  return ucb_[g].total_observations();
 }
 
 Status Maps::Warmup(const GridPartition& grid, DemandOracle* history) {
@@ -82,14 +81,13 @@ Status Maps::Warmup(const GridPartition& grid, DemandOracle* history) {
 }
 
 Maps::Maximizer Maps::CalcMaximizer(int g,
-                                    const std::vector<double>& sorted_dist,
+                                    const std::vector<double>& dist_prefix,
                                     double total_dist, int n) const {
   MAPS_DCHECK_GT(total_dist, 0.0);
-  MAPS_DCHECK(n >= 1 && n <= static_cast<int>(sorted_dist.size()));
+  MAPS_DCHECK(n >= 1 && n < static_cast<int>(dist_prefix.size()));
 
   if (options_.supply_approx == MapsOptions::SupplyApprox::kMinOfCurves) {
-    double topn_dist = 0.0;
-    for (int i = 0; i < n; ++i) topn_dist += sorted_dist[i];
+    const double topn_dist = dist_prefix[n];
     const double ratio = std::min(topn_dist / total_dist, 1.0);
     Maximizer best;
     double best_index = -1.0;
@@ -119,7 +117,7 @@ Maps::Maximizer Maps::CalcMaximizer(int g,
   // Appendix C.6's alternative: L = sum_{i<=k} d_{r_i} * p * S(p) with
   // k = min(ceil(|R| * S(p)), n) — the expected accepted demand truncated
   // by the allocated supply, valued at the expected unit revenue.
-  const int num_tasks = static_cast<int>(sorted_dist.size());
+  const int num_tasks = static_cast<int>(dist_prefix.size()) - 1;
   Maximizer best;
   double best_value = -1.0;
   for (int i = ladder_.size() - 1; i >= 0; --i) {
@@ -131,9 +129,7 @@ Maps::Maximizer Maps::CalcMaximizer(int g,
         static_cast<int>(std::ceil(num_tasks * s_opt));
     auto value_with_supply = [&](int supply) {
       const int k = std::min(expected_accepts, supply);
-      double prefix = 0.0;
-      for (int j = 0; j < k; ++j) prefix += sorted_dist[j];
-      return prefix * p * s_opt;
+      return dist_prefix[k] * p * s_opt;
     };
     const double value = value_with_supply(n);
     if (value > best_value) {
@@ -149,6 +145,18 @@ Maps::Maximizer Maps::CalcMaximizer(int g,
   return best;
 }
 
+void Maps::PushHeap(const HeapEntry& entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), &Maps::HeapBefore);
+}
+
+Maps::HeapEntry Maps::PopHeap() {
+  std::pop_heap(heap_.begin(), heap_.end(), &Maps::HeapBefore);
+  const HeapEntry top = heap_.back();
+  heap_.pop_back();
+  return top;
+}
+
 Status Maps::PriceRound(const MarketSnapshot& snapshot,
                         std::vector<double>* grid_prices) {
   if (!warmed_up_) {
@@ -162,32 +170,38 @@ Status Maps::PriceRound(const MarketSnapshot& snapshot,
           ? base_.base_price()
           : ladder_.Snap(std::sqrt(ladder_.p_min() * ladder_.p_max()));
 
-  // Line 1: the bipartite graph under the range constraints.
-  const BipartiteGraph graph = BipartiteGraph::Build(
-      snapshot.tasks(), snapshot.workers(), snapshot.grid());
+  // Line 1: the bipartite graph under the range constraints. Graph,
+  // matching, heap, and per-grid scratch are pooled members — steady-state
+  // rounds perform no heap allocation.
+  BipartiteGraph::BuildInto(snapshot.tasks(), snapshot.workers(),
+                            snapshot.grid(), &build_ws_, &graph_);
   // Line 2: the pre-matching M'.
-  IncrementalMatching pre_matching(&graph);
+  pre_matching_.Reset(&graph_);
 
   grid_prices->assign(num_grids, p_b);
   last_supply_.assign(num_grids, 0);
-  last_delta_trace_.assign(num_grids, {});
+  last_delta_trace_.resize(num_grids);
+  for (auto& trace : last_delta_trace_) trace.clear();
+  pending_path_.resize(num_grids);
+  // Paths recorded last round reference last round's graph; CommitPath
+  // cannot detect cross-graph staleness, so drop them (capacity retained).
+  for (auto& path : pending_path_) path.clear();
 
-  std::vector<double> cur_price(num_grids, p_b);
-  std::vector<double> cur_l(num_grids, 0.0);
-  std::vector<double> cur_unit(num_grids, 0.0);
-  std::vector<char> finalized(num_grids, 0);
+  cur_price_.assign(num_grids, p_b);
+  cur_l_.assign(num_grids, 0.0);
+  cur_unit_.assign(num_grids, 0.0);
+  finalized_.assign(num_grids, 0);
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
+  heap_.clear();
   uint64_t seq = 0;
   // Lines 3-4: one infinity-keyed tuple per grid.
   for (int g = 0; g < num_grids; ++g) {
-    heap.push(HeapEntry{kInfDelta, g, 0, p_b, 0.0, 0.0, seq++});
+    PushHeap(HeapEntry{kInfDelta, g, 0, p_b, 0.0, 0.0, seq++});
   }
 
   // Lines 5-21.
-  while (!heap.empty()) {
-    HeapEntry e = heap.top();
-    heap.pop();
+  while (!heap_.empty()) {
+    const HeapEntry e = PopHeap();
     const int g = e.grid;
     const auto& grid_tasks = snapshot.TasksInGrid(g);
 
@@ -195,40 +209,50 @@ Status Maps::PriceRound(const MarketSnapshot& snapshot,
       if (e.delta <= kDeltaEps) {
         // Lines 11-14: zero increase => final price, capped at p_max.
         grid_prices->at(g) = std::min(e.p_new, ladder_.p_max());
-        finalized[g] = 1;
+        finalized_[g] = 1;
         continue;
       }
-      // Lines 9-10: admit the increase; the augmenting path may have been
-      // invalidated by another grid's admission since this entry was
-      // pushed, in which case the grid can no longer grow.
-      const int augmented = pre_matching.AugmentFirst(grid_tasks);
-      if (augmented == Matching::kUnmatched) {
-        heap.push(HeapEntry{0.0, g, last_supply_[g], cur_price[g], cur_l[g],
-                            cur_unit[g], seq++});
+      // Lines 9-10: admit the increase. The probe that priced this entry
+      // recorded its augmenting path; if no other grid's admission touched
+      // it since, applying it is O(path length). Otherwise fall back to one
+      // fresh single-pass search-and-commit; only when that also fails has
+      // the grid lost the ability to grow.
+      bool augmented = pre_matching_.CommitPath(pending_path_[g]);
+      if (!augmented) {
+        augmented =
+            pre_matching_.AugmentFirst(grid_tasks) != Matching::kUnmatched;
+      }
+      if (!augmented) {
+        PushHeap(HeapEntry{0.0, g, last_supply_[g], cur_price_[g], cur_l_[g],
+                           cur_unit_[g], seq++});
         continue;
       }
       last_supply_[g] = e.n_new;
-      cur_price[g] = e.p_new;
-      cur_l[g] = e.l_new;
-      cur_unit[g] = e.unit_new;
+      cur_price_[g] = e.p_new;
+      cur_l_[g] = e.l_new;
+      cur_unit_[g] = e.unit_new;
       last_delta_trace_[g].push_back(e.delta);
     }
 
-    // Lines 16-21: attempt to grow the grid's supply by one worker.
-    if (grid_tasks.empty() || !pre_matching.AnyAugmentable(grid_tasks)) {
-      heap.push(HeapEntry{0.0, g, last_supply_[g], cur_price[g], cur_l[g],
-                          cur_unit[g], seq++});
+    // Lines 16-21: attempt to grow the grid's supply by one worker. The
+    // probe doubles as the admission's path search (recorded for the later
+    // commit), so each pop walks the alternating tree at most once.
+    if (grid_tasks.empty() ||
+        pre_matching_.FindAugmentablePath(grid_tasks, &pending_path_[g]) ==
+            Matching::kUnmatched) {
+      PushHeap(HeapEntry{0.0, g, last_supply_[g], cur_price_[g], cur_l_[g],
+                         cur_unit_[g], seq++});
       continue;
     }
     const int n_next = last_supply_[g] + 1;
-    const auto& sorted_dist = snapshot.SortedDistancesInGrid(g);
-    MAPS_DCHECK_LE(n_next, static_cast<int>(sorted_dist.size()));
+    const auto& dist_prefix = snapshot.DistancePrefixSumsInGrid(g);
+    MAPS_DCHECK_LT(n_next, static_cast<int>(dist_prefix.size()));
     const double total = snapshot.TotalDistanceInGrid(g);
-    const Maximizer maxi = CalcMaximizer(g, sorted_dist, total, n_next);
+    const Maximizer maxi = CalcMaximizer(g, dist_prefix, total, n_next);
     double delta =
         options_.delta_mode == MapsOptions::DeltaMode::kExpectedRevenueGain
-            ? maxi.l_value - cur_l[g]
-            : maxi.unit_revenue - cur_unit[g];
+            ? maxi.l_value - cur_l_[g]
+            : maxi.unit_revenue - cur_unit_[g];
     if (delta <= kDeltaEps &&
         options_.delta_mode ==
             MapsOptions::DeltaMode::kExpectedRevenueGain) {
@@ -246,20 +270,25 @@ Status Maps::PriceRound(const MarketSnapshot& snapshot,
       }
     }
     if (delta <= kDeltaEps) {
-      heap.push(HeapEntry{0.0, g, last_supply_[g], cur_price[g], cur_l[g],
-                          cur_unit[g], seq++});
+      PushHeap(HeapEntry{0.0, g, last_supply_[g], cur_price_[g], cur_l_[g],
+                         cur_unit_[g], seq++});
     } else {
-      heap.push(HeapEntry{delta, g, n_next, maxi.price, maxi.l_value,
-                          maxi.unit_revenue, seq++});
+      PushHeap(HeapEntry{delta, g, n_next, maxi.price, maxi.l_value,
+                         maxi.unit_revenue, seq++});
     }
   }
 
   for (int g = 0; g < num_grids; ++g) {
-    MAPS_DCHECK(finalized[g]) << "grid " << g << " never finalized";
+    MAPS_DCHECK(finalized_[g]) << "grid " << g << " never finalized";
   }
 
-  const size_t round_bytes =
-      graph.FootprintBytes() + pre_matching.FootprintBytes();
+  size_t round_bytes = graph_.FootprintBytes() +
+                       pre_matching_.FootprintBytes() +
+                       build_ws_.FootprintBytes() +
+                       heap_.capacity() * sizeof(HeapEntry);
+  for (const auto& path : pending_path_) {
+    round_bytes += path.edges.capacity() * sizeof(std::pair<int, int>);
+  }
   peak_round_bytes_ = std::max(peak_round_bytes_, round_bytes);
   return Status::OK();
 }
@@ -298,8 +327,8 @@ void Maps::ObserveFeedback(const MarketSnapshot& snapshot,
 }
 
 size_t Maps::MemoryFootprintBytes() const {
-  // Persistent state only; the per-round graph/matching are freed every
-  // round and tracked via peak_round_bytes().
+  // Persistent learned state only; the pooled round scratch (graph +
+  // pre-matching) is tracked via peak_round_bytes().
   size_t bytes = base_.MemoryFootprintBytes();
   for (const auto& u : ucb_) bytes += u.FootprintBytes();
   bytes += change_.size() * ladder_.size() * sizeof(ChangeDetector);

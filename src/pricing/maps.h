@@ -9,6 +9,12 @@
 // (iii) prices each grid at the UCB-index maximizer of Algorithm 3 for its
 // final supply level. Acceptance ratios are learned online with UCB and
 // guarded by a binomial change detector.
+//
+// The matching core is allocation-free in steady state: the graph, the
+// pre-matching, the heap, and every per-grid scratch vector are pooled
+// across rounds, and each heap pop performs at most one alternating-tree
+// walk (the probe records the augmenting path; the later admission
+// revalidates and applies it in O(path) instead of searching again).
 
 #pragma once
 
@@ -99,10 +105,18 @@ class Maps : public PricingStrategy {
   /// Number of UCB resets triggered by the change detector so far.
   int64_t change_resets() const { return change_resets_; }
 
+  /// Total UCB observations recorded for grid `g` (diagnostic/test hook:
+  /// guards the grid-count-change reset policy).
+  int64_t UcbObservations(int g) const;
+
+  /// Times a grid-count change forced a full learned-state reset. Stable
+  /// grid counts must keep this at zero; every increment is also logged.
+  int64_t grid_state_resets() const { return grid_state_resets_; }
+
   /// Peak bytes of the per-round transient structures (bipartite graph +
   /// pre-matching). Reported separately from MemoryFootprintBytes() because
-  /// they are freed at the end of every round; the ablation bench surfaces
-  /// them.
+  /// they are pooled round-scratch, not learned state; the ablation bench
+  /// surfaces them.
   size_t peak_round_bytes() const { return peak_round_bytes_; }
 
  private:
@@ -117,14 +131,34 @@ class Maps : public PricingStrategy {
     double ceiling = 0.0;
   };
 
+  /// One max-heap tuple ((g, n_new, p_new), Delta^g) of Algorithm 2.
+  struct HeapEntry {
+    double delta = 0.0;
+    int grid = -1;
+    int n_new = 0;
+    double p_new = 0.0;
+    double l_new = 0.0;
+    double unit_new = 0.0;
+    uint64_t seq = 0;  // FIFO tie-break for determinism
+  };
+
   /// Algorithm 3: best ladder price for grid g at supply level n.
-  /// \param sorted_dist task distances of the grid, descending
-  /// \param total_dist  C' = sum of all distances (== sum of sorted_dist)
-  /// \param n           contemplated supply level (1 <= n <= |sorted_dist|)
-  Maximizer CalcMaximizer(int g, const std::vector<double>& sorted_dist,
+  /// \param dist_prefix prefix sums of the grid's descending task
+  ///                    distances (dist_prefix[k] = sum of top k)
+  /// \param total_dist  C' = sum of all distances (== dist_prefix.back())
+  /// \param n           contemplated supply level (1 <= n < |dist_prefix|)
+  Maximizer CalcMaximizer(int g, const std::vector<double>& dist_prefix,
                           double total_dist, int n) const;
 
   void EnsureGridState(int num_grids);
+
+  /// Max-heap ordering on Delta with FIFO tie-break (determinism).
+  static bool HeapBefore(const HeapEntry& a, const HeapEntry& b) {
+    if (a.delta != b.delta) return a.delta < b.delta;
+    return a.seq > b.seq;
+  }
+  void PushHeap(const HeapEntry& entry);
+  HeapEntry PopHeap();
 
   MapsOptions options_;
   PriceLadder ladder_;
@@ -137,7 +171,20 @@ class Maps : public PricingStrategy {
   std::vector<int> last_supply_;
   std::vector<std::vector<double>> last_delta_trace_;
   int64_t change_resets_ = 0;
+  int64_t grid_state_resets_ = 0;
   size_t peak_round_bytes_ = 0;
+
+  // Pooled round scratch (contents are dead between rounds; capacity is
+  // retained so steady-state rounds allocate nothing).
+  GraphBuildWorkspace build_ws_;
+  BipartiteGraph graph_;
+  IncrementalMatching pre_matching_;
+  std::vector<RecordedPath> pending_path_;  // per grid: next growth step
+  std::vector<HeapEntry> heap_;
+  std::vector<double> cur_price_;
+  std::vector<double> cur_l_;
+  std::vector<double> cur_unit_;
+  std::vector<char> finalized_;
 };
 
 }  // namespace maps

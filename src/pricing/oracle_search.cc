@@ -8,6 +8,27 @@
 
 namespace maps {
 
+namespace {
+
+/// Scores one price assignment against a graph built once by the caller.
+/// `priced` and `ws` are caller-owned scratch so the odometer loop performs
+/// no per-combination allocation.
+double ScorePrices(const BipartiteGraph& graph, const MarketSnapshot& snapshot,
+                   const DemandOracle& truth,
+                   const std::vector<double>& grid_prices,
+                   std::vector<PricedTask>* priced,
+                   PossibleWorldsWorkspace* ws) {
+  priced->clear();
+  for (const Task& t : snapshot.tasks()) {
+    const double p = grid_prices[t.grid];
+    priced->push_back(
+        PricedTask{t.distance, p, truth.TrueAcceptRatio(t.grid, p)});
+  }
+  return ExactExpectedRevenue(graph, *priced, ws);
+}
+
+}  // namespace
+
 double ExpectedRevenueOfPrices(const MarketSnapshot& snapshot,
                                const DemandOracle& truth,
                                const std::vector<double>& grid_prices) {
@@ -15,12 +36,8 @@ double ExpectedRevenueOfPrices(const MarketSnapshot& snapshot,
       snapshot.tasks(), snapshot.workers(), snapshot.grid());
   std::vector<PricedTask> priced;
   priced.reserve(snapshot.tasks().size());
-  for (const Task& t : snapshot.tasks()) {
-    const double p = grid_prices[t.grid];
-    priced.push_back(
-        PricedTask{t.distance, p, truth.TrueAcceptRatio(t.grid, p)});
-  }
-  return ExactExpectedRevenue(graph, priced);
+  PossibleWorldsWorkspace ws;
+  return ScorePrices(graph, snapshot, truth, grid_prices, &priced, &ws);
 }
 
 Result<OracleSearchResult> OracleSearch(const MarketSnapshot& snapshot,
@@ -40,6 +57,14 @@ Result<OracleSearchResult> OracleSearch(const MarketSnapshot& snapshot,
     return Status::InvalidArgument("price combination space too large");
   }
 
+  // The graph depends only on geometry, never on prices: build it ONCE for
+  // the whole odometer sweep instead of once per price combination.
+  const BipartiteGraph graph = BipartiteGraph::Build(
+      snapshot.tasks(), snapshot.workers(), snapshot.grid());
+  std::vector<PricedTask> priced;
+  priced.reserve(snapshot.tasks().size());
+  PossibleWorldsWorkspace ws;
+
   OracleSearchResult best;
   best.grid_prices.assign(snapshot.num_grids(), ladder.p_min());
   best.expected_revenue = -1.0;
@@ -50,7 +75,8 @@ Result<OracleSearchResult> OracleSearch(const MarketSnapshot& snapshot,
     for (size_t i = 0; i < busy_grids.size(); ++i) {
       prices[busy_grids[i]] = ladder.price(choice[i]);
     }
-    const double value = ExpectedRevenueOfPrices(snapshot, truth, prices);
+    const double value =
+        ScorePrices(graph, snapshot, truth, prices, &priced, &ws);
     if (value > best.expected_revenue) {
       best.expected_revenue = value;
       best.grid_prices = prices;

@@ -84,6 +84,9 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
   std::vector<double> weights;
   std::vector<int> pool_of;  // snapshot worker index -> pool index
   std::vector<char> matched_flag(workload.workers.size(), 0);
+  GraphBuildWorkspace graph_ws;
+  BipartiteGraph graph;
+  MaxWeightMatchingWorkspace match_ws;
 
   for (int32_t t = 0; t < workload.num_periods; ++t) {
     // Admit workers entering this period.
@@ -144,8 +147,9 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
     result.pricing_time_sec += Seconds(price_start, Clock::now());
 
     // Assignment: maximum-weight matching over accepted tasks (Def. 5).
-    const BipartiteGraph graph = BipartiteGraph::Build(
-        snapshot.tasks(), snapshot.workers(), workload.grid);
+    // Graph and matching buffers are pooled across periods.
+    BipartiteGraph::BuildInto(snapshot.tasks(), snapshot.workers(),
+                              workload.grid, &graph_ws, &graph);
     weights.assign(snapshot.tasks().size(), -1.0);
     int32_t n_accepted = 0;
     for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
@@ -154,13 +158,16 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
       weights[i] =
           snapshot.tasks()[i].distance * prices[snapshot.tasks()[i].grid];
     }
-    const WeightedMatchingResult match = MaxWeightTaskMatching(graph, weights);
+    // Called for the matching it leaves in match_ws.inc; revenue needs
+    // per-task attribution below, not the returned total.
+    (void)MaxWeightTaskMatchingValue(graph, weights, &match_ws);
+    const Matching& period_matching = match_ws.inc.matching();
 
     // Revenue and worker lifecycle updates.
     double period_revenue = 0.0;
     int32_t n_matched = 0;
     for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
-      const int r = match.matching.match_left[i];
+      const int r = period_matching.match_left[i];
       if (r == Matching::kUnmatched) continue;
       MAPS_DCHECK(accepted[i]);
       ++n_matched;

@@ -120,6 +120,103 @@ TEST(IncrementalMatchingTest, AugmentFirstSkipsMatchedAndPicksFirstFeasible) {
   EXPECT_EQ(inc.AugmentFirst({0, 1, 2}), Matching::kUnmatched);
 }
 
+TEST(IncrementalMatchingTest, SinglePassCoreMatchesHopcroftKarp) {
+  // Post-refactor guard: driving the matching exclusively through the
+  // probe/commit pair (FindAugmentablePath + CommitPath) must reach the
+  // same maximum cardinality Hopcroft-Karp computes.
+  Rng rng(4242);
+  for (int trial = 0; trial < 60; ++trial) {
+    const BipartiteGraph g = RandomGraph(rng, 40, 30, 0.1);
+    const Matching hk = HopcroftKarpMatching(g);
+
+    IncrementalMatching inc(&g);
+    std::vector<int> all(g.num_left());
+    for (int l = 0; l < g.num_left(); ++l) all[l] = l;
+    RecordedPath path;
+    while (inc.FindAugmentablePath(all, &path) != Matching::kUnmatched) {
+      ASSERT_TRUE(inc.CommitPath(path)) << "fresh path must commit";
+    }
+    CheckValidMatching(g, inc.matching());
+    ASSERT_EQ(inc.size(), hk.size) << "trial " << trial;
+  }
+}
+
+TEST(IncrementalMatchingTest, StalePathIsRejectedAndMatchingUntouched) {
+  // Two roots share the only free worker: the second recorded path goes
+  // stale once the first commits, and CommitPath must refuse it.
+  auto g = BipartiteGraph::FromEdges(2, 1, {{0, 0}, {1, 0}});
+  IncrementalMatching inc(&g);
+  RecordedPath p0, p1;
+  ASSERT_EQ(inc.FindAugmentablePath({0}, &p0), 0);
+  ASSERT_EQ(inc.FindAugmentablePath({1}, &p1), 1);
+  ASSERT_TRUE(inc.CommitPath(p0));
+  EXPECT_EQ(inc.size(), 1);
+  EXPECT_FALSE(inc.CommitPath(p1)) << "stale path committed";
+  EXPECT_EQ(inc.size(), 1);
+  EXPECT_EQ(inc.matching().match_left[0], 0);
+  EXPECT_EQ(inc.matching().match_left[1], Matching::kUnmatched);
+}
+
+TEST(IncrementalMatchingTest, StaleReroutedPathStillRejected) {
+  // l1's recorded path (l1->r0) goes stale when l0 re-routes r0's match:
+  // after committing l0 via r0, the recorded successor of r0 changed.
+  auto g = BipartiteGraph::FromEdges(3, 2, {{0, 0}, {1, 0}, {1, 1}, {2, 1}});
+  IncrementalMatching inc(&g);
+  ASSERT_TRUE(inc.TryAugment(1));  // l1 -> r0
+  RecordedPath p2;
+  ASSERT_EQ(inc.FindAugmentablePath({2}, &p2), 2);  // l2 -> r1
+  // l0 forces l1 to re-route to r1; p2's terminal right vertex is taken.
+  ASSERT_TRUE(inc.TryAugment(0));
+  EXPECT_FALSE(inc.CommitPath(p2));
+  EXPECT_EQ(inc.size(), 2);
+}
+
+TEST(IncrementalMatchingTest, RandomizedProbeCommitInterleavingStaysMaximum) {
+  // Probe one candidate half, commit later (possibly stale after the other
+  // half augmented), falling back to AugmentFirst — the exact discipline
+  // PriceRound uses. Final size must still match Hopcroft-Karp.
+  Rng rng(1717);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BipartiteGraph g = RandomGraph(rng, 30, 20, 0.15);
+    const Matching hk = HopcroftKarpMatching(g);
+    IncrementalMatching inc(&g);
+    std::vector<int> half_a, half_b;
+    for (int l = 0; l < g.num_left(); ++l) {
+      (l % 2 == 0 ? half_a : half_b).push_back(l);
+    }
+    RecordedPath pa;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      const int root = inc.FindAugmentablePath(half_a, &pa);
+      // Interleave: half_b grabs a worker between probe and commit.
+      if (inc.AugmentFirst(half_b) != Matching::kUnmatched) progress = true;
+      if (root != Matching::kUnmatched) {
+        if (inc.CommitPath(pa) ||
+            inc.AugmentFirst(half_a) != Matching::kUnmatched) {
+          progress = true;
+        }
+      }
+    }
+    CheckValidMatching(g, inc.matching());
+    ASSERT_EQ(inc.size(), hk.size) << "trial " << trial;
+  }
+}
+
+TEST(IncrementalMatchingTest, ResetReusesBuffersAcrossGraphs) {
+  auto g1 = BipartiteGraph::FromEdges(2, 2, {{0, 0}, {1, 1}});
+  auto g2 = BipartiteGraph::FromEdges(3, 1, {{0, 0}, {1, 0}, {2, 0}});
+  IncrementalMatching inc(&g1);
+  EXPECT_TRUE(inc.TryAugment(0));
+  EXPECT_TRUE(inc.TryAugment(1));
+  EXPECT_EQ(inc.size(), 2);
+  inc.Reset(&g2);
+  EXPECT_EQ(inc.size(), 0);
+  EXPECT_TRUE(inc.TryAugment(0));
+  EXPECT_FALSE(inc.TryAugment(1));
+  EXPECT_EQ(inc.size(), 1);
+}
+
 TEST(IncrementalMatchingTest, MonotoneUnderInterleavedCandidates) {
   // Once AnyAugmentable(S) is false for a candidate set S, it stays false
   // as other vertices are matched (transversal-matroid monotonicity MAPS

@@ -50,14 +50,15 @@ TEST_F(MarketSnapshotTest, BucketsTasksAndWorkersByGrid) {
   EXPECT_EQ(snap.WorkersInGrid(1), (std::vector<int>{1}));
 }
 
-TEST_F(MarketSnapshotTest, SortedDistancesDescending) {
+TEST_F(MarketSnapshotTest, DistancePrefixSumsDescending) {
   std::vector<Task> tasks = {MakeTask(0, {1, 1}, 2.0), MakeTask(1, {2, 2}, 5.0),
                              MakeTask(2, {3, 3}, 3.5)};
   MarketSnapshot snap(&grid_, 0, tasks, {});
-  EXPECT_EQ(snap.SortedDistancesInGrid(0),
-            (std::vector<double>{5.0, 3.5, 2.0}));
+  // Prefix sums over {5.0, 3.5, 2.0} (descending): top-n sums in O(1).
+  EXPECT_EQ(snap.DistancePrefixSumsInGrid(0),
+            (std::vector<double>{0.0, 5.0, 8.5, 10.5}));
   EXPECT_DOUBLE_EQ(snap.TotalDistanceInGrid(0), 10.5);
-  EXPECT_TRUE(snap.SortedDistancesInGrid(1).empty());
+  EXPECT_EQ(snap.DistancePrefixSumsInGrid(1), (std::vector<double>{0.0}));
   EXPECT_DOUBLE_EQ(snap.TotalDistanceInGrid(1), 0.0);
 }
 

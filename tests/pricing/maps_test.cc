@@ -68,6 +68,83 @@ TEST(MapsTest, DeterministicAcrossIdenticalRuns) {
   EXPECT_EQ(prices1, prices2);
 }
 
+TEST(MapsTest, RepeatedRoundsOnSameSnapshotAreIdentical) {
+  // Workspace-reuse guard: PriceRound pools its graph/matching/heap buffers
+  // across rounds; no state may leak from one round into the next. Pricing
+  // the same snapshot repeatedly (no feedback in between) must reproduce
+  // bit-identical prices, supply levels, and delta traces.
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 20}, 3, 3).ValueOrDie();
+  Maps strategy(DefaultOptions());
+  DemandOracle oracle = UniformOracle(grid.num_cells(), 17);
+  DemandOracle history = oracle.Fork(4);
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+  Rng rng(55);
+  MarketSnapshot snap = RandomSnapshot(grid, rng, 20, 10, 2.0, 9.0);
+
+  std::vector<double> first_prices;
+  ASSERT_TRUE(strategy.PriceRound(snap, &first_prices).ok());
+  const std::vector<int> first_supply = strategy.last_supply();
+  const auto first_trace = strategy.last_delta_trace();
+
+  // Interleave a differently-shaped snapshot so the pooled buffers must
+  // resize back, then re-price the original.
+  MarketSnapshot other = RandomSnapshot(grid, rng, 7, 3, 1.0, 4.0);
+  std::vector<double> other_prices;
+  ASSERT_TRUE(strategy.PriceRound(other, &other_prices).ok());
+
+  std::vector<double> second_prices;
+  ASSERT_TRUE(strategy.PriceRound(snap, &second_prices).ok());
+  EXPECT_EQ(first_prices, second_prices);
+  EXPECT_EQ(first_supply, strategy.last_supply());
+  EXPECT_EQ(first_trace, strategy.last_delta_trace());
+}
+
+TEST(MapsTest, StableGridCountPreservesStateAndChangeIsCountedReset) {
+  // EnsureGridState used to wipe every grid's UCB/change statistics
+  // SILENTLY whenever the grid count changed. Policy now: a stable count
+  // never touches learned state; a changed count still resets (indices
+  // denote different geographic cells under a new partition, so carrying
+  // statistics over by position would mislearn), but the reset is logged
+  // and counted.
+  auto small = GridPartition::Make(Rect{0, 0, 20, 20}, 2, 2).ValueOrDie();
+  auto large = GridPartition::Make(Rect{0, 0, 20, 20}, 3, 3).ValueOrDie();
+  Maps strategy(DefaultOptions());
+  DemandOracle oracle = UniformOracle(small.num_cells(), 3);
+  DemandOracle history = oracle.Fork(0);
+  ASSERT_TRUE(strategy.Warmup(small, &history).ok());
+
+  // Accumulate online observations on the 4 original grids.
+  Rng rng(88);
+  std::vector<double> prices;
+  for (int round = 0; round < 3; ++round) {
+    MarketSnapshot snap = RandomSnapshot(small, rng, 12, 6, 2.0, 8.0);
+    ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+    std::vector<bool> accepted(snap.tasks().size(), true);
+    strategy.ObserveFeedback(snap, prices, accepted);
+  }
+  std::vector<int64_t> before(4);
+  for (int g = 0; g < 4; ++g) before[g] = strategy.UcbObservations(g);
+  for (int g = 0; g < 4; ++g) ASSERT_GT(before[g], 0);
+  EXPECT_EQ(strategy.grid_state_resets(), 0);
+
+  // Same grid count again: nothing is reset.
+  MarketSnapshot same = RandomSnapshot(small, rng, 10, 5, 2.0, 8.0);
+  ASSERT_TRUE(strategy.PriceRound(same, &prices).ok());
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_EQ(strategy.UcbObservations(g), before[g]) << "grid " << g;
+  }
+  EXPECT_EQ(strategy.grid_state_resets(), 0);
+
+  // Re-partition to 3x3: a counted (and logged) full reset, fresh state.
+  MarketSnapshot repart = RandomSnapshot(large, rng, 12, 6, 2.0, 8.0);
+  ASSERT_TRUE(strategy.PriceRound(repart, &prices).ok());
+  ASSERT_EQ(static_cast<int>(prices.size()), 9);
+  EXPECT_EQ(strategy.grid_state_resets(), 1);
+  for (int g = 0; g < 9; ++g) {
+    EXPECT_EQ(strategy.UcbObservations(g), 0) << "grid " << g;
+  }
+}
+
 TEST(MapsTest, DeltaTraceNonIncreasingPerGrid) {
   // Lemma 9: within a round, a grid's admitted increases are non-increasing.
   auto grid = GridPartition::Make(Rect{0, 0, 30, 30}, 3, 3).ValueOrDie();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
+#include "graph/bipartite_graph.h"
 
 namespace maps {
 namespace {
@@ -51,6 +52,26 @@ TEST(OracleSearchTest, BeatsEveryManualAssignment) {
           << "(" << pa << "," << pb << ") beats the 'optimal' result";
     }
   }
+}
+
+TEST(OracleSearchTest, BuildsTheGraphExactlyOnce) {
+  // The graph depends only on geometry, never on prices; the odometer loop
+  // over price combinations must reuse one build instead of one per combo.
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 10}, 1, 2).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(2);
+  std::vector<Task> tasks = {MakeTask(grid, 0, {2, 5}, 1.5),
+                             MakeTask(grid, 1, {12, 5}, 3.0),
+                             MakeTask(grid, 2, {4, 5}, 2.0)};
+  std::vector<Worker> workers = {MakeWorker(grid, 0, {5, 5}, 20.0),
+                                 MakeWorker(grid, 1, {15, 5}, 6.0)};
+  MarketSnapshot snap(&grid, 0, std::move(tasks), std::move(workers));
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0, 3.0}).ValueOrDie();
+
+  const int64_t before = BipartiteGraph::TotalBuildCount();
+  ASSERT_TRUE(OracleSearch(snap, oracle, ladder).ok());
+  const int64_t builds = BipartiteGraph::TotalBuildCount() - before;
+  // 2 busy grids x 3 rungs = 9 price combinations, but exactly one build.
+  EXPECT_EQ(builds, 1);
 }
 
 TEST(OracleSearchTest, RefusesOversizedInstances) {
