@@ -6,13 +6,16 @@
 //   * the binomial change detector;
 // plus BaseP as the no-dynamic-pricing reference.
 
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench_common.h"
 #include "pricing/base_pricing.h"
 #include "pricing/maps.h"
 #include "pricing/price_postprocess.h"
+#include "sim/simulator.h"
 #include "util/csv.h"
 
 namespace {

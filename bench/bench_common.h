@@ -1,9 +1,9 @@
-// Shared scaffolding for the figure-reproduction benches.
+// Shared scaffolding for the remaining bench binaries (ablation, micro).
 //
-// Each bench binary declares its x-axis points (Table 3 / Table 4 sweeps),
-// generates one workload per point, runs all five strategies, and prints the
-// paper's three series (revenue / running time / memory) as one table plus a
-// CSV file next to the binary.
+// The per-figure sweep drivers that used to live next to this header were
+// consolidated into tools/experiment_runner.cc, which executes the registry
+// in src/sim/experiments.h across a thread pool; only the environment knobs
+// and the config-scaling helper survive here.
 //
 // Environment knobs:
 //   MAPS_BENCH_SCALE   scales |W| and |R| (default 1.0; use e.g. 0.1 for a
@@ -12,26 +12,19 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
-#include <iostream>
 #include <string>
-#include <vector>
 
-#include "sim/beijing.h"
-#include "sim/metrics.h"
+#include "sim/experiments.h"
 #include "sim/synthetic.h"
 
 namespace maps {
 namespace bench {
 
-/// Pricing knobs used by every bench: the paper's [1, 5] price interval
-/// with a finer ladder (alpha = 0.25, 8 rungs) than Example 4's
-/// illustrative alpha = 0.5, so per-grid heterogeneity is resolvable.
-inline PricingConfig BenchPricing() {
-  PricingConfig cfg;
-  cfg.alpha = 0.25;
-  return cfg;
-}
+/// The shared sweep pricing knobs (one definition so bench and runner
+/// results stay comparable).
+inline PricingConfig BenchPricing() { return ExperimentPricing(); }
 
 inline double BenchScale() {
   const char* s = std::getenv("MAPS_BENCH_SCALE");
@@ -51,83 +44,6 @@ inline SyntheticConfig Scaled(SyntheticConfig cfg) {
   cfg.num_workers = std::max(1, static_cast<int>(cfg.num_workers * scale));
   cfg.num_tasks = std::max(1, static_cast<int>(cfg.num_tasks * scale));
   return cfg;
-}
-
-/// One synthetic sweep point: label + config mutation.
-struct SyntheticPoint {
-  std::string label;
-  SyntheticConfig config;
-};
-
-/// Runs a synthetic sweep and reports. Returns a process exit code.
-inline int RunSyntheticSweep(const std::string& experiment,
-                             const std::string& x_name,
-                             const std::vector<SyntheticPoint>& points) {
-  ExperimentSweep sweep(experiment, x_name);
-  const auto strategies = DefaultStrategies(BenchPricing());
-  for (size_t i = 0; i < points.size(); ++i) {
-    SyntheticConfig cfg = Scaled(points[i].config);
-    cfg.seed = 1000 + 17 * i;  // fresh dataset per x value, deterministic
-    auto workload = GenerateSynthetic(cfg);
-    if (!workload.ok()) {
-      std::cerr << experiment << ": generation failed: "
-                << workload.status() << "\n";
-      return 1;
-    }
-    Status st =
-        sweep.RunPoint(points[i].label, workload.ValueOrDie(), strategies);
-    if (!st.ok()) {
-      std::cerr << experiment << ": " << st << "\n";
-      return 1;
-    }
-    std::cout << "[" << experiment << "] finished " << x_name << " = "
-              << points[i].label << "\n";
-  }
-  Status st = sweep.Report(CsvDir());
-  if (!st.ok()) {
-    std::cerr << experiment << ": " << st << "\n";
-    return 1;
-  }
-  return 0;
-}
-
-/// One Beijing-surrogate sweep point.
-struct BeijingPoint {
-  std::string label;
-  BeijingConfig config;
-};
-
-inline int RunBeijingSweep(const std::string& experiment,
-                           const std::string& x_name,
-                           const std::vector<BeijingPoint>& points) {
-  ExperimentSweep sweep(experiment, x_name);
-  const auto strategies = DefaultStrategies(BenchPricing());
-  for (size_t i = 0; i < points.size(); ++i) {
-    BeijingConfig cfg = points[i].config;
-    cfg.population_scale *= BenchScale();
-    if (cfg.population_scale > 1.0) cfg.population_scale = 1.0;
-    cfg.seed = 2016 + 31 * i;
-    auto workload = GenerateBeijing(cfg);
-    if (!workload.ok()) {
-      std::cerr << experiment << ": generation failed: "
-                << workload.status() << "\n";
-      return 1;
-    }
-    Status st =
-        sweep.RunPoint(points[i].label, workload.ValueOrDie(), strategies);
-    if (!st.ok()) {
-      std::cerr << experiment << ": " << st << "\n";
-      return 1;
-    }
-    std::cout << "[" << experiment << "] finished " << x_name << " = "
-              << points[i].label << "\n";
-  }
-  Status st = sweep.Report(CsvDir());
-  if (!st.ok()) {
-    std::cerr << experiment << ": " << st << "\n";
-    return 1;
-  }
-  return 0;
 }
 
 }  // namespace bench

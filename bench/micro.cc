@@ -329,6 +329,30 @@ bool EmitTrackedJson(const std::string& path) {
                               &ows, &og);
     r.peak_bytes = og.FootprintBytes() + ows.FootprintBytes();
     results.push_back(r);
+
+    // The same sweep across the thread pool (MAPS_THREADS or hardware
+    // concurrency). problem_size reports the thread count so the JSON
+    // captures the pooled speedup trajectory next to the serial number;
+    // results are bit-identical to the serial sweep by construction.
+    ThreadPool pool(ThreadPool::DefaultThreadCount());
+    TrackedResult mt;
+    mt.name = "oracle_search_pooled";
+    mt.problem_size = pool.num_threads();
+    mt.ns_per_op = TimeOp(
+        [&] {
+          auto best = OracleSearch(snap, oracle, ladder, &pool);
+          if (!best.ok()) std::abort();
+          benchmark::DoNotOptimize(best.ValueOrDie().expected_revenue);
+        },
+        &mt.iterations, 0.5);
+    // Graph (shared, built once) plus one sweep scratch per worker — the
+    // per-world workspace is three n-element vectors plus the matching
+    // state, so the pooled footprint grows with the thread count and must
+    // be visible in the trajectory.
+    mt.peak_bytes =
+        r.peak_bytes + static_cast<size_t>(pool.num_threads()) *
+                           num_tasks * (sizeof(double) + sizeof(int) + 1);
+    results.push_back(mt);
   }
 
   std::ofstream out(path);

@@ -45,6 +45,33 @@ double WorldRevenue(const BipartiteGraph& graph,
   return total;
 }
 
+/// Sums prob(world) * revenue(world) over the contiguous mask range
+/// [begin, end). Shared by the serial overloads (one range covering the
+/// whole space) and the pool-backed one (fixed shards), so both evaluate
+/// every world identically.
+double SumWorldsInRange(const BipartiteGraph& graph,
+                        const std::vector<PricedTask>& tasks, int64_t begin,
+                        int64_t end, PossibleWorldsWorkspace* ws) {
+  const int n = static_cast<int>(tasks.size());
+  double expectation = 0.0;
+  for (int64_t mask = begin; mask < end; ++mask) {
+    double prob = 1.0;
+    for (int i = 0; i < n; ++i) {
+      ws->accepted[i] = static_cast<char>((mask >> i) & 1);
+      prob *= ws->accepted[i] ? tasks[i].accept_prob
+                              : 1.0 - tasks[i].accept_prob;
+    }
+    if (prob == 0.0) continue;
+    expectation += prob * WorldRevenue(graph, ws);
+  }
+  return expectation;
+}
+
+/// Fixed shard cap for the pool-backed enumeration. A constant (never the
+/// thread count) so partial-sum boundaries — and therefore the rounding of
+/// the final sum — are identical no matter how many workers execute them.
+constexpr int64_t kExactRevenueShards = 64;
+
 }  // namespace
 
 double ExactExpectedRevenue(const BipartiteGraph& graph,
@@ -54,18 +81,27 @@ double ExactExpectedRevenue(const BipartiteGraph& graph,
   MAPS_CHECK_EQ(n, graph.num_left());
   MAPS_CHECK_LE(n, 25) << "possible-world enumeration is 2^n";
   PrepareWorkspace(tasks, ws);
-  double expectation = 0.0;
-  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
-    double prob = 1.0;
-    for (int i = 0; i < n; ++i) {
-      ws->accepted[i] = static_cast<char>((mask >> i) & 1u);
-      prob *= ws->accepted[i] ? tasks[i].accept_prob
-                              : 1.0 - tasks[i].accept_prob;
-    }
-    if (prob == 0.0) continue;
-    expectation += prob * WorldRevenue(graph, ws);
-  }
-  return expectation;
+  return SumWorldsInRange(graph, tasks, 0, int64_t{1} << n, ws);
+}
+
+double ExactExpectedRevenue(const BipartiteGraph& graph,
+                            const std::vector<PricedTask>& tasks,
+                            ThreadPool* pool,
+                            std::vector<PossibleWorldsWorkspace>* workspaces) {
+  const int n = static_cast<int>(tasks.size());
+  MAPS_CHECK_EQ(n, graph.num_left());
+  MAPS_CHECK_LE(n, 25) << "possible-world enumeration is 2^n";
+  const int num_workers = pool == nullptr ? 1 : pool->num_threads();
+  workspaces->resize(num_workers);
+  for (auto& ws : *workspaces) PrepareWorkspace(tasks, &ws);
+  const auto shards = SplitRange(int64_t{1} << n, kExactRevenueShards);
+  return ParallelReduce<double>(
+      pool, shards, 0.0,
+      [&](int /*shard*/, const IndexRange& range, int worker) {
+        return SumWorldsInRange(graph, tasks, range.begin, range.end,
+                                &(*workspaces)[worker]);
+      },
+      [](double acc, double partial) { return acc + partial; });
 }
 
 double ExactExpectedRevenue(const BipartiteGraph& graph,

@@ -18,6 +18,7 @@
 #include "graph/bipartite_graph.h"
 #include "graph/incremental_matching.h"
 #include "rng/random.h"
+#include "util/thread_pool.h"
 
 namespace maps {
 
@@ -46,6 +47,21 @@ double ExactExpectedRevenue(const BipartiteGraph& graph,
 double ExactExpectedRevenue(const BipartiteGraph& graph,
                             const std::vector<PricedTask>& tasks,
                             PossibleWorldsWorkspace* ws);
+
+/// \brief Pool-backed enumeration: the 2^n mask space is split into a FIXED
+/// number of contiguous shards (a function of n only), each shard sums its
+/// worlds in mask order on one worker, and partials are added in shard
+/// order — so the result is bit-identical for ANY thread count (1, 2, 8,
+/// ...), though it may differ from the single-accumulator serial overloads
+/// by floating-point association at shard boundaries.
+///
+/// `workspaces` follows the PR 1 pooling contract across invocations: it is
+/// resized to the pool's worker count and each worker touches only its own
+/// entry; capacities persist so steady-state calls allocate nothing.
+double ExactExpectedRevenue(const BipartiteGraph& graph,
+                            const std::vector<PricedTask>& tasks,
+                            ThreadPool* pool,
+                            std::vector<PossibleWorldsWorkspace>* workspaces);
 
 /// \brief Monte-Carlo estimate of E[U(B^t)] with `samples` sampled worlds.
 double MonteCarloExpectedRevenue(const BipartiteGraph& graph,

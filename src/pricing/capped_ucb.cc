@@ -14,11 +14,29 @@ CappedUcb::CappedUcb(const PricingConfig& config, bool warm_start)
       ladder_(MakeLadderFromConfig(config).ValueOrDie()) {}
 
 void CappedUcb::EnsureGridState(int num_grids) {
-  if (static_cast<int>(ucb_.size()) == num_grids) return;
+  const int current = static_cast<int>(ucb_.size());
+  if (current == num_grids) return;
+  if (current > 0) {
+    // Same policy as Maps::EnsureGridState (ported from the PR 1 fix): a
+    // different grid count means a different partition, so indices no
+    // longer denote the same cells and carrying statistics over by position
+    // would mislearn. Reset — but never silently: all learned UCB state and
+    // the arrival log are discarded, so log and count it.
+    MAPS_LOG(Warning) << "CappedUCB grid count changed from " << current
+                      << " to " << num_grids
+                      << "; resetting all learned UCB state and arrival logs"
+                      << " (cell indices changed meaning)";
+    ++grid_state_resets_;
+  }
   ucb_.clear();
   ucb_.reserve(num_grids);
   for (int g = 0; g < num_grids; ++g) ucb_.emplace_back(&ladder_);
   arrivals_.assign(num_grids, {});
+}
+
+int64_t CappedUcb::UcbObservations(int g) const {
+  MAPS_CHECK(g >= 0 && g < static_cast<int>(ucb_.size()));
+  return ucb_[g].total_observations();
 }
 
 Status CappedUcb::Warmup(const GridPartition& grid, DemandOracle* history) {

@@ -42,6 +42,14 @@ class CappedUcb : public PricingStrategy {
 
   const PriceLadder& ladder() const { return ladder_; }
 
+  /// Total UCB observations recorded for grid `g` (diagnostic/test hook:
+  /// guards the grid-count-change reset policy).
+  int64_t UcbObservations(int g) const;
+
+  /// Times a grid-count change forced a full learned-state reset. Stable
+  /// grid counts must keep this at zero; every increment is also logged.
+  int64_t grid_state_resets() const { return grid_state_resets_; }
+
  private:
   void EnsureGridState(int num_grids);
 
@@ -49,6 +57,7 @@ class CappedUcb : public PricingStrategy {
   bool warm_start_;
   PriceLadder ladder_;
   bool warmed_up_ = false;
+  int64_t grid_state_resets_ = 0;
   std::vector<UcbEstimator> ucb_;  // per grid
   // Arrival log: per grid, (|R^{tg}|, |W^{tg}|) for every period seen.
   std::vector<std::vector<std::pair<int32_t, int32_t>>> arrivals_;

@@ -14,6 +14,7 @@
 #include "market/market_state.h"
 #include "stats/price_ladder.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace maps {
 
@@ -28,6 +29,21 @@ struct OracleSearchResult {
 Result<OracleSearchResult> OracleSearch(const MarketSnapshot& snapshot,
                                         const DemandOracle& truth,
                                         const PriceLadder& ladder);
+
+/// \brief Pool-backed exhaustive search. The price-combination odometer is
+/// sharded into a FIXED number of contiguous linear-index ranges (a
+/// function of the combination count only), each worker sweeps its ranges
+/// with a private PossibleWorldsWorkspace + priced scratch, and the global
+/// argmax is reduced in shard order with ties broken by the LOWEST
+/// combination index. Every combination's value is computed exactly as in
+/// the serial sweep, so the result — prices and revenue — is bit-identical
+/// to the serial overload and to itself under any thread count. The graph
+/// is still built exactly once per invocation. `pool == nullptr` runs the
+/// same sharded sweep inline.
+Result<OracleSearchResult> OracleSearch(const MarketSnapshot& snapshot,
+                                        const DemandOracle& truth,
+                                        const PriceLadder& ladder,
+                                        ThreadPool* pool);
 
 /// \brief Exact expected revenue of a specific price assignment under the
 /// true acceptance ratios (helper shared with tests).

@@ -1,0 +1,162 @@
+#include "sim/experiments.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/beijing.h"
+#include "sim/synthetic.h"
+
+namespace maps {
+
+namespace {
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+/// Applies the population scale to a synthetic config (the retired
+/// bench_common.h `Scaled`).
+SyntheticConfig Scaled(SyntheticConfig cfg, double scale) {
+  cfg.num_workers = std::max(1, static_cast<int>(cfg.num_workers * scale));
+  cfg.num_tasks = std::max(1, static_cast<int>(cfg.num_tasks * scale));
+  return cfg;
+}
+
+/// One synthetic sweep: `mutate(i-th x value)` edits a default config; the
+/// per-point dataset seed (1000 + 17i) matches the retired binaries.
+template <typename X>
+ExperimentSpec SyntheticSweep(std::string name, std::string x_name,
+                              const std::vector<X>& xs,
+                              std::function<std::string(X)> label,
+                              std::function<void(SyntheticConfig&, X)> mutate,
+                              double scale) {
+  ExperimentSpec spec;
+  spec.name = std::move(name);
+  spec.x_name = std::move(x_name);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    SyntheticConfig cfg;
+    mutate(cfg, xs[i]);
+    cfg = Scaled(cfg, scale);
+    cfg.seed = 1000 + 17 * i;  // fresh dataset per x value, deterministic
+    spec.points.push_back(
+        {label(xs[i]), [cfg] { return GenerateSynthetic(cfg); }});
+  }
+  return spec;
+}
+
+ExperimentSpec BeijingSweep(std::string name, BeijingConfig::Window window,
+                            const ExperimentRegistryOptions& options) {
+  ExperimentSpec spec;
+  spec.name = std::move(name);
+  spec.x_name = "delta_w";
+  const std::vector<int> durations = {5, 10, 15, 20, 25};
+  for (size_t i = 0; i < durations.size(); ++i) {
+    BeijingConfig cfg;
+    cfg.window = window;
+    cfg.worker_duration = durations[i];
+    // The dedicated binaries defaulted to 0.1 of the published populations
+    // unless a scale was given; an explicit scale replaces that default.
+    cfg.population_scale =
+        options.scale_explicit ? std::min(1.0, options.scale) : 0.1;
+    cfg.seed = 2016 + 31 * i;
+    spec.points.push_back({std::to_string(durations[i]),
+                           [cfg] { return GenerateBeijing(cfg); }});
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::vector<ExperimentSpec> BuildExperiments(
+    const ExperimentRegistryOptions& options) {
+  const double scale = options.scale;
+  std::vector<ExperimentSpec> all;
+
+  auto str_label_int = [](int v) { return std::to_string(v); };
+  auto one_dec = [](double v) { return Fmt("%.1f", v); };
+
+  // Fig. 6: workers, tasks, temporal mean, spatial mean (Table 3).
+  all.push_back(SyntheticSweep<int>(
+      "fig6_workers", "|W|", {1250, 2500, 5000, 7500, 10000}, str_label_int,
+      [](SyntheticConfig& c, int w) { c.num_workers = w; }, scale));
+  all.push_back(SyntheticSweep<int>(
+      "fig6_tasks", "|R|", {5000, 10000, 20000, 30000, 40000}, str_label_int,
+      [](SyntheticConfig& c, int r) { c.num_tasks = r; }, scale));
+  all.push_back(SyntheticSweep<double>(
+      "fig6_temporal", "mu", {0.1, 0.3, 0.5, 0.7, 0.9}, one_dec,
+      [](SyntheticConfig& c, double mu) { c.temporal_mu = mu; }, scale));
+  all.push_back(SyntheticSweep<double>(
+      "fig6_spatial", "mean", {0.1, 0.3, 0.5, 0.7, 0.9}, one_dec,
+      [](SyntheticConfig& c, double m) { c.spatial_mean = m; }, scale));
+
+  // Fig. 7: demand mean/stddev, periods, grid count.
+  all.push_back(SyntheticSweep<double>(
+      "fig7_demand_mu", "mu", {1.0, 1.5, 2.0, 2.5, 3.0}, one_dec,
+      [](SyntheticConfig& c, double mu) { c.demand_mu = mu; }, scale));
+  all.push_back(SyntheticSweep<double>(
+      "fig7_demand_sigma", "sigma", {0.5, 1.0, 1.5, 2.0, 2.5}, one_dec,
+      [](SyntheticConfig& c, double s) { c.demand_sigma = s; }, scale));
+  all.push_back(SyntheticSweep<int>(
+      "fig7_periods", "T", {200, 400, 600, 800, 1000}, str_label_int,
+      [](SyntheticConfig& c, int t) { c.num_periods = t; }, scale));
+  all.push_back(SyntheticSweep<int>(
+      "fig7_grids", "G", {5, 10, 15, 20, 25},
+      [](int side) { return std::to_string(side * side); },
+      [](SyntheticConfig& c, int side) {
+        c.grid_rows = side;
+        c.grid_cols = side;
+      },
+      scale));
+
+  // Fig. 8: worker radius, scalability, the two Beijing windows.
+  all.push_back(SyntheticSweep<int>(
+      "fig8_radius", "a_w", {5, 10, 15, 20, 25}, str_label_int,
+      [](SyntheticConfig& c, int r) { c.worker_radius = r; }, scale));
+  {
+    // Scalability defaults to 0.1 of the paper's 100k..500k unless a scale
+    // was given (then the explicit scale applies to the full sizes).
+    const double default_scale = options.scale_explicit ? 1.0 : 0.1;
+    ExperimentSpec spec = SyntheticSweep<int>(
+        "fig8_scalability", "|W|=|R|",
+        {100000, 200000, 300000, 400000, 500000},
+        [default_scale](int n) {
+          return std::to_string(static_cast<int>(n * default_scale));
+        },
+        [default_scale](SyntheticConfig& c, int n) {
+          c.num_workers = static_cast<int>(n * default_scale);
+          c.num_tasks = static_cast<int>(n * default_scale);
+        },
+        options.scale_explicit ? scale : 1.0);
+    all.push_back(std::move(spec));
+  }
+  all.push_back(
+      BeijingSweep("fig8_beijing1", BeijingConfig::Window::kEveningPeak,
+                   options));
+  all.push_back(
+      BeijingSweep("fig8_beijing2", BeijingConfig::Window::kLateNight,
+                   options));
+
+  // Fig. 10 (appendix D): exponential demand rate.
+  all.push_back(SyntheticSweep<double>(
+      "fig10_exponential", "alpha", {0.5, 0.75, 1.0, 1.25, 1.5},
+      [](double v) { return Fmt("%.2f", v); },
+      [](SyntheticConfig& c, double alpha) {
+        c.demand_family = SyntheticConfig::DemandFamily::kExponential;
+        c.demand_rate = alpha;
+      },
+      scale));
+
+  return all;
+}
+
+Result<ExperimentSpec> FindExperiment(const ExperimentRegistryOptions& options,
+                                      const std::string& name) {
+  for (ExperimentSpec& spec : BuildExperiments(options)) {
+    if (spec.name == name) return std::move(spec);
+  }
+  return Status::NotFound("unknown experiment: " + name);
+}
+
+}  // namespace maps

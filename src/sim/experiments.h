@@ -1,0 +1,71 @@
+// Data-driven registry of the paper's figure sweeps (Figs. 6-8 and 10).
+//
+// Each sweep that previously required a dedicated bench binary
+// (bench/fig6_workers.cc, bench/fig7_grids.cc, ...) is one ExperimentSpec:
+// a name, an x-axis label, and one lazily-generated Workload per x value.
+// The experiment runner (tools/experiment_runner.cc) executes any subset of
+// the registry as a strategy x workload matrix across a thread pool; tests
+// cover the registry itself so a sweep cannot silently disappear.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pricing/strategy.h"
+#include "sim/workload.h"
+#include "util/result.h"
+
+namespace maps {
+
+/// \brief Pricing knobs shared by every sweep consumer (the experiment
+/// runner and the remaining bench binaries): the paper's [1, 5] price
+/// interval with a finer ladder (alpha = 0.25, 8 rungs) than Example 4's
+/// illustrative alpha = 0.5, so per-grid heterogeneity is resolvable.
+/// Single definition on purpose — cross-binary revenue comparisons are only
+/// valid while everyone prices on the same ladder.
+inline PricingConfig ExperimentPricing() {
+  PricingConfig cfg;
+  cfg.alpha = 0.25;
+  return cfg;
+}
+
+/// \brief One x-axis point: label plus a deterministic workload generator.
+/// Generation is deferred so listing the registry stays free.
+struct ExperimentPoint {
+  std::string label;
+  std::function<Result<Workload>()> generate;
+};
+
+/// \brief One figure sweep.
+struct ExperimentSpec {
+  std::string name;    ///< e.g. "fig6_workers"
+  std::string x_name;  ///< e.g. "|W|"
+  std::vector<ExperimentPoint> points;
+};
+
+/// \brief Registry knobs, mirroring the retired bench binaries' behavior.
+struct ExperimentRegistryOptions {
+  /// Population scale on |W| and |R| (1.0 = the paper's sizes).
+  double scale = 1.0;
+  /// Whether `scale` was set explicitly (flag or MAPS_BENCH_SCALE). When
+  /// false, fig8_scalability and the Beijing sweeps default to 0.1 of the
+  /// published populations for turnaround time, exactly as their dedicated
+  /// binaries did.
+  bool scale_explicit = false;
+};
+
+/// \brief Builds all figure sweeps: fig6_{workers,tasks,temporal,spatial},
+/// fig7_{demand_mu,demand_sigma,periods,grids}, fig8_{radius,scalability,
+/// beijing1,beijing2}, fig10_exponential. Workload seeds and scaling match
+/// the retired per-figure binaries, so results are comparable across the
+/// consolidation.
+std::vector<ExperimentSpec> BuildExperiments(
+    const ExperimentRegistryOptions& options);
+
+/// \brief Convenience: the spec with `name`, or NotFound.
+Result<ExperimentSpec> FindExperiment(const ExperimentRegistryOptions& options,
+                                      const std::string& name);
+
+}  // namespace maps

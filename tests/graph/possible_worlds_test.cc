@@ -84,6 +84,58 @@ TEST(PossibleWorldsTest, MonteCarloAgreesWithExact) {
   }
 }
 
+TEST(PossibleWorldsTest, PoolBackedEnumerationBitIdenticalAcrossThreads) {
+  // The mask space is split into shards whose boundaries depend on n only;
+  // partial sums are folded in shard order, so the expectation is
+  // bit-identical for 1, 2, and 8 threads — the rounding-sensitive case is
+  // a larger instance with irrational-ish probabilities.
+  Rng geom(11);
+  const int nt = 14, nw = 6;
+  std::vector<std::pair<int, int>> edges;
+  for (int t = 0; t < nt; ++t) {
+    for (int w = 0; w < nw; ++w) {
+      if (geom.NextBernoulli(0.4)) edges.push_back({t, w});
+    }
+  }
+  auto g = BipartiteGraph::FromEdges(nt, nw, std::move(edges));
+  std::vector<PricedTask> tasks(nt);
+  for (auto& t : tasks) {
+    t.distance = geom.NextDouble(0.5, 3.0);
+    t.price = geom.NextDouble(1.0, 5.0);
+    t.accept_prob = geom.NextDouble(0.1, 0.9);
+  }
+
+  std::vector<PossibleWorldsWorkspace> workspaces;
+  ThreadPool pool1(1);
+  const double r1 = ExactExpectedRevenue(g, tasks, &pool1, &workspaces);
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(ExactExpectedRevenue(g, tasks, &pool, &workspaces), r1)
+        << threads << " threads";
+  }
+  // And it agrees with the serial single-accumulator overload up to
+  // floating-point association at shard boundaries.
+  EXPECT_NEAR(r1, ExactExpectedRevenue(g, tasks), 1e-9);
+}
+
+TEST(PossibleWorldsTest, PoolBackedEnumerationReusesWorkspacesAcrossCalls) {
+  // The workspace vector follows the PR 1 pooling contract: one entry per
+  // worker, reused across invocations of different shapes with no leakage.
+  auto g = BipartiteGraph::FromEdges(2, 1, {{0, 0}, {1, 0}});
+  std::vector<PricedTask> small = {{3.0, 2.0, 0.5}, {1.0, 2.0, 0.4}};
+  auto g2 = BipartiteGraph::FromEdges(3, 3, {{0, 0}, {1, 0}, {2, 1}, {2, 2}});
+  std::vector<PricedTask> paper = {
+      {1.3, 3.0, 0.5}, {0.7, 3.0, 0.5}, {1.0, 2.0, 0.8}};
+
+  ThreadPool pool(4);
+  std::vector<PossibleWorldsWorkspace> workspaces;
+  const double first = ExactExpectedRevenue(g, small, &pool, &workspaces);
+  EXPECT_NEAR(ExactExpectedRevenue(g2, paper, &pool, &workspaces), 4.075,
+              1e-12);
+  EXPECT_EQ(ExactExpectedRevenue(g, small, &pool, &workspaces), first);
+  EXPECT_EQ(static_cast<int>(workspaces.size()), pool.num_threads());
+}
+
 TEST(PossibleWorldsDeathTest, TooManyTasksRefused) {
   std::vector<PricedTask> tasks(26, {1.0, 1.0, 0.5});
   auto g = BipartiteGraph::FromEdges(26, 1, {});

@@ -1,0 +1,84 @@
+#include "pricing/capped_ucb.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace maps {
+namespace {
+
+using testing_util::RandomSnapshot;
+using testing_util::TableOneOracle;
+
+PricingConfig TestConfig() {
+  PricingConfig cfg;
+  cfg.explicit_ladder = {1.0, 2.0, 3.0};
+  return cfg;
+}
+
+TEST(CappedUcbTest, StableGridCountPreservesStateAndChangeIsCountedReset) {
+  // Regression for the baselines' silent learned-state wipe: CappedUcb's
+  // EnsureGridState cleared the per-grid UCB tables whenever the grid count
+  // changed, with no log and no counter — the PR 1 fix landed only in MAPS.
+  // Policy (now shared with Maps::EnsureGridState): a stable count never
+  // touches learned state; a changed count still resets (indices denote
+  // different geographic cells under a new partition), but the reset is
+  // logged and counted.
+  auto small = GridPartition::Make(Rect{0, 0, 20, 20}, 2, 2).ValueOrDie();
+  auto large = GridPartition::Make(Rect{0, 0, 20, 20}, 3, 3).ValueOrDie();
+  CappedUcb strategy(TestConfig());
+  DemandOracle history = TableOneOracle(small.num_cells());
+  ASSERT_TRUE(strategy.Warmup(small, &history).ok());
+
+  // Warm-up probes seed every grid's UCB table.
+  std::vector<int64_t> warmed(4);
+  for (int g = 0; g < 4; ++g) {
+    warmed[g] = strategy.UcbObservations(g);
+    ASSERT_GT(warmed[g], 0) << "grid " << g;
+  }
+  EXPECT_EQ(strategy.grid_state_resets(), 0);
+
+  // Same grid count: Warmup-learned statistics survive PriceRound and
+  // accumulate through feedback instead of being wiped.
+  Rng rng(13);
+  std::vector<double> prices;
+  for (int round = 0; round < 3; ++round) {
+    MarketSnapshot snap = RandomSnapshot(small, rng, 10, 5, 2.0, 8.0);
+    ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+    std::vector<bool> accepted(snap.tasks().size(), true);
+    strategy.ObserveFeedback(snap, prices, accepted);
+  }
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_GE(strategy.UcbObservations(g), warmed[g]) << "grid " << g;
+  }
+  EXPECT_EQ(strategy.grid_state_resets(), 0);
+
+  // Re-partition to 3x3: a counted (and logged) full reset, fresh state.
+  MarketSnapshot repart = RandomSnapshot(large, rng, 12, 6, 2.0, 8.0);
+  ASSERT_TRUE(strategy.PriceRound(repart, &prices).ok());
+  ASSERT_EQ(static_cast<int>(prices.size()), 9);
+  EXPECT_EQ(strategy.grid_state_resets(), 1);
+  for (int g = 0; g < 9; ++g) {
+    EXPECT_EQ(strategy.UcbObservations(g), 0) << "grid " << g;
+  }
+}
+
+TEST(CappedUcbTest, RepeatedSameCountWarmupLikeRoundsDoNotReset) {
+  // Pricing many rounds on the same partition must never trip the reset
+  // counter, no matter how the market contents vary.
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 2, 2).ValueOrDie();
+  CappedUcb strategy(TestConfig());
+  DemandOracle history = TableOneOracle(grid.num_cells());
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+  Rng rng(7);
+  std::vector<double> prices;
+  for (int round = 0; round < 10; ++round) {
+    MarketSnapshot snap =
+        RandomSnapshot(grid, rng, 2 + round, 1 + round / 2, 1.0, 6.0);
+    ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+  }
+  EXPECT_EQ(strategy.grid_state_resets(), 0);
+}
+
+}  // namespace
+}  // namespace maps

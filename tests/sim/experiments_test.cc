@@ -1,0 +1,71 @@
+#include "sim/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace maps {
+namespace {
+
+TEST(ExperimentsTest, RegistryContainsEveryRetiredFigureSweep) {
+  // The consolidation contract: every sweep that used to be a dedicated
+  // bench binary is one registry entry, each with its 5 x-axis points.
+  ExperimentRegistryOptions options;
+  const auto all = BuildExperiments(options);
+  std::set<std::string> names;
+  for (const ExperimentSpec& spec : all) {
+    EXPECT_EQ(spec.points.size(), 5u) << spec.name;
+    EXPECT_FALSE(spec.x_name.empty()) << spec.name;
+    names.insert(spec.name);
+  }
+  const std::set<std::string> expected = {
+      "fig6_workers",     "fig6_tasks",       "fig6_temporal",
+      "fig6_spatial",     "fig7_demand_mu",   "fig7_demand_sigma",
+      "fig7_periods",     "fig7_grids",       "fig8_radius",
+      "fig8_scalability", "fig8_beijing1",    "fig8_beijing2",
+      "fig10_exponential"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(ExperimentsTest, FindExperimentResolvesNamesAndRejectsUnknown) {
+  ExperimentRegistryOptions options;
+  auto found = FindExperiment(options, "fig6_workers");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.ValueOrDie().x_name, "|W|");
+  EXPECT_EQ(FindExperiment(options, "fig99_nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ExperimentsTest, PointsGenerateValidWorkloadsDeterministically) {
+  // Generators are deterministic closures: calling one twice yields the
+  // same market (same tasks/valuations), which is what lets the runner's
+  // parallel cells share a workload generated once.
+  ExperimentRegistryOptions options;
+  options.scale = 0.005;
+  options.scale_explicit = true;
+  auto spec = FindExperiment(options, "fig6_workers").ValueOrDie();
+  auto a = spec.points[0].generate();
+  auto b = spec.points[0].generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const Workload& wa = a.ValueOrDie();
+  const Workload& wb = b.ValueOrDie();
+  ASSERT_TRUE(ValidateWorkload(wa).ok());
+  EXPECT_EQ(wa.tasks.size(), wb.tasks.size());
+  EXPECT_EQ(wa.workers.size(), wb.workers.size());
+  EXPECT_EQ(wa.valuations, wb.valuations);
+}
+
+TEST(ExperimentsTest, ScaleShrinksPopulations) {
+  ExperimentRegistryOptions tiny;
+  tiny.scale = 0.005;
+  tiny.scale_explicit = true;
+  auto spec = FindExperiment(tiny, "fig6_tasks").ValueOrDie();
+  auto w = spec.points[0].generate();
+  ASSERT_TRUE(w.ok());
+  // |R| = 5000 at the first fig6_tasks point, scaled to 25.
+  EXPECT_EQ(w.ValueOrDie().tasks.size(), 25u);
+}
+
+}  // namespace
+}  // namespace maps
