@@ -10,7 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -21,8 +23,10 @@
 #include "graph/max_weight_matching.h"
 #include "graph/possible_worlds.h"
 #include "market/demand_model.h"
+#include "pricing/base_pricing.h"
 #include "pricing/maps.h"
 #include "pricing/oracle_search.h"
+#include "rng/counter_rng.h"
 #include "rng/random.h"
 #include "sim/synthetic.h"
 
@@ -148,6 +152,37 @@ void BM_TruncatedNormalSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TruncatedNormalSample);
+
+void BM_CounterRngBlock(benchmark::State& state) {
+  // Raw Philox 4x64-10 throughput: one block = 4 output words.
+  CounterRng rng(42, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextUint64());
+  }
+}
+BENCHMARK(BM_CounterRngBlock);
+
+void BM_MonteCarloWorlds(benchmark::State& state) {
+  // Counter-streamed Monte-Carlo estimate on a contention-heavy graph; the
+  // serial sharded path (pool = nullptr) — the pooled speedup is tracked in
+  // BENCH_micro.json where the thread count is recorded alongside.
+  const int n = static_cast<int>(state.range(0));
+  const BipartiteGraph g = MakeRandomGraph(n, n / 2 + 1, 0.5, 5);
+  std::vector<PricedTask> tasks(n);
+  Rng rng(6);
+  for (auto& t : tasks) {
+    t.distance = rng.NextDouble(0.5, 3.0);
+    t.price = rng.NextDouble(1.0, 5.0);
+    t.accept_prob = rng.NextDouble(0.2, 0.9);
+  }
+  std::vector<PossibleWorldsWorkspace> ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MonteCarloExpectedRevenue(g, tasks, /*seed=*/11, /*samples=*/4096,
+                                  /*pool=*/nullptr, &ws));
+  }
+}
+BENCHMARK(BM_MonteCarloWorlds)->DenseRange(8, 24, 8);
 
 void BM_MyersonPriceScan(benchmark::State& state) {
   TruncatedNormalDemand demand(2.0, 1.0, 1.0, 5.0);
@@ -352,6 +387,95 @@ bool EmitTrackedJson(const std::string& path) {
     mt.peak_bytes =
         r.peak_bytes + static_cast<size_t>(pool.num_threads()) *
                            num_tasks * (sizeof(double) + sizeof(int) + 1);
+    results.push_back(mt);
+  }
+
+  // Algorithm-1 warm-up probe schedule, serial vs pooled: one counter
+  // stream per (grid, rung), so both variants draw identical probes and the
+  // pooled run is bit-identical — the tracked pair records the wall-clock
+  // trajectory of the parallelization. problem_size: total probes for the
+  // serial entry, thread count for the pooled one (mirrors oracle_search).
+  {
+    const int grids_per_side =
+        std::max(2, static_cast<int>(10 * std::sqrt(scale)));
+    auto grid =
+        GridPartition::Make(Rect{0, 0, 100, 100}, grids_per_side,
+                            grids_per_side)
+            .ValueOrDie();
+    TruncatedNormalDemand proto(2.0, 1.0, 1.0, 5.0);
+    DemandOracle oracle =
+        DemandOracle::Make(ReplicateDemand(proto, grid.num_cells()), 17)
+            .ValueOrDie();
+    PricingConfig cfg;  // defaults: [1, 5], alpha = 0.5, Hoeffding budgets
+
+    BasePricing serial(cfg);
+    TrackedResult r;
+    r.name = "warmup_probing";
+    r.ns_per_op = TimeOp(
+        [&] {
+          if (!serial.Warmup(grid, &oracle).ok()) std::abort();
+        },
+        &r.iterations, 0.5);
+    r.problem_size = static_cast<int>(
+        oracle.num_probes() / std::max(1, r.iterations));
+    r.peak_bytes = serial.MemoryFootprintBytes();
+    results.push_back(r);
+
+    ThreadPool pool(ThreadPool::DefaultThreadCount());
+    BasePricing pooled(cfg);
+    pooled.LendPool(&pool);
+    TrackedResult mt;
+    mt.name = "warmup_probing_pooled";
+    mt.problem_size = pool.num_threads();
+    mt.ns_per_op = TimeOp(
+        [&] {
+          if (!pooled.Warmup(grid, &oracle).ok()) std::abort();
+        },
+        &mt.iterations, 0.5);
+    mt.peak_bytes = pooled.MemoryFootprintBytes();
+    results.push_back(mt);
+  }
+
+  // Counter-streamed Monte-Carlo world enumeration, serial vs pooled: world
+  // w draws from stream (seed, w) regardless of sharding, so the two
+  // estimates are bit-identical and the pair measures pure speedup.
+  {
+    const int n = 20;
+    const BipartiteGraph g = MakeRandomGraph(n, n / 2 + 1, 0.5, 5);
+    std::vector<PricedTask> tasks(n);
+    Rng rng(6);
+    for (auto& t : tasks) {
+      t.distance = rng.NextDouble(0.5, 3.0);
+      t.price = rng.NextDouble(1.0, 5.0);
+      t.accept_prob = rng.NextDouble(0.2, 0.9);
+    }
+    const int samples = std::max(256, static_cast<int>(65536 * scale));
+    std::vector<PossibleWorldsWorkspace> ws;
+
+    TrackedResult r;
+    r.name = "mc_expected_revenue";
+    r.problem_size = samples;
+    r.ns_per_op = TimeOp(
+        [&] {
+          benchmark::DoNotOptimize(MonteCarloExpectedRevenue(
+              g, tasks, /*seed=*/11, samples, /*pool=*/nullptr, &ws));
+        },
+        &r.iterations, 0.5);
+    for (const auto& w : ws) r.peak_bytes += w.FootprintBytes();
+    results.push_back(r);
+
+    ThreadPool pool(ThreadPool::DefaultThreadCount());
+    std::vector<PossibleWorldsWorkspace> pws;
+    TrackedResult mt;
+    mt.name = "mc_expected_revenue_pooled";
+    mt.problem_size = pool.num_threads();
+    mt.ns_per_op = TimeOp(
+        [&] {
+          benchmark::DoNotOptimize(MonteCarloExpectedRevenue(
+              g, tasks, /*seed=*/11, samples, &pool, &pws));
+        },
+        &mt.iterations, 0.5);
+    for (const auto& w : pws) mt.peak_bytes += w.FootprintBytes();
     results.push_back(mt);
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "rng/counter_rng.h"
 #include "util/logging.h"
 
 namespace maps {
@@ -72,6 +73,10 @@ double SumWorldsInRange(const BipartiteGraph& graph,
 /// the final sum — are identical no matter how many workers execute them.
 constexpr int64_t kExactRevenueShards = 64;
 
+/// Fixed shard cap for the counter-based Monte-Carlo estimator; same
+/// determinism rule as kExactRevenueShards.
+constexpr int64_t kMonteCarloShards = 64;
+
 }  // namespace
 
 double ExactExpectedRevenue(const BipartiteGraph& graph,
@@ -133,6 +138,38 @@ double MonteCarloExpectedRevenue(const BipartiteGraph& graph,
                                  Rng& rng, int samples) {
   PossibleWorldsWorkspace ws;
   return MonteCarloExpectedRevenue(graph, tasks, rng, samples, &ws);
+}
+
+double MonteCarloExpectedRevenue(
+    const BipartiteGraph& graph, const std::vector<PricedTask>& tasks,
+    uint64_t seed, int samples, ThreadPool* pool,
+    std::vector<PossibleWorldsWorkspace>* workspaces) {
+  MAPS_CHECK_GT(samples, 0);
+  const int n = static_cast<int>(tasks.size());
+  MAPS_CHECK_EQ(n, graph.num_left());
+  const int num_workers = pool == nullptr ? 1 : pool->num_threads();
+  workspaces->resize(num_workers);
+  for (auto& ws : *workspaces) PrepareWorkspace(tasks, &ws);
+  const auto shards = SplitRange(samples, kMonteCarloShards);
+  const double total = ParallelReduce<double>(
+      pool, shards, 0.0,
+      [&](int /*shard*/, const IndexRange& range, int worker) {
+        PossibleWorldsWorkspace* ws = &(*workspaces)[worker];
+        double sum = 0.0;
+        for (int64_t s = range.begin; s < range.end; ++s) {
+          // World s's randomness is stream s of the (seed, ·) family; the
+          // stream never depends on the shard layout, only on s itself.
+          CounterRng rng(seed, static_cast<uint64_t>(s));
+          for (int i = 0; i < n; ++i) {
+            ws->accepted[i] =
+                static_cast<char>(rng.NextBernoulli(tasks[i].accept_prob));
+          }
+          sum += WorldRevenue(graph, ws);
+        }
+        return sum;
+      },
+      [](double acc, double partial) { return acc + partial; });
+  return total / samples;
 }
 
 }  // namespace maps

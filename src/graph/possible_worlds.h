@@ -36,6 +36,14 @@ struct PossibleWorldsWorkspace {
   std::vector<double> value;    ///< d_r * p_r per task
   std::vector<int> order;       ///< task indices, value-descending
   IncrementalMatching inc;      ///< per-world greedy matching state
+
+  /// Live bytes of the pooled buffers, matching state included (memory
+  /// accounting for the benches).
+  size_t FootprintBytes() const {
+    return accepted.capacity() * sizeof(char) +
+           value.capacity() * sizeof(double) +
+           order.capacity() * sizeof(int) + inc.FootprintBytes();
+  }
 };
 
 /// \brief Exact E[U(B^t)] by enumerating all 2^n acceptance subsets.
@@ -63,7 +71,9 @@ double ExactExpectedRevenue(const BipartiteGraph& graph,
                             ThreadPool* pool,
                             std::vector<PossibleWorldsWorkspace>* workspaces);
 
-/// \brief Monte-Carlo estimate of E[U(B^t)] with `samples` sampled worlds.
+/// \brief Monte-Carlo estimate of E[U(B^t)] with `samples` sampled worlds,
+/// drawn from the caller's SEQUENTIAL stream. Kept for stream-aligned
+/// single-threaded uses; the counter-based overload below is what shards.
 double MonteCarloExpectedRevenue(const BipartiteGraph& graph,
                                  const std::vector<PricedTask>& tasks,
                                  Rng& rng, int samples);
@@ -73,5 +83,21 @@ double MonteCarloExpectedRevenue(const BipartiteGraph& graph,
                                  const std::vector<PricedTask>& tasks,
                                  Rng& rng, int samples,
                                  PossibleWorldsWorkspace* ws);
+
+/// \brief Pool-backed Monte Carlo: world s in [0, samples) draws its
+/// acceptance vector from CounterRng stream (seed, s) — a pure function of
+/// the world index, never of which worker ran it or how many worlds ran
+/// before it. Worlds are split into a FIXED number of contiguous shards (a
+/// function of `samples` only), each shard sums its worlds in index order,
+/// and partials fold in shard order — so the estimate is bit-identical for
+/// ANY thread count (1, 2, 8, ...), including `pool == nullptr`.
+///
+/// `workspaces` follows the PR 1 pooling contract: resized to the pool's
+/// worker count, each worker touches only its own entry, capacities persist
+/// across invocations.
+double MonteCarloExpectedRevenue(const BipartiteGraph& graph,
+                                 const std::vector<PricedTask>& tasks,
+                                 uint64_t seed, int samples, ThreadPool* pool,
+                                 std::vector<PossibleWorldsWorkspace>* workspaces);
 
 }  // namespace maps

@@ -48,7 +48,7 @@ TruncatedNormalDemand::TruncatedNormalDemand(double mean, double stddev,
 
 double TruncatedNormalDemand::Cdf(double p) const { return dist_.Cdf(p); }
 
-double TruncatedNormalDemand::Sample(Rng& rng) const {
+double TruncatedNormalDemand::Sample(RandomSource& rng) const {
   return dist_.Sample(rng);
 }
 
@@ -82,7 +82,7 @@ double TruncatedExponentialDemand::Cdf(double p) const {
   return (1.0 - std::exp(-rate_ * (p - lo_))) / mass_;
 }
 
-double TruncatedExponentialDemand::Sample(Rng& rng) const {
+double TruncatedExponentialDemand::Sample(RandomSource& rng) const {
   double u = rng.NextDouble();
   // Inverse CDF of the truncated exponential.
   const double x = -std::log(1.0 - u * mass_) / rate_;
@@ -113,7 +113,7 @@ double UniformDemand::Cdf(double p) const {
   return (p - lo_) / (hi_ - lo_);
 }
 
-double UniformDemand::Sample(Rng& rng) const {
+double UniformDemand::Sample(RandomSource& rng) const {
   return rng.NextDouble(lo_, hi_);
 }
 
@@ -138,7 +138,7 @@ double PointMassDemand::Cdf(double p) const {
   return p > value_ ? 1.0 : 0.0;
 }
 
-double PointMassDemand::Sample(Rng&) const { return value_; }
+double PointMassDemand::Sample(RandomSource&) const { return value_; }
 
 std::unique_ptr<DemandModel> PointMassDemand::Clone() const {
   return std::make_unique<PointMassDemand>(*this);
@@ -180,7 +180,7 @@ double TabulatedDemand::Cdf(double p) const {
   return 1.0 - accept_[idx];
 }
 
-double TabulatedDemand::Sample(Rng& rng) const {
+double TabulatedDemand::Sample(RandomSource& rng) const {
   const double u = rng.NextDouble();
   if (u < tail_) return prices_.back() + 1.0;  // accepts every listed price
   for (size_t i = prices_.size(); i-- > 0;) {

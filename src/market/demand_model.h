@@ -25,7 +25,7 @@ class DemandModel {
   virtual double Cdf(double p) const = 0;
 
   /// Draws one private valuation.
-  virtual double Sample(Rng& rng) const = 0;
+  virtual double Sample(RandomSource& rng) const = 0;
 
   virtual std::unique_ptr<DemandModel> Clone() const = 0;
 
@@ -50,7 +50,7 @@ class TruncatedNormalDemand : public DemandModel {
   TruncatedNormalDemand(double mean, double stddev, double lo, double hi);
 
   double Cdf(double p) const override;
-  double Sample(Rng& rng) const override;
+  double Sample(RandomSource& rng) const override;
   std::unique_ptr<DemandModel> Clone() const override;
   std::string ToString() const override;
 
@@ -67,7 +67,7 @@ class TruncatedExponentialDemand : public DemandModel {
   TruncatedExponentialDemand(double rate, double lo, double hi);
 
   double Cdf(double p) const override;
-  double Sample(Rng& rng) const override;
+  double Sample(RandomSource& rng) const override;
   std::unique_ptr<DemandModel> Clone() const override;
   std::string ToString() const override;
 
@@ -84,7 +84,7 @@ class UniformDemand : public DemandModel {
   UniformDemand(double lo, double hi);
 
   double Cdf(double p) const override;
-  double Sample(Rng& rng) const override;
+  double Sample(RandomSource& rng) const override;
   std::unique_ptr<DemandModel> Clone() const override;
   std::string ToString() const override;
 
@@ -99,7 +99,7 @@ class PointMassDemand : public DemandModel {
   explicit PointMassDemand(double value);
 
   double Cdf(double p) const override;
-  double Sample(Rng& rng) const override;
+  double Sample(RandomSource& rng) const override;
   std::unique_ptr<DemandModel> Clone() const override;
   std::string ToString() const override;
 
@@ -123,7 +123,7 @@ class TabulatedDemand : public DemandModel {
                   std::vector<double> accept_ratios, double tail = 0.0);
 
   double Cdf(double p) const override;
-  double Sample(Rng& rng) const override;
+  double Sample(RandomSource& rng) const override;
   std::unique_ptr<DemandModel> Clone() const override;
   std::string ToString() const override;
 

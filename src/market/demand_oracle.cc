@@ -1,8 +1,15 @@
 #include "market/demand_oracle.h"
 
+#include "rng/counter_rng.h"
 #include "util/logging.h"
 
 namespace maps {
+
+namespace {
+/// Domain separator between the oracle's counter-based probe streams and
+/// any other CounterRng family derived from the same experiment seed.
+constexpr uint64_t kProbeStreamDomain = 0x70726f6265ULL;  // "probe"
+}  // namespace
 
 DemandOracle::DemandOracle(std::vector<std::unique_ptr<DemandModel>> per_grid,
                            uint64_t seed)
@@ -34,6 +41,19 @@ bool DemandOracle::ProbeAccept(int grid, double p) {
   ++num_probes_;
   const double v = models_[grid]->Sample(rng_);
   return v >= p;
+}
+
+int64_t DemandOracle::CountProbeAccepts(int grid, double p, int64_t trials,
+                                        uint64_t stream) const {
+  MAPS_CHECK(grid >= 0 && grid < num_grids()) << "grid " << grid;
+  MAPS_CHECK_GE(trials, 0);
+  CounterRng rng(seed_ ^ kProbeStreamDomain, stream);
+  const DemandModel& model = *models_[grid];
+  int64_t accepts = 0;
+  for (int64_t s = 0; s < trials; ++s) {
+    if (model.Sample(rng) >= p) ++accepts;
+  }
+  return accepts;
 }
 
 double DemandOracle::SampleValuation(int grid) {

@@ -35,8 +35,25 @@ class DemandOracle {
   double TrueAcceptRatio(int grid, double p) const;
 
   /// Simulates offering price `p` to one fresh historical requester in
-  /// `grid`; returns whether they accept (v >= p).
+  /// `grid`; returns whether they accept (v >= p). Draws from the oracle's
+  /// SEQUENTIAL probe stream — callers that shard probes across workers use
+  /// CountProbeAccepts instead.
   bool ProbeAccept(int grid, double p);
+
+  /// Batch probe on an independent counter stream: offers `p` to `trials`
+  /// fresh historical requesters in `grid` and returns how many accept.
+  /// The draws come from CounterRng stream (probe seed, `stream`), so the
+  /// result is a pure function of (models, seed, grid, p, trials, stream) —
+  /// independent of the sequential probe state, of call order, and of which
+  /// thread runs it (const; models are immutable). Probe-cost accounting is
+  /// NOT performed here: the warm-up driver calls AccountProbes once with
+  /// the deterministic total, keeping num_probes() race-free.
+  int64_t CountProbeAccepts(int grid, double p, int64_t trials,
+                            uint64_t stream) const;
+
+  /// Adds externally-drawn probes (CountProbeAccepts batches) to the
+  /// num_probes() accounting.
+  void AccountProbes(int64_t n) { num_probes_ += n; }
 
   /// Draws a fresh valuation (simulator use when generating tasks).
   double SampleValuation(int grid);

@@ -5,6 +5,49 @@
 
 namespace maps {
 
+namespace {
+/// Fixed shard cap for the (grid, rung) probe matrix. A constant of the
+/// schedule (never the thread count) per the DESIGN.md §8 policy; each pair
+/// is a pure function of its stream id anyway, so sharding only affects
+/// scheduling, not results.
+constexpr int64_t kProbeShards = 64;
+}  // namespace
+
+std::vector<int64_t> ProbeBudgets(const PriceLadder& ladder,
+                                  const PricingConfig& config) {
+  std::vector<int64_t> probes(ladder.size());
+  for (int i = 0; i < ladder.size(); ++i) {
+    probes[i] =
+        ProbeBudget(ladder.price(i), config.eps, config.delta, ladder.size());
+  }
+  return probes;
+}
+
+std::vector<int64_t> RunProbeSchedule(DemandOracle* history, int num_grids,
+                                      const PriceLadder& ladder,
+                                      const std::vector<int64_t>& probes,
+                                      ThreadPool* pool) {
+  const int k = ladder.size();
+  MAPS_CHECK_EQ(static_cast<int>(probes.size()), k);
+  std::vector<int64_t> accepts(static_cast<size_t>(num_grids) * k, 0);
+  const auto shards =
+      SplitRange(static_cast<int64_t>(accepts.size()), kProbeShards);
+  ParallelFor(pool, shards,
+              [&](int /*shard*/, const IndexRange& range, int /*worker*/) {
+                for (int64_t idx = range.begin; idx < range.end; ++idx) {
+                  const int g = static_cast<int>(idx / k);
+                  const int i = static_cast<int>(idx % k);
+                  accepts[idx] = history->CountProbeAccepts(
+                      g, ladder.price(i), probes[i],
+                      /*stream=*/static_cast<uint64_t>(idx));
+                }
+              });
+  int64_t total = 0;
+  for (int i = 0; i < k; ++i) total += probes[i];
+  history->AccountProbes(total * num_grids);
+  return accepts;
+}
+
 BasePricing::BasePricing(const PricingConfig& config)
     : config_(config), ladder_(MakeLadderFromConfig(config).ValueOrDie()) {}
 
@@ -23,10 +66,12 @@ Status BasePricing::Warmup(const GridPartition& grid, DemandOracle* history) {
   grid_myerson_.assign(num_grids, config_.p_min);
   observed_accept_.assign(num_grids,
                           std::vector<double>(ladder_.size(), 0.0));
-  probes_.assign(ladder_.size(), 0);
-  for (int i = 0; i < ladder_.size(); ++i) {
-    probes_[i] = ProbeBudget(ladder_.price(i), config_.eps, config_.delta, k);
-  }
+  probes_ = ProbeBudgets(ladder_, config_);
+
+  // Lines 5-7, sharded: every (grid, rung) pair probes on its own counter
+  // stream, so this loop nest parallelizes without changing a single draw.
+  const std::vector<int64_t> accepts =
+      RunProbeSchedule(history, num_grids, ladder_, probes_, pool_);
 
   double sum = 0.0;
   for (int g = 0; g < num_grids; ++g) {
@@ -36,13 +81,8 @@ Status BasePricing::Warmup(const GridPartition& grid, DemandOracle* history) {
     // (a tie at a lower price means a higher acceptance ratio).
     for (int i = 0; i < ladder_.size(); ++i) {
       const double p = ladder_.price(i);
-      const int64_t h = probes_[i];
-      int64_t accepts = 0;
-      for (int64_t s = 0; s < h; ++s) {
-        if (history->ProbeAccept(g, p)) ++accepts;
-      }
-      const double s_hat =
-          static_cast<double>(accepts) / static_cast<double>(h);
+      const double s_hat = static_cast<double>(accepts[g * k + i]) /
+                           static_cast<double>(probes_[i]);
       observed_accept_[g][i] = s_hat;
       if (p * s_hat > best_value) {
         best_value = p * s_hat;

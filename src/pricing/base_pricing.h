@@ -5,15 +5,42 @@
 // ladder argmax of p * S_hat(p) (ties toward the smaller price), and the
 // base price p_b is the arithmetic mean over grids. Every round then prices
 // all grids at p_b.
+//
+// The probe schedule is embarrassingly parallel per (grid, rung): every
+// pair draws from its own counter stream (DemandOracle::CountProbeAccepts),
+// so the schedule shards over a lent ThreadPool and is bit-identical for
+// any thread count — including no pool at all.
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "pricing/strategy.h"
 #include "stats/price_ladder.h"
+#include "util/thread_pool.h"
 
 namespace maps {
+
+/// \brief Algorithm 1's Hoeffding probe budgets, one per ladder rung:
+/// h(p_i) = ProbeBudget(p_i, eps, delta, k). Shared by every strategy that
+/// warm-starts from the schedule (BaseP directly; CappedUCB for a fair
+/// comparison) so the "identical demand knowledge" invariant is structural,
+/// not two loops that must stay in sync.
+std::vector<int64_t> ProbeBudgets(const PriceLadder& ladder,
+                                  const PricingConfig& config);
+
+/// \brief Runs Algorithm 1's probe schedule: offers ladder rung i to
+/// probes[i] historical requesters of every grid, one (grid, rung) pair per
+/// counter stream (stream id = grid * ladder.size() + rung). Returns accept
+/// counts indexed [grid * ladder.size() + rung]. Sharded over `pool`
+/// (inline when null) with a FIXED shard split — results are a pure
+/// function of (oracle seed, ladder, probes), never of the thread count.
+/// Accounts probes on `history` once, deterministically.
+std::vector<int64_t> RunProbeSchedule(DemandOracle* history, int num_grids,
+                                      const PriceLadder& ladder,
+                                      const std::vector<int64_t>& probes,
+                                      ThreadPool* pool);
 
 /// \brief The BaseP strategy; also reused by SDR/SDE/MAPS to obtain p_b.
 class BasePricing : public PricingStrategy {
@@ -26,6 +53,8 @@ class BasePricing : public PricingStrategy {
 
   Status PriceRound(const MarketSnapshot& snapshot,
                     std::vector<double>* grid_prices) override;
+
+  void LendPool(ThreadPool* pool) override { pool_ = pool; }
 
   size_t MemoryFootprintBytes() const override;
 
@@ -57,6 +86,7 @@ class BasePricing : public PricingStrategy {
   std::vector<int64_t> probes_;
   double base_price_ = 0.0;
   bool warmed_up_ = false;
+  ThreadPool* pool_ = nullptr;  // lent, non-owning; null = inline warm-up
 };
 
 }  // namespace maps

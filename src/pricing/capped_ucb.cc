@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "stats/hoeffding.h"
+#include "pricing/base_pricing.h"
 #include "util/logging.h"
 
 namespace maps {
@@ -46,17 +46,17 @@ Status CappedUcb::Warmup(const GridPartition& grid, DemandOracle* history) {
       return Status::InvalidArgument("CappedUCB warm-up needs history");
     }
     // Same probe schedule as Algorithm 1, for a fair comparison: every
-    // learning strategy starts with identical demand knowledge.
+    // learning strategy starts with identical demand knowledge. Shares the
+    // budgets AND the counter-stream schedule (and therefore the exact
+    // draws) with BasePricing::Warmup; shards over a lent pool,
+    // bit-identical without.
     const int k = ladder_.size();
+    const std::vector<int64_t> probes = ProbeBudgets(ladder_, config_);
+    const std::vector<int64_t> accepts =
+        RunProbeSchedule(history, grid.num_cells(), ladder_, probes, pool_);
     for (int g = 0; g < grid.num_cells(); ++g) {
-      for (int i = 0; i < ladder_.size(); ++i) {
-        const double p = ladder_.price(i);
-        const int64_t h = ProbeBudget(p, config_.eps, config_.delta, k);
-        int64_t accepts = 0;
-        for (int64_t s = 0; s < h; ++s) {
-          if (history->ProbeAccept(g, p)) ++accepts;
-        }
-        ucb_[g].ObserveBulk(i, h, accepts);
+      for (int i = 0; i < k; ++i) {
+        ucb_[g].ObserveBulk(i, probes[i], accepts[g * k + i]);
       }
     }
   }

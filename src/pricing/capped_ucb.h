@@ -31,6 +31,8 @@ class CappedUcb : public PricingStrategy {
 
   Status Warmup(const GridPartition& grid, DemandOracle* history) override;
 
+  void LendPool(ThreadPool* pool) override { pool_ = pool; }
+
   Status PriceRound(const MarketSnapshot& snapshot,
                     std::vector<double>* grid_prices) override;
 
@@ -58,6 +60,7 @@ class CappedUcb : public PricingStrategy {
   PriceLadder ladder_;
   bool warmed_up_ = false;
   int64_t grid_state_resets_ = 0;
+  ThreadPool* pool_ = nullptr;  // lent, non-owning; null = inline warm-up
   std::vector<UcbEstimator> ucb_;  // per grid
   // Arrival log: per grid, (|R^{tg}|, |W^{tg}|) for every period seen.
   std::vector<std::vector<std::pair<int32_t, int32_t>>> arrivals_;

@@ -80,6 +80,11 @@ class Maps : public PricingStrategy {
 
   Status Warmup(const GridPartition& grid, DemandOracle* history) override;
 
+  /// Warm-up is the only phase MAPS parallelizes today (the probe schedule
+  /// of Algorithm 1 via BasePricing); PriceRound stays sequential by
+  /// construction of the heap admission (see ROADMAP "Sharded PriceRound").
+  void LendPool(ThreadPool* pool) override { base_.LendPool(pool); }
+
   Status PriceRound(const MarketSnapshot& snapshot,
                     std::vector<double>* grid_prices) override;
 

@@ -21,6 +21,8 @@ class Sde : public PricingStrategy {
 
   Status Warmup(const GridPartition& grid, DemandOracle* history) override;
 
+  void LendPool(ThreadPool* pool) override { base_.LendPool(pool); }
+
   Status PriceRound(const MarketSnapshot& snapshot,
                     std::vector<double>* grid_prices) override;
 

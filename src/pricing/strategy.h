@@ -21,6 +21,8 @@
 
 namespace maps {
 
+class ThreadPool;
+
 /// \brief Shared pricing knobs (Algorithm 1 parameters; Example 4 defaults).
 struct PricingConfig {
   double p_min = 1.0;   ///< lower bound of candidate prices
@@ -60,6 +62,15 @@ class PricingStrategy {
     (void)history;
     return Status::OK();
   }
+
+  /// Lends a thread pool for the strategy's internal parallelism (the
+  /// Algorithm-1 warm-up probe schedule today). Non-owning: the pool must
+  /// outlive the strategy, and a lent pool must never change results —
+  /// strategies shard work per the DESIGN.md §8/§9 determinism policy, so
+  /// output is bit-identical with or without one. Do NOT lend a pool whose
+  /// workers are executing this strategy (e.g. inside an experiment-runner
+  /// cell): nested waits can deadlock a fixed pool. Default: ignore.
+  virtual void LendPool(ThreadPool* pool) { (void)pool; }
 
   /// Computes the unit price for every grid for this period.
   /// \param[out] grid_prices resized to snapshot.num_grids()

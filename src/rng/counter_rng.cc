@@ -1,0 +1,66 @@
+#include "rng/counter_rng.h"
+
+namespace maps {
+
+namespace {
+
+// Philox 4x64 round constants (Salmon et al., SC'11, Table 2): the
+// multipliers and the Weyl increments of the key schedule.
+constexpr uint64_t kPhiloxM0 = 0xD2E7470EE14C6C93ULL;
+constexpr uint64_t kPhiloxM1 = 0xCA5A826395121157ULL;
+constexpr uint64_t kPhiloxW0 = 0x9E3779B97F4A7C15ULL;  // golden ratio
+constexpr uint64_t kPhiloxW1 = 0xBB67AE8584CAA73BULL;  // sqrt(3) - 1
+
+inline void MulHiLo(uint64_t a, uint64_t b, uint64_t* hi, uint64_t* lo) {
+  const __uint128_t p = static_cast<__uint128_t>(a) * b;
+  *hi = static_cast<uint64_t>(p >> 64);
+  *lo = static_cast<uint64_t>(p);
+}
+
+}  // namespace
+
+std::array<uint64_t, 4> Philox4x64Block(
+    const std::array<uint64_t, 2>& key,
+    const std::array<uint64_t, 4>& counter) {
+  uint64_t x0 = counter[0], x1 = counter[1], x2 = counter[2], x3 = counter[3];
+  uint64_t k0 = key[0], k1 = key[1];
+  for (int round = 0; round < 10; ++round) {
+    uint64_t hi0, lo0, hi1, lo1;
+    MulHiLo(kPhiloxM0, x0, &hi0, &lo0);
+    MulHiLo(kPhiloxM1, x2, &hi1, &lo1);
+    const uint64_t y0 = hi1 ^ x1 ^ k0;
+    const uint64_t y1 = lo1;
+    const uint64_t y2 = hi0 ^ x3 ^ k1;
+    const uint64_t y3 = lo0;
+    x0 = y0;
+    x1 = y1;
+    x2 = y2;
+    x3 = y3;
+    k0 += kPhiloxW0;
+    k1 += kPhiloxW1;
+  }
+  return {x0, x1, x2, x3};
+}
+
+uint64_t CounterRng::NextUint64() {
+  if (buffered_ == 0) {
+    buffer_ = Philox4x64Block(key_, {block_, 0, 0, 0});
+    ++block_;
+    buffered_ = 4;
+  }
+  // Words are served in block order: index 4*(block_-1) + (4 - buffered_).
+  return buffer_[4 - buffered_--];
+}
+
+void CounterRng::Seek(uint64_t n) {
+  block_ = n / 4;
+  buffered_ = 0;
+  const int skip = static_cast<int>(n % 4);
+  if (skip != 0) {
+    buffer_ = Philox4x64Block(key_, {block_, 0, 0, 0});
+    ++block_;
+    buffered_ = 4 - skip;
+  }
+}
+
+}  // namespace maps

@@ -49,7 +49,7 @@ double StdNormalQuantile(double p) {
   return x;
 }
 
-double SampleNormal(Rng& rng, double mean, double stddev) {
+double SampleNormal(RandomSource& rng, double mean, double stddev) {
   // Box-Muller; we intentionally burn the second variate to keep one
   // uniform-pair -> one sample (stream alignment beats a 2x speedup here).
   double u1 = rng.NextDouble();
@@ -59,7 +59,7 @@ double SampleNormal(Rng& rng, double mean, double stddev) {
   return mean + stddev * z;
 }
 
-double SampleExponential(Rng& rng, double rate) {
+double SampleExponential(RandomSource& rng, double rate) {
   MAPS_CHECK_GT(rate, 0.0);
   double u = rng.NextDouble();
   if (u >= 1.0) u = 1.0 - 0x1.0p-53;
@@ -78,7 +78,7 @@ TruncatedNormal::TruncatedNormal(double mean, double stddev, double lo,
   MAPS_CHECK_GT(z_, 0.0) << "truncation interval has no mass";
 }
 
-double TruncatedNormal::Sample(Rng& rng) const {
+double TruncatedNormal::Sample(RandomSource& rng) const {
   double u = rng.NextDouble();
   double p = cdf_alpha_ + u * z_;
   // Clamp away from {0,1} for the quantile's domain.

@@ -21,10 +21,10 @@ double StdNormalPdf(double x);
 double StdNormalQuantile(double p);
 
 /// \brief Draws one N(mean, stddev^2) sample (Box-Muller, deterministic).
-double SampleNormal(Rng& rng, double mean, double stddev);
+double SampleNormal(RandomSource& rng, double mean, double stddev);
 
 /// \brief Draws an Exp(rate) sample via inversion.
-double SampleExponential(Rng& rng, double rate);
+double SampleExponential(RandomSource& rng, double rate);
 
 /// \brief Normal distribution truncated to [lo, hi], sampled by inversion so
 /// a single uniform drives one sample (keeps streams aligned).
@@ -32,7 +32,7 @@ class TruncatedNormal {
  public:
   TruncatedNormal(double mean, double stddev, double lo, double hi);
 
-  double Sample(Rng& rng) const;
+  double Sample(RandomSource& rng) const;
 
   /// CDF of the truncated distribution at x.
   double Cdf(double x) const;

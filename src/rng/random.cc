@@ -8,6 +8,35 @@ inline uint64_t Rotl(uint64_t x, int k) {
 }
 }  // namespace
 
+uint64_t RandomSource::NextBounded(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  __uint128_t m = static_cast<__uint128_t>(NextUint64()) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = (0ULL - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(NextUint64()) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double RandomSource::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double RandomSource::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool RandomSource::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
 Rng::Rng(uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& s : s_) s = sm.Next();
@@ -23,35 +52,6 @@ uint64_t Rng::NextUint64() {
   s_[2] ^= t;
   s_[3] = Rotl(s_[3], 45);
   return result;
-}
-
-uint64_t Rng::NextBounded(uint64_t bound) {
-  if (bound == 0) return 0;
-  // Lemire's nearly-divisionless method.
-  __uint128_t m = static_cast<__uint128_t>(NextUint64()) * bound;
-  uint64_t lo = static_cast<uint64_t>(m);
-  if (lo < bound) {
-    uint64_t threshold = (0ULL - bound) % bound;
-    while (lo < threshold) {
-      m = static_cast<__uint128_t>(NextUint64()) * bound;
-      lo = static_cast<uint64_t>(m);
-    }
-  }
-  return static_cast<uint64_t>(m >> 64);
-}
-
-double Rng::NextDouble() {
-  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::NextDouble(double lo, double hi) {
-  return lo + (hi - lo) * NextDouble();
-}
-
-bool Rng::NextBernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return NextDouble() < p;
 }
 
 Rng Rng::Fork(uint64_t stream) {

@@ -3,6 +3,16 @@
 // Every experiment in the repository is seeded; identical seeds must produce
 // bit-identical runs across platforms, so we implement the engines ourselves
 // instead of relying on (implementation-defined) std::normal_distribution.
+//
+// Two engine families share the RandomSource interface (DESIGN.md §9):
+//  * Rng (xoshiro256**): a fast SEQUENTIAL stream — one state, one order of
+//    consumption. Right for single-threaded replay (workload generation,
+//    worker repositioning) where draw order is part of the contract.
+//  * CounterRng (counter_rng.h, Philox-style): a COUNTER-BASED stream family
+//    keyed by (seed, stream) with no sequential state, so stream i's output
+//    never depends on how many draws stream j made. Right for sharded work
+//    (Monte-Carlo worlds, warm-up probe tasks) that must stay bit-identical
+//    for any thread count.
 
 #pragma once
 
@@ -26,21 +36,21 @@ class SplitMix64 {
   uint64_t state_;
 };
 
-/// \brief xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// \brief Engine-agnostic source of random 64-bit words.
 ///
-/// Satisfies UniformRandomBitGenerator so it can also drive <random> adaptors
-/// in tests.
-class Rng {
+/// Samplers (distributions.h, DemandModel::Sample) accept a RandomSource so
+/// the same inversion code runs off a sequential Rng or a per-stream
+/// CounterRng. The derived helpers consume exactly one NextUint64 per draw
+/// wherever possible, keeping streams aligned across engines. NextBounded
+/// is the one documented exception: its rejection loop re-draws with
+/// probability (2^64 mod bound) / 2^64 — negligible for small bounds but
+/// approaching 1/2 as bound nears 2^63 — so stream-aligned consumers must
+/// not use it (the repo's samplers draw via NextDouble only).
+class RandomSource {
  public:
-  using result_type = uint64_t;
+  virtual ~RandomSource() = default;
 
-  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
-
-  static constexpr result_type min() { return 0; }
-  static constexpr result_type max() { return ~0ULL; }
-  result_type operator()() { return NextUint64(); }
-
-  uint64_t NextUint64();
+  virtual uint64_t NextUint64() = 0;
 
   /// Uniform in [0, bound) without modulo bias (Lemire's method).
   uint64_t NextBounded(uint64_t bound);
@@ -53,9 +63,30 @@ class Rng {
 
   /// Bernoulli trial with success probability p.
   bool NextBernoulli(double p);
+};
+
+/// \brief xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+///
+/// Satisfies UniformRandomBitGenerator so it can also drive <random> adaptors
+/// in tests. `final` so calls through a concrete Rng& devirtualize.
+class Rng final : public RandomSource {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return NextUint64(); }
+
+  uint64_t NextUint64() override;
 
   /// Derives an independent child generator; `stream` diversifies children
-  /// created from the same parent state.
+  /// created from the same parent state. The child seed combines a parent
+  /// draw with a Weyl-spread stream id and is then expanded through
+  /// SplitMix64 by the constructor, so adjacent streams land on unrelated
+  /// xoshiro states (pinned by the stream-independence tests; prefer
+  /// CounterRng when streams must be a pure function of an index).
   Rng Fork(uint64_t stream);
 
  private:

@@ -8,6 +8,7 @@
 
 #include "graph/bipartite_graph.h"
 #include "graph/max_weight_matching.h"
+#include "graph/possible_worlds.h"
 #include "rng/random.h"
 #include "util/logging.h"
 
@@ -41,6 +42,10 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
   MAPS_RETURN_NOT_OK(ValidateWorkload(workload));
 
   SimulationResult result;
+
+  // Internal parallelism (warm-up probe schedule): bit-identical with or
+  // without the lent pool, so this changes nothing but wall-clock.
+  if (options.pool != nullptr) strategy->LendPool(options.pool);
 
   // Warm-up against a fork of the ground truth: independent probe
   // randomness, identical demand.
@@ -87,6 +92,9 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
   GraphBuildWorkspace graph_ws;
   BipartiteGraph graph;
   MaxWeightMatchingWorkspace match_ws;
+  // Monte-Carlo diagnostic scratch, pooled across periods.
+  std::vector<PricedTask> mc_priced;
+  std::vector<PossibleWorldsWorkspace> mc_workspaces;
 
   for (int32_t t = 0; t < workload.num_periods; ++t) {
     // Admit workers entering this period.
@@ -150,6 +158,26 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
     // Graph and matching buffers are pooled across periods.
     BipartiteGraph::BuildInto(snapshot.tasks(), snapshot.workers(),
                               workload.grid, &graph_ws, &graph);
+
+    // Monte-Carlo expected-revenue diagnostic: E[U(B^t)] of the posted
+    // prices under the TRUE acceptance ratios (Def. 6), estimated over
+    // mc_worlds counter-streamed possible worlds. Uses the same
+    // geometry-only graph the assignment uses; period t's worlds live in
+    // seed family mc_seed + t so every (period, world) pair is an
+    // independent, reproducible stream.
+    double period_mc = 0.0;
+    if (options.mc_worlds > 0 && !snapshot.tasks().empty()) {
+      mc_priced.clear();
+      for (const Task& task : snapshot.tasks()) {
+        const double p = prices[task.grid];
+        mc_priced.push_back(PricedTask{
+            task.distance, p, workload.oracle.TrueAcceptRatio(task.grid, p)});
+      }
+      period_mc = MonteCarloExpectedRevenue(
+          graph, mc_priced, options.mc_seed + static_cast<uint64_t>(t),
+          options.mc_worlds, options.pool, &mc_workspaces);
+      result.mc_expected_revenue += period_mc;
+    }
     weights.assign(snapshot.tasks().size(), -1.0);
     int32_t n_accepted = 0;
     for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
@@ -249,6 +277,7 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
       PeriodStats ps;
       ps.period = t;
       ps.revenue = period_revenue;
+      ps.mc_expected_revenue = period_mc;
       ps.num_tasks = static_cast<int32_t>(snapshot.tasks().size());
       ps.num_accepted = n_accepted;
       ps.num_matched = n_matched;

@@ -18,6 +18,7 @@
 #include "pricing/strategy.h"
 #include "sim/workload.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace maps {
 
@@ -31,12 +32,29 @@ struct SimOptions {
   bool collect_per_period = false;
   /// Skip the strategy Warmup() call (for pre-warmed strategies).
   bool skip_warmup = false;
+  /// Monte-Carlo worlds per period for the expected-revenue diagnostic:
+  /// when > 0, each period also estimates E[U(B^t)] of the posted prices
+  /// under the TRUE acceptance ratios by sampling this many possible
+  /// worlds (world w of period t draws from CounterRng stream
+  /// (mc_seed + t, w), so the estimate is bit-identical for any thread
+  /// count). Realized revenue is one sampled world; this is the metric the
+  /// paper's strategies actually optimize. 0 disables (no cost).
+  int mc_worlds = 0;
+  /// Seed family for the Monte-Carlo diagnostic worlds.
+  uint64_t mc_seed = 0x6d63776f726c64ULL;  // "mcworld"
+  /// Optional pool lent to the strategy (warm-up probe schedule) and used
+  /// by the Monte-Carlo diagnostic. Non-owning; must not be a pool whose
+  /// workers are running THIS simulation (nested waits can deadlock).
+  /// Results are bit-identical with or without it.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Per-period accounting (optional).
 struct PeriodStats {
   int32_t period = 0;
   double revenue = 0.0;
+  /// MC-estimated E[U(B^t)] of the period's prices (0 when mc_worlds == 0).
+  double mc_expected_revenue = 0.0;
   int32_t num_tasks = 0;
   int32_t num_accepted = 0;
   int32_t num_matched = 0;
@@ -46,6 +64,9 @@ struct PeriodStats {
 /// \brief Aggregate outcome of one simulation run.
 struct SimulationResult {
   double total_revenue = 0.0;
+  /// Sum over periods of the MC-estimated expected revenue of the posted
+  /// prices under true demand (see SimOptions::mc_worlds; 0 when disabled).
+  double mc_expected_revenue = 0.0;
   /// Warm-up wall time (Algorithm 1 probing etc.).
   double warmup_time_sec = 0.0;
   /// Strategy wall time across all periods (PriceRound + ObserveFeedback).

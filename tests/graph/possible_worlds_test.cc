@@ -136,6 +136,85 @@ TEST(PossibleWorldsTest, PoolBackedEnumerationReusesWorkspacesAcrossCalls) {
   EXPECT_EQ(static_cast<int>(workspaces.size()), pool.num_threads());
 }
 
+TEST(PossibleWorldsTest, CounterMonteCarloBitIdenticalAcrossThreads) {
+  // World w draws from CounterRng stream (seed, w) no matter which worker
+  // evaluates it, and partial sums fold in fixed shard order — so the
+  // estimate must be bit-identical with no pool and with 1, 2, and 8
+  // threads, across repeated invocations on reused workspaces.
+  Rng geom(19);
+  const int nt = 12, nw = 5;
+  std::vector<std::pair<int, int>> edges;
+  for (int t = 0; t < nt; ++t) {
+    for (int w = 0; w < nw; ++w) {
+      if (geom.NextBernoulli(0.4)) edges.push_back({t, w});
+    }
+  }
+  auto g = BipartiteGraph::FromEdges(nt, nw, std::move(edges));
+  std::vector<PricedTask> tasks(nt);
+  for (auto& t : tasks) {
+    t.distance = geom.NextDouble(0.5, 3.0);
+    t.price = geom.NextDouble(1.0, 5.0);
+    t.accept_prob = geom.NextDouble(0.1, 0.9);
+  }
+
+  std::vector<PossibleWorldsWorkspace> workspaces;
+  const double serial =
+      MonteCarloExpectedRevenue(g, tasks, /*seed=*/33, /*samples=*/10001,
+                                /*pool=*/nullptr, &workspaces);
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(MonteCarloExpectedRevenue(g, tasks, 33, 10001, &pool,
+                                        &workspaces),
+              serial)
+        << threads << " threads";
+  }
+  // A different seed family samples different worlds.
+  EXPECT_NE(MonteCarloExpectedRevenue(g, tasks, 34, 10001, nullptr,
+                                      &workspaces),
+            serial);
+}
+
+TEST(PossibleWorldsTest, CounterMonteCarloConvergesToExactAtAnyThreadCount) {
+  // Small random instances where the exact enumerator is the ground truth:
+  // the counter-streamed estimate must land within ~4 sigma of it, and the
+  // value used for the comparison must be the same at 1, 2, and 8 threads.
+  Rng geom(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int nt = 2 + static_cast<int>(geom.NextBounded(6));
+    const int nw = 1 + static_cast<int>(geom.NextBounded(4));
+    std::vector<std::pair<int, int>> edges;
+    for (int t = 0; t < nt; ++t) {
+      for (int w = 0; w < nw; ++w) {
+        if (geom.NextBernoulli(0.5)) edges.push_back({t, w});
+      }
+    }
+    auto g = BipartiteGraph::FromEdges(nt, nw, std::move(edges));
+    std::vector<PricedTask> tasks(nt);
+    for (auto& t : tasks) {
+      t.distance = geom.NextDouble(0.5, 3.0);
+      t.price = geom.NextDouble(1.0, 5.0);
+      t.accept_prob = geom.NextDouble(0.1, 0.9);
+    }
+    const double exact = ExactExpectedRevenue(g, tasks);
+    std::vector<PossibleWorldsWorkspace> workspaces;
+    double estimate = 0.0;
+    bool first = true;
+    for (int threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      const double e = MonteCarloExpectedRevenue(
+          g, tasks, /*seed=*/100 + trial, 40000, &pool, &workspaces);
+      if (first) {
+        estimate = e;
+        first = false;
+      } else {
+        ASSERT_EQ(e, estimate) << threads << " threads, trial " << trial;
+      }
+    }
+    EXPECT_NEAR(estimate, exact, std::max(0.05, exact * 0.05))
+        << "trial " << trial;
+  }
+}
+
 TEST(PossibleWorldsDeathTest, TooManyTasksRefused) {
   std::vector<PricedTask> tasks(26, {1.0, 1.0, 0.5});
   auto g = BipartiteGraph::FromEdges(26, 1, {});

@@ -30,6 +30,38 @@ TEST(DemandOracleTest, ProbesConvergeToTrueAcceptRatio) {
   EXPECT_EQ(oracle.num_probes(), n);
 }
 
+TEST(DemandOracleTest, CountProbeAcceptsIsPureFunctionOfStream) {
+  DemandOracle oracle = MakeOracle(2, 5);
+  const int64_t a = oracle.CountProbeAccepts(0, 2.5, 1000, /*stream=*/3);
+  // Interleave sequential probes and other streams: the batch must not
+  // depend on any oracle-internal sequential state or call order.
+  for (int i = 0; i < 100; ++i) oracle.ProbeAccept(1, 2.0);
+  (void)oracle.CountProbeAccepts(1, 1.5, 500, /*stream=*/9);
+  EXPECT_EQ(oracle.CountProbeAccepts(0, 2.5, 1000, /*stream=*/3), a);
+  // A prefix of the same stream is a prefix of the same draws.
+  const int64_t shorter = oracle.CountProbeAccepts(0, 2.5, 400, /*stream=*/3);
+  EXPECT_LE(shorter, a);
+  // Different streams (and different seeds) draw independently.
+  EXPECT_NE(oracle.CountProbeAccepts(0, 2.5, 100000, /*stream=*/3),
+            oracle.CountProbeAccepts(0, 2.5, 100000, /*stream=*/4));
+  DemandOracle other = MakeOracle(2, 6);
+  EXPECT_NE(other.CountProbeAccepts(0, 2.5, 100000, /*stream=*/3),
+            oracle.CountProbeAccepts(0, 2.5, 100000, /*stream=*/3));
+}
+
+TEST(DemandOracleTest, CountProbeAcceptsConvergesToTrueAcceptRatio) {
+  DemandOracle oracle = MakeOracle(1, 21);
+  const double p = 2.5;
+  const int64_t n = 50000;
+  const int64_t accepts = oracle.CountProbeAccepts(0, p, n, /*stream=*/0);
+  EXPECT_NEAR(accepts / static_cast<double>(n), oracle.TrueAcceptRatio(0, p),
+              0.01);
+  // Batch probes are accounted explicitly, not implicitly.
+  EXPECT_EQ(oracle.num_probes(), 0);
+  oracle.AccountProbes(n);
+  EXPECT_EQ(oracle.num_probes(), n);
+}
+
 TEST(DemandOracleTest, PerGridModelsIndependent) {
   std::vector<std::unique_ptr<DemandModel>> models;
   models.push_back(std::make_unique<TruncatedNormalDemand>(1.5, 1.0, 1.0, 5.0));

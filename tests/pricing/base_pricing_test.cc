@@ -135,6 +135,60 @@ TEST(BasePricingTest, HeterogeneousGridsAverage) {
   EXPECT_DOUBLE_EQ(base.base_price(), 2.5);
 }
 
+TEST(WarmupPoolBackedTest, BitIdenticalForAnyThreadCount) {
+  // The probe schedule draws every (grid, rung) pair from its own counter
+  // stream, so warm-up output — base price, per-grid Myerson prices, every
+  // observed acceptance ratio, and the probe accounting — must be
+  // bit-identical with no pool and with pools of 1, 2, and 8 workers.
+  PricingConfig cfg;
+  GridPartition grid = SmallGrid(3);
+
+  DemandOracle serial_oracle = TableOneOracle(grid.num_cells(), 17);
+  BasePricing serial(cfg);
+  ASSERT_TRUE(serial.Warmup(grid, &serial_oracle).ok());
+
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    DemandOracle oracle = TableOneOracle(grid.num_cells(), 17);
+    BasePricing pooled(cfg);
+    pooled.LendPool(&pool);
+    ASSERT_TRUE(pooled.Warmup(grid, &oracle).ok());
+    EXPECT_EQ(pooled.base_price(), serial.base_price())
+        << threads << " threads";
+    for (int g = 0; g < grid.num_cells(); ++g) {
+      EXPECT_EQ(pooled.grid_myerson_prices()[g],
+                serial.grid_myerson_prices()[g]);
+      for (int i = 0; i < serial.ladder().size(); ++i) {
+        EXPECT_EQ(pooled.observed_accept_ratios()[g][i],
+                  serial.observed_accept_ratios()[g][i])
+            << "grid " << g << " rung " << i << " at " << threads
+            << " threads";
+      }
+    }
+    EXPECT_EQ(oracle.num_probes(), serial_oracle.num_probes());
+  }
+}
+
+TEST(WarmupPoolBackedTest, PoolSurvivesReuseAcrossStrategies) {
+  // One pool backs several strategies' warm-ups in sequence (the bench
+  // pattern); lending must leave no residual state in the pool.
+  PricingConfig cfg;
+  GridPartition grid = SmallGrid();
+  ThreadPool pool(4);
+  double first = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    DemandOracle oracle = TableOneOracle(grid.num_cells(), 23);
+    BasePricing base(cfg);
+    base.LendPool(&pool);
+    ASSERT_TRUE(base.Warmup(grid, &oracle).ok());
+    if (round == 0) {
+      first = base.base_price();
+    } else {
+      EXPECT_EQ(base.base_price(), first);
+    }
+  }
+}
+
 TEST(BasePricingTest, MemoryFootprintPositiveAfterWarmup) {
   PricingConfig cfg;
   BasePricing base(cfg);

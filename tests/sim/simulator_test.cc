@@ -189,6 +189,73 @@ TEST(SimulatorTest, DeterministicRuns) {
   EXPECT_EQ(r1.num_matched, r2.num_matched);
 }
 
+TEST(SimulatorMcPoolBackedTest, McDiagnosticDeterministicAcrossThreadCounts) {
+  // The Monte-Carlo expected-revenue diagnostic samples period t's worlds
+  // from counter streams (mc_seed + t, world): the metric must be identical
+  // with no pool and with 1/2/8-thread pools, and must not perturb the
+  // simulation itself.
+  SyntheticConfig cfg;
+  cfg.num_workers = 50;
+  cfg.num_tasks = 200;
+  cfg.num_periods = 10;
+  cfg.grid_rows = 3;
+  cfg.grid_cols = 3;
+  cfg.seed = 12;
+  Workload w = GenerateSynthetic(cfg).ValueOrDie();
+
+  FixedPriceStrategy base_strategy(2.0);
+  auto base = RunSimulation(w, &base_strategy).ValueOrDie();
+  EXPECT_DOUBLE_EQ(base.mc_expected_revenue, 0.0);  // disabled by default
+
+  SimOptions mc;
+  mc.mc_worlds = 500;
+  FixedPriceStrategy s0(2.0);
+  auto serial = RunSimulation(w, &s0, mc).ValueOrDie();
+  EXPECT_GT(serial.mc_expected_revenue, 0.0);
+  // The diagnostic is passive: realized outcomes match the plain run.
+  EXPECT_DOUBLE_EQ(serial.total_revenue, base.total_revenue);
+  EXPECT_EQ(serial.num_matched, base.num_matched);
+
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    SimOptions pooled = mc;
+    pooled.pool = &pool;
+    FixedPriceStrategy s(2.0);
+    auto r = RunSimulation(w, &s, pooled).ValueOrDie();
+    EXPECT_EQ(r.mc_expected_revenue, serial.mc_expected_revenue)
+        << threads << " threads";
+    EXPECT_DOUBLE_EQ(r.total_revenue, base.total_revenue);
+  }
+
+  // A different seed family samples different worlds; more worlds shrink
+  // the gap to the realized revenue's expectation but never change the
+  // realized outcomes.
+  SimOptions reseeded = mc;
+  reseeded.mc_seed = 999;
+  FixedPriceStrategy s1(2.0);
+  auto r = RunSimulation(w, &s1, reseeded).ValueOrDie();
+  EXPECT_NE(r.mc_expected_revenue, serial.mc_expected_revenue);
+  EXPECT_DOUBLE_EQ(r.total_revenue, base.total_revenue);
+}
+
+TEST(SimulatorMcPoolBackedTest, McDiagnosticTracksExpectedRevenue) {
+  // Fixed price 2 on Table-1 demand (S(2) = 0.8): with enough worlds the
+  // per-period estimate approaches the analytic E[U], which for the tiny
+  // workload (one worker, tasks of distance 3/2/1, all priced at 2) is
+  // dominated by the best accepted task: E = 2 * E[max accepted distance].
+  Workload w = TinyWorkload({5.0, 5.0, 5.0});  // everyone accepts price 2
+  SimOptions mc;
+  mc.mc_worlds = 20000;
+  FixedPriceStrategy s(2.0);
+  auto r = RunSimulation(w, &s, mc).ValueOrDie();
+  // P(accept) = 0.8 each; E[max accepted d] = 3*0.8 + 2*0.2*0.8 +
+  // 1*0.04*0.8 = 2.752; times price 2 = 5.504.
+  EXPECT_NEAR(r.mc_expected_revenue, 5.504, 0.1);
+  // Realized revenue with all-accepting valuations: worker takes d=3 at
+  // price 2.
+  EXPECT_DOUBLE_EQ(r.total_revenue, 6.0);
+}
+
 TEST(SimulatorTest, HigherValuationsNeverReduceFixedPriceRevenue) {
   // With all valuations raised above the price, every task accepts.
   Workload lo = TinyWorkload({1.0, 1.0, 1.0});

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Fails (exit 1) when any intra-repo markdown link is broken.
+#
+# Checks every [text](target) in the repo's tracked *.md files (skipping
+# build trees). External links (a scheme like https://) and pure anchors
+# (#section) are ignored; everything else must resolve to an existing file
+# or directory relative to the linking document (anchors after the path are
+# stripped). Run from anywhere inside the repo; CI runs it as the docs job.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+checked=0
+
+# Tracked markdown only when git is available; else a pruned find.
+if git -C "$root" rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  files=$(git -C "$root" ls-files --cached --others --exclude-standard '*.md')
+else
+  files=$(cd "$root" && find . -name '*.md' -not -path './build*/*' \
+            -not -path './.git/*' | sed 's|^\./||')
+fi
+
+for doc in $files; do
+  dir="$root/$(dirname "$doc")"
+  # Extract (target) of every markdown link; tolerate several per line.
+  while IFS= read -r target; do
+    case "$target" in
+      ''|\#*) continue ;;                     # pure anchor
+      *://*|mailto:*) continue ;;             # external
+    esac
+    path="${target%%#*}"                      # strip anchor
+    path="${path%% \"*}"                      # strip optional "title"
+    path="${path%% \'*}"                      # strip optional 'title'
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$root/$path" ]; then
+      echo "BROKEN: $doc -> $target"
+      status=1
+    fi
+    checked=$((checked + 1))
+  done <<EOF
+$(grep -o '\[[^]]*\]([^)]*)' "$root/$doc" 2>/dev/null | sed 's/^\[[^]]*\](//; s/)$//')
+EOF
+done
+
+echo "checked $checked intra-repo markdown links"
+exit $status

@@ -20,6 +20,9 @@
 //   --experiments  comma-separated registry names, or "all" (default all)
 //   --scale        population scale (default: MAPS_BENCH_SCALE env, else 1)
 //   --threads      pool size (default: MAPS_THREADS env, else hardware)
+//   --mc_worlds    Monte-Carlo worlds per period for the expected-revenue
+//                  diagnostic column (counter-streamed, thread-count
+//                  independent; 0 = off, the default)
 //   --out          JSON output path (default experiments.json)
 //   --csv_dir      also write <experiment>.csv per experiment ("" disables;
 //                  default: MAPS_BENCH_CSV_DIR env, else disabled)
@@ -62,7 +65,8 @@ struct ExperimentRun {
 /// read-only across cells; each cell forks the oracle for its warm-up.
 Result<ExperimentRun> RunExperiment(
     const ExperimentSpec& spec,
-    const std::vector<StrategyFactory>& strategies, ThreadPool* pool) {
+    const std::vector<StrategyFactory>& strategies, ThreadPool* pool,
+    int mc_worlds) {
   ExperimentRun run;
   run.name = spec.name;
   run.x_name = spec.x_name;
@@ -102,6 +106,12 @@ Result<ExperimentRun> RunExperiment(
                   // Same stream schedule as the retired ExperimentSweep
                   // path: strategies draw independent probe randomness.
                   options.warmup_stream = 101 + cell.strategy;
+                  // Counter-streamed, so the diagnostic is identical no
+                  // matter how the matrix is threaded. The cell must NOT
+                  // lend the matrix pool to its own simulation (nested
+                  // waits on a fixed pool can deadlock): within-cell work
+                  // stays serial, cells parallelize across the pool.
+                  options.mc_worlds = mc_worlds;
                   auto result = RunSimulation(workloads[cell.point],
                                               strategy.get(), options);
                   cell.status = result.status();
@@ -122,12 +132,12 @@ Result<ExperimentRun> RunExperiment(
 
 Table RunToTable(const ExperimentRun& run,
                  const std::vector<StrategyFactory>& strategies) {
-  Table table({run.x_name, "strategy", "revenue", "time_secs", "memory_mb",
-               "accepted", "matched"});
+  Table table({run.x_name, "strategy", "revenue", "mc_revenue", "time_secs",
+               "memory_mb", "accepted", "matched"});
   for (const Cell& cell : run.cells) {
     const SimulationResult& r = cell.result;
     table.AddRow(run.x_labels[cell.point], strategies[cell.strategy].name,
-                 r.total_revenue, r.total_time_sec,
+                 r.total_revenue, r.mc_expected_revenue, r.total_time_sec,
                  static_cast<double>(r.memory_bytes) / (1024.0 * 1024.0),
                  r.num_accepted, r.num_matched);
   }
@@ -137,11 +147,12 @@ Table RunToTable(const ExperimentRun& run,
 Status WriteJson(const std::string& path,
                  const std::vector<ExperimentRun>& runs,
                  const std::vector<StrategyFactory>& strategies, int threads,
-                 double scale) {
+                 double scale, int mc_worlds) {
   std::ofstream out(path);
   if (!out) return Status::Internal("cannot open " + path + " for writing");
-  out << "{\n  \"schema\": \"maps-experiment-runner-v1\",\n"
+  out << "{\n  \"schema\": \"maps-experiment-runner-v2\",\n"
       << "  \"threads\": " << threads << ",\n  \"scale\": " << scale
+      << ",\n  \"mc_worlds\": " << mc_worlds
       << ",\n  \"experiments\": [\n";
   for (size_t e = 0; e < runs.size(); ++e) {
     const ExperimentRun& run = runs[e];
@@ -154,6 +165,7 @@ Status WriteJson(const std::string& path,
       out << "      {\"x\": \"" << run.x_labels[cell.point]
           << "\", \"strategy\": \"" << strategies[cell.strategy].name
           << "\", \"revenue\": " << r.total_revenue
+          << ", \"mc_expected_revenue\": " << r.mc_expected_revenue
           << ", \"time_secs\": " << r.total_time_sec
           << ", \"memory_bytes\": " << r.memory_bytes
           << ", \"accepted\": " << r.num_accepted
@@ -193,6 +205,11 @@ int Main(int argc, char** argv) {
 
   const int threads = static_cast<int>(
       flags.GetInt("threads", ThreadPool::DefaultThreadCount()));
+  const int mc_worlds = static_cast<int>(flags.GetInt("mc_worlds", 0));
+  if (mc_worlds < 0) {
+    std::cerr << "--mc_worlds must be >= 0\n";
+    return 2;
+  }
   const std::string out_path = flags.GetString("out", "experiments.json");
   const char* csv_env = std::getenv("MAPS_BENCH_CSV_DIR");
   const std::string csv_dir =
@@ -232,7 +249,7 @@ int Main(int argc, char** argv) {
     std::cout << "[experiment_runner] running " << spec.name << " ("
               << spec.points.size() << " points x " << strategies.size()
               << " strategies, " << threads << " threads)\n";
-    auto run = RunExperiment(spec, strategies, &pool);
+    auto run = RunExperiment(spec, strategies, &pool, mc_worlds);
     if (!run.ok()) {
       std::cerr << spec.name << ": " << run.status() << "\n";
       return 1;
@@ -250,7 +267,8 @@ int Main(int argc, char** argv) {
     }
   }
 
-  Status st = WriteJson(out_path, runs, strategies, threads, registry.scale);
+  Status st = WriteJson(out_path, runs, strategies, threads, registry.scale,
+                        mc_worlds);
   if (!st.ok()) {
     std::cerr << st << "\n";
     return 1;
