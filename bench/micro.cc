@@ -28,7 +28,9 @@
 #include "pricing/oracle_search.h"
 #include "rng/counter_rng.h"
 #include "rng/random.h"
+#include "sim/simulator.h"
 #include "sim/synthetic.h"
+#include "util/thread_pool.h"
 
 namespace maps {
 namespace {
@@ -221,6 +223,39 @@ void BM_MapsPriceRound(benchmark::State& state) {
 }
 BENCHMARK(BM_MapsPriceRound)->Range(256, 4096)->Complexity();
 
+void BM_MapsPriceRoundSharded(benchmark::State& state) {
+  // Same round with a lent pool: the per-round maximizer precompute shards
+  // across it (bit-identical results; see DESIGN.md §10).
+  const int tasks_n = static_cast<int>(state.range(0));
+  SyntheticConfig cfg;
+  cfg.num_tasks = tasks_n;
+  cfg.num_workers = tasks_n / 4;
+  cfg.num_periods = 1;
+  cfg.temporal_sigma = 0.0001;
+  cfg.seed = 99;
+  Workload w = GenerateSynthetic(cfg).ValueOrDie();
+  MapsOptions opts;
+  Maps strategy(opts);
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
+  strategy.LendPool(&pool);
+  DemandOracle history = w.oracle.Fork(9);
+  if (!strategy.Warmup(w.grid, &history).ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  MarketSnapshot snap(&w.grid, 0, w.tasks, w.workers);
+  std::vector<double> prices;
+  for (auto _ : state) {
+    if (!strategy.PriceRound(snap, &prices).ok()) {
+      state.SkipWithError("price round failed");
+      return;
+    }
+    benchmark::DoNotOptimize(prices.data());
+  }
+  state.SetComplexityN(tasks_n);
+}
+BENCHMARK(BM_MapsPriceRoundSharded)->Range(256, 4096)->Complexity();
+
 // ---------------------------------------------------------------------------
 // BENCH_micro.json: machine-readable per-op ns and peak bytes for the three
 // tracked hot paths. Kept separate from the google-benchmark suite so the
@@ -292,6 +327,31 @@ bool EmitTrackedJson(const std::string& path) {
         &r.iterations);
     r.peak_bytes = strategy.peak_round_bytes();
     results.push_back(r);
+
+    // Same round with a lent pool: the maximizer precompute shards over it
+    // (bit-identical prices). problem_size records the thread count so the
+    // JSON pairs the sharded trajectory with the serial one, mirroring the
+    // other *_pooled entries.
+    {
+      ThreadPool pool(ThreadPool::DefaultThreadCount());
+      Maps sharded(opts);
+      sharded.LendPool(&pool);
+      DemandOracle sharded_history = w.oracle.Fork(9);
+      if (!sharded.Warmup(w.grid, &sharded_history).ok()) {
+        std::cerr << "MAPS sharded warmup failed; no tracked results\n";
+        return false;
+      }
+      TrackedResult sr;
+      sr.name = "maps_price_round_sharded";
+      sr.problem_size = pool.num_threads();
+      sr.ns_per_op = TimeOp(
+          [&] {
+            if (!sharded.PriceRound(snap, &prices).ok()) std::abort();
+          },
+          &sr.iterations);
+      sr.peak_bytes = sharded.peak_round_bytes();
+      results.push_back(sr);
+    }
 
     // Same market, pooled spatial-join graph build.
     GraphBuildWorkspace ws;
@@ -476,6 +536,71 @@ bool EmitTrackedJson(const std::string& path) {
         },
         &mt.iterations, 0.5);
     for (const auto& w : pws) mt.peak_bytes += w.FootprintBytes();
+    results.push_back(mt);
+  }
+
+  // End-to-end period throughput, serial vs pipelined: the pipelined run
+  // prebuilds period t+1's task-side snapshot on the pool while period t is
+  // priced and matched (SimOptions::pipeline_periods); results are
+  // bit-identical, so the pair measures pure overlap. A fixed repetition
+  // count with a freshly warmed strategy per rep (warm-up outside the
+  // timed region) keeps every timed run identical work — a time-budgeted
+  // loop on one strategy would accumulate UCB state at a machine-dependent
+  // rate and drift the gated metric. problem_size: periods per run for the
+  // serial entry, thread count for the pipelined one.
+  {
+    SyntheticConfig cfg;
+    cfg.num_tasks = std::max(400, static_cast<int>(20000 * scale));
+    cfg.num_workers = std::max(100, static_cast<int>(5000 * scale));
+    cfg.num_periods = std::max(10, static_cast<int>(100 * scale));
+    cfg.seed = 99;
+    Workload w = GenerateSynthetic(cfg).ValueOrDie();
+    constexpr int kSimReps = 3;
+
+    // Returns mean ns per simulation run, or a negative value on failure.
+    const auto time_sim = [&](const SimOptions& options, size_t* bytes) {
+      double total_sec = 0.0;
+      for (int rep = 0; rep < kSimReps; ++rep) {
+        MapsOptions mopts;
+        Maps strategy(mopts);
+        DemandOracle history = w.oracle.Fork(9);
+        if (!strategy.Warmup(w.grid, &history).ok()) return -1.0;
+        const auto start = std::chrono::steady_clock::now();
+        auto result = RunSimulation(w, &strategy, options);
+        total_sec += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+        if (!result.ok()) return -1.0;
+        benchmark::DoNotOptimize(result.ValueOrDie().total_revenue);
+        *bytes = result.ValueOrDie().memory_bytes;
+      }
+      return total_sec * 1e9 / kSimReps;
+    };
+
+    SimOptions serial_opts;
+    serial_opts.skip_warmup = true;
+    TrackedResult r;
+    r.name = "simulator_periods";
+    r.problem_size = cfg.num_periods;
+    r.iterations = kSimReps;
+    r.ns_per_op = time_sim(serial_opts, &r.peak_bytes);
+
+    ThreadPool pool(ThreadPool::DefaultThreadCount());
+    SimOptions pipe_opts;
+    pipe_opts.skip_warmup = true;
+    pipe_opts.pipeline_periods = true;
+    pipe_opts.pool = &pool;
+    TrackedResult mt;
+    mt.name = "simulator_periods_pipelined";
+    mt.problem_size = pool.num_threads();
+    mt.iterations = kSimReps;
+    mt.ns_per_op = time_sim(pipe_opts, &mt.peak_bytes);
+
+    if (r.ns_per_op < 0.0 || mt.ns_per_op < 0.0) {
+      std::cerr << "MAPS simulation failed; no tracked results\n";
+      return false;
+    }
+    results.push_back(r);
     results.push_back(mt);
   }
 

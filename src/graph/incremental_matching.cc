@@ -16,12 +16,29 @@ void IncrementalMatching::Reset(const BipartiteGraph* graph) {
   matching_.size = 0;
   visited_.assign(graph->num_right(), -1);
   stamp_ = 0;
+  num_dead_ = 0;
   frames_.clear();
+  touched_.clear();
+}
+
+bool IncrementalMatching::PushFrameWithLookahead(int l) {
+  frames_.push_back(Frame{l, 0, -1});
+  for (const int r : graph_->Neighbors(l)) {
+    if (matching_.match_right[r] == Matching::kUnmatched) {
+      // A free right vertex is never visited (reaching one ends a search)
+      // and never dead (dead vertices are matched by construction), so no
+      // stamp check is needed.
+      visited_[r] = stamp_;
+      frames_.back().r = r;
+      return true;
+    }
+  }
+  return false;
 }
 
 bool IncrementalMatching::Search(int root) {
   frames_.clear();
-  frames_.push_back(Frame{root, 0, -1});
+  if (PushFrameWithLookahead(root)) return true;
   while (!frames_.empty()) {
     Frame& f = frames_.back();
     const auto neighbors = graph_->Neighbors(f.l);
@@ -30,14 +47,25 @@ bool IncrementalMatching::Search(int root) {
       continue;
     }
     const int r = neighbors[f.next++];
-    if (visited_[r] == stamp_) continue;
+    if (visited_[r] == stamp_ || visited_[r] == kDeadStamp) continue;
     visited_[r] = stamp_;
+    touched_.push_back(r);
     f.r = r;
+    // The frame's lookahead proved no neighbor is free, so r is matched.
     const int l2 = matching_.match_right[r];
-    if (l2 == Matching::kUnmatched) return true;
-    frames_.push_back(Frame{l2, 0, -1});
+    if (PushFrameWithLookahead(l2)) return true;
   }
   return false;
+}
+
+void IncrementalMatching::MarkTouchedDead(size_t count) {
+  MAPS_DCHECK_LE(count, touched_.size());
+  for (size_t i = 0; i < count; ++i) {
+    if (visited_[touched_[i]] != kDeadStamp) {
+      visited_[touched_[i]] = kDeadStamp;
+      ++num_dead_;
+    }
+  }
 }
 
 void IncrementalMatching::CommitFrames() {
@@ -52,46 +80,64 @@ bool IncrementalMatching::TryAugment(int l) {
   MAPS_DCHECK(l >= 0 && l < graph_->num_left());
   if (matching_.IsLeftMatched(l)) return true;
   ++stamp_;
+  touched_.clear();
   if (Search(l)) {
     CommitFrames();
     return true;
   }
+  MarkTouchedDead(touched_.size());
   return false;
 }
 
 bool IncrementalMatching::AnyAugmentable(const std::vector<int>& candidates) {
   ++stamp_;
+  touched_.clear();
   for (int l : candidates) {
     if (matching_.IsLeftMatched(l)) continue;
-    if (Search(l)) return true;
+    const size_t failed_prefix = touched_.size();
+    if (Search(l)) {
+      MarkTouchedDead(failed_prefix);
+      return true;
+    }
   }
+  MarkTouchedDead(touched_.size());
   return false;
 }
 
 int IncrementalMatching::AugmentFirst(const std::vector<int>& candidates) {
   ++stamp_;
+  touched_.clear();
   for (int l : candidates) {
     if (matching_.IsLeftMatched(l)) continue;
+    const size_t failed_prefix = touched_.size();
     if (Search(l)) {
+      MarkTouchedDead(failed_prefix);
       CommitFrames();
       return l;
     }
   }
+  MarkTouchedDead(touched_.size());
   return Matching::kUnmatched;
 }
 
 int IncrementalMatching::FindAugmentablePath(
     const std::vector<int>& candidates, RecordedPath* out) {
   ++stamp_;
+  touched_.clear();
   for (int l : candidates) {
     if (matching_.IsLeftMatched(l)) continue;
+    const size_t failed_prefix = touched_.size();
     if (Search(l)) {
+      // Only the region explored by PRIOR candidates' failed searches is a
+      // certified closed region; this candidate's own tree is live.
+      MarkTouchedDead(failed_prefix);
       out->edges.clear();
       out->edges.reserve(frames_.size());
       for (const Frame& f : frames_) out->edges.emplace_back(f.l, f.r);
       return l;
     }
   }
+  MarkTouchedDead(touched_.size());
   out->clear();
   return Matching::kUnmatched;
 }

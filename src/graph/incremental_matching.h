@@ -11,6 +11,27 @@
 // alternating tree twice: a recorded path is revalidated in O(path length)
 // and applied in O(path length), falling back to one fresh search only when
 // an interleaved augmentation invalidated it.
+//
+// Two structural accelerations (PR 4); neither changes which left
+// vertices end up matched (the transversal-matroid independence oracle),
+// though the right-side pairing within that set may differ (see
+// DESIGN.md §10):
+//
+//  * Free-worker lookahead. Before descending through matched workers, each
+//    DFS frame scans its whole neighbor span for a free right vertex. Most
+//    successful augmentations terminate at the first frame that has one, so
+//    the common path is O(degree) instead of a deep alternating-tree walk.
+//    Lookahead changes WHICH augmenting path is found, never whether one
+//    exists: in a transversal matroid, augmentability from a root depends
+//    only on the set of matched left vertices, not on how they are matched.
+//  * Dead-region pruning. A failed search certifies that every right vertex
+//    it visited belongs to a saturated closed region (all matched, and all
+//    of their partners' edges lead back inside). No later augmenting path
+//    can enter such a region while the matching only grows — augmentations
+//    would have to traverse it forever without reaching a free vertex — so
+//    those vertices are marked dead and skipped by every later search.
+//    Failed probes across all grids then cost O(E) amortized per round
+//    instead of O(E) each. Reset() clears the markings.
 
 #pragma once
 
@@ -76,9 +97,14 @@ class IncrementalMatching {
   const Matching& matching() const { return matching_; }
   int size() const { return matching_.size; }
 
+  /// Right vertices currently pruned as members of saturated closed regions
+  /// (diagnostic/test hook; see the dead-region invariant above).
+  int num_dead() const { return num_dead_; }
+
   size_t FootprintBytes() const {
     return (matching_.match_left.capacity() +
-            matching_.match_right.capacity() + visited_.capacity()) *
+            matching_.match_right.capacity() + visited_.capacity() +
+            touched_.capacity()) *
                sizeof(int) +
            frames_.capacity() * sizeof(Frame);
   }
@@ -94,10 +120,23 @@ class IncrementalMatching {
     int r;
   };
 
+  /// visited_ sentinel for dead-region membership. Stamps are >= 0 and -1
+  /// means untouched, so -2 can never collide with a live stamp.
+  static constexpr int kDeadStamp = -2;
+
   /// Iterative DFS from `root` under the current visited stamp. On success
   /// frames_ holds the augmenting path as (l, r) pairs; the matching is not
   /// mutated. Does NOT bump the stamp (callers choose sharing semantics).
   bool Search(int root);
+
+  /// Pushes a frame for `l` after scanning its whole neighbor span for a
+  /// free right vertex; returns true (frame completed with `r` set) when
+  /// one exists, so the caller can stop searching immediately.
+  bool PushFrameWithLookahead(int l);
+
+  /// Marks touched_[0, count) dead: the union of all failed searches under
+  /// one stamp is a saturated closed region (see the class comment).
+  void MarkTouchedDead(size_t count);
 
   /// Applies the path currently held in frames_.
   void CommitFrames();
@@ -106,7 +145,11 @@ class IncrementalMatching {
   Matching matching_;
   std::vector<int> visited_;
   int stamp_ = 0;
+  int num_dead_ = 0;
   std::vector<Frame> frames_;
+  /// Right vertices stamped by the current probe, in stamping order; the
+  /// prefix written by failed candidate searches feeds MarkTouchedDead.
+  std::vector<int> touched_;
 };
 
 }  // namespace maps

@@ -14,37 +14,65 @@ MarketSnapshot::MarketSnapshot(const GridPartition* grid, int32_t period,
       tasks_(std::move(tasks)),
       workers_(std::move(workers)) {
   MAPS_CHECK(grid_ != nullptr);
+  IndexTasks();
+  IndexWorkers();
+}
+
+void MarketSnapshot::ResetTasks(const GridPartition* grid, int32_t period,
+                                const Task* begin, const Task* end) {
+  MAPS_CHECK(grid != nullptr);
+  grid_ = grid;
+  period_ = period;
+  tasks_.assign(begin, end);
+  IndexTasks();
+}
+
+void MarketSnapshot::SetWorkers(const Worker* begin, const Worker* end) {
+  MAPS_CHECK(grid_ != nullptr) << "SetWorkers before ResetTasks";
+  workers_.assign(begin, end);
+  IndexWorkers();
+}
+
+void MarketSnapshot::IndexTasks() {
   const int g = grid_->num_cells();
   tasks_by_grid_.resize(g);
-  workers_by_grid_.resize(g);
   dist_prefix_by_grid_.resize(g);
   total_dist_by_grid_.assign(g, 0.0);
+  for (int c = 0; c < g; ++c) tasks_by_grid_[c].clear();
   for (int i = 0; i < static_cast<int>(tasks_.size()); ++i) {
     const Task& t = tasks_[i];
     MAPS_DCHECK(t.grid >= 0 && t.grid < g);
     tasks_by_grid_[t.grid].push_back(i);
   }
-  for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
-    const Worker& w = workers_[i];
-    MAPS_DCHECK(w.grid >= 0 && w.grid < g);
-    workers_by_grid_[w.grid].push_back(i);
-  }
   // Sort each grid's distances descending in scratch, then keep only the
   // prefix sums (the maximizer reads top-n sums, never single distances).
-  std::vector<double> sorted;
   for (int c = 0; c < g; ++c) {
-    sorted.clear();
-    for (int i : tasks_by_grid_[c]) sorted.push_back(tasks_[i].distance);
-    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    sort_scratch_.clear();
+    for (int i : tasks_by_grid_[c]) {
+      sort_scratch_.push_back(tasks_[i].distance);
+    }
+    std::sort(sort_scratch_.begin(), sort_scratch_.end(),
+              std::greater<double>());
     auto& prefix = dist_prefix_by_grid_[c];
-    prefix.resize(sorted.size() + 1);
+    prefix.resize(sort_scratch_.size() + 1);
     prefix[0] = 0.0;
-    for (size_t k = 0; k < sorted.size(); ++k) {
-      prefix[k + 1] = prefix[k] + sorted[k];
+    for (size_t k = 0; k < sort_scratch_.size(); ++k) {
+      prefix[k + 1] = prefix[k] + sort_scratch_[k];
     }
     // Same summation order as the prefix, so top-n/total ratios computed
     // from the two can never exceed 1 by a rounding ulp.
     total_dist_by_grid_[c] = prefix.back();
+  }
+}
+
+void MarketSnapshot::IndexWorkers() {
+  const int g = grid_->num_cells();
+  workers_by_grid_.resize(g);
+  for (int c = 0; c < g; ++c) workers_by_grid_[c].clear();
+  for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
+    const Worker& w = workers_[i];
+    MAPS_DCHECK(w.grid >= 0 && w.grid < g);
+    workers_by_grid_[w.grid].push_back(i);
   }
 }
 

@@ -1,6 +1,14 @@
 // MarketSnapshot: everything a pricing strategy may observe about one time
 // period — the issued tasks, the available workers, and the grid partition.
 // Valuations are absent by construction.
+//
+// Construction is staged so the simulator can pipeline periods (see
+// DESIGN.md §10): the task side (bucketing, descending-distance prefix
+// sums) depends only on the immutable workload and can be built for period
+// t+1 on a worker thread while period t is being priced; the worker side
+// depends on the serial worker-lifecycle state and is attached afterwards.
+// Both stages reuse all internal storage across calls, so a double-buffered
+// pair of snapshots performs no steady-state allocation.
 
 #pragma once
 
@@ -15,8 +23,23 @@ namespace maps {
 /// \brief Immutable per-period view of the market handed to strategies.
 class MarketSnapshot {
  public:
+  /// Staged construction: ResetTasks() then SetWorkers() before first use.
+  MarketSnapshot() = default;
+
+  /// One-shot construction (equivalent to the staged pair).
   MarketSnapshot(const GridPartition* grid, int32_t period,
                  std::vector<Task> tasks, std::vector<Worker> workers);
+
+  /// Stage 1: rebinds the snapshot to (`grid`, `period`), copies the tasks
+  /// of [begin, end) and rebuilds the per-grid task index and distance
+  /// prefix sums. Reuses all storage; any previously attached workers are
+  /// discarded (call SetWorkers() before handing the snapshot out).
+  void ResetTasks(const GridPartition* grid, int32_t period,
+                  const Task* begin, const Task* end);
+
+  /// Stage 2: copies the workers of [begin, end) and rebuilds the per-grid
+  /// worker index. Requires ResetTasks() to have bound a grid.
+  void SetWorkers(const Worker* begin, const Worker* end);
 
   int32_t period() const { return period_; }
   const GridPartition& grid() const { return *grid_; }
@@ -44,14 +67,18 @@ class MarketSnapshot {
   double TotalDistanceInGrid(GridId g) const;
 
  private:
-  const GridPartition* grid_;
-  int32_t period_;
+  void IndexTasks();
+  void IndexWorkers();
+
+  const GridPartition* grid_ = nullptr;
+  int32_t period_ = 0;
   std::vector<Task> tasks_;
   std::vector<Worker> workers_;
   std::vector<std::vector<int>> tasks_by_grid_;
   std::vector<std::vector<int>> workers_by_grid_;
   std::vector<std::vector<double>> dist_prefix_by_grid_;
   std::vector<double> total_dist_by_grid_;
+  std::vector<double> sort_scratch_;
 };
 
 }  // namespace maps

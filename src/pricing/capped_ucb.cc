@@ -104,10 +104,16 @@ void CappedUcb::ObserveFeedback(const MarketSnapshot& snapshot,
                                 const std::vector<double>& grid_prices,
                                 const std::vector<bool>& accepted) {
   MAPS_CHECK_EQ(accepted.size(), snapshot.tasks().size());
+  MAPS_CHECK_EQ(static_cast<int>(grid_prices.size()), snapshot.num_grids());
+  // Per-grid prices snap to the same rung for every task in the grid;
+  // resolve each grid once (mirrors Maps::ObserveFeedback).
+  feedback_rung_.resize(snapshot.num_grids());
+  for (int g = 0; g < snapshot.num_grids(); ++g) {
+    feedback_rung_[g] = ladder_.SnapIndex(grid_prices[g]);
+  }
   for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
     const int g = snapshot.tasks()[i].grid;
-    const int idx = ladder_.SnapIndex(grid_prices[g]);
-    ucb_[g].Observe(idx, accepted[i]);
+    ucb_[g].Observe(feedback_rung_[g], accepted[i]);
   }
 }
 

@@ -64,6 +64,9 @@ class CappedUcb : public PricingStrategy {
   std::vector<UcbEstimator> ucb_;  // per grid
   // Arrival log: per grid, (|R^{tg}|, |W^{tg}|) for every period seen.
   std::vector<std::vector<std::pair<int32_t, int32_t>>> arrivals_;
+  // ObserveFeedback scratch: one snapped rung index per grid (the posted
+  // price is per-grid, so snapping per task re-derived the same value).
+  std::vector<int> feedback_rung_;
 };
 
 }  // namespace maps

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace maps {
 
@@ -16,6 +17,9 @@ constexpr double kDeltaEps = 1e-12;
 // Priority scale for plateau growth (see PriceRound): small enough that a
 // plateau step always ranks below any real revenue increase.
 constexpr double kPlateauPriority = 1e-9;
+// Shard cap for the per-round engine precompute: a constant of the
+// consumer, never the thread count (DESIGN.md §8).
+constexpr int64_t kEnginePrecomputeShards = 64;
 
 }  // namespace
 
@@ -145,6 +149,92 @@ Maps::Maximizer Maps::CalcMaximizer(int g,
   return best;
 }
 
+void Maps::PrecomputeRoundEngine(int num_grids) {
+  const int num_rungs = ladder_.size();
+  engine_opt_.resize(static_cast<size_t>(num_grids) * num_rungs);
+  engine_punit_.resize(static_cast<size_t>(num_grids) * num_rungs);
+  engine_ceiling_.resize(num_grids);
+  engine_cursor_.resize(num_grids);
+  // Writes are disjoint per grid and the UCB state is frozen for the whole
+  // round, so the fill is bit-identical for any pool size (including none).
+  const auto shards = SplitRange(num_grids, kEnginePrecomputeShards);
+  ParallelFor(pool_, shards,
+              [&](int /*shard*/, const IndexRange& range, int /*worker*/) {
+                for (int64_t g = range.begin; g < range.end; ++g) {
+                  double* opt = &engine_opt_[g * num_rungs];
+                  double* punit = &engine_punit_[g * num_rungs];
+                  double ceiling = 0.0;
+                  // Descending, mirroring the reference scan's fold order.
+                  for (int i = num_rungs - 1; i >= 0; --i) {
+                    const double p = ladder_.price(i);
+                    opt[i] = ucb_[g].OptimisticUnitRevenue(i);
+                    punit[i] = p * ucb_[g].mean(i);
+                    ceiling = std::max(ceiling, std::min(opt[i], p));
+                  }
+                  engine_ceiling_[g] = ceiling;
+                  engine_cursor_[g] =
+                      EngineCursor{num_rungs - 1, -1, -1.0};
+                }
+              });
+}
+
+Maps::Maximizer Maps::EvalMaximizerEngine(
+    int g, const std::vector<double>& dist_prefix, double total_dist,
+    int n) {
+  MAPS_DCHECK_GT(total_dist, 0.0);
+  MAPS_DCHECK(n >= 1 && n < static_cast<int>(dist_prefix.size()));
+  const int num_rungs = ladder_.size();
+  const double ratio = std::min(dist_prefix[n] / total_dist, 1.0);
+  const double* opt = &engine_opt_[static_cast<size_t>(g) * num_rungs];
+  EngineCursor& cur = engine_cursor_[g];
+
+  // The ratio is non-decreasing in n and n is non-decreasing across a
+  // grid's evaluations within a round, so rungs saturate (optimistic value
+  // <= ratio * price) top-down and never desaturate: `front` only moves
+  // left. A saturated rung's index is its (round-constant) optimistic
+  // value; the champion among them folds in decreasing rung order, so the
+  // strict '>' keeps the larger price on ties — exactly the reference
+  // scan's rule.
+  while (cur.front >= 0 &&
+         opt[cur.front] <= ratio * ladder_.price(cur.front)) {
+    if (opt[cur.front] > cur.sat_key) {
+      cur.sat_key = opt[cur.front];
+      cur.sat_idx = cur.front;
+    }
+    --cur.front;
+  }
+
+  // Unsaturated rungs all have index ratio * price, so the best of them is
+  // the highest-priced one: `front` itself. Rungs below can never win
+  // (smaller price, same ratio), and on exact ties the scan would keep the
+  // higher rung — which is the saturated champion when both exist, since
+  // every saturated rung lies above `front`.
+  int best_i;
+  double best_key;
+  if (cur.front < 0) {
+    best_i = cur.sat_idx;
+    best_key = cur.sat_key;
+  } else {
+    const double unsat_key = ratio * ladder_.price(cur.front);
+    if (cur.sat_idx >= 0 && cur.sat_key >= unsat_key) {
+      best_i = cur.sat_idx;
+      best_key = cur.sat_key;
+    } else {
+      best_i = cur.front;
+      best_key = unsat_key;
+    }
+  }
+  MAPS_DCHECK_GE(best_i, 0);
+
+  Maximizer best;
+  best.price = ladder_.price(best_i);
+  best.l_value = total_dist * best_key;
+  best.unit_revenue =
+      engine_punit_[static_cast<size_t>(g) * num_rungs + best_i];
+  best.ceiling = engine_ceiling_[g];
+  return best;
+}
+
 void Maps::PushHeap(const HeapEntry& entry) {
   heap_.push_back(entry);
   std::push_heap(heap_.begin(), heap_.end(), &Maps::HeapBefore);
@@ -155,6 +245,22 @@ Maps::HeapEntry Maps::PopHeap() {
   const HeapEntry top = heap_.back();
   heap_.pop_back();
   return top;
+}
+
+void Maps::ResetRoundScratch(int num_grids, double p_b) {
+  last_supply_.assign(num_grids, 0);
+  last_delta_trace_.resize(num_grids);
+  for (auto& trace : last_delta_trace_) trace.clear();
+  pending_path_.resize(num_grids);
+  // Paths recorded last round reference last round's graph; CommitPath
+  // cannot detect cross-graph staleness, so drop them (capacity retained).
+  for (auto& path : pending_path_) path.clear();
+
+  cur_price_.assign(num_grids, p_b);
+  cur_l_.assign(num_grids, 0.0);
+  cur_unit_.assign(num_grids, 0.0);
+  finalized_.assign(num_grids, 0);
+  heap_.clear();
 }
 
 Status Maps::PriceRound(const MarketSnapshot& snapshot,
@@ -179,20 +285,13 @@ Status Maps::PriceRound(const MarketSnapshot& snapshot,
   pre_matching_.Reset(&graph_);
 
   grid_prices->assign(num_grids, p_b);
-  last_supply_.assign(num_grids, 0);
-  last_delta_trace_.resize(num_grids);
-  for (auto& trace : last_delta_trace_) trace.clear();
-  pending_path_.resize(num_grids);
-  // Paths recorded last round reference last round's graph; CommitPath
-  // cannot detect cross-graph staleness, so drop them (capacity retained).
-  for (auto& path : pending_path_) path.clear();
+  ResetRoundScratch(num_grids, p_b);
 
-  cur_price_.assign(num_grids, p_b);
-  cur_l_.assign(num_grids, 0.0);
-  cur_unit_.assign(num_grids, 0.0);
-  finalized_.assign(num_grids, 0);
+  engine_active_ =
+      options_.use_maximizer_engine &&
+      options_.supply_approx == MapsOptions::SupplyApprox::kMinOfCurves;
+  if (engine_active_) PrecomputeRoundEngine(num_grids);
 
-  heap_.clear();
   uint64_t seq = 0;
   // Lines 3-4: one infinity-keyed tuple per grid.
   for (int g = 0; g < num_grids; ++g) {
@@ -248,7 +347,9 @@ Status Maps::PriceRound(const MarketSnapshot& snapshot,
     const auto& dist_prefix = snapshot.DistancePrefixSumsInGrid(g);
     MAPS_DCHECK_LT(n_next, static_cast<int>(dist_prefix.size()));
     const double total = snapshot.TotalDistanceInGrid(g);
-    const Maximizer maxi = CalcMaximizer(g, dist_prefix, total, n_next);
+    const Maximizer maxi =
+        engine_active_ ? EvalMaximizerEngine(g, dist_prefix, total, n_next)
+                       : CalcMaximizer(g, dist_prefix, total, n_next);
     double delta =
         options_.delta_mode == MapsOptions::DeltaMode::kExpectedRevenueGain
             ? maxi.l_value - cur_l_[g]
@@ -282,10 +383,13 @@ Status Maps::PriceRound(const MarketSnapshot& snapshot,
     MAPS_DCHECK(finalized_[g]) << "grid " << g << " never finalized";
   }
 
-  size_t round_bytes = graph_.FootprintBytes() +
-                       pre_matching_.FootprintBytes() +
-                       build_ws_.FootprintBytes() +
-                       heap_.capacity() * sizeof(HeapEntry);
+  size_t round_bytes =
+      graph_.FootprintBytes() + pre_matching_.FootprintBytes() +
+      build_ws_.FootprintBytes() + heap_.capacity() * sizeof(HeapEntry) +
+      (engine_opt_.capacity() + engine_punit_.capacity() +
+       engine_ceiling_.capacity()) *
+          sizeof(double) +
+      engine_cursor_.capacity() * sizeof(EngineCursor);
   for (const auto& path : pending_path_) {
     round_bytes += path.edges.capacity() * sizeof(std::pair<int, int>);
   }
@@ -298,9 +402,15 @@ void Maps::ObserveFeedback(const MarketSnapshot& snapshot,
                            const std::vector<bool>& accepted) {
   MAPS_CHECK_EQ(accepted.size(), snapshot.tasks().size());
   MAPS_CHECK_EQ(static_cast<int>(grid_prices.size()), snapshot.num_grids());
+  // The posted price — and therefore the snapped rung — is per grid, so
+  // resolve each grid's rung once instead of once per task.
+  feedback_rung_.resize(snapshot.num_grids());
+  for (int g = 0; g < snapshot.num_grids(); ++g) {
+    feedback_rung_[g] = ladder_.SnapIndex(grid_prices[g]);
+  }
   for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
     const int g = snapshot.tasks()[i].grid;
-    const int idx = ladder_.SnapIndex(grid_prices[g]);
+    const int idx = feedback_rung_[g];
     ucb_[g].Observe(idx, accepted[i]);
     if (options_.use_change_detector &&
         change_[g][idx].Observe(accepted[i])) {
@@ -328,7 +438,7 @@ void Maps::ObserveFeedback(const MarketSnapshot& snapshot,
 
 size_t Maps::MemoryFootprintBytes() const {
   // Persistent learned state only; the pooled round scratch (graph +
-  // pre-matching) is tracked via peak_round_bytes().
+  // pre-matching + engine tables) is tracked via peak_round_bytes().
   size_t bytes = base_.MemoryFootprintBytes();
   for (const auto& u : ucb_) bytes += u.FootprintBytes();
   bytes += change_.size() * ladder_.size() * sizeof(ChangeDetector);

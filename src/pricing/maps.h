@@ -15,6 +15,14 @@
 // across rounds, and each heap pop performs at most one alternating-tree
 // walk (the probe records the augmenting path; the later admission
 // revalidates and applies it in O(path) instead of searching again).
+//
+// Within a round the UCB state is frozen, so each grid's per-rung
+// optimistic values are a round constant. PriceRound therefore precomputes
+// them once per round — sharded over a lent ThreadPool under the DESIGN.md
+// §8 fixed-shard policy — and evaluates Algorithm 3 incrementally: because
+// the supply ratio is non-decreasing in n, a monotone rung pointer replaces
+// the per-pop ladder scan (see DESIGN.md §10). Results are bit-identical to
+// the reference scan, including the tie rule (larger price on equal index).
 
 #pragma once
 
@@ -69,6 +77,14 @@ struct MapsOptions {
   /// Larger windows trade detection latency for fewer false flags on
   /// stationary demand.
   int change_window = 200;
+
+  /// Evaluate Algorithm 3 through the round-scoped maximizer engine
+  /// (precomputed per-rung optimistic values + monotone-pointer envelope;
+  /// see DESIGN.md §10). Only applies under kMinOfCurves — the truncated-
+  /// expectation variant always uses the reference scan. The engine is
+  /// bit-identical to the scan; `false` keeps the reference scan for A/B
+  /// verification and debugging.
+  bool use_maximizer_engine = true;
 };
 
 /// \brief The MAPS pricing strategy.
@@ -80,10 +96,14 @@ class Maps : public PricingStrategy {
 
   Status Warmup(const GridPartition& grid, DemandOracle* history) override;
 
-  /// Warm-up is the only phase MAPS parallelizes today (the probe schedule
-  /// of Algorithm 1 via BasePricing); PriceRound stays sequential by
-  /// construction of the heap admission (see ROADMAP "Sharded PriceRound").
-  void LendPool(ThreadPool* pool) override { base_.LendPool(pool); }
+  /// The lent pool backs the warm-up probe schedule (via BasePricing) and
+  /// PriceRound's per-round maximizer precompute. Both shard per DESIGN.md
+  /// §8/§10, so results are bit-identical with or without a pool. The heap
+  /// admission itself stays sequential by construction.
+  void LendPool(ThreadPool* pool) override {
+    pool_ = pool;
+    base_.LendPool(pool);
+  }
 
   Status PriceRound(const MarketSnapshot& snapshot,
                     std::vector<double>* grid_prices) override;
@@ -119,9 +139,11 @@ class Maps : public PricingStrategy {
   int64_t grid_state_resets() const { return grid_state_resets_; }
 
   /// Peak bytes of the per-round transient structures (bipartite graph +
-  /// pre-matching). Reported separately from MemoryFootprintBytes() because
-  /// they are pooled round-scratch, not learned state; the ablation bench
-  /// surfaces them.
+  /// pre-matching + maximizer engine). Reported separately from
+  /// MemoryFootprintBytes() because they are pooled round-scratch, not
+  /// learned state; the ablation bench surfaces them, and a regression
+  /// test asserts the value stabilizes after the first rounds (pooling
+  /// regressions show up as unbounded growth).
   size_t peak_round_bytes() const { return peak_round_bytes_; }
 
  private:
@@ -147,13 +169,40 @@ class Maps : public PricingStrategy {
     uint64_t seq = 0;  // FIFO tie-break for determinism
   };
 
-  /// Algorithm 3: best ladder price for grid g at supply level n.
+  /// Per-grid cursor of the incremental Algorithm-3 evaluation. Rungs above
+  /// `front` are proven saturated (their optimistic value caps the index);
+  /// `sat_idx/sat_key` is the champion among them. Both only move monotonely
+  /// within a round because the supply ratio is non-decreasing in n.
+  struct EngineCursor {
+    int front = 0;
+    int sat_idx = -1;
+    double sat_key = -1.0;
+  };
+
+  /// Algorithm 3, reference implementation: full descending ladder scan.
   /// \param dist_prefix prefix sums of the grid's descending task
   ///                    distances (dist_prefix[k] = sum of top k)
   /// \param total_dist  C' = sum of all distances (== dist_prefix.back())
   /// \param n           contemplated supply level (1 <= n < |dist_prefix|)
   Maximizer CalcMaximizer(int g, const std::vector<double>& dist_prefix,
                           double total_dist, int n) const;
+
+  /// Algorithm 3 through the round engine: advances grid g's monotone rung
+  /// pointer to the supply ratio at n and reads the envelope maximum.
+  /// Bit-identical to CalcMaximizer under kMinOfCurves (see DESIGN.md §10).
+  Maximizer EvalMaximizerEngine(int g, const std::vector<double>& dist_prefix,
+                                double total_dist, int n);
+
+  /// Fills the round-frozen engine tables (per-rung optimistic values,
+  /// p * mean, per-grid ceiling) and resets every cursor; sharded over the
+  /// lent pool with per-grid disjoint writes.
+  void PrecomputeRoundEngine(int num_grids);
+
+  /// Resets the pooled per-round scratch (supplies, traces, recorded
+  /// paths, price/L cursors, heap) for `num_grids` grids at base price
+  /// `p_b`. Contents are dead between rounds; capacity is retained so
+  /// steady-state rounds allocate nothing.
+  void ResetRoundScratch(int num_grids, double p_b);
 
   void EnsureGridState(int num_grids);
 
@@ -169,6 +218,7 @@ class Maps : public PricingStrategy {
   PriceLadder ladder_;
   BasePricing base_;
   bool warmed_up_ = false;
+  ThreadPool* pool_ = nullptr;  // non-owning; see LendPool
 
   std::vector<UcbEstimator> ucb_;                  // per grid
   std::vector<std::vector<ChangeDetector>> change_;  // per grid x rung
@@ -190,6 +240,18 @@ class Maps : public PricingStrategy {
   std::vector<double> cur_l_;
   std::vector<double> cur_unit_;
   std::vector<char> finalized_;
+
+  // Round-scoped maximizer engine tables (flat [grid * ladder + rung]).
+  bool engine_active_ = false;
+  std::vector<double> engine_opt_;    // OptimisticUnitRevenue per rung
+  std::vector<double> engine_punit_;  // price * mean per rung
+  std::vector<double> engine_ceiling_;  // per grid: max_i min(opt_i, p_i)
+  std::vector<EngineCursor> engine_cursor_;  // per grid
+
+  // ObserveFeedback scratch: one snapped rung index per grid (the posted
+  // price is per-grid, so snapping per task re-derived the same value
+  // |tasks-in-grid| times).
+  std::vector<int> feedback_rung_;
 };
 
 }  // namespace maps

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <queue>
+#include <utility>
 
 #include "graph/bipartite_graph.h"
 #include "graph/max_weight_matching.h"
@@ -43,9 +45,12 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
 
   SimulationResult result;
 
-  // Internal parallelism (warm-up probe schedule): bit-identical with or
-  // without the lent pool, so this changes nothing but wall-clock.
-  if (options.pool != nullptr) strategy->LendPool(options.pool);
+  // Internal parallelism (warm-up probe schedule, MAPS's round precompute):
+  // bit-identical with or without the lent pool, so this changes nothing
+  // but wall-clock. Lent unconditionally so a pool-less run clears any
+  // pool a previous simulation lent to a reused strategy (which may be
+  // destroyed by now).
+  strategy->LendPool(options.pool);
 
   // Warm-up against a fork of the ground truth: independent probe
   // randomness, identical demand.
@@ -79,7 +84,6 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
       busy;
   std::vector<int> idle;
 
-  size_t next_task = 0;
   size_t peak_platform_bytes = 0;
   size_t peak_strategy_bytes = 0;
   Rng reposition_rng(workload.lifecycle.reposition_seed);
@@ -87,6 +91,7 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
   std::vector<double> prices;
   std::vector<bool> accepted;
   std::vector<double> weights;
+  std::vector<Worker> period_workers;  // pooled across periods
   std::vector<int> pool_of;  // snapshot worker index -> pool index
   std::vector<char> matched_flag(workload.workers.size(), 0);
   GraphBuildWorkspace graph_ws;
@@ -96,7 +101,65 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
   std::vector<PricedTask> mc_priced;
   std::vector<PossibleWorldsWorkspace> mc_workspaces;
 
+  // Period pipeline (see SimOptions::pipeline_periods and DESIGN.md §10):
+  // the task side of period t+1's snapshot — a pure function of the
+  // validated, period-sorted, immutable workload — is built on the pool
+  // while period t runs. Two snapshot slots alternate by period parity;
+  // at most one prebuild job is ever outstanding, and the worker side is
+  // attached on this thread only after period t's lifecycle updates, so
+  // the pipelined run is bit-identical to the serial one.
+  const bool pipelined = options.pipeline_periods && options.pool != nullptr;
+
+  // Per-period task ranges, equivalent to the sequential cursor scan the
+  // serial path uses (ValidateWorkload guarantees period-sorted tasks).
+  std::vector<std::pair<size_t, size_t>> task_range(workload.num_periods);
+  {
+    size_t i = 0;
+    for (int32_t t = 0; t < workload.num_periods; ++t) {
+      const size_t begin = i;
+      while (i < workload.tasks.size() && workload.tasks[i].period == t) ++i;
+      task_range[t] = {begin, i};
+    }
+  }
+  const Task* task_base = workload.tasks.data();
+  MarketSnapshot snap_slots[2];
+  auto build_task_side = [&](int32_t t) {
+    snap_slots[t % 2].ResetTasks(&workload.grid, t,
+                                 task_base + task_range[t].first,
+                                 task_base + task_range[t].second);
+  };
+  std::unique_ptr<internal::Latch> prebuild_latch;
+  auto submit_prebuild = [&](int32_t t) {
+    if (!pipelined || t >= workload.num_periods) return;
+    prebuild_latch = std::make_unique<internal::Latch>(1);
+    internal::Latch* latch = prebuild_latch.get();
+    options.pool->Submit([&build_task_side, latch, t](int /*worker*/) {
+      build_task_side(t);
+      latch->Done();
+    });
+  };
+  // Early returns below must not leave a prebuild job referencing this
+  // frame; drain it on every exit path.
+  struct PrebuildDrain {
+    std::unique_ptr<internal::Latch>* latch;
+    ~PrebuildDrain() {
+      if (latch->get() != nullptr) (*latch)->Wait();
+    }
+  } drain{&prebuild_latch};
+
+  submit_prebuild(0);
   for (int32_t t = 0; t < workload.num_periods; ++t) {
+    MarketSnapshot& snapshot = snap_slots[t % 2];
+    if (pipelined) {
+      prebuild_latch->Wait();
+      prebuild_latch.reset();
+    } else {
+      build_task_side(t);
+    }
+    // Kick off period t+1's task side before this period's work; it
+    // touches only the other slot and the immutable workload.
+    submit_prebuild(t + 1);
+
     // Admit workers entering this period.
     while (next_entry < workload.workers.size() &&
            workload.workers[next_entry].period == t) {
@@ -109,16 +172,8 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
       busy.pop();
     }
 
-    // Collect this period's tasks.
-    std::vector<Task> period_tasks;
-    while (next_task < workload.tasks.size() &&
-           workload.tasks[next_task].period == t) {
-      period_tasks.push_back(workload.tasks[next_task]);
-      ++next_task;
-    }
-
     // Collect available workers, dropping retired ones permanently.
-    std::vector<Worker> period_workers;
+    period_workers.clear();
     pool_of.clear();
     size_t keep = 0;
     for (int idx : idle) {
@@ -132,10 +187,10 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
     }
     idle.resize(keep);
 
-    if (period_tasks.empty() && period_workers.empty()) continue;
+    if (snapshot.tasks().empty() && period_workers.empty()) continue;
 
-    MarketSnapshot snapshot(&workload.grid, t, std::move(period_tasks),
-                            std::move(period_workers));
+    snapshot.SetWorkers(period_workers.data(),
+                        period_workers.data() + period_workers.size());
 
     // Price.
     const auto price_start = Clock::now();

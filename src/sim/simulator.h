@@ -42,8 +42,16 @@ struct SimOptions {
   int mc_worlds = 0;
   /// Seed family for the Monte-Carlo diagnostic worlds.
   uint64_t mc_seed = 0x6d63776f726c64ULL;  // "mcworld"
-  /// Optional pool lent to the strategy (warm-up probe schedule) and used
-  /// by the Monte-Carlo diagnostic. Non-owning; must not be a pool whose
+  /// Pipeline period snapshots: build period t+1's task-side snapshot
+  /// (bucketing + distance prefix sums, a pure function of the immutable
+  /// workload) on `pool` while period t is being priced/matched. The
+  /// worker side depends on the serial lifecycle state and is attached on
+  /// the main thread, so results are bit-identical to the serial path for
+  /// any thread count (see DESIGN.md §10). No effect without a pool.
+  bool pipeline_periods = true;
+  /// Optional pool lent to the strategy (warm-up probe schedule, MAPS's
+  /// per-round maximizer precompute), used by the Monte-Carlo diagnostic,
+  /// and backing the period pipeline. Non-owning; must not be a pool whose
   /// workers are running THIS simulation (nested waits can deadlock).
   /// Results are bit-identical with or without it.
   ThreadPool* pool = nullptr;

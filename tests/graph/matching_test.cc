@@ -243,5 +243,68 @@ TEST(IncrementalMatchingTest, MonotoneUnderInterleavedCandidates) {
   }
 }
 
+TEST(IncrementalMatchingTest, LookaheadMatchesDirectFreeNeighbor) {
+  // l0-{r0, r1} with r0 taken: the frame lookahead must match l0 straight
+  // to the free r1 instead of walking an alternating re-route through r0.
+  auto g = BipartiteGraph::FromEdges(3, 2, {{0, 0}, {0, 1}, {1, 0}, {2, 1}});
+  IncrementalMatching inc(&g);
+  ASSERT_TRUE(inc.TryAugment(1));  // l1 -> r0
+  ASSERT_TRUE(inc.TryAugment(0));
+  EXPECT_EQ(inc.matching().match_left[0], 1) << "direct free worker skipped";
+  EXPECT_EQ(inc.matching().match_left[1], 0) << "needless re-route";
+}
+
+TEST(IncrementalMatchingTest, FailedProbeMarksSaturatedRegionDead) {
+  // l0/l1 both only reach r0. After l0 takes it, a failed probe for l1
+  // certifies {r0} as a saturated closed region; later probes for l2 (also
+  // r0-only) must still fail, and r0 stays dead until Reset.
+  auto g = BipartiteGraph::FromEdges(3, 2,
+                                     {{0, 0}, {1, 0}, {2, 0}, {2, 1}});
+  IncrementalMatching inc(&g);
+  ASSERT_TRUE(inc.TryAugment(0));
+  EXPECT_EQ(inc.num_dead(), 0);
+  EXPECT_FALSE(inc.TryAugment(1));
+  EXPECT_EQ(inc.num_dead(), 1) << "failed search left r0 live";
+  // l2 still reaches the free r1 — pruning must not block live paths.
+  EXPECT_TRUE(inc.TryAugment(2));
+  EXPECT_EQ(inc.matching().match_left[2], 1);
+  EXPECT_EQ(inc.num_dead(), 1);
+  inc.Reset(&g);
+  EXPECT_EQ(inc.num_dead(), 0);
+}
+
+TEST(IncrementalMatchingTest, DeadPruningNeverChangesFeasibility) {
+  // Randomized cross-validation: drive one instance through the PriceRound
+  // probe/commit discipline (which prunes) and compare every feasibility
+  // answer against a fresh pruning-free oracle built per query by replaying
+  // the committed roots through Hopcroft-Karp-equivalent growth.
+  Rng rng(909);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BipartiteGraph g = RandomGraph(rng, 24, 14, 0.12);
+    IncrementalMatching inc(&g);
+    std::vector<int> candidates(g.num_left());
+    for (int l = 0; l < g.num_left(); ++l) candidates[l] = l;
+    RecordedPath path;
+    int guard = 0;
+    while (true) {
+      ASSERT_LT(guard++, 1000);
+      const int root = inc.FindAugmentablePath(candidates, &path);
+      // Oracle without pruning: same committed left set, fresh matcher.
+      IncrementalMatching oracle(&g);
+      for (int l = 0; l < g.num_left(); ++l) {
+        if (inc.matching().IsLeftMatched(l)) {
+          ASSERT_TRUE(oracle.TryAugment(l));
+        }
+      }
+      RecordedPath oracle_path;
+      ASSERT_EQ(oracle.FindAugmentablePath(candidates, &oracle_path), root)
+          << "pruning changed the admitted root, trial " << trial;
+      if (root == Matching::kUnmatched) break;
+      ASSERT_TRUE(inc.CommitPath(path));
+    }
+    ASSERT_EQ(inc.size(), HopcroftKarpMatching(g).size) << trial;
+  }
+}
+
 }  // namespace
 }  // namespace maps

@@ -62,6 +62,42 @@ TEST_F(MarketSnapshotTest, DistancePrefixSumsDescending) {
   EXPECT_DOUBLE_EQ(snap.TotalDistanceInGrid(1), 0.0);
 }
 
+TEST_F(MarketSnapshotTest, StagedConstructionMatchesOneShot) {
+  // The simulator's pipeline builds snapshots in two stages and reuses one
+  // slot across many periods; every derived index must match a fresh
+  // one-shot snapshot of the same market exactly.
+  std::vector<Task> tasks = {MakeTask(0, {1, 1}, 2.0),
+                             MakeTask(1, {2, 2}, 1.0),
+                             MakeTask(2, {8, 8}, 3.0)};
+  std::vector<Worker> workers = {MakeWorker(0, {1, 8}, 5.0),
+                                 MakeWorker(1, {8, 1}, 4.0)};
+  MarketSnapshot staged;
+  // First fill the slot with a different market so reuse has to overwrite.
+  std::vector<Task> other = {MakeTask(7, {9, 9}, 9.0),
+                             MakeTask(8, {9, 1}, 8.0)};
+  staged.ResetTasks(&grid_, 3, other.data(), other.data() + other.size());
+  staged.SetWorkers(workers.data(), workers.data() + 1);
+  // Now rebuild it as period 5 of the real market.
+  staged.ResetTasks(&grid_, 5, tasks.data(), tasks.data() + tasks.size());
+  staged.SetWorkers(workers.data(), workers.data() + workers.size());
+
+  MarketSnapshot fresh(&grid_, 5, tasks, workers);
+  EXPECT_EQ(staged.period(), fresh.period());
+  ASSERT_EQ(staged.tasks().size(), fresh.tasks().size());
+  ASSERT_EQ(staged.workers().size(), fresh.workers().size());
+  for (int g = 0; g < grid_.num_cells(); ++g) {
+    EXPECT_EQ(staged.TasksInGrid(g), fresh.TasksInGrid(g)) << "grid " << g;
+    EXPECT_EQ(staged.WorkersInGrid(g), fresh.WorkersInGrid(g))
+        << "grid " << g;
+    EXPECT_EQ(staged.DistancePrefixSumsInGrid(g),
+              fresh.DistancePrefixSumsInGrid(g))
+        << "grid " << g;
+    EXPECT_DOUBLE_EQ(staged.TotalDistanceInGrid(g),
+                     fresh.TotalDistanceInGrid(g))
+        << "grid " << g;
+  }
+}
+
 TEST_F(MarketSnapshotTest, EmptySnapshot) {
   MarketSnapshot snap(&grid_, 0, {}, {});
   EXPECT_TRUE(snap.tasks().empty());

@@ -6,6 +6,7 @@
 
 #include "../test_util.h"
 #include "pricing/oracle_search.h"
+#include "util/thread_pool.h"
 
 namespace maps {
 namespace {
@@ -403,6 +404,121 @@ TEST(MapsTest, MemoryFootprintGrowsWithGrids) {
   ASSERT_TRUE(s1.Warmup(small, &o1).ok());
   ASSERT_TRUE(s2.Warmup(large, &o2).ok());
   EXPECT_GT(s2.MemoryFootprintBytes(), s1.MemoryFootprintBytes());
+}
+
+// ---------------------------------------------------------------------------
+// Round-scoped maximizer engine (PR 4): the incremental envelope evaluation
+// and the pool-sharded precompute must be bit-identical to the reference
+// ladder scan and to the pool-less run, per the DESIGN.md §8/§10 policy.
+// ---------------------------------------------------------------------------
+
+/// Everything observable from a multi-round MAPS session with online
+/// feedback: posted prices, supply levels, and admitted delta traces.
+struct SessionTrace {
+  std::vector<std::vector<double>> prices;
+  std::vector<std::vector<int>> supplies;
+  std::vector<std::vector<std::vector<double>>> deltas;
+
+  bool operator==(const SessionTrace& other) const {
+    return prices == other.prices && supplies == other.supplies &&
+           deltas == other.deltas;
+  }
+};
+
+/// Runs `rounds` PriceRound/ObserveFeedback cycles on a deterministic
+/// random market. Requester valuations are drawn from a stream independent
+/// of the configuration under test, so two configurations that post the
+/// same prices also see the same feedback.
+SessionTrace RunFeedbackSession(const MapsOptions& opts, ThreadPool* pool,
+                                int rounds = 12) {
+  auto grid = GridPartition::Make(Rect{0, 0, 30, 30}, 4, 4).ValueOrDie();
+  Maps strategy(opts);
+  if (pool != nullptr) strategy.LendPool(pool);
+  DemandOracle oracle = UniformOracle(grid.num_cells(), 21);
+  DemandOracle history = oracle.Fork(6);
+  EXPECT_TRUE(strategy.Warmup(grid, &history).ok());
+  Rng market_rng(77);
+  Rng valuation_rng(78);
+  SessionTrace trace;
+  for (int round = 0; round < rounds; ++round) {
+    MarketSnapshot snap =
+        RandomSnapshot(grid, market_rng, 40, 16, 2.0, 12.0);
+    std::vector<double> prices;
+    EXPECT_TRUE(strategy.PriceRound(snap, &prices).ok());
+    std::vector<bool> accepted(snap.tasks().size());
+    for (size_t i = 0; i < snap.tasks().size(); ++i) {
+      accepted[i] = valuation_rng.NextDouble(1.0, 4.0) >=
+                    prices[snap.tasks()[i].grid];
+    }
+    strategy.ObserveFeedback(snap, prices, accepted);
+    trace.prices.push_back(prices);
+    trace.supplies.push_back(strategy.last_supply());
+    trace.deltas.push_back(strategy.last_delta_trace());
+  }
+  return trace;
+}
+
+TEST(MapsPoolBackedTest, PriceRoundBitIdenticalAcrossThreadCounts) {
+  const SessionTrace serial = RunFeedbackSession(DefaultOptions(), nullptr);
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const SessionTrace pooled = RunFeedbackSession(DefaultOptions(), &pool);
+    EXPECT_TRUE(pooled == serial) << threads << " threads";
+  }
+}
+
+TEST(MapsPoolBackedTest, PoolSurvivesReuseAcrossSessions) {
+  // One pool backing several strategy lifetimes, interleaved with other
+  // submissions, must leave no residue that changes results.
+  ThreadPool pool(3);
+  const SessionTrace first = RunFeedbackSession(DefaultOptions(), &pool);
+  const SessionTrace second = RunFeedbackSession(DefaultOptions(), &pool);
+  EXPECT_TRUE(first == second);
+}
+
+TEST(MapsTest, MaximizerEngineMatchesReferenceScanExactly) {
+  for (bool geometric_ladder : {false, true}) {
+    MapsOptions engine_opts = DefaultOptions();
+    if (geometric_ladder) engine_opts.pricing.explicit_ladder.clear();
+    MapsOptions scan_opts = engine_opts;
+    scan_opts.use_maximizer_engine = false;
+    const SessionTrace engine = RunFeedbackSession(engine_opts, nullptr);
+    const SessionTrace scan = RunFeedbackSession(scan_opts, nullptr);
+    EXPECT_TRUE(engine == scan)
+        << (geometric_ladder ? "geometric" : "explicit") << " ladder";
+  }
+}
+
+TEST(MapsTest, MaximizerEngineMatchesScanUnderPaperLiteralDelta) {
+  MapsOptions engine_opts = DefaultOptions();
+  engine_opts.delta_mode = MapsOptions::DeltaMode::kPaperLiteral;
+  MapsOptions scan_opts = engine_opts;
+  scan_opts.use_maximizer_engine = false;
+  EXPECT_TRUE(RunFeedbackSession(engine_opts, nullptr) ==
+              RunFeedbackSession(scan_opts, nullptr));
+}
+
+TEST(MapsTest, PeakRoundBytesStableAcrossRepeatedRounds) {
+  // Pooling regression guard: repricing identical markets must not grow
+  // the per-round transient footprint once the pools are warm.
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 20}, 3, 3).ValueOrDie();
+  Maps strategy(DefaultOptions());
+  DemandOracle oracle = UniformOracle(grid.num_cells(), 17);
+  DemandOracle history = oracle.Fork(4);
+  ASSERT_TRUE(strategy.Warmup(grid, &history).ok());
+  Rng rng(55);
+  MarketSnapshot snap = RandomSnapshot(grid, rng, 30, 12, 2.0, 9.0);
+  std::vector<double> prices;
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+  }
+  const size_t warm_peak = strategy.peak_round_bytes();
+  ASSERT_GT(warm_peak, 0u);
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(strategy.PriceRound(snap, &prices).ok());
+  }
+  EXPECT_EQ(strategy.peak_round_bytes(), warm_peak)
+      << "round scratch grew while repricing an identical market";
 }
 
 }  // namespace

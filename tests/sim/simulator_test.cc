@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
+#include "pricing/maps.h"
 #include "sim/synthetic.h"
+#include "util/thread_pool.h"
 
 namespace maps {
 namespace {
@@ -358,6 +360,99 @@ TEST(SimulatorTest, StrategySeesEveryNonEmptyPeriod) {
   auto r = RunSimulation(w, &fixed).ValueOrDie();
   EXPECT_DOUBLE_EQ(r.total_revenue, 0.0);
   EXPECT_EQ(fixed.rounds(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Period pipeline (PR 4): the double-buffered snapshot prebuild must be
+// bit-identical to the serial path at every thread count, per-period.
+// ---------------------------------------------------------------------------
+
+/// Deterministic fields of a run, compared exactly across configurations.
+struct RunDigest {
+  double total_revenue = 0.0;
+  int64_t num_tasks = 0;
+  int64_t num_accepted = 0;
+  int64_t num_matched = 0;
+  std::vector<std::pair<int32_t, double>> per_period;  // (period, revenue)
+  std::vector<int32_t> available;                      // per recorded period
+
+  bool operator==(const RunDigest& other) const {
+    return total_revenue == other.total_revenue &&
+           num_tasks == other.num_tasks &&
+           num_accepted == other.num_accepted &&
+           num_matched == other.num_matched &&
+           per_period == other.per_period && available == other.available;
+  }
+};
+
+RunDigest RunMapsSimulation(const Workload& w, ThreadPool* pool,
+                            bool pipeline) {
+  MapsOptions opts;
+  Maps strategy(opts);
+  SimOptions options;
+  options.collect_per_period = true;
+  options.pipeline_periods = pipeline;
+  options.pool = pool;
+  auto r = RunSimulation(w, &strategy, options).ValueOrDie();
+  RunDigest digest;
+  digest.total_revenue = r.total_revenue;
+  digest.num_tasks = r.num_tasks;
+  digest.num_accepted = r.num_accepted;
+  digest.num_matched = r.num_matched;
+  for (const PeriodStats& ps : r.per_period) {
+    digest.per_period.push_back({ps.period, ps.revenue});
+    digest.available.push_back(ps.num_available_workers);
+  }
+  return digest;
+}
+
+TEST(SimulatorPoolBackedTest, PipelinedPeriodsBitIdenticalAcrossThreads) {
+  SyntheticConfig cfg;
+  cfg.num_workers = 60;
+  cfg.num_tasks = 400;
+  cfg.num_periods = 20;
+  cfg.grid_rows = 3;
+  cfg.grid_cols = 3;
+  cfg.seed = 31;
+  Workload w = GenerateSynthetic(cfg).ValueOrDie();
+  w.lifecycle.reposition_prob = 0.3;  // exercise the sequential RNG too
+
+  const RunDigest serial = RunMapsSimulation(w, nullptr, false);
+  ASSERT_GT(serial.total_revenue, 0.0);
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_TRUE(RunMapsSimulation(w, &pool, true) == serial)
+        << threads << " threads, pipeline on";
+    EXPECT_TRUE(RunMapsSimulation(w, &pool, false) == serial)
+        << threads << " threads, pipeline off";
+  }
+}
+
+TEST(SimulatorPoolBackedTest, PipelineHandlesEmptyAndSkippedPeriods) {
+  // Sparse horizon: most periods have no tasks, several have no workers
+  // either (skipped entirely); the prebuild of a skipped period's slot must
+  // not leak into later periods.
+  Workload w = TinyWorkload({5.0, 5.0, 5.0});
+  w.num_periods = 6;
+  FixedPriceStrategy serial_s(2.0), pooled_s(2.0);
+  SimOptions serial_opts;
+  serial_opts.collect_per_period = true;
+  auto serial = RunSimulation(w, &serial_s, serial_opts).ValueOrDie();
+
+  ThreadPool pool(2);
+  SimOptions pooled_opts = serial_opts;
+  pooled_opts.pool = &pool;
+  pooled_opts.pipeline_periods = true;
+  auto pooled = RunSimulation(w, &pooled_s, pooled_opts).ValueOrDie();
+
+  EXPECT_DOUBLE_EQ(pooled.total_revenue, serial.total_revenue);
+  EXPECT_EQ(pooled.num_matched, serial.num_matched);
+  ASSERT_EQ(pooled.per_period.size(), serial.per_period.size());
+  for (size_t i = 0; i < serial.per_period.size(); ++i) {
+    EXPECT_EQ(pooled.per_period[i].period, serial.per_period[i].period);
+    EXPECT_DOUBLE_EQ(pooled.per_period[i].revenue,
+                     serial.per_period[i].revenue);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_micro.json files and fail on tracked-key regressions.
+
+Usage:
+  compare_bench.py OLD.json NEW.json [--threshold 0.25] [--keys k1,k2,...]
+
+Compares ns_per_op for every tracked key present in BOTH files (keys only
+in NEW are reported as new, keys only in OLD as retired; neither fails the
+run). Exits 1 when any tracked key regressed by more than --threshold
+(fractional; 0.25 = 25% slower), which is what the CI bench-smoke job gates
+on. Scale mismatches between the two files make per-op times incomparable,
+so the comparison is skipped (exit 0) with a notice.
+
+Timing keys only: peak_bytes is reported for context but never gates —
+footprint policy belongs to the peak_round_bytes tests.
+"""
+
+import argparse
+import json
+import sys
+
+# Keys gated by default: the stable hot-path trajectory. Pool-backed keys
+# (*_pooled, *_sharded, *_pipelined) default to ungated because their
+# ns_per_op depends on the runner's core count, which differs between CI
+# hosts; pass --keys to gate them on fixed hardware.
+DEFAULT_KEYS = [
+    "maps_price_round",
+    "bipartite_graph_build",
+    "oracle_search",
+    "warmup_probing",
+    "mc_expected_revenue",
+    "simulator_periods",
+]
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc, {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional slowdown (default .25)")
+    parser.add_argument("--keys", default=",".join(DEFAULT_KEYS),
+                        help="comma-separated tracked keys to gate")
+    args = parser.parse_args()
+
+    old_doc, old = load(args.old)
+    new_doc, new = load(args.new)
+
+    if old_doc.get("scale") != new_doc.get("scale"):
+        print(f"scale changed ({old_doc.get('scale')} -> "
+              f"{new_doc.get('scale')}): per-op times not comparable, "
+              "skipping regression gate")
+        return 0
+
+    keys = [k for k in args.keys.split(",") if k]
+    failures = []
+    print(f"{'key':32} {'old ns/op':>14} {'new ns/op':>14} {'ratio':>8}")
+    for key in keys:
+        if key not in old:
+            print(f"{key:32} {'-':>14} "
+                  f"{new[key]['ns_per_op'] if key in new else '-':>14} "
+                  f"{'new':>8}")
+            continue
+        if key not in new:
+            print(f"{key:32} {old[key]['ns_per_op']:>14.0f} {'-':>14} "
+                  f"{'retired':>8}")
+            continue
+        o, n = old[key]["ns_per_op"], new[key]["ns_per_op"]
+        ratio = n / o if o > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  << REGRESSION"
+            failures.append((key, ratio))
+        print(f"{key:32} {o:>14.0f} {n:>14.0f} {ratio:>8.3f}{flag}")
+
+    if failures:
+        worst = ", ".join(f"{k} ({r:.2f}x)" for k, r in failures)
+        print(f"\nFAIL: {len(failures)} tracked key(s) regressed more than "
+              f"{args.threshold:.0%}: {worst}")
+        return 1
+    print(f"\nOK: no tracked key regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
