@@ -28,6 +28,7 @@
 #include "pricing/oracle_search.h"
 #include "rng/counter_rng.h"
 #include "rng/random.h"
+#include "service/market_engine.h"
 #include "sim/simulator.h"
 #include "sim/synthetic.h"
 #include "util/thread_pool.h"
@@ -255,6 +256,54 @@ void BM_MapsPriceRoundSharded(benchmark::State& state) {
   state.SetComplexityN(tasks_n);
 }
 BENCHMARK(BM_MapsPriceRoundSharded)->Range(256, 4096)->Complexity();
+
+void BM_EnginePeriod(benchmark::State& state) {
+  // One online period through the MarketEngine event API: submit a burst of
+  // tasks, close the period (price + acceptance + matching + lifecycle).
+  // Turnaround workers at effectively infinite speed return every period,
+  // so each iteration serves an equally sized market.
+  const int tasks_n = static_cast<int>(state.range(0));
+  SyntheticConfig cfg;
+  cfg.num_tasks = tasks_n;
+  cfg.num_workers = tasks_n / 4;
+  cfg.num_periods = 1;
+  cfg.temporal_sigma = 0.0001;
+  cfg.seed = 99;
+  Workload w = GenerateSynthetic(cfg).ValueOrDie();
+  MapsOptions opts;
+  Maps strategy(opts);
+  DemandOracle history = w.oracle.Fork(9);
+  if (!strategy.Warmup(w.grid, &history).ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  EngineOptions engine_options;
+  engine_options.lifecycle.single_use = false;
+  engine_options.lifecycle.speed = 1e12;  // rides finish in one period
+  MarketEngine engine(&w.grid, &strategy, engine_options);
+  for (const Worker& worker : w.workers) {
+    if (!engine.AddWorker(worker).ok()) {
+      state.SkipWithError("add_worker failed");
+      return;
+    }
+  }
+  PeriodOutcome outcome;
+  for (auto _ : state) {
+    for (size_t i = 0; i < w.tasks.size(); ++i) {
+      if (!engine.SubmitTask(w.tasks[i], w.valuations[i]).ok()) {
+        state.SkipWithError("submit_task failed");
+        return;
+      }
+    }
+    if (!engine.ClosePeriod(&outcome).ok()) {
+      state.SkipWithError("close_period failed");
+      return;
+    }
+    benchmark::DoNotOptimize(outcome.revenue);
+  }
+  state.SetComplexityN(tasks_n);
+}
+BENCHMARK(BM_EnginePeriod)->Range(256, 4096)->Complexity();
 
 // ---------------------------------------------------------------------------
 // BENCH_micro.json: machine-readable per-op ns and peak bytes for the three
@@ -588,8 +637,8 @@ bool EmitTrackedJson(const std::string& path) {
     ThreadPool pool(ThreadPool::DefaultThreadCount());
     SimOptions pipe_opts;
     pipe_opts.skip_warmup = true;
-    pipe_opts.pipeline_periods = true;
-    pipe_opts.pool = &pool;
+    pipe_opts.engine.pipeline_periods = true;
+    pipe_opts.engine.pool = &pool;
     TrackedResult mt;
     mt.name = "simulator_periods_pipelined";
     mt.problem_size = pool.num_threads();
@@ -598,6 +647,105 @@ bool EmitTrackedJson(const std::string& path) {
 
     if (r.ns_per_op < 0.0 || mt.ns_per_op < 0.0) {
       std::cerr << "MAPS simulation failed; no tracked results\n";
+      return false;
+    }
+    results.push_back(r);
+    results.push_back(mt);
+  }
+
+  // Online-engine period throughput: the same market class fed through the
+  // MarketEngine event API (AddWorker/SubmitTask/ClosePeriod) instead of
+  // RunSimulation — the serving path a live deployment pays for. ns_per_op
+  // is per CLOSED PERIOD. The pipelined entry bulk-stages each next period
+  // (StageNextPeriodTasks) over a pool so the task-side snapshot build
+  // overlaps the close; results are bit-identical, the pair measures pure
+  // overlap. Warm-up happens outside the timed region with a fresh
+  // strategy per rep (same rationale as simulator_periods).
+  {
+    SyntheticConfig cfg;
+    cfg.num_tasks = std::max(400, static_cast<int>(20000 * scale));
+    cfg.num_workers = std::max(100, static_cast<int>(5000 * scale));
+    cfg.num_periods = std::max(10, static_cast<int>(100 * scale));
+    cfg.seed = 99;
+    Workload w = GenerateSynthetic(cfg).ValueOrDie();
+    constexpr int kEngineReps = 3;
+
+    std::vector<std::pair<size_t, size_t>> range(w.num_periods);
+    {
+      size_t i = 0;
+      for (int32_t t = 0; t < w.num_periods; ++t) {
+        const size_t begin = i;
+        while (i < w.tasks.size() && w.tasks[i].period == t) ++i;
+        range[t] = {begin, i};
+      }
+    }
+
+    // Mean ns per closed period, or negative on failure.
+    const auto time_engine = [&](ThreadPool* pool, bool staged,
+                                 size_t* bytes) -> double {
+      double total_sec = 0.0;
+      for (int rep = 0; rep < kEngineReps; ++rep) {
+        MapsOptions mopts;
+        Maps strategy(mopts);
+        DemandOracle history = w.oracle.Fork(9);
+        if (!strategy.Warmup(w.grid, &history).ok()) return -1.0;
+        EngineOptions engine_options;
+        engine_options.lifecycle = w.lifecycle;
+        engine_options.pool = pool;
+        const auto start = std::chrono::steady_clock::now();
+        MarketEngine engine(&w.grid, &strategy, engine_options);
+        size_t next_entry = 0;
+        PeriodOutcome outcome;
+        const auto submit = [&](int32_t t) {
+          for (size_t i = range[t].first; i < range[t].second; ++i) {
+            if (!engine.SubmitTask(w.tasks[i], w.valuations[i]).ok()) {
+              std::abort();
+            }
+          }
+        };
+        submit(0);
+        for (int32_t t = 0; t < w.num_periods; ++t) {
+          if (staged && t + 1 < w.num_periods) {
+            const auto [begin, end] = range[t + 1];
+            if (!engine
+                     .StageNextPeriodTasks(w.tasks.data() + begin,
+                                           w.tasks.data() + end,
+                                           w.valuations.data() + begin)
+                     .ok()) {
+              std::abort();
+            }
+          }
+          while (next_entry < w.workers.size() &&
+                 w.workers[next_entry].period == t) {
+            if (!engine.AddWorker(w.workers[next_entry]).ok()) std::abort();
+            ++next_entry;
+          }
+          if (!engine.ClosePeriod(&outcome).ok()) return -1.0;
+          if (!staged && t + 1 < w.num_periods) submit(t + 1);
+        }
+        total_sec += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+        *bytes = engine.peak_platform_bytes() + engine.peak_strategy_bytes();
+      }
+      return total_sec * 1e9 / (kEngineReps * w.num_periods);
+    };
+
+    TrackedResult r;
+    r.name = "engine_period";
+    r.problem_size = cfg.num_periods;
+    r.iterations = kEngineReps;
+    r.ns_per_op = time_engine(nullptr, false, &r.peak_bytes);
+
+    ThreadPool pool(ThreadPool::DefaultThreadCount());
+    TrackedResult mt;
+    mt.name = "engine_period_pipelined";
+    mt.problem_size = pool.num_threads();
+    mt.iterations = kEngineReps;
+    mt.ns_per_op = time_engine(&pool, true, &mt.peak_bytes);
+
+    if (r.ns_per_op < 0.0 || mt.ns_per_op < 0.0) {
+      std::cerr << "engine replay failed; no tracked results\n";
       return false;
     }
     results.push_back(r);

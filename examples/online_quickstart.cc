@@ -1,0 +1,142 @@
+// Online quickstart: drive the MarketEngine directly through its event API
+// — the serving path a live platform uses, with no pre-materialized
+// workload. Workers sign on and off mid-horizon, tasks stream in each
+// period, and ClosePeriod() returns the per-grid quotes, the accepted set,
+// and the matches.
+//
+//   $ ./build/example_online_quickstart
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "market/demand_model.h"
+#include "pricing/maps.h"
+#include "rng/random.h"
+#include "service/market_engine.h"
+
+int main() {
+  using namespace maps;  // NOLINT
+
+  // 1. The city: a 4x4 grid over a 100x100 extent. Online serving needs no
+  //    workload — just the partition and a strategy.
+  auto grid_or = GridPartition::Make(Rect{0, 0, 100, 100}, 4, 4);
+  if (!grid_or.ok()) {
+    std::cerr << "grid: " << grid_or.status() << "\n";
+    return 1;
+  }
+  const GridPartition& grid = grid_or.ValueOrDie();
+
+  // 2. Warm MAPS up on historical demand (truncated-normal valuations),
+  //    then hand it to the engine. In production the probes would come
+  //    from logged accept/reject decisions.
+  Maps strategy{MapsOptions{}};
+  TruncatedNormalDemand proto(2.0, 1.0, 1.0, 5.0);
+  auto oracle_or =
+      DemandOracle::Make(ReplicateDemand(proto, grid.num_cells()), 17);
+  if (!oracle_or.ok()) {
+    std::cerr << "oracle: " << oracle_or.status() << "\n";
+    return 1;
+  }
+  if (auto st = strategy.Warmup(grid, &oracle_or.ValueOrDie()); !st.ok()) {
+    std::cerr << "warmup: " << st << "\n";
+    return 1;
+  }
+
+  EngineOptions options;
+  options.lifecycle.single_use = false;  // drivers turn around after rides
+  options.lifecycle.speed = 25.0;
+  MarketEngine engine(&grid, &strategy, options);
+
+  // 3. Serve ten periods of streaming traffic. Every event below could
+  //    equally arrive over the wire; the JSONL twin of this program is
+  //    examples/online_churn.jsonl via `maps_cli replay`.
+  Rng rng(42);
+  WorkerId next_worker = 0;
+  TaskId next_task = 0;
+  for (int i = 0; i < 6; ++i) {
+    Worker w;
+    w.id = next_worker++;
+    w.location = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    w.radius = 35.0;
+    w.duration = 100;
+    if (auto st = engine.AddWorker(w); !st.ok()) {
+      std::cerr << "add_worker: " << st << "\n";
+      return 1;
+    }
+  }
+
+  double total_revenue = 0.0;
+  PeriodOutcome outcome;
+  for (int period = 0; period < 10; ++period) {
+    // Bursty submissions: a quiet mid-horizon lull, busier edges.
+    const int burst = period == 4 ? 0 : 4 + (period % 3) * 3;
+    for (int i = 0; i < burst; ++i) {
+      Task task;
+      task.id = next_task++;
+      task.origin = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+      task.destination = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+      task.distance = EuclideanDistance(task.origin, task.destination);
+      task.grid = grid.CellOf(task.origin);
+      // The requester's private valuation: the engine only uses it to
+      // resolve acceptance; the strategy never sees it.
+      const double valuation = rng.NextDouble(0.5, 5.5);
+      if (auto st = engine.SubmitTask(task, valuation); !st.ok()) {
+        std::cerr << "submit_task: " << st << "\n";
+        return 1;
+      }
+    }
+
+    // Mid-horizon churn: half the original fleet signs off at period 5,
+    // replaced by three fresh drivers.
+    if (period == 5) {
+      for (WorkerId id = 0; id < 3; ++id) {
+        if (auto st = engine.RemoveWorker(id); !st.ok()) {
+          std::cerr << "remove_worker: " << st << "\n";
+          return 1;
+        }
+      }
+      for (int i = 0; i < 3; ++i) {
+        Worker w;
+        w.id = next_worker++;
+        w.location = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+        w.radius = 35.0;
+        w.duration = 100;
+        if (auto st = engine.AddWorker(w); !st.ok()) {
+          std::cerr << "add_worker: " << st << "\n";
+          return 1;
+        }
+      }
+      std::cout << "-- churn: workers 0-2 signed off, "
+                << "3 new drivers signed on --\n";
+    }
+
+    if (auto st = engine.ClosePeriod(&outcome); !st.ok()) {
+      std::cerr << "close_period: " << st << "\n";
+      return 1;
+    }
+    if (outcome.skipped) {
+      std::cout << "period " << outcome.period << ": idle (no tasks, no "
+                << "available workers)\n";
+      continue;
+    }
+    double p_lo = outcome.prices[0], p_hi = outcome.prices[0];
+    for (double p : outcome.prices) {
+      p_lo = std::min(p_lo, p);
+      p_hi = std::max(p_hi, p);
+    }
+    total_revenue += outcome.revenue;
+    std::cout << "period " << outcome.period << ": " << outcome.num_tasks
+              << " tasks, " << outcome.num_available_workers << " workers, "
+              << "quotes in [" << p_lo << ", " << p_hi << "], "
+              << outcome.accepted.size() << " accepted, "
+              << outcome.matches.size() << " matched, revenue "
+              << outcome.revenue << "\n";
+  }
+
+  std::cout << "\nserved " << engine.current_period() << " periods, "
+            << engine.num_live_workers() << " workers still live, total "
+            << "revenue " << total_revenue << " ("
+            << engine.strategy_seconds() << " s in the strategy)\n";
+  return 0;
+}

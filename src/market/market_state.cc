@@ -97,4 +97,20 @@ double MarketSnapshot::TotalDistanceInGrid(GridId g) const {
   return total_dist_by_grid_[g];
 }
 
+size_t MarketSnapshot::FootprintBytes() const {
+  size_t bytes = tasks_.capacity() * sizeof(Task) +
+                 workers_.capacity() * sizeof(Worker) +
+                 total_dist_by_grid_.capacity() * sizeof(double) +
+                 sort_scratch_.capacity() * sizeof(double) +
+                 tasks_by_grid_.capacity() * sizeof(std::vector<int>) +
+                 workers_by_grid_.capacity() * sizeof(std::vector<int>) +
+                 dist_prefix_by_grid_.capacity() * sizeof(std::vector<double>);
+  for (const auto& v : tasks_by_grid_) bytes += v.capacity() * sizeof(int);
+  for (const auto& v : workers_by_grid_) bytes += v.capacity() * sizeof(int);
+  for (const auto& v : dist_prefix_by_grid_) {
+    bytes += v.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
 }  // namespace maps

@@ -66,6 +66,12 @@ class MarketSnapshot {
   /// Sum of all task distances in grid `g` (demand-curve scale C).
   double TotalDistanceInGrid(GridId g) const;
 
+  /// Resident bytes of this snapshot's internal storage (task/worker copies
+  /// plus the per-grid indices and prefix sums), by capacity. Used by the
+  /// engine's platform-memory accounting: a double-buffered pair must count
+  /// BOTH slots, not just the one currently handed to the strategy.
+  size_t FootprintBytes() const;
+
  private:
   void IndexTasks();
   void IndexWorkers();

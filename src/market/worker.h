@@ -38,4 +38,27 @@ struct Worker {
   }
 };
 
+/// \brief Worker lifecycle policy of a market: what happens to a worker
+/// after a match and between matches. Lives next to Worker (not in sim/) so
+/// the online MarketEngine can enforce it without depending on workloads.
+struct WorkerLifecycle {
+  /// true: a worker disappears after serving one task (the paper's synthetic
+  /// setting); false: the worker is busy for the ride duration, reappears at
+  /// the task's destination, and retires after `Worker::duration` periods of
+  /// membership (the Beijing setting).
+  bool single_use = true;
+  /// Travel speed in distance units per period; ride time is
+  /// ceil(d_r / speed) periods. Only used when !single_use.
+  double speed = 1.0;
+
+  /// Idle-worker repositioning (Sec. 4.2.3's practical note: higher unit
+  /// prices "motivate more drivers to move to these regions"). Each period,
+  /// every idle worker independently moves, with this probability, to the
+  /// highest-priced cell in its 8-neighborhood when that price beats the
+  /// current cell's. 0 disables repositioning.
+  double reposition_prob = 0.0;
+  /// Seed of the repositioning decision stream (keeps runs deterministic).
+  uint64_t reposition_seed = 77;
+};
+
 }  // namespace maps

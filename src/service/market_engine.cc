@@ -1,0 +1,374 @@
+#include "service/market_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+
+namespace maps {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+MarketEngine::MarketEngine(const GridPartition* grid,
+                           PricingStrategy* strategy,
+                           const EngineOptions& options)
+    : grid_(grid),
+      strategy_(strategy),
+      options_(options),
+      reposition_rng_(options.lifecycle.reposition_seed) {
+  MAPS_CHECK(grid_ != nullptr);
+  MAPS_CHECK(strategy_ != nullptr);
+  pipelined_ = options_.pipeline_periods && options_.pool != nullptr;
+  // Lent unconditionally so a pool-less engine clears any pool a previous
+  // owner lent to a reused strategy (which may be destroyed by now).
+  strategy_->LendPool(options_.pool);
+}
+
+MarketEngine::~MarketEngine() { DrainPrebuilds(); }
+
+void MarketEngine::DrainPrebuilds() {
+  // A prebuild job captures `this`; no exit path may leave one running.
+  for (auto& latch : prebuild_latch_) {
+    if (latch != nullptr) {
+      latch->Wait();
+      latch.reset();
+    }
+  }
+}
+
+Status MarketEngine::CheckTaskGrids(const Task* begin, const Task* end) const {
+  for (const Task* t = begin; t != end; ++t) {
+    if (t->grid < 0 || t->grid >= grid_->num_cells()) {
+      return Status::InvalidArgument(
+          "task " + std::to_string(t->id) + " grid " +
+          std::to_string(t->grid) + " outside the partition");
+    }
+  }
+  return Status::OK();
+}
+
+Status MarketEngine::SubmitTask(const Task& task, double valuation) {
+  Stage& stage = stages_[period_ & 1];
+  if (stage.sealed) {
+    return Status::FailedPrecondition(
+        "period " + std::to_string(period_) +
+        " was staged in bulk; SubmitTask is closed for it");
+  }
+  MAPS_RETURN_NOT_OK(CheckTaskGrids(&task, &task + 1));
+  stage.tasks.push_back(task);
+  stage.valuations.push_back(valuation);
+  return Status::OK();
+}
+
+Status MarketEngine::StageNextPeriodTasks(const Task* begin, const Task* end,
+                                          const double* valuations) {
+  Stage& stage = stages_[(period_ + 1) & 1];
+  if (stage.sealed || !stage.tasks.empty()) {
+    return Status::FailedPrecondition(
+        "period " + std::to_string(period_ + 1) + " already has staged tasks");
+  }
+  MAPS_RETURN_NOT_OK(CheckTaskGrids(begin, end));
+  stage.tasks.assign(begin, end);
+  if (valuations != nullptr) {
+    stage.valuations.assign(valuations, valuations + (end - begin));
+  } else {
+    stage.valuations.assign(static_cast<size_t>(end - begin), kNoValuation);
+  }
+  stage.sealed = true;
+  if (pipelined_) {
+    // Prebuild the sealed period's task side on the pool: it touches only
+    // the OTHER slot and this stage's (now immutable until the close) task
+    // copy, so it is safe alongside the current period's ClosePeriod() and
+    // bit-identical to the synchronous build (DESIGN.md §10/§11).
+    const int slot = (period_ + 1) & 1;
+    const int32_t p = period_ + 1;
+    prebuild_latch_[slot] = std::make_unique<internal::Latch>(1);
+    internal::Latch* latch = prebuild_latch_[slot].get();
+    options_.pool->Submit([this, slot, p, latch](int /*worker*/) {
+      const Stage& s = stages_[slot];
+      slots_[slot].ResetTasks(grid_, p, s.tasks.data(),
+                              s.tasks.data() + s.tasks.size());
+      latch->Done();
+    });
+  }
+  return Status::OK();
+}
+
+Status MarketEngine::AddWorker(const Worker& worker) {
+  if (worker_index_.count(worker.id) > 0) {
+    return Status::AlreadyExists("worker id " + std::to_string(worker.id) +
+                                 " already admitted");
+  }
+  WorkerRecord rec;
+  rec.base = worker;
+  if (rec.base.grid < 0) rec.base.grid = grid_->CellOf(rec.base.location);
+  if (rec.base.grid < 0 || rec.base.grid >= grid_->num_cells()) {
+    return Status::InvalidArgument("worker " + std::to_string(worker.id) +
+                                   " outside the partition");
+  }
+  rec.next_free = period_;
+  rec.retire_at = worker.duration == Worker::kUnlimitedDuration
+                      ? std::numeric_limits<int32_t>::max()
+                      : period_ + worker.duration;
+  const int idx = static_cast<int>(workers_.size());
+  workers_.push_back(rec);
+  matched_flag_.push_back(0);
+  idle_.push_back(idx);
+  worker_index_[worker.id] = idx;
+  return Status::OK();
+}
+
+Status MarketEngine::RemoveWorker(WorkerId id) {
+  auto it = worker_index_.find(id);
+  if (it == worker_index_.end()) {
+    return Status::NotFound("worker id " + std::to_string(id) +
+                            " was never added");
+  }
+  // Retiring as of the open period drops an idle worker at the next
+  // availability scan; a busy worker finishes its ride and is dropped on
+  // return. Removal is idempotent.
+  workers_[it->second].retire_at =
+      std::min(workers_[it->second].retire_at, period_);
+  return Status::OK();
+}
+
+Status MarketEngine::ObserveAcceptance(TaskId task, bool accepted) {
+  pending_accept_[task] = accepted;
+  return Status::OK();
+}
+
+int64_t MarketEngine::num_live_workers() const {
+  int64_t live = 0;
+  for (const WorkerRecord& rec : workers_) {
+    if (!rec.consumed && period_ < rec.retire_at) ++live;
+  }
+  return live;
+}
+
+Status MarketEngine::ClosePeriod(PeriodOutcome* out) {
+  if (out == nullptr) return Status::InvalidArgument("null outcome");
+  const int32_t t = period_;
+  const int slot = t & 1;
+  Stage& stage = stages_[slot];
+  MarketSnapshot& snapshot = slots_[slot];
+
+  // Finalize the task side: adopt the prebuilt snapshot or build it now.
+  if (prebuild_latch_[slot] != nullptr) {
+    prebuild_latch_[slot]->Wait();
+    prebuild_latch_[slot].reset();
+  } else {
+    snapshot.ResetTasks(grid_, t, stage.tasks.data(),
+                        stage.tasks.data() + stage.tasks.size());
+  }
+
+  out->period = t;
+  out->skipped = false;
+  out->prices.clear();
+  out->accepted.clear();
+  out->matches.clear();
+  out->revenue = 0.0;
+  out->mc_expected_revenue = 0.0;
+  out->num_tasks = static_cast<int32_t>(stage.tasks.size());
+  out->num_available_workers = 0;
+
+  const bool single_use = options_.lifecycle.single_use;
+  const double speed = options_.lifecycle.speed;
+
+  // Return workers whose ride finished. (Entrants were appended to the idle
+  // list by AddWorker during the open period, so the list reads: survivors
+  // of earlier periods, then this period's entrants, then returns — the
+  // same order the batch loop produced.)
+  while (!busy_.empty() && busy_.top().first <= t) {
+    idle_.push_back(busy_.top().second);
+    busy_.pop();
+  }
+
+  // Collect available workers, dropping retired ones permanently.
+  period_workers_.clear();
+  pool_of_.clear();
+  size_t keep = 0;
+  for (int idx : idle_) {
+    const WorkerRecord& rec = workers_[idx];
+    if (rec.consumed || t >= rec.retire_at) continue;
+    idle_[keep++] = idx;
+    period_workers_.push_back(rec.base);
+    pool_of_.push_back(idx);
+  }
+  idle_.resize(keep);
+  out->num_available_workers = static_cast<int32_t>(period_workers_.size());
+
+  // Dead period: nothing to price or match; the strategy is not consulted.
+  if (stage.tasks.empty() && period_workers_.empty()) {
+    out->skipped = true;
+    pending_accept_.clear();
+    stage.Clear();
+    ++period_;
+    return Status::OK();
+  }
+
+  snapshot.SetWorkers(period_workers_.data(),
+                      period_workers_.data() + period_workers_.size());
+  slot_bytes_[slot] = snapshot.FootprintBytes();
+
+  // Price.
+  const auto price_start = Clock::now();
+  MAPS_RETURN_NOT_OK(strategy_->PriceRound(snapshot, &prices_));
+  if (static_cast<int>(prices_.size()) != snapshot.num_grids()) {
+    return Status::Internal(strategy_->name() +
+                            " returned wrong price vector size");
+  }
+
+  // Requesters decide; the strategy sees only the bits. An explicit
+  // ObserveAcceptance() bit wins over the hidden valuation; a task with
+  // neither declines (kNoValuation is NaN, false against any price). The
+  // map lookup is skipped entirely when no bit was observed (the replay
+  // path), keeping this loop as cheap as the retired batch loop's.
+  const bool has_observed_bits = !pending_accept_.empty();
+  accepted_.assign(snapshot.tasks().size(), false);
+  for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
+    const Task& task = snapshot.tasks()[i];
+    bool accepted = stage.valuations[i] >= prices_[task.grid];
+    if (has_observed_bits) {
+      const auto it = pending_accept_.find(task.id);
+      if (it != pending_accept_.end()) accepted = it->second;
+    }
+    accepted_[i] = accepted;
+    if (accepted) out->accepted.push_back(task.id);
+  }
+  strategy_->ObserveFeedback(snapshot, prices_, accepted_);
+  strategy_seconds_ += Seconds(price_start, Clock::now());
+  pending_accept_.clear();
+  out->prices.assign(prices_.begin(), prices_.end());
+
+  // Assignment: maximum-weight matching over accepted tasks (Def. 5).
+  // Graph and matching buffers are pooled across periods.
+  BipartiteGraph::BuildInto(snapshot.tasks(), snapshot.workers(), *grid_,
+                            &graph_ws_, &graph_);
+
+  // Monte-Carlo expected-revenue diagnostic: E[U(B^t)] of the posted prices
+  // under the TRUE acceptance ratios (Def. 6) — simulation-only, since it
+  // needs the ground-truth oracle. Period t's worlds live in seed family
+  // mc_seed + t so every (period, world) pair is an independent,
+  // reproducible stream.
+  if (options_.mc_worlds > 0 && options_.mc_oracle != nullptr &&
+      !snapshot.tasks().empty()) {
+    mc_priced_.clear();
+    for (const Task& task : snapshot.tasks()) {
+      const double p = prices_[task.grid];
+      mc_priced_.push_back(PricedTask{
+          task.distance, p, options_.mc_oracle->TrueAcceptRatio(task.grid, p)});
+    }
+    out->mc_expected_revenue = MonteCarloExpectedRevenue(
+        graph_, mc_priced_, options_.mc_seed + static_cast<uint64_t>(t),
+        options_.mc_worlds, options_.pool, &mc_workspaces_);
+  }
+
+  weights_.assign(snapshot.tasks().size(), -1.0);
+  for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
+    if (!accepted_[i]) continue;
+    weights_[i] =
+        snapshot.tasks()[i].distance * prices_[snapshot.tasks()[i].grid];
+  }
+  // Called for the matching it leaves in match_ws_.inc; revenue needs
+  // per-task attribution below, not the returned total.
+  (void)MaxWeightTaskMatchingValue(graph_, weights_, &match_ws_);
+  const Matching& period_matching = match_ws_.inc.matching();
+
+  // Revenue and worker lifecycle updates.
+  int32_t n_matched = 0;
+  for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
+    const int r = period_matching.match_left[i];
+    if (r == Matching::kUnmatched) continue;
+    MAPS_DCHECK(accepted_[i]);
+    ++n_matched;
+    out->revenue += weights_[i];
+    const int idx = pool_of_[r];
+    WorkerRecord& rec = workers_[idx];
+    out->matches.push_back(
+        MatchRecord{snapshot.tasks()[i].id, rec.base.id, weights_[i]});
+    if (single_use) {
+      rec.consumed = true;
+    } else {
+      const Task& task = snapshot.tasks()[i];
+      const int32_t ride = std::max(
+          1, static_cast<int32_t>(std::ceil(task.distance / speed)));
+      rec.next_free = t + ride;
+      rec.base.location = task.destination;
+      rec.base.grid = grid_->CellOf(task.destination);
+      busy_.push({rec.next_free, idx});
+    }
+    matched_flag_[idx] = 1;
+  }
+
+  // Drop matched workers from the idle list in one pass.
+  if (n_matched > 0) {
+    size_t keep2 = 0;
+    for (int idx : idle_) {
+      if (matched_flag_[idx]) {
+        matched_flag_[idx] = 0;
+      } else {
+        idle_[keep2++] = idx;
+      }
+    }
+    idle_.resize(keep2);
+  }
+
+  // Idle workers chase surge prices (Sec. 4.2.3): move to the best-priced
+  // adjacent cell with probability reposition_prob.
+  if (options_.lifecycle.reposition_prob > 0.0) {
+    const GridPartition& gp = *grid_;
+    for (int idx : idle_) {
+      if (!reposition_rng_.NextBernoulli(
+              options_.lifecycle.reposition_prob)) {
+        continue;
+      }
+      WorkerRecord& rec = workers_[idx];
+      const GridId here = rec.base.grid;
+      const int row = here / gp.cols();
+      const int col = here % gp.cols();
+      GridId best = here;
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          const int nr = row + dr;
+          const int nc = col + dc;
+          if (nr < 0 || nr >= gp.rows() || nc < 0 || nc >= gp.cols()) {
+            continue;
+          }
+          const GridId cand = nr * gp.cols() + nc;
+          if (prices_[cand] > prices_[best]) best = cand;
+        }
+      }
+      if (best != here) {
+        rec.base.location = gp.CellCenter(best);
+        rec.base.grid = best;
+      }
+    }
+  }
+
+  // Platform footprint: matching graph + BOTH slots of the snapshot double
+  // buffer + the lifecycle table. The other slot's bytes are the value from
+  // its own last finalize (capacities only grow), so a concurrent prebuild
+  // is never read.
+  const size_t platform_bytes =
+      graph_.FootprintBytes() + slot_bytes_[0] + slot_bytes_[1] +
+      workers_.capacity() * sizeof(WorkerRecord);
+  peak_platform_bytes_ = std::max(peak_platform_bytes_, platform_bytes);
+  peak_strategy_bytes_ =
+      std::max(peak_strategy_bytes_, strategy_->MemoryFootprintBytes());
+
+  stage.Clear();
+  ++period_;
+  return Status::OK();
+}
+
+}  // namespace maps

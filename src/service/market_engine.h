@@ -1,0 +1,259 @@
+// MarketEngine: the online serving core of the platform — events in, quotes
+// out. A production deployment does not hand us a pre-materialized workload;
+// it streams task submissions, worker arrivals/departures, and acceptance
+// feedback, and asks for per-grid price quotes each period. The engine owns
+// everything the per-period loop needs: the double-buffered staged
+// MarketSnapshot pair, the lent ThreadPool, the strategy's
+// PriceRound/ObserveFeedback cycle, the max-weight matching step, the
+// worker-lifecycle state machine, and the optional Monte-Carlo
+// expected-revenue diagnostic.
+//
+// Event model (batch semantics of Sec. 2, made incremental):
+//   * Between two ClosePeriod() calls the engine has one OPEN period.
+//     SubmitTask / AddWorker / RemoveWorker / ObserveAcceptance all apply to
+//     it; ClosePeriod() then prices the period, resolves acceptance, runs
+//     the matching, advances the lifecycle, and returns the PeriodOutcome.
+//   * Acceptance resolution, per task: an explicit ObserveAcceptance() bit
+//     wins (deployments where the platform, not the engine, sees requester
+//     decisions); otherwise a hidden valuation attached at SubmitTask()
+//     decides (v >= price, the simulation path); a task with neither is
+//     treated as declined.
+//   * StageNextPeriodTasks() optionally seals the NEXT period's task set in
+//     bulk; with a pool and pipeline_periods this prebuilds that period's
+//     task-side snapshot concurrently with the current ClosePeriod() — the
+//     replay adapter's pipelining hook. Results are bit-identical with or
+//     without it (DESIGN.md §10/§11).
+//
+// RunSimulation (sim/simulator.h) is now a thin replay adapter that feeds a
+// Workload through exactly this API; the determinism contract (identical
+// events => bit-identical outcomes at any thread count, pipeline on/off) is
+// tested against it.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "geo/grid.h"
+#include "graph/bipartite_graph.h"
+#include "graph/max_weight_matching.h"
+#include "graph/possible_worlds.h"
+#include "market/demand_oracle.h"
+#include "market/market_state.h"
+#include "market/task.h"
+#include "market/worker.h"
+#include "pricing/strategy.h"
+#include "rng/random.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace maps {
+
+/// \brief Online engine knobs. SimOptions composes this (one shared option
+/// surface; the simulator adds only replay-specific knobs on top).
+struct EngineOptions {
+  /// What happens to workers after a match (single-use vs turnaround,
+  /// idle repositioning). The replay adapter overrides this with the
+  /// workload's lifecycle.
+  WorkerLifecycle lifecycle;
+  /// Monte-Carlo worlds per period for the expected-revenue diagnostic:
+  /// when > 0 and mc_oracle is set, each closed period also estimates
+  /// E[U(B^t)] of the posted prices under the TRUE acceptance ratios by
+  /// sampling this many possible worlds (world w of period t draws from
+  /// CounterRng stream (mc_seed + t, w), so the estimate is bit-identical
+  /// for any thread count). 0 disables (no cost).
+  int mc_worlds = 0;
+  /// Seed family for the Monte-Carlo diagnostic worlds.
+  uint64_t mc_seed = 0x6d63776f726c64ULL;  // "mcworld"
+  /// Ground-truth demand for the diagnostic. Non-owning; simulation-only —
+  /// a live deployment has no oracle and leaves this null.
+  const DemandOracle* mc_oracle = nullptr;
+  /// Overlap the next period's task-side snapshot build (bucketing +
+  /// distance prefix sums) with the current ClosePeriod() whenever the next
+  /// period was sealed via StageNextPeriodTasks(). Bit-identical to the
+  /// serial path for any thread count (DESIGN.md §10). No effect without a
+  /// pool.
+  bool pipeline_periods = true;
+  /// Optional pool lent to the strategy (warm-up probe schedule, MAPS's
+  /// per-round maximizer precompute), used by the Monte-Carlo diagnostic,
+  /// and backing the period pipeline. Non-owning; must not be a pool whose
+  /// workers call into THIS engine (nested waits can deadlock). Results are
+  /// bit-identical with or without it.
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief One task-to-worker assignment of a closed period.
+struct MatchRecord {
+  TaskId task = -1;
+  WorkerId worker = -1;
+  /// d_r * p_{g(r)} — this match's contribution to the period revenue.
+  double revenue = 0.0;
+};
+
+/// \brief Everything a period close produces. Vector storage is reused
+/// across calls when the caller reuses the outcome object.
+struct PeriodOutcome {
+  int32_t period = 0;
+  /// No tasks were submitted and no worker was available: the strategy was
+  /// not consulted and every other field below is empty/zero.
+  bool skipped = false;
+  /// The posted quote per grid cell (size = grid.num_cells()).
+  std::vector<double> prices;
+  /// Ids of the tasks whose requesters accepted their quote.
+  std::vector<TaskId> accepted;
+  /// Max-weight assignment over the accepted tasks (Definition 5).
+  std::vector<MatchRecord> matches;
+  /// Sum of matches[i].revenue.
+  double revenue = 0.0;
+  /// MC-estimated E[U(B^t)] of this period's prices (0 when disabled).
+  double mc_expected_revenue = 0.0;
+  int32_t num_tasks = 0;
+  int32_t num_available_workers = 0;
+};
+
+/// \brief Stateful online market engine; see the file comment for the event
+/// model. Not thread-safe: one logical event stream per engine (internal
+/// parallelism comes from the lent pool and never changes results).
+class MarketEngine {
+ public:
+  /// Sentinel "no hidden valuation" (NaN compares false against any price,
+  /// so an unknown requester without an ObserveAcceptance() bit declines).
+  static constexpr double kNoValuation =
+      std::numeric_limits<double>::quiet_NaN();
+
+  /// \param grid the city partition; non-owning, must outlive the engine.
+  /// \param strategy the pricing strategy driven by ClosePeriod();
+  ///        non-owning. The engine lends it `options.pool` immediately
+  ///        (clearing any stale pool from a previous owner). Warm it up
+  ///        before the first ClosePeriod() — the engine never probes.
+  MarketEngine(const GridPartition* grid, PricingStrategy* strategy,
+               const EngineOptions& options = {});
+  ~MarketEngine();
+
+  MarketEngine(const MarketEngine&) = delete;
+  MarketEngine& operator=(const MarketEngine&) = delete;
+
+  /// Submits a task to the open period. `valuation` is the requester's
+  /// hidden v_r when the caller knows it (replay / simulation); online
+  /// deployments leave it unset and report the decision via
+  /// ObserveAcceptance(). Fails if the open period was sealed in bulk.
+  Status SubmitTask(const Task& task, double valuation = kNoValuation);
+
+  /// Seals the NEXT period's task set in bulk (tasks are copied).
+  /// `valuations` is either null or an array of end - begin hidden
+  /// valuations aligned with [begin, end). With a pool and
+  /// pipeline_periods, the task-side snapshot of that period starts
+  /// building concurrently with the current ClosePeriod().
+  Status StageNextPeriodTasks(const Task* begin, const Task* end,
+                              const double* valuations);
+
+  /// Admits a worker into the open period. `worker.period` is ignored
+  /// (admission time is now); `worker.duration` periods of membership start
+  /// at the open period. Worker ids must be unique across the run.
+  Status AddWorker(const Worker& worker);
+
+  /// Removes a worker from the open period onward: an idle worker stops
+  /// being offered to the matcher; a busy one finishes its ride but never
+  /// returns to the pool. NotFound for ids never added.
+  Status RemoveWorker(WorkerId id);
+
+  /// Records an externally observed accept/reject decision for a task of
+  /// the open period, overriding any hidden valuation. Decisions for ids
+  /// not in the period are discarded at the close.
+  Status ObserveAcceptance(TaskId task, bool accepted);
+
+  /// Closes the open period: builds the snapshot, prices it (PriceRound),
+  /// resolves acceptance, reports the bits (ObserveFeedback), assigns
+  /// workers by max-weight matching, applies the worker lifecycle, and
+  /// advances to the next period. `out`'s storage is reused across calls.
+  Status ClosePeriod(PeriodOutcome* out);
+
+  /// The open (not yet closed) period index; starts at 0.
+  int32_t current_period() const { return period_; }
+  /// Workers admitted and neither retired, consumed, nor removed.
+  int64_t num_live_workers() const;
+  /// Cumulative wall time inside the strategy (PriceRound + acceptance +
+  /// ObserveFeedback), the per-strategy cost the benches report.
+  double strategy_seconds() const { return strategy_seconds_; }
+  /// Peak platform-side footprint: matching graph, BOTH snapshot slots of
+  /// the double buffer, and the worker-lifecycle table.
+  size_t peak_platform_bytes() const { return peak_platform_bytes_; }
+  /// Peak strategy footprint observed across closed periods.
+  size_t peak_strategy_bytes() const { return peak_strategy_bytes_; }
+
+ private:
+  /// Mutable per-worker lifecycle state; `base` carries the current
+  /// location/grid (turnaround moves it).
+  struct WorkerRecord {
+    Worker base;
+    int32_t next_free = 0;   // first period the worker is idle again
+    int32_t retire_at = 0;   // first period the worker is gone
+    bool consumed = false;   // single-use worker already served a task
+  };
+
+  /// Tasks buffered for one snapshot slot's period.
+  struct Stage {
+    std::vector<Task> tasks;
+    std::vector<double> valuations;  // aligned; kNoValuation when unknown
+    bool sealed = false;             // bulk-staged, SubmitTask rejected
+    void Clear() {
+      tasks.clear();
+      valuations.clear();
+      sealed = false;
+    }
+  };
+
+  Status CheckTaskGrids(const Task* begin, const Task* end) const;
+  void DrainPrebuilds();
+
+  const GridPartition* grid_;
+  PricingStrategy* strategy_;
+  EngineOptions options_;
+  bool pipelined_ = false;
+  int32_t period_ = 0;
+
+  // Double-buffered snapshot pair: period t lives in slot t & 1.
+  MarketSnapshot slots_[2];
+  Stage stages_[2];
+  std::unique_ptr<internal::Latch> prebuild_latch_[2];
+  // Per-slot footprint as of each slot's last finalize, so the accounting
+  // never reads a slot a prebuild job may be writing.
+  size_t slot_bytes_[2] = {0, 0};
+
+  // Worker lifecycle (the simulator's former per-period state machine).
+  std::vector<WorkerRecord> workers_;
+  std::unordered_map<WorkerId, int> worker_index_;
+  using BusyEntry = std::pair<int32_t, int>;  // (next_free, worker index)
+  std::priority_queue<BusyEntry, std::vector<BusyEntry>,
+                      std::greater<BusyEntry>>
+      busy_;
+  std::vector<int> idle_;
+  std::vector<char> matched_flag_;
+  Rng reposition_rng_;
+
+  // Acceptance bits reported for the open period.
+  std::unordered_map<TaskId, bool> pending_accept_;
+
+  // Round scratch, pooled across periods (PR 1 workspace contract).
+  std::vector<double> prices_;
+  std::vector<bool> accepted_;
+  std::vector<double> weights_;
+  std::vector<Worker> period_workers_;
+  std::vector<int> pool_of_;  // snapshot worker index -> workers_ index
+  GraphBuildWorkspace graph_ws_;
+  BipartiteGraph graph_;
+  MaxWeightMatchingWorkspace match_ws_;
+  std::vector<PricedTask> mc_priced_;
+  std::vector<PossibleWorldsWorkspace> mc_workspaces_;
+
+  double strategy_seconds_ = 0.0;
+  size_t peak_platform_bytes_ = 0;
+  size_t peak_strategy_bytes_ = 0;
+};
+
+}  // namespace maps

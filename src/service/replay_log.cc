@@ -1,0 +1,209 @@
+#include "service/replay_log.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+namespace maps {
+
+namespace {
+
+/// Minimal flat-JSON-object scanner: {"key": value, ...} where value is a
+/// double-quoted string (no escapes needed by the schema), a number, true,
+/// false, or null. Nested objects/arrays are rejected — the event schema is
+/// flat by design.
+Result<std::map<std::string, std::string>> ParseFlatJson(
+    const std::string& line) {
+  std::map<std::string, std::string> out;
+  size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+  };
+  const auto fail = [&](const std::string& what) {
+    return Status::InvalidArgument(what + " at column " + std::to_string(i) +
+                                   " of: " + line);
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return fail("expected '{'");
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws();
+      if (i >= line.size() || line[i] != '"') return fail("expected key");
+      const size_t key_end = line.find('"', i + 1);
+      if (key_end == std::string::npos) return fail("unterminated key");
+      const std::string key = line.substr(i + 1, key_end - i - 1);
+      i = key_end + 1;
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') return fail("expected ':'");
+      ++i;
+      skip_ws();
+      std::string value;
+      if (i < line.size() && line[i] == '"') {
+        const size_t val_end = line.find('"', i + 1);
+        if (val_end == std::string::npos) return fail("unterminated string");
+        value = line.substr(i + 1, val_end - i - 1);
+        i = val_end + 1;
+      } else {
+        const size_t start = i;
+        while (i < line.size() && line[i] != ',' && line[i] != '}' &&
+               !std::isspace(static_cast<unsigned char>(line[i]))) {
+          ++i;
+        }
+        value = line.substr(start, i - start);
+        if (value.empty()) return fail("expected value");
+        if (value == "null") value.clear();
+        const char c = value.empty() ? '\0' : value[0];
+        if (!value.empty() && c != 't' && c != 'f' && c != '-' &&
+            !std::isdigit(static_cast<unsigned char>(c))) {
+          return fail("unsupported value '" + value + "'");
+        }
+      }
+      if (out.count(key) > 0) return fail("duplicate key '" + key + "'");
+      out[key] = value;
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+  skip_ws();
+  if (i != line.size()) return fail("trailing characters");
+  return out;
+}
+
+using Fields = std::map<std::string, std::string>;
+
+bool GetNum(const Fields& f, const std::string& key, double* out) {
+  const auto it = f.find(key);
+  if (it == f.end() || it->second.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(it->second.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool GetBool(const Fields& f, const std::string& key, bool* out) {
+  const auto it = f.find(key);
+  if (it == f.end()) return false;
+  if (it->second == "true" || it->second == "1") {
+    *out = true;
+    return true;
+  }
+  if (it->second == "false" || it->second == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+Status MissingField(const std::string& event, const std::string& key) {
+  return Status::InvalidArgument(event + " event needs numeric '" + key +
+                                 "'");
+}
+
+}  // namespace
+
+Result<ReplayEvent> ParseReplayEventLine(const std::string& line) {
+  auto fields_or = ParseFlatJson(line);
+  MAPS_RETURN_NOT_OK(fields_or.status());
+  const Fields& f = std::move(fields_or).ValueOrDie();
+
+  const auto kind_it = f.find("event");
+  if (kind_it == f.end()) {
+    return Status::InvalidArgument("missing \"event\" field: " + line);
+  }
+  const std::string& kind = kind_it->second;
+  ReplayEvent ev;
+  double num = 0.0;
+
+  if (kind == "submit_task") {
+    ev.kind = ReplayEvent::Kind::kSubmitTask;
+    if (!GetNum(f, "id", &num)) return MissingField(kind, "id");
+    ev.task.id = static_cast<TaskId>(num);
+    if (!GetNum(f, "ox", &ev.task.origin.x)) return MissingField(kind, "ox");
+    if (!GetNum(f, "oy", &ev.task.origin.y)) return MissingField(kind, "oy");
+    if (!GetNum(f, "dx", &ev.task.destination.x)) {
+      return MissingField(kind, "dx");
+    }
+    if (!GetNum(f, "dy", &ev.task.destination.y)) {
+      return MissingField(kind, "dy");
+    }
+    if (GetNum(f, "distance", &num)) ev.task.distance = num;
+    if (GetNum(f, "valuation", &num)) {
+      ev.valuation = num;
+      ev.has_valuation = true;
+    }
+    return ev;
+  }
+  if (kind == "add_worker") {
+    ev.kind = ReplayEvent::Kind::kAddWorker;
+    if (!GetNum(f, "id", &num)) return MissingField(kind, "id");
+    ev.worker.id = static_cast<WorkerId>(num);
+    if (!GetNum(f, "x", &ev.worker.location.x)) return MissingField(kind, "x");
+    if (!GetNum(f, "y", &ev.worker.location.y)) return MissingField(kind, "y");
+    if (!GetNum(f, "radius", &ev.worker.radius)) {
+      return MissingField(kind, "radius");
+    }
+    if (GetNum(f, "duration", &num)) {
+      ev.worker.duration = static_cast<int32_t>(num);
+    }
+    return ev;
+  }
+  if (kind == "remove_worker") {
+    ev.kind = ReplayEvent::Kind::kRemoveWorker;
+    if (!GetNum(f, "id", &num)) return MissingField(kind, "id");
+    ev.id = static_cast<int64_t>(num);
+    return ev;
+  }
+  if (kind == "observe_acceptance") {
+    ev.kind = ReplayEvent::Kind::kObserveAcceptance;
+    if (!GetNum(f, "task", &num)) return MissingField(kind, "task");
+    ev.id = static_cast<int64_t>(num);
+    if (!GetBool(f, "accepted", &ev.accepted)) {
+      return Status::InvalidArgument(
+          "observe_acceptance event needs boolean 'accepted'");
+    }
+    return ev;
+  }
+  if (kind == "close_period") {
+    ev.kind = ReplayEvent::Kind::kClosePeriod;
+    return ev;
+  }
+  return Status::InvalidArgument("unknown event kind '" + kind + "'");
+}
+
+Result<std::vector<ReplayEvent>> LoadReplayLog(std::istream& in) {
+  std::vector<ReplayEvent> events;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t first = 0;
+    while (first < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[first]))) {
+      ++first;
+    }
+    if (first == line.size() || line[first] == '#') continue;
+    auto ev = ParseReplayEventLine(line);
+    if (!ev.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) + ": " +
+                                     ev.status().message());
+    }
+    events.push_back(std::move(ev).ValueOrDie());
+  }
+  return events;
+}
+
+}  // namespace maps

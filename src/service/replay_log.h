@@ -1,0 +1,60 @@
+// ReplayLog: a line-oriented JSON event format for driving MarketEngine
+// from a file (`maps_cli replay`). One flat JSON object per line; blank
+// lines and lines starting with '#' are skipped. Events:
+//
+//   {"event":"add_worker","id":0,"x":5,"y":5,"radius":3,"duration":100}
+//   {"event":"submit_task","id":0,"ox":5,"oy":6,"dx":7,"dy":5,
+//    "valuation":3.2}                       // valuation optional
+//   {"event":"observe_acceptance","task":0,"accepted":true}
+//   {"event":"remove_worker","id":0}
+//   {"event":"close_period"}
+//
+// submit_task may carry an explicit "distance"; otherwise the driver
+// derives it from the origin/destination pair. "duration" is optional
+// (default: unlimited). The parser knows nothing about the grid — the
+// driver fills Task::grid / Worker::grid from its partition.
+
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "market/task.h"
+#include "market/worker.h"
+#include "util/result.h"
+
+namespace maps {
+
+/// \brief One parsed replay event.
+struct ReplayEvent {
+  enum class Kind {
+    kSubmitTask,
+    kAddWorker,
+    kRemoveWorker,
+    kObserveAcceptance,
+    kClosePeriod,
+  };
+  Kind kind = Kind::kClosePeriod;
+  /// kSubmitTask: id/origin/destination/distance (distance may be 0 =
+  /// derive); grid left unset for the driver.
+  Task task;
+  /// kSubmitTask: hidden valuation, NaN when the file omitted it.
+  double valuation = 0.0;
+  bool has_valuation = false;
+  /// kAddWorker: id/location/radius/duration; grid left unset.
+  Worker worker;
+  /// kRemoveWorker: worker id; kObserveAcceptance: task id.
+  int64_t id = -1;
+  /// kObserveAcceptance.
+  bool accepted = false;
+};
+
+/// \brief Parses one JSONL event line (must not be blank or a comment).
+Result<ReplayEvent> ParseReplayEventLine(const std::string& line);
+
+/// \brief Reads a whole event log, skipping blanks and '#' comments.
+/// Errors carry the 1-based line number.
+Result<std::vector<ReplayEvent>> LoadReplayLog(std::istream& in);
+
+}  // namespace maps

@@ -1,17 +1,8 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
 #include <chrono>
-#include <cmath>
-#include <limits>
-#include <memory>
-#include <queue>
 #include <utility>
 
-#include "graph/bipartite_graph.h"
-#include "graph/max_weight_matching.h"
-#include "graph/possible_worlds.h"
-#include "rng/random.h"
 #include "util/logging.h"
 
 namespace maps {
@@ -23,15 +14,6 @@ using Clock = std::chrono::steady_clock;
 double Seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
-
-/// Mutable per-worker lifecycle state.
-struct WorkerState {
-  int32_t next_free = 0;   // first period the worker is idle again
-  int32_t retire_at = 0;   // first period the worker is gone
-  bool consumed = false;   // single-use worker already served a task
-  Point location;          // current position (turnaround moves it)
-  GridId grid = -1;
-};
 
 }  // namespace
 
@@ -45,12 +27,13 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
 
   SimulationResult result;
 
-  // Internal parallelism (warm-up probe schedule, MAPS's round precompute):
-  // bit-identical with or without the lent pool, so this changes nothing
-  // but wall-clock. Lent unconditionally so a pool-less run clears any
-  // pool a previous simulation lent to a reused strategy (which may be
-  // destroyed by now).
-  strategy->LendPool(options.pool);
+  // The engine owns the per-period loop; the market-shaped engine knobs
+  // come from the workload, everything else from the caller. Construction
+  // lends the pool to the strategy (clearing a stale pool on reuse).
+  EngineOptions engine_options = options.engine;
+  engine_options.lifecycle = workload.lifecycle;
+  engine_options.mc_oracle = &workload.oracle;
+  MarketEngine engine(&workload.grid, strategy, engine_options);
 
   // Warm-up against a fork of the ground truth: independent probe
   // randomness, identical demand.
@@ -61,57 +44,7 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
     result.warmup_time_sec = Seconds(warm_start, Clock::now());
   }
 
-  const bool single_use = workload.lifecycle.single_use;
-  const double speed = workload.lifecycle.speed;
-
-  std::vector<WorkerState> state(workload.workers.size());
-  for (size_t i = 0; i < workload.workers.size(); ++i) {
-    const Worker& w = workload.workers[i];
-    state[i].next_free = w.period;
-    state[i].retire_at =
-        w.duration == Worker::kUnlimitedDuration
-            ? std::numeric_limits<int32_t>::max()
-            : w.period + w.duration;
-    state[i].location = w.location;
-    state[i].grid = w.grid;
-  }
-
-  // Worker scheduling: pending entry pointer + busy heap + idle list.
-  size_t next_entry = 0;
-  using BusyEntry = std::pair<int32_t, int>;  // (next_free, pool index)
-  std::priority_queue<BusyEntry, std::vector<BusyEntry>,
-                      std::greater<BusyEntry>>
-      busy;
-  std::vector<int> idle;
-
-  size_t peak_platform_bytes = 0;
-  size_t peak_strategy_bytes = 0;
-  Rng reposition_rng(workload.lifecycle.reposition_seed);
-
-  std::vector<double> prices;
-  std::vector<bool> accepted;
-  std::vector<double> weights;
-  std::vector<Worker> period_workers;  // pooled across periods
-  std::vector<int> pool_of;  // snapshot worker index -> pool index
-  std::vector<char> matched_flag(workload.workers.size(), 0);
-  GraphBuildWorkspace graph_ws;
-  BipartiteGraph graph;
-  MaxWeightMatchingWorkspace match_ws;
-  // Monte-Carlo diagnostic scratch, pooled across periods.
-  std::vector<PricedTask> mc_priced;
-  std::vector<PossibleWorldsWorkspace> mc_workspaces;
-
-  // Period pipeline (see SimOptions::pipeline_periods and DESIGN.md §10):
-  // the task side of period t+1's snapshot — a pure function of the
-  // validated, period-sorted, immutable workload — is built on the pool
-  // while period t runs. Two snapshot slots alternate by period parity;
-  // at most one prebuild job is ever outstanding, and the worker side is
-  // attached on this thread only after period t's lifecycle updates, so
-  // the pipelined run is bit-identical to the serial one.
-  const bool pipelined = options.pipeline_periods && options.pool != nullptr;
-
-  // Per-period task ranges, equivalent to the sequential cursor scan the
-  // serial path uses (ValidateWorkload guarantees period-sorted tasks).
+  // Per-period task ranges over the validated, period-sorted task array.
   std::vector<std::pair<size_t, size_t>> task_range(workload.num_periods);
   {
     size_t i = 0;
@@ -122,228 +55,54 @@ Result<SimulationResult> RunSimulation(const Workload& workload,
     }
   }
   const Task* task_base = workload.tasks.data();
-  MarketSnapshot snap_slots[2];
-  auto build_task_side = [&](int32_t t) {
-    snap_slots[t % 2].ResetTasks(&workload.grid, t,
-                                 task_base + task_range[t].first,
-                                 task_base + task_range[t].second);
-  };
-  std::unique_ptr<internal::Latch> prebuild_latch;
-  auto submit_prebuild = [&](int32_t t) {
-    if (!pipelined || t >= workload.num_periods) return;
-    prebuild_latch = std::make_unique<internal::Latch>(1);
-    internal::Latch* latch = prebuild_latch.get();
-    options.pool->Submit([&build_task_side, latch, t](int /*worker*/) {
-      build_task_side(t);
-      latch->Done();
-    });
-  };
-  // Early returns below must not leave a prebuild job referencing this
-  // frame; drain it on every exit path.
-  struct PrebuildDrain {
-    std::unique_ptr<internal::Latch>* latch;
-    ~PrebuildDrain() {
-      if (latch->get() != nullptr) (*latch)->Wait();
-    }
-  } drain{&prebuild_latch};
+  const double* val_base = workload.valuations.data();
 
-  submit_prebuild(0);
+  // Replay: stage period 0, then per period stage t+1 (prebuilt on the
+  // pool when pipelining), admit the period's workers, and close.
+  if (workload.num_periods > 0) {
+    for (size_t i = task_range[0].first; i < task_range[0].second; ++i) {
+      MAPS_RETURN_NOT_OK(engine.SubmitTask(task_base[i], val_base[i]));
+    }
+  }
+  size_t next_entry = 0;
+  PeriodOutcome outcome;
   for (int32_t t = 0; t < workload.num_periods; ++t) {
-    MarketSnapshot& snapshot = snap_slots[t % 2];
-    if (pipelined) {
-      prebuild_latch->Wait();
-      prebuild_latch.reset();
-    } else {
-      build_task_side(t);
+    if (t + 1 < workload.num_periods) {
+      const auto [begin, end] = task_range[t + 1];
+      MAPS_RETURN_NOT_OK(engine.StageNextPeriodTasks(
+          task_base + begin, task_base + end, val_base + begin));
     }
-    // Kick off period t+1's task side before this period's work; it
-    // touches only the other slot and the immutable workload.
-    submit_prebuild(t + 1);
-
-    // Admit workers entering this period.
     while (next_entry < workload.workers.size() &&
            workload.workers[next_entry].period == t) {
-      idle.push_back(static_cast<int>(next_entry));
+      MAPS_RETURN_NOT_OK(engine.AddWorker(workload.workers[next_entry]));
       ++next_entry;
     }
-    // Return workers whose ride finished.
-    while (!busy.empty() && busy.top().first <= t) {
-      idle.push_back(busy.top().second);
-      busy.pop();
-    }
+    MAPS_RETURN_NOT_OK(engine.ClosePeriod(&outcome));
+    if (outcome.skipped) continue;
 
-    // Collect available workers, dropping retired ones permanently.
-    period_workers.clear();
-    pool_of.clear();
-    size_t keep = 0;
-    for (int idx : idle) {
-      if (state[idx].consumed || t >= state[idx].retire_at) continue;
-      idle[keep++] = idx;
-      Worker w = workload.workers[idx];
-      w.location = state[idx].location;
-      w.grid = state[idx].grid;
-      period_workers.push_back(w);
-      pool_of.push_back(idx);
-    }
-    idle.resize(keep);
-
-    if (snapshot.tasks().empty() && period_workers.empty()) continue;
-
-    snapshot.SetWorkers(period_workers.data(),
-                        period_workers.data() + period_workers.size());
-
-    // Price.
-    const auto price_start = Clock::now();
-    MAPS_RETURN_NOT_OK(strategy->PriceRound(snapshot, &prices));
-    if (static_cast<int>(prices.size()) != snapshot.num_grids()) {
-      return Status::Internal(strategy->name() +
-                              " returned wrong price vector size");
-    }
-
-    // Requesters decide; the strategy sees only the bits.
-    accepted.assign(snapshot.tasks().size(), false);
-    for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
-      const Task& task = snapshot.tasks()[i];
-      accepted[i] = workload.valuations[task.id] >= prices[task.grid];
-    }
-    strategy->ObserveFeedback(snapshot, prices, accepted);
-    result.pricing_time_sec += Seconds(price_start, Clock::now());
-
-    // Assignment: maximum-weight matching over accepted tasks (Def. 5).
-    // Graph and matching buffers are pooled across periods.
-    BipartiteGraph::BuildInto(snapshot.tasks(), snapshot.workers(),
-                              workload.grid, &graph_ws, &graph);
-
-    // Monte-Carlo expected-revenue diagnostic: E[U(B^t)] of the posted
-    // prices under the TRUE acceptance ratios (Def. 6), estimated over
-    // mc_worlds counter-streamed possible worlds. Uses the same
-    // geometry-only graph the assignment uses; period t's worlds live in
-    // seed family mc_seed + t so every (period, world) pair is an
-    // independent, reproducible stream.
-    double period_mc = 0.0;
-    if (options.mc_worlds > 0 && !snapshot.tasks().empty()) {
-      mc_priced.clear();
-      for (const Task& task : snapshot.tasks()) {
-        const double p = prices[task.grid];
-        mc_priced.push_back(PricedTask{
-            task.distance, p, workload.oracle.TrueAcceptRatio(task.grid, p)});
-      }
-      period_mc = MonteCarloExpectedRevenue(
-          graph, mc_priced, options.mc_seed + static_cast<uint64_t>(t),
-          options.mc_worlds, options.pool, &mc_workspaces);
-      result.mc_expected_revenue += period_mc;
-    }
-    weights.assign(snapshot.tasks().size(), -1.0);
-    int32_t n_accepted = 0;
-    for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
-      if (!accepted[i]) continue;
-      ++n_accepted;
-      weights[i] =
-          snapshot.tasks()[i].distance * prices[snapshot.tasks()[i].grid];
-    }
-    // Called for the matching it leaves in match_ws.inc; revenue needs
-    // per-task attribution below, not the returned total.
-    (void)MaxWeightTaskMatchingValue(graph, weights, &match_ws);
-    const Matching& period_matching = match_ws.inc.matching();
-
-    // Revenue and worker lifecycle updates.
-    double period_revenue = 0.0;
-    int32_t n_matched = 0;
-    for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
-      const int r = period_matching.match_left[i];
-      if (r == Matching::kUnmatched) continue;
-      MAPS_DCHECK(accepted[i]);
-      ++n_matched;
-      period_revenue += weights[i];
-      const int pool_idx = pool_of[r];
-      if (single_use) {
-        state[pool_idx].consumed = true;
-      } else {
-        const Task& task = snapshot.tasks()[i];
-        const int32_t ride = std::max(
-            1, static_cast<int32_t>(std::ceil(task.distance / speed)));
-        state[pool_idx].next_free = t + ride;
-        state[pool_idx].location = task.destination;
-        state[pool_idx].grid = workload.grid.CellOf(task.destination);
-        busy.push({state[pool_idx].next_free, pool_idx});
-      }
-      matched_flag[pool_idx] = 1;
-    }
-
-    // Drop matched workers from the idle list in one pass.
-    if (n_matched > 0) {
-      size_t keep2 = 0;
-      for (int idx : idle) {
-        if (matched_flag[idx]) {
-          matched_flag[idx] = 0;
-        } else {
-          idle[keep2++] = idx;
-        }
-      }
-      idle.resize(keep2);
-    }
-
-    // Idle workers chase surge prices (Sec. 4.2.3): move to the best-priced
-    // adjacent cell with probability reposition_prob.
-    if (workload.lifecycle.reposition_prob > 0.0) {
-      const GridPartition& gp = workload.grid;
-      for (int idx : idle) {
-        if (!reposition_rng.NextBernoulli(
-                workload.lifecycle.reposition_prob)) {
-          continue;
-        }
-        const GridId here = state[idx].grid;
-        const int row = here / gp.cols();
-        const int col = here % gp.cols();
-        GridId best = here;
-        for (int dr = -1; dr <= 1; ++dr) {
-          for (int dc = -1; dc <= 1; ++dc) {
-            const int nr = row + dr;
-            const int nc = col + dc;
-            if (nr < 0 || nr >= gp.rows() || nc < 0 || nc >= gp.cols()) {
-              continue;
-            }
-            const GridId cand = nr * gp.cols() + nc;
-            if (prices[cand] > prices[best]) best = cand;
-          }
-        }
-        if (best != here) {
-          state[idx].location = gp.CellCenter(best);
-          state[idx].grid = best;
-        }
-      }
-    }
-
-    result.total_revenue += period_revenue;
-    result.num_tasks += static_cast<int64_t>(snapshot.tasks().size());
-    result.num_accepted += n_accepted;
-    result.num_matched += n_matched;
-
-    const size_t platform_bytes =
-        graph.FootprintBytes() +
-        snapshot.tasks().capacity() * sizeof(Task) +
-        snapshot.workers().capacity() * sizeof(Worker) +
-        state.capacity() * sizeof(WorkerState);
-    peak_platform_bytes = std::max(peak_platform_bytes, platform_bytes);
-    peak_strategy_bytes =
-        std::max(peak_strategy_bytes, strategy->MemoryFootprintBytes());
+    result.total_revenue += outcome.revenue;
+    result.mc_expected_revenue += outcome.mc_expected_revenue;
+    result.num_tasks += outcome.num_tasks;
+    result.num_accepted += static_cast<int64_t>(outcome.accepted.size());
+    result.num_matched += static_cast<int64_t>(outcome.matches.size());
 
     if (options.collect_per_period) {
       PeriodStats ps;
-      ps.period = t;
-      ps.revenue = period_revenue;
-      ps.mc_expected_revenue = period_mc;
-      ps.num_tasks = static_cast<int32_t>(snapshot.tasks().size());
-      ps.num_accepted = n_accepted;
-      ps.num_matched = n_matched;
-      ps.num_available_workers =
-          static_cast<int32_t>(snapshot.workers().size());
+      ps.period = outcome.period;
+      ps.revenue = outcome.revenue;
+      ps.mc_expected_revenue = outcome.mc_expected_revenue;
+      ps.num_tasks = outcome.num_tasks;
+      ps.num_accepted = static_cast<int32_t>(outcome.accepted.size());
+      ps.num_matched = static_cast<int32_t>(outcome.matches.size());
+      ps.num_available_workers = outcome.num_available_workers;
       result.per_period.push_back(ps);
     }
   }
 
+  result.pricing_time_sec = engine.strategy_seconds();
   result.total_time_sec = result.warmup_time_sec + result.pricing_time_sec;
-  result.memory_bytes = peak_platform_bytes + peak_strategy_bytes;
+  result.memory_bytes =
+      engine.peak_platform_bytes() + engine.peak_strategy_bytes();
   return result;
 }
 

@@ -1,28 +1,29 @@
-// The platform simulator: replays a Workload against one PricingStrategy.
-//
-// Per time period t (batch mode, Sec. 2):
-//   1. collect the tasks issued in t and the currently available workers;
-//   2. the strategy prices every grid (PriceRound);
-//   3. each requester accepts iff their hidden valuation v_r >= the price of
-//      their grid; the strategy observes only the accept/reject bits;
-//   4. the platform assigns workers to accepted tasks by maximum-weight
-//      bipartite matching under the range constraints (Definition 5; exact
-//      via the transversal-matroid greedy matcher);
-//   5. revenue += sum of matched d_r * p; matched workers either leave
-//      (single-use) or turn around at the destination (Beijing lifecycle).
+// The platform simulator, now a thin REPLAY ADAPTER over the online
+// MarketEngine (service/market_engine.h): RunSimulation feeds a
+// pre-materialized Workload through the engine's event API —
+// StageNextPeriodTasks / SubmitTask, AddWorker, ClosePeriod — and
+// accumulates the per-period outcomes. The per-period mechanics (pricing,
+// acceptance draw, max-weight matching, worker lifecycle, MC diagnostic)
+// live in the engine; identical (workload, strategy, options) runs are
+// bit-identical to the former batch loop at any thread count, pipeline on
+// or off (tested in tests/service/market_engine_test.cc).
 
 #pragma once
 
 #include <vector>
 
 #include "pricing/strategy.h"
+#include "service/market_engine.h"
 #include "sim/workload.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
 namespace maps {
 
-/// \brief Simulation knobs.
+/// \brief Simulation knobs: the shared online-engine surface plus the
+/// replay-only extras. Engine fields that describe the market itself
+/// (`engine.lifecycle`, `engine.mc_oracle`) are overridden from the
+/// workload by RunSimulation.
 struct SimOptions {
   /// Stream id for the strategy's warm-up oracle fork, so different
   /// strategies draw independent probe randomness over identical ground
@@ -32,29 +33,10 @@ struct SimOptions {
   bool collect_per_period = false;
   /// Skip the strategy Warmup() call (for pre-warmed strategies).
   bool skip_warmup = false;
-  /// Monte-Carlo worlds per period for the expected-revenue diagnostic:
-  /// when > 0, each period also estimates E[U(B^t)] of the posted prices
-  /// under the TRUE acceptance ratios by sampling this many possible
-  /// worlds (world w of period t draws from CounterRng stream
-  /// (mc_seed + t, w), so the estimate is bit-identical for any thread
-  /// count). Realized revenue is one sampled world; this is the metric the
-  /// paper's strategies actually optimize. 0 disables (no cost).
-  int mc_worlds = 0;
-  /// Seed family for the Monte-Carlo diagnostic worlds.
-  uint64_t mc_seed = 0x6d63776f726c64ULL;  // "mcworld"
-  /// Pipeline period snapshots: build period t+1's task-side snapshot
-  /// (bucketing + distance prefix sums, a pure function of the immutable
-  /// workload) on `pool` while period t is being priced/matched. The
-  /// worker side depends on the serial lifecycle state and is attached on
-  /// the main thread, so results are bit-identical to the serial path for
-  /// any thread count (see DESIGN.md §10). No effect without a pool.
-  bool pipeline_periods = true;
-  /// Optional pool lent to the strategy (warm-up probe schedule, MAPS's
-  /// per-round maximizer precompute), used by the Monte-Carlo diagnostic,
-  /// and backing the period pipeline. Non-owning; must not be a pool whose
-  /// workers are running THIS simulation (nested waits can deadlock).
-  /// Results are bit-identical with or without it.
-  ThreadPool* pool = nullptr;
+  /// Online-engine knobs shared with live deployments: the Monte-Carlo
+  /// diagnostic (mc_worlds/mc_seed), the period pipeline
+  /// (pipeline_periods), and the lent pool. See EngineOptions.
+  EngineOptions engine;
 };
 
 /// \brief Per-period accounting (optional).
@@ -73,7 +55,7 @@ struct PeriodStats {
 struct SimulationResult {
   double total_revenue = 0.0;
   /// Sum over periods of the MC-estimated expected revenue of the posted
-  /// prices under true demand (see SimOptions::mc_worlds; 0 when disabled).
+  /// prices under true demand (see EngineOptions::mc_worlds; 0 disabled).
   double mc_expected_revenue = 0.0;
   /// Warm-up wall time (Algorithm 1 probing etc.).
   double warmup_time_sec = 0.0;
@@ -81,7 +63,8 @@ struct SimulationResult {
   double pricing_time_sec = 0.0;
   /// warmup + pricing: the per-strategy cost reported by the benches.
   double total_time_sec = 0.0;
-  /// Peak strategy footprint plus the platform's per-period market share.
+  /// Peak strategy footprint plus the platform share: matching graph, BOTH
+  /// snapshot slots of the engine's double buffer, and the worker table.
   size_t memory_bytes = 0;
   int64_t num_tasks = 0;
   int64_t num_accepted = 0;
@@ -89,8 +72,9 @@ struct SimulationResult {
   std::vector<PeriodStats> per_period;
 };
 
-/// \brief Runs `strategy` over the workload. The workload is not mutated;
-/// identical (workload, strategy, options) runs are bit-identical.
+/// \brief Runs `strategy` over the workload by replaying it through a
+/// MarketEngine. The workload is not mutated; identical (workload,
+/// strategy, options) runs are bit-identical.
 Result<SimulationResult> RunSimulation(const Workload& workload,
                                        PricingStrategy* strategy,
                                        const SimOptions& options = {});

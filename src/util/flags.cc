@@ -62,4 +62,12 @@ std::set<std::string> FlagSet::UnreadKeys() const {
   return out;
 }
 
+Status FlagSet::RejectUnread() const {
+  const std::set<std::string> unread = UnreadKeys();
+  if (unread.empty()) return Status::OK();
+  std::string joined;
+  for (const auto& k : unread) joined += " --" + k;
+  return Status::InvalidArgument("unknown flag(s):" + joined);
+}
+
 }  // namespace maps

@@ -33,6 +33,12 @@ class FlagSet {
   /// unknown flags after it finished querying.
   std::set<std::string> UnreadKeys() const;
 
+  /// InvalidArgument naming every provided-but-never-read flag ("unknown
+  /// flag(s): --foo --bar"), OK when none remain. Every CLI calls this
+  /// after its last Get*() so misspelled flags fail loudly instead of
+  /// silently falling back to defaults.
+  Status RejectUnread() const;
+
  private:
   std::map<std::string, std::string> flags_;
   mutable std::set<std::string> read_;

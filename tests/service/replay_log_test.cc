@@ -1,0 +1,110 @@
+#include "service/replay_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace maps {
+namespace {
+
+TEST(ReplayLogTest, ParsesEveryEventKind) {
+  auto submit = ParseReplayEventLine(
+                    R"({"event":"submit_task","id":3,"ox":1.5,"oy":2,)"
+                    R"("dx":4,"dy":6,"valuation":3.25})")
+                    .ValueOrDie();
+  EXPECT_EQ(submit.kind, ReplayEvent::Kind::kSubmitTask);
+  EXPECT_EQ(submit.task.id, 3);
+  EXPECT_DOUBLE_EQ(submit.task.origin.x, 1.5);
+  EXPECT_DOUBLE_EQ(submit.task.destination.y, 6.0);
+  EXPECT_TRUE(submit.has_valuation);
+  EXPECT_DOUBLE_EQ(submit.valuation, 3.25);
+  EXPECT_DOUBLE_EQ(submit.task.distance, 0.0);  // derive from geometry
+
+  auto worker = ParseReplayEventLine(
+                    R"({"event":"add_worker","id":7,"x":10,"y":20,)"
+                    R"("radius":5,"duration":12})")
+                    .ValueOrDie();
+  EXPECT_EQ(worker.kind, ReplayEvent::Kind::kAddWorker);
+  EXPECT_EQ(worker.worker.id, 7);
+  EXPECT_DOUBLE_EQ(worker.worker.radius, 5.0);
+  EXPECT_EQ(worker.worker.duration, 12);
+
+  auto no_duration =
+      ParseReplayEventLine(
+          R"({"event":"add_worker","id":8,"x":1,"y":1,"radius":2})")
+          .ValueOrDie();
+  EXPECT_EQ(no_duration.worker.duration, Worker::kUnlimitedDuration);
+
+  auto remove =
+      ParseReplayEventLine(R"({"event":"remove_worker","id":7})").ValueOrDie();
+  EXPECT_EQ(remove.kind, ReplayEvent::Kind::kRemoveWorker);
+  EXPECT_EQ(remove.id, 7);
+
+  auto observe = ParseReplayEventLine(
+                     R"({"event":"observe_acceptance","task":3,)"
+                     R"("accepted":true})")
+                     .ValueOrDie();
+  EXPECT_EQ(observe.kind, ReplayEvent::Kind::kObserveAcceptance);
+  EXPECT_EQ(observe.id, 3);
+  EXPECT_TRUE(observe.accepted);
+
+  auto close = ParseReplayEventLine(R"({"event":"close_period"})");
+  EXPECT_EQ(close.ValueOrDie().kind, ReplayEvent::Kind::kClosePeriod);
+}
+
+TEST(ReplayLogTest, OmittedValuationIsFlagged) {
+  auto ev = ParseReplayEventLine(
+                R"({"event":"submit_task","id":1,"ox":0,"oy":0,"dx":1,)"
+                R"("dy":1})")
+                .ValueOrDie();
+  EXPECT_FALSE(ev.has_valuation);
+}
+
+TEST(ReplayLogTest, RejectsMalformedLines) {
+  // Not an object / trailing garbage / bad values.
+  EXPECT_FALSE(ParseReplayEventLine("close_period").ok());
+  EXPECT_FALSE(ParseReplayEventLine(R"({"event":"close_period"} x)").ok());
+  EXPECT_FALSE(ParseReplayEventLine(R"({"event":"warp_drive"})").ok());
+  EXPECT_FALSE(ParseReplayEventLine(R"({"id":1})").ok());
+  // Missing required fields.
+  EXPECT_FALSE(ParseReplayEventLine(R"({"event":"submit_task","id":1})").ok());
+  EXPECT_FALSE(ParseReplayEventLine(R"({"event":"remove_worker"})").ok());
+  EXPECT_FALSE(
+      ParseReplayEventLine(R"({"event":"observe_acceptance","task":1})").ok());
+  EXPECT_FALSE(ParseReplayEventLine(
+                   R"({"event":"observe_acceptance","task":1,"accepted":7})")
+                   .ok());
+  // Duplicate keys and nested values are schema violations.
+  EXPECT_FALSE(
+      ParseReplayEventLine(R"({"event":"close_period","event":"x"})").ok());
+  EXPECT_FALSE(
+      ParseReplayEventLine(R"({"event":"close_period","extra":{}})").ok());
+}
+
+TEST(ReplayLogTest, LoadSkipsBlanksAndCommentsAndNumbersErrors) {
+  std::istringstream good(
+      "# a comment\n"
+      "\n"
+      R"({"event":"add_worker","id":1,"x":0,"y":0,"radius":3})"
+      "\n"
+      "   # indented comment\n"
+      R"({"event":"close_period"})"
+      "\n");
+  auto events = LoadReplayLog(good).ValueOrDie();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, ReplayEvent::Kind::kAddWorker);
+  EXPECT_EQ(events[1].kind, ReplayEvent::Kind::kClosePeriod);
+
+  std::istringstream bad(
+      "# fine\n"
+      R"({"event":"close_period"})"
+      "\n"
+      "{broken\n");
+  auto err = LoadReplayLog(bad);
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maps

@@ -210,7 +210,7 @@ TEST(SimulatorMcPoolBackedTest, McDiagnosticDeterministicAcrossThreadCounts) {
   EXPECT_DOUBLE_EQ(base.mc_expected_revenue, 0.0);  // disabled by default
 
   SimOptions mc;
-  mc.mc_worlds = 500;
+  mc.engine.mc_worlds = 500;
   FixedPriceStrategy s0(2.0);
   auto serial = RunSimulation(w, &s0, mc).ValueOrDie();
   EXPECT_GT(serial.mc_expected_revenue, 0.0);
@@ -221,7 +221,7 @@ TEST(SimulatorMcPoolBackedTest, McDiagnosticDeterministicAcrossThreadCounts) {
   for (int threads : {1, 2, 8}) {
     ThreadPool pool(threads);
     SimOptions pooled = mc;
-    pooled.pool = &pool;
+    pooled.engine.pool = &pool;
     FixedPriceStrategy s(2.0);
     auto r = RunSimulation(w, &s, pooled).ValueOrDie();
     EXPECT_EQ(r.mc_expected_revenue, serial.mc_expected_revenue)
@@ -233,7 +233,7 @@ TEST(SimulatorMcPoolBackedTest, McDiagnosticDeterministicAcrossThreadCounts) {
   // the gap to the realized revenue's expectation but never change the
   // realized outcomes.
   SimOptions reseeded = mc;
-  reseeded.mc_seed = 999;
+  reseeded.engine.mc_seed = 999;
   FixedPriceStrategy s1(2.0);
   auto r = RunSimulation(w, &s1, reseeded).ValueOrDie();
   EXPECT_NE(r.mc_expected_revenue, serial.mc_expected_revenue);
@@ -247,7 +247,7 @@ TEST(SimulatorMcPoolBackedTest, McDiagnosticTracksExpectedRevenue) {
   // dominated by the best accepted task: E = 2 * E[max accepted distance].
   Workload w = TinyWorkload({5.0, 5.0, 5.0});  // everyone accepts price 2
   SimOptions mc;
-  mc.mc_worlds = 20000;
+  mc.engine.mc_worlds = 20000;
   FixedPriceStrategy s(2.0);
   auto r = RunSimulation(w, &s, mc).ValueOrDie();
   // P(accept) = 0.8 each; E[max accepted d] = 3*0.8 + 2*0.2*0.8 +
@@ -391,8 +391,8 @@ RunDigest RunMapsSimulation(const Workload& w, ThreadPool* pool,
   Maps strategy(opts);
   SimOptions options;
   options.collect_per_period = true;
-  options.pipeline_periods = pipeline;
-  options.pool = pool;
+  options.engine.pipeline_periods = pipeline;
+  options.engine.pool = pool;
   auto r = RunSimulation(w, &strategy, options).ValueOrDie();
   RunDigest digest;
   digest.total_revenue = r.total_revenue;
@@ -441,8 +441,8 @@ TEST(SimulatorPoolBackedTest, PipelineHandlesEmptyAndSkippedPeriods) {
 
   ThreadPool pool(2);
   SimOptions pooled_opts = serial_opts;
-  pooled_opts.pool = &pool;
-  pooled_opts.pipeline_periods = true;
+  pooled_opts.engine.pool = &pool;
+  pooled_opts.engine.pipeline_periods = true;
   auto pooled = RunSimulation(w, &pooled_s, pooled_opts).ValueOrDie();
 
   EXPECT_DOUBLE_EQ(pooled.total_revenue, serial.total_revenue);
@@ -453,6 +453,44 @@ TEST(SimulatorPoolBackedTest, PipelineHandlesEmptyAndSkippedPeriods) {
     EXPECT_DOUBLE_EQ(pooled.per_period[i].revenue,
                      serial.per_period[i].revenue);
   }
+}
+
+TEST(SimulatorTest, MemoryBytesCountsBothSnapshotSlotsAndIsStable) {
+  // The engine double-buffers snapshots by period parity, so the platform
+  // footprint must cover BOTH slots — the even-period slot holding 100
+  // tasks AND the odd-period slot holding 80 — not just the strategy plus
+  // whichever slot closed last (the pre-fix accounting). And like the
+  // strategy-side peak_round_bytes guard, repeated identical runs must
+  // report the identical peak.
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  Workload w(grid, testing_util::TableOneOracle(1));
+  w.num_periods = 2;
+  for (int i = 0; i < 180; ++i) {
+    const int32_t period = i < 100 ? 0 : 1;
+    w.tasks.push_back(MakeTask(w.grid, i, {5, 5}, 2.0, period));
+    w.valuations.push_back(5.0);
+  }
+  w.workers = {MakeWorker(w.grid, 0, {5, 5}, 5.0, 0)};
+
+  FixedPriceStrategy f1(2.0);
+  auto r1 = RunSimulation(w, &f1).ValueOrDie();
+  // Both parity slots' task copies alone exceed the larger slot, so an
+  // accounting that forgets the other slot cannot reach this bound.
+  EXPECT_GE(r1.memory_bytes, 180 * sizeof(Task));
+
+  FixedPriceStrategy f2(2.0);
+  auto r2 = RunSimulation(w, &f2).ValueOrDie();
+  EXPECT_EQ(r2.memory_bytes, r1.memory_bytes)
+      << "identical runs must report the identical peak";
+
+  ThreadPool pool(2);
+  SimOptions pipelined;
+  pipelined.engine.pool = &pool;
+  pipelined.engine.pipeline_periods = true;
+  FixedPriceStrategy f3(2.0);
+  auto r3 = RunSimulation(w, &f3, pipelined).ValueOrDie();
+  EXPECT_EQ(r3.memory_bytes, r1.memory_bytes)
+      << "the pipeline reuses the same double buffer";
 }
 
 }  // namespace

@@ -56,5 +56,23 @@ TEST(FlagsTest, LastDuplicateWins) {
   EXPECT_EQ(f.GetInt("k", 0), 2);
 }
 
+TEST(FlagsTest, RejectUnreadNamesEveryTypo) {
+  // Regression: misspelled flags must fail loudly, never silently fall
+  // back to defaults (maps_cli and experiment_runner both gate on this).
+  FlagSet f = Parse({"--workers=10", "--workrs=20", "--peroids=5"});
+  EXPECT_EQ(f.GetInt("workers", 0), 10);
+  Status st = f.RejectUnread();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("--workrs"), std::string::npos);
+  EXPECT_NE(st.message().find("--peroids"), std::string::npos);
+  EXPECT_EQ(st.message().find("--workers"), std::string::npos);
+
+  // Once every provided flag has been read, the same set passes.
+  EXPECT_EQ(f.GetInt("workrs", 0), 20);
+  EXPECT_EQ(f.GetInt("peroids", 0), 5);
+  EXPECT_TRUE(f.RejectUnread().ok());
+}
+
 }  // namespace
 }  // namespace maps

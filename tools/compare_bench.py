@@ -20,9 +20,10 @@ import json
 import sys
 
 # Keys gated by default: the stable hot-path trajectory. Pool-backed keys
-# (*_pooled, *_sharded, *_pipelined) default to ungated because their
-# ns_per_op depends on the runner's core count, which differs between CI
-# hosts; pass --keys to gate them on fixed hardware.
+# (*_pooled, *_sharded, *_pipelined — e.g. engine_period_pipelined) default
+# to ungated because their ns_per_op depends on the runner's core count,
+# which differs between CI hosts; pass --keys to gate them on fixed
+# hardware.
 DEFAULT_KEYS = [
     "maps_price_round",
     "bipartite_graph_build",
@@ -30,6 +31,7 @@ DEFAULT_KEYS = [
     "warmup_probing",
     "mc_expected_revenue",
     "simulator_periods",
+    "engine_period",
 ]
 
 

@@ -121,9 +121,9 @@ Result<ExperimentRun> RunExperiment(
                   // wait on the matrix pool. All cell-side parallelism is
                   // bit-identical to the serial path by the DESIGN.md
                   // §8/§10 policy.
-                  options.mc_worlds = mc_worlds;
-                  options.pipeline_periods = pipeline_periods;
-                  options.pool = cell_pool;
+                  options.engine.mc_worlds = mc_worlds;
+                  options.engine.pipeline_periods = pipeline_periods;
+                  options.engine.pool = cell_pool;
                   auto result = RunSimulation(workloads[cell.point],
                                               strategy.get(), options);
                   cell.status = result.status();
@@ -229,9 +229,8 @@ int Main(int argc, char** argv) {
   const std::string csv_dir =
       flags.GetString("csv_dir", csv_env == nullptr ? "" : csv_env);
   const std::string selection = flags.GetString("experiments", "all");
-  const auto unknown = flags.UnreadKeys();
-  if (!unknown.empty()) {
-    for (const auto& key : unknown) std::cerr << "unknown flag: --" << key << "\n";
+  if (Status st = flags.RejectUnread(); !st.ok()) {
+    std::cerr << st << "\n";
     return 2;
   }
 

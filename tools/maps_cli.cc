@@ -7,20 +7,46 @@
 //                       manhattan|road --seed=42]
 //   maps_cli beijing   [--window=peak|night --duration=15 --scale=0.1
 //                       --seed=2016]
+//   maps_cli replay    --events=events.jsonl
+//                      [--grid=4 --extent=100 --strategy=MAPS
+//                       --single-use=true --speed=1 --reposition=0
+//                       --threads=0 --mc_worlds=0
+//                       --demand-mu=2 --demand-sigma=1 --oracle-seed=17]
+//
+// `replay` drives the online MarketEngine from a JSONL event file (see
+// src/service/replay_log.h for the schema): task submissions, worker
+// arrivals/departures, externally observed acceptance, period closes. This
+// expresses scenarios the batch workloads cannot — mid-horizon worker
+// churn, bursty submissions, feedback-delayed periods. The strategy warms
+// up against a truncated-normal demand oracle built from --demand-mu /
+// --demand-sigma over [pmin, pmax]; --mc_worlds>0 also reports each
+// period's expected revenue under that assumed demand.
+//
 // Common flags:
-//   --strategy=MAPS|BaseP|SDR|SDE|CappedUCB|all   (default all)
+//   --strategy=MAPS|BaseP|SDR|SDE|CappedUCB|all   (default all; replay
+//                                                  takes a single name)
 //   --alpha=0.25 --pmin=1 --pmax=5                 pricing ladder
 //   --smooth=0.0 --cap=<price>                     post-processing
 //   --reposition=0.0                               idle-driver migration
 //   --csv=<path>                                   write results as CSV
+//
+// Unknown or misspelled flags are an error, never silently ignored.
 
+#include <cmath>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 
+#include "market/demand_model.h"
 #include "pricing/price_postprocess.h"
+#include "service/market_engine.h"
+#include "service/replay_log.h"
 #include "sim/beijing.h"
 #include "sim/metrics.h"
 #include "sim/synthetic.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace maps {
 namespace {
@@ -76,7 +102,151 @@ Result<Workload> BuildWorkload(const std::string& kind, const FlagSet& flags) {
     return GenerateBeijing(cfg);
   }
   return Status::InvalidArgument(
-      "unknown workload '" + kind + "' (expected synthetic|beijing)");
+      "unknown workload '" + kind + "' (expected synthetic|beijing|replay)");
+}
+
+/// Drives the online engine from a JSONL event file.
+int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
+  // The common flags (see the file comment) apply here too.
+  PostprocessOptions post;
+  post.smoothing_lambda = flags.GetDouble("smooth", 0.0);
+  if (flags.Has("cap")) post.price_cap = flags.GetDouble("cap", 5.0);
+  const bool postprocess =
+      post.smoothing_lambda > 0.0 || post.price_cap.has_value();
+  const std::string csv = flags.GetString("csv", "");
+
+  const std::string events_path = flags.GetString("events", "");
+  const int grid_side = static_cast<int>(flags.GetInt("grid", 4));
+  const double extent = flags.GetDouble("extent", 100.0);
+  const std::string which = flags.GetString("strategy", "MAPS");
+  const double demand_mu = flags.GetDouble("demand-mu", 2.0);
+  const double demand_sigma = flags.GetDouble("demand-sigma", 1.0);
+  const uint64_t oracle_seed =
+      static_cast<uint64_t>(flags.GetInt("oracle-seed", 17));
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  const int mc_worlds = static_cast<int>(flags.GetInt("mc_worlds", 0));
+
+  EngineOptions engine_options;
+  engine_options.lifecycle.single_use = flags.GetBool("single-use", true);
+  engine_options.lifecycle.speed = flags.GetDouble("speed", 1.0);
+  engine_options.lifecycle.reposition_prob = flags.GetDouble("reposition", 0.0);
+  engine_options.mc_worlds = mc_worlds;
+
+  if (Status st = flags.RejectUnread(); !st.ok()) return Fail(st.ToString());
+  if (events_path.empty()) return Fail("replay needs --events=<file.jsonl>");
+
+  std::ifstream in(events_path);
+  if (!in) return Fail("cannot open " + events_path);
+  auto events_or = LoadReplayLog(in);
+  if (!events_or.ok()) {
+    return Fail(events_path + ": " + events_or.status().ToString());
+  }
+  const std::vector<ReplayEvent>& events = events_or.ValueOrDie();
+
+  auto grid_or =
+      GridPartition::Make(Rect{0, 0, extent, extent}, grid_side, grid_side);
+  if (!grid_or.ok()) return Fail(grid_or.status().ToString());
+  const GridPartition& grid = grid_or.ValueOrDie();
+
+  // Warm-up demand: every strategy trains on probes before serving, so the
+  // replay assumes truncated-normal valuations over the price range.
+  TruncatedNormalDemand proto(demand_mu, demand_sigma, pricing.p_min,
+                              pricing.p_max);
+  auto oracle_or = DemandOracle::Make(
+      ReplicateDemand(proto, grid.num_cells()), oracle_seed);
+  if (!oracle_or.ok()) return Fail(oracle_or.status().ToString());
+  DemandOracle& oracle = oracle_or.ValueOrDie();
+
+  std::unique_ptr<PricingStrategy> strategy;
+  for (const StrategyFactory& factory : DefaultStrategies(pricing)) {
+    if (factory.name == which) strategy = factory.make();
+  }
+  if (strategy == nullptr) {
+    return Fail("replay takes one --strategy name, got " + which);
+  }
+  if (postprocess) {
+    strategy =
+        std::make_unique<PostprocessedStrategy>(std::move(strategy), post);
+  }
+
+  std::optional<ThreadPool> pool;
+  if (threads > 0) {
+    pool.emplace(threads);
+    engine_options.pool = &*pool;
+  }
+  if (mc_worlds > 0) engine_options.mc_oracle = &oracle;
+  MarketEngine engine(&grid, strategy.get(), engine_options);
+
+  if (Status st = strategy->Warmup(grid, &oracle); !st.ok()) {
+    return Fail(which + " warmup: " + st.ToString());
+  }
+
+  Table table({"period", "tasks", "workers", "accepted", "matched",
+               "revenue", "mc_revenue"});
+  PeriodOutcome outcome;
+  double total_revenue = 0.0;
+  int64_t total_accepted = 0;
+  int64_t total_matched = 0;
+  for (const ReplayEvent& ev : events) {
+    Status st = Status::OK();
+    switch (ev.kind) {
+      case ReplayEvent::Kind::kSubmitTask: {
+        Task task = ev.task;
+        task.grid = grid.CellOf(task.origin);
+        task.period = engine.current_period();
+        if (task.distance <= 0.0) {
+          task.distance = EuclideanDistance(task.origin, task.destination);
+        }
+        st = engine.SubmitTask(task, ev.has_valuation
+                                         ? ev.valuation
+                                         : MarketEngine::kNoValuation);
+        break;
+      }
+      case ReplayEvent::Kind::kAddWorker: {
+        Worker worker = ev.worker;
+        worker.grid = grid.CellOf(worker.location);
+        worker.period = engine.current_period();
+        st = engine.AddWorker(worker);
+        break;
+      }
+      case ReplayEvent::Kind::kRemoveWorker:
+        st = engine.RemoveWorker(ev.id);
+        break;
+      case ReplayEvent::Kind::kObserveAcceptance:
+        st = engine.ObserveAcceptance(ev.id, ev.accepted);
+        break;
+      case ReplayEvent::Kind::kClosePeriod: {
+        st = engine.ClosePeriod(&outcome);
+        if (st.ok() && !outcome.skipped) {
+          table.AddRow(outcome.period, outcome.num_tasks,
+                       outcome.num_available_workers,
+                       static_cast<int64_t>(outcome.accepted.size()),
+                       static_cast<int64_t>(outcome.matches.size()),
+                       outcome.revenue, outcome.mc_expected_revenue);
+          total_revenue += outcome.revenue;
+          total_accepted += static_cast<int64_t>(outcome.accepted.size());
+          total_matched += static_cast<int64_t>(outcome.matches.size());
+        }
+        break;
+      }
+    }
+    if (!st.ok()) return Fail("event replay: " + st.ToString());
+  }
+
+  std::cout << "replayed " << events.size() << " events, "
+            << engine.current_period() << " periods closed ("
+            << which << ")\n\n"
+            << table.ToText() << "\ntotal revenue " << total_revenue << ", "
+            << total_accepted << " accepted, " << total_matched
+            << " matched, " << engine.strategy_seconds()
+            << " s in the strategy\n";
+  if (!csv.empty()) {
+    if (Status st = table.WriteCsv(csv); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::cout << "wrote " << csv << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -89,13 +259,15 @@ int main(int argc, char** argv) {
   if (!flags_or.ok()) return Fail(flags_or.status().ToString());
   const FlagSet& flags = flags_or.ValueOrDie();
   if (flags.positional().size() != 1) {
-    return Fail("usage: maps_cli <synthetic|beijing> [--flags]");
+    return Fail("usage: maps_cli <synthetic|beijing|replay> [--flags]");
   }
 
   PricingConfig pricing;
   pricing.p_min = flags.GetDouble("pmin", 1.0);
   pricing.p_max = flags.GetDouble("pmax", 5.0);
   pricing.alpha = flags.GetDouble("alpha", 0.25);
+
+  if (flags.positional()[0] == "replay") return RunReplay(flags, pricing);
 
   PostprocessOptions post;
   post.smoothing_lambda = flags.GetDouble("smooth", 0.0);
@@ -109,11 +281,7 @@ int main(int argc, char** argv) {
 
   auto workload_or = BuildWorkload(flags.positional()[0], flags);
 
-  if (const auto unread = flags.UnreadKeys(); !unread.empty()) {
-    std::string joined;
-    for (const auto& k : unread) joined += " --" + k;
-    return Fail("unknown flag(s):" + joined);
-  }
+  if (Status st = flags.RejectUnread(); !st.ok()) return Fail(st.ToString());
   if (!workload_or.ok()) return Fail(workload_or.status().ToString());
   Workload& workload = workload_or.ValueOrDie();
   workload.lifecycle.reposition_prob = reposition;
