@@ -752,6 +752,73 @@ bool EmitTrackedJson(const std::string& path) {
     results.push_back(mt);
   }
 
+  // Checkpoint save/restore on a mid-run engine: serialize the full
+  // resumable state (worker lifecycle table, staged tasks, RNG position,
+  // MAPS learned state) and rebuild a second engine from the bytes.
+  // ns_per_op is one full save (resp. restore); peak_bytes reports the
+  // checkpoint blob size, the other axis worth guarding.
+  {
+    SyntheticConfig cfg;
+    cfg.num_tasks = std::max(400, static_cast<int>(20000 * scale));
+    cfg.num_workers = std::max(100, static_cast<int>(5000 * scale));
+    cfg.num_periods = 20;
+    cfg.seed = 99;
+    Workload w = GenerateSynthetic(cfg).ValueOrDie();
+    MapsOptions mopts;
+    Maps strategy(mopts);
+    DemandOracle history = w.oracle.Fork(9);
+    if (!strategy.Warmup(w.grid, &history).ok()) {
+      std::cerr << "MAPS warmup failed; no tracked results\n";
+      return false;
+    }
+    EngineOptions engine_options;
+    engine_options.lifecycle = w.lifecycle;
+    MarketEngine engine(&w.grid, &strategy, engine_options);
+    size_t task_i = 0;
+    size_t worker_j = 0;
+    PeriodOutcome outcome;
+    for (int32_t t = 0; t < w.num_periods; ++t) {
+      while (task_i < w.tasks.size() && w.tasks[task_i].period == t) {
+        if (!engine.SubmitTask(w.tasks[task_i], w.valuations[task_i]).ok()) {
+          std::abort();
+        }
+        ++task_i;
+      }
+      while (worker_j < w.workers.size() &&
+             w.workers[worker_j].period == t) {
+        if (!engine.AddWorker(w.workers[worker_j]).ok()) std::abort();
+        ++worker_j;
+      }
+      if (!engine.ClosePeriod(&outcome).ok()) std::abort();
+    }
+
+    std::string blob;
+    TrackedResult save;
+    save.name = "checkpoint_save";
+    save.problem_size = cfg.num_workers;
+    save.ns_per_op = TimeOp(
+        [&] {
+          blob.clear();
+          if (!engine.SaveCheckpoint(&blob).ok()) std::abort();
+        },
+        &save.iterations);
+    save.peak_bytes = blob.size();
+    results.push_back(save);
+
+    Maps fresh(mopts);  // never warmed: the restore supplies its state
+    MarketEngine target(&w.grid, &fresh, engine_options);
+    TrackedResult restore;
+    restore.name = "checkpoint_restore";
+    restore.problem_size = cfg.num_workers;
+    restore.ns_per_op = TimeOp(
+        [&] {
+          if (!target.RestoreFromCheckpoint(blob).ok()) std::abort();
+        },
+        &restore.iterations);
+    restore.peak_bytes = blob.size();
+    results.push_back(restore);
+  }
+
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot open " << path << " for writing\n";

@@ -106,6 +106,94 @@ Status BasePricing::PriceRound(const MarketSnapshot& snapshot,
   return Status::OK();
 }
 
+namespace {
+constexpr uint32_t kBasePricingStateVersion = 1;
+}  // namespace
+
+Status BasePricing::SaveState(StateWriter* w) const {
+  w->PutU32(kBasePricingStateVersion);
+  // Ladder fingerprint: configuration, not state — written so a restore
+  // into a differently configured strategy fails loudly instead of
+  // misinterpreting rung indices.
+  w->PutU64(ladder_.prices().size());
+  for (double p : ladder_.prices()) w->PutDouble(p);
+  w->PutBool(warmed_up_);
+  w->PutDouble(base_price_);
+  w->PutU64(grid_myerson_.size());
+  for (double p : grid_myerson_) w->PutDouble(p);
+  w->PutU64(observed_accept_.size());
+  for (const auto& row : observed_accept_) {
+    w->PutU64(row.size());
+    for (double v : row) w->PutDouble(v);
+  }
+  w->PutU64(probes_.size());
+  for (int64_t p : probes_) w->PutI64(p);
+  return Status::OK();
+}
+
+Status BasePricing::LoadState(StateReader* r) {
+  uint32_t version;
+  MAPS_RETURN_NOT_OK(r->GetU32(&version, "BaseP state version"));
+  if (version != kBasePricingStateVersion) {
+    return Status::InvalidArgument("unsupported BaseP state version " +
+                                   std::to_string(version));
+  }
+  uint64_t rungs;
+  MAPS_RETURN_NOT_OK(r->GetU64(&rungs, "BaseP ladder size"));
+  if (rungs != ladder_.prices().size()) {
+    return Status::InvalidArgument(
+        "BaseP ladder size mismatch: checkpoint has " + std::to_string(rungs) +
+        ", configured " + std::to_string(ladder_.prices().size()));
+  }
+  for (uint64_t i = 0; i < rungs; ++i) {
+    double p;
+    MAPS_RETURN_NOT_OK(r->GetDouble(&p, "BaseP ladder price"));
+    if (p != ladder_.price(static_cast<int>(i))) {
+      return Status::InvalidArgument(
+          "BaseP ladder price mismatch at rung " + std::to_string(i));
+    }
+  }
+  bool warmed_up;
+  double base_price;
+  MAPS_RETURN_NOT_OK(r->GetBool(&warmed_up, "BaseP warmed_up"));
+  MAPS_RETURN_NOT_OK(r->GetDouble(&base_price, "BaseP base_price"));
+
+  uint64_t n;
+  MAPS_RETURN_NOT_OK(r->GetU64(&n, "BaseP myerson count"));
+  MAPS_RETURN_NOT_OK(CheckDecodedCount(*r, n, 8, "BaseP myerson"));
+  std::vector<double> myerson(static_cast<size_t>(n));
+  for (auto& p : myerson) MAPS_RETURN_NOT_OK(r->GetDouble(&p, "BaseP myerson"));
+
+  MAPS_RETURN_NOT_OK(r->GetU64(&n, "BaseP accept-ratio grid count"));
+  MAPS_RETURN_NOT_OK(CheckDecodedCount(*r, n, 8, "BaseP accept-ratio grids"));
+  std::vector<std::vector<double>> observed(static_cast<size_t>(n));
+  for (auto& row : observed) {
+    uint64_t row_n;
+    MAPS_RETURN_NOT_OK(r->GetU64(&row_n, "BaseP accept-ratio rung count"));
+    if (row_n != rungs) {
+      return Status::InvalidArgument(
+          "BaseP accept-ratio row has " + std::to_string(row_n) +
+          " rungs, ladder has " + std::to_string(rungs));
+    }
+    row.resize(static_cast<size_t>(row_n));
+    for (auto& v : row) {
+      MAPS_RETURN_NOT_OK(r->GetDouble(&v, "BaseP accept ratio"));
+    }
+  }
+
+  MAPS_RETURN_NOT_OK(r->GetU64(&n, "BaseP probe count"));
+  MAPS_RETURN_NOT_OK(CheckDecodedCount(*r, n, 8, "BaseP probes"));
+  std::vector<int64_t> probes(static_cast<size_t>(n));
+  for (auto& p : probes) MAPS_RETURN_NOT_OK(r->GetI64(&p, "BaseP probes"));
+
+  warmed_up_ = warmed_up;
+  base_price_ = base_price;
+  grid_myerson_ = std::move(myerson);
+  observed_accept_ = std::move(observed);
+  probes_ = std::move(probes);
+  return Status::OK();
+}
+
 size_t BasePricing::MemoryFootprintBytes() const {
   size_t bytes = grid_myerson_.capacity() * sizeof(double) +
                  probes_.capacity() * sizeof(int64_t) +

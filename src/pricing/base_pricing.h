@@ -58,6 +58,12 @@ class BasePricing : public PricingStrategy {
 
   size_t MemoryFootprintBytes() const override;
 
+  /// Warm-up state (p_b, Myerson estimates, observed ratios, probe
+  /// budgets). LoadState verifies the ladder fingerprint and commits
+  /// all-or-nothing.
+  Status SaveState(StateWriter* w) const override;
+  Status LoadState(StateReader* r) override;
+
   /// The unified base price p_b (valid after Warmup).
   double base_price() const { return base_price_; }
 

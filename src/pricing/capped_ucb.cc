@@ -117,6 +117,70 @@ void CappedUcb::ObserveFeedback(const MarketSnapshot& snapshot,
   }
 }
 
+namespace {
+constexpr uint32_t kCappedUcbStateVersion = 1;
+}  // namespace
+
+Status CappedUcb::SaveState(StateWriter* w) const {
+  w->PutU32(kCappedUcbStateVersion);
+  w->PutBool(warmed_up_);
+  w->PutU64(ucb_.size());
+  for (const auto& u : ucb_) u.Save(w);
+  for (const auto& log : arrivals_) {
+    w->PutU64(log.size());
+    for (const auto& [demand, supply] : log) {
+      w->PutI32(demand);
+      w->PutI32(supply);
+    }
+  }
+  w->PutI64(grid_state_resets_);
+  return Status::OK();
+}
+
+Status CappedUcb::LoadState(StateReader* r) {
+  uint32_t version;
+  MAPS_RETURN_NOT_OK(r->GetU32(&version, "CappedUCB state version"));
+  if (version != kCappedUcbStateVersion) {
+    return Status::InvalidArgument("unsupported CappedUCB state version " +
+                                   std::to_string(version));
+  }
+  bool warmed_up;
+  MAPS_RETURN_NOT_OK(r->GetBool(&warmed_up, "CappedUCB warmed_up"));
+  uint64_t grids;
+  MAPS_RETURN_NOT_OK(r->GetU64(&grids, "CappedUCB grid count"));
+  MAPS_RETURN_NOT_OK(CheckDecodedCount(*r, grids, 8, "CappedUCB grids"));
+  std::vector<UcbEstimator> ucb;
+  ucb.reserve(static_cast<size_t>(grids));
+  for (uint64_t g = 0; g < grids; ++g) {
+    ucb.emplace_back(&ladder_);
+    MAPS_RETURN_NOT_OK(ucb.back().Load(r));
+  }
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> arrivals(
+      static_cast<size_t>(grids));
+  for (auto& log : arrivals) {
+    uint64_t n;
+    MAPS_RETURN_NOT_OK(r->GetU64(&n, "CappedUCB arrival count"));
+    MAPS_RETURN_NOT_OK(CheckDecodedCount(*r, n, 8, "CappedUCB arrivals"));
+    log.resize(static_cast<size_t>(n));
+    for (auto& [demand, supply] : log) {
+      MAPS_RETURN_NOT_OK(r->GetI32(&demand, "CappedUCB arrival demand"));
+      MAPS_RETURN_NOT_OK(r->GetI32(&supply, "CappedUCB arrival supply"));
+    }
+  }
+  int64_t grid_state_resets;
+  MAPS_RETURN_NOT_OK(
+      r->GetI64(&grid_state_resets, "CappedUCB grid_state_resets"));
+  if (grid_state_resets < 0) {
+    return Status::InvalidArgument("CappedUCB reset counter is negative");
+  }
+
+  warmed_up_ = warmed_up;
+  ucb_ = std::move(ucb);
+  arrivals_ = std::move(arrivals);
+  grid_state_resets_ = grid_state_resets;
+  return Status::OK();
+}
+
 size_t CappedUcb::MemoryFootprintBytes() const {
   size_t bytes = ladder_.prices().capacity() * sizeof(double);
   for (const auto& u : ucb_) bytes += u.FootprintBytes();

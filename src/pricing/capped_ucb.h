@@ -42,6 +42,11 @@ class CappedUcb : public PricingStrategy {
 
   size_t MemoryFootprintBytes() const override;
 
+  /// Learned state: per-grid UCB tables, the arrival log, and the reset
+  /// counter. LoadState commits all-or-nothing.
+  Status SaveState(StateWriter* w) const override;
+  Status LoadState(StateReader* r) override;
+
   const PriceLadder& ladder() const { return ladder_; }
 
   /// Total UCB observations recorded for grid `g` (diagnostic/test hook:

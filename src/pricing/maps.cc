@@ -436,6 +436,82 @@ void Maps::ObserveFeedback(const MarketSnapshot& snapshot,
   }
 }
 
+namespace {
+constexpr uint32_t kMapsStateVersion = 1;
+}  // namespace
+
+Status Maps::SaveState(StateWriter* w) const {
+  w->PutU32(kMapsStateVersion);
+  MAPS_RETURN_NOT_OK(base_.SaveState(w));
+  w->PutBool(warmed_up_);
+  w->PutU64(ucb_.size());
+  for (const auto& u : ucb_) u.Save(w);
+  for (const auto& row : change_) {
+    w->PutU64(row.size());
+    for (const auto& det : row) det.Save(w);
+  }
+  w->PutI64(change_resets_);
+  w->PutI64(grid_state_resets_);
+  return Status::OK();
+}
+
+Status Maps::LoadState(StateReader* r) {
+  uint32_t version;
+  MAPS_RETURN_NOT_OK(r->GetU32(&version, "MAPS state version"));
+  if (version != kMapsStateVersion) {
+    return Status::InvalidArgument("unsupported MAPS state version " +
+                                   std::to_string(version));
+  }
+  // Decode everything into temporaries; commit only when the whole payload
+  // decoded, so a corrupt tail cannot leave the strategy half-restored.
+  BasePricing base = base_;
+  MAPS_RETURN_NOT_OK(base.LoadState(r));
+  bool warmed_up;
+  MAPS_RETURN_NOT_OK(r->GetBool(&warmed_up, "MAPS warmed_up"));
+  uint64_t grids;
+  MAPS_RETURN_NOT_OK(r->GetU64(&grids, "MAPS grid count"));
+  // Each grid's UCB payload is at least its rung-count word.
+  MAPS_RETURN_NOT_OK(CheckDecodedCount(*r, grids, 8, "MAPS grids"));
+  std::vector<UcbEstimator> ucb;
+  ucb.reserve(static_cast<size_t>(grids));
+  for (uint64_t g = 0; g < grids; ++g) {
+    ucb.emplace_back(&ladder_);
+    MAPS_RETURN_NOT_OK(ucb.back().Load(r));
+  }
+  std::vector<std::vector<ChangeDetector>> change;
+  change.reserve(static_cast<size_t>(grids));
+  for (uint64_t g = 0; g < grids; ++g) {
+    uint64_t row_n;
+    MAPS_RETURN_NOT_OK(r->GetU64(&row_n, "MAPS detector rung count"));
+    if (row_n != static_cast<uint64_t>(ladder_.size())) {
+      return Status::InvalidArgument(
+          "MAPS detector row has " + std::to_string(row_n) +
+          " rungs, ladder has " + std::to_string(ladder_.size()));
+    }
+    std::vector<ChangeDetector> row;
+    row.reserve(static_cast<size_t>(row_n));
+    for (uint64_t i = 0; i < row_n; ++i) {
+      row.emplace_back(options_.change_window);
+      MAPS_RETURN_NOT_OK(row.back().Load(r));
+    }
+    change.push_back(std::move(row));
+  }
+  int64_t change_resets, grid_state_resets;
+  MAPS_RETURN_NOT_OK(r->GetI64(&change_resets, "MAPS change_resets"));
+  MAPS_RETURN_NOT_OK(r->GetI64(&grid_state_resets, "MAPS grid_state_resets"));
+  if (change_resets < 0 || grid_state_resets < 0) {
+    return Status::InvalidArgument("MAPS reset counters are negative");
+  }
+
+  base_ = std::move(base);
+  warmed_up_ = warmed_up;
+  ucb_ = std::move(ucb);
+  change_ = std::move(change);
+  change_resets_ = change_resets;
+  grid_state_resets_ = grid_state_resets;
+  return Status::OK();
+}
+
 size_t Maps::MemoryFootprintBytes() const {
   // Persistent learned state only; the pooled round scratch (graph +
   // pre-matching + engine tables) is tracked via peak_round_bytes().

@@ -114,6 +114,13 @@ class Maps : public PricingStrategy {
 
   size_t MemoryFootprintBytes() const override;
 
+  /// Learned state: nested BaseP warm-up, per-grid UCB tables, per-rung
+  /// change detectors, and reset counters. Round scratch (graph, heap,
+  /// maximizer engine) is rebuilt every PriceRound and not serialized.
+  /// LoadState commits all-or-nothing.
+  Status SaveState(StateWriter* w) const override;
+  Status LoadState(StateReader* r) override;
+
   double base_price() const { return base_.base_price(); }
   const PriceLadder& ladder() const { return ladder_; }
   const MapsOptions& options() const { return options_; }

@@ -62,6 +62,13 @@ class PostprocessedStrategy : public PricingStrategy {
 
   size_t MemoryFootprintBytes() const override;
 
+  /// Post-processing is a pure transform; all learned state lives in the
+  /// inner strategy, so state hooks delegate verbatim.
+  Status SaveState(StateWriter* w) const override {
+    return inner_->SaveState(w);
+  }
+  Status LoadState(StateReader* r) override { return inner_->LoadState(r); }
+
   PricingStrategy* inner() { return inner_.get(); }
 
  private:

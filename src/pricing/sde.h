@@ -28,6 +28,14 @@ class Sde : public PricingStrategy {
 
   size_t MemoryFootprintBytes() const override;
 
+  /// SDE's only learned state is the nested BaseP warm-up; the exponential
+  /// rule itself is stateless, so state hooks delegate to base_ (which
+  /// commits all-or-nothing).
+  Status SaveState(StateWriter* w) const override {
+    return base_.SaveState(w);
+  }
+  Status LoadState(StateReader* r) override { return base_.LoadState(r); }
+
   double base_price() const { return base_.base_price(); }
 
  private:

@@ -17,6 +17,7 @@
 #include "market/demand_oracle.h"
 #include "market/market_state.h"
 #include "stats/price_ladder.h"
+#include "util/serial.h"
 #include "util/status.h"
 
 namespace maps {
@@ -93,6 +94,32 @@ class PricingStrategy {
   /// Current live footprint of the strategy's internal state, for the
   /// paper's memory plots. Default 0 (stateless).
   virtual size_t MemoryFootprintBytes() const { return 0; }
+
+  /// Serializes the strategy's learned state for checkpointing (DESIGN.md
+  /// §12). Configuration (the ladder, tuning options) is NOT serialized —
+  /// the restoring process reconstructs the strategy from the same config,
+  /// and LoadState cross-checks cheap fingerprints (ladder size/prices)
+  /// where available. Every payload starts with a strategy-private u32
+  /// version so formats can evolve independently. The default covers
+  /// stateless strategies: a version tag and nothing else.
+  virtual Status SaveState(StateWriter* w) const {
+    w->PutU32(1);
+    return Status::OK();
+  }
+
+  /// Restores state written by SaveState on an identically configured
+  /// strategy. All-or-nothing: on any failure the strategy is left
+  /// unchanged.
+  virtual Status LoadState(StateReader* r) {
+    uint32_t version = 0;
+    MAPS_RETURN_NOT_OK(r->GetU32(&version, "strategy state version"));
+    if (version != 1) {
+      return Status::InvalidArgument(
+          "unsupported stateless strategy state version " +
+          std::to_string(version));
+    }
+    return Status::OK();
+  }
 };
 
 }  // namespace maps

@@ -16,6 +16,8 @@
 
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace maps {
@@ -88,6 +90,16 @@ class Rng final : public RandomSource {
   /// xoshiro states (pinned by the stream-independence tests; prefer
   /// CounterRng when streams must be a pure function of an index).
   Rng Fork(uint64_t stream);
+
+  /// Snapshots the raw xoshiro256** state for checkpointing; LoadState
+  /// resumes the stream at exactly the saved position, so draws after a
+  /// restore are bit-identical to the uninterrupted sequence.
+  std::array<uint64_t, 4> SaveState() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void LoadState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[static_cast<size_t>(i)];
+  }
 
  private:
   uint64_t s_[4];

@@ -1,0 +1,508 @@
+// Checkpoint container (checkpoint.h) plus the MarketEngine
+// SaveCheckpoint / RestoreFromCheckpoint member functions, kept in this TU
+// so the serialization code lives with the format definition.
+
+#include "service/checkpoint.h"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/market_engine.h"
+#include "util/serial.h"
+
+namespace maps {
+
+namespace {
+
+// Section ids of container format version 1, in file order. Every section
+// appears exactly once; the reader rejects anything else.
+enum SectionId : uint32_t {
+  kSectionConfig = 1,    // grid/lifecycle/strategy fingerprint
+  kSectionCore = 2,      // period counter + rejection counters
+  kSectionWorkers = 3,   // lifecycle table: records, idle order, busy heap
+  kSectionStages = 4,    // both staged task sets + seal flags
+  kSectionPending = 5,   // pending acceptance bits
+  kSectionRng = 6,       // repositioning RNG position
+  kSectionStrategy = 7,  // PricingStrategy::SaveState payload
+};
+constexpr uint32_t kNumSections = 7;
+
+void AppendSection(uint32_t id, const std::string& payload, StateWriter* out) {
+  out->PutU32(id);
+  out->PutU64(payload.size());
+  out->PutU32(Crc32(payload.data(), payload.size()));
+  out->PutBytes(payload.data(), payload.size());
+}
+
+/// Validates the container structure (magic, version, section order,
+/// lengths, CRCs) and extracts every payload. No payload field is decoded
+/// here; structural corruption is caught before any interpretation.
+Status ParseContainer(const std::string& data,
+                      std::vector<std::string>* payloads) {
+  StateReader r(data);
+  char magic[sizeof(kCheckpointMagic)];
+  MAPS_RETURN_NOT_OK(r.GetBytes(magic, sizeof(magic), "checkpoint magic"));
+  if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(
+        "bad magic at offset 0: not a MAPS checkpoint");
+  }
+  uint32_t version;
+  MAPS_RETURN_NOT_OK(r.GetU32(&version, "checkpoint format version"));
+  if (version != kCheckpointFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kCheckpointFormatVersion) + ")");
+  }
+  uint32_t count;
+  MAPS_RETURN_NOT_OK(r.GetU32(&count, "checkpoint section count"));
+  if (count != kNumSections) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " sections, expected " +
+        std::to_string(kNumSections));
+  }
+  payloads->assign(kNumSections, std::string());
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t header_at = r.offset();
+    uint32_t id, crc;
+    uint64_t len;
+    MAPS_RETURN_NOT_OK(r.GetU32(&id, "section id"));
+    MAPS_RETURN_NOT_OK(r.GetU64(&len, "section length"));
+    MAPS_RETURN_NOT_OK(r.GetU32(&crc, "section checksum"));
+    if (id != i + 1) {
+      return Status::InvalidArgument(
+          "unexpected section id " + std::to_string(id) + " at offset " +
+          std::to_string(header_at) + ", expected " + std::to_string(i + 1));
+    }
+    if (len > r.remaining()) {
+      return Status::InvalidArgument(
+          "section " + std::to_string(id) + " at offset " +
+          std::to_string(header_at) + " claims " + std::to_string(len) +
+          " byte(s), file has " + std::to_string(r.remaining()));
+    }
+    std::string payload(static_cast<size_t>(len), '\0');
+    if (len > 0) {
+      MAPS_RETURN_NOT_OK(
+          r.GetBytes(&payload[0], payload.size(), "section payload"));
+    }
+    const uint32_t actual = Crc32(payload.data(), payload.size());
+    if (actual != crc) {
+      return Status::InvalidArgument(
+          "section " + std::to_string(id) + " at offset " +
+          std::to_string(header_at) + " failed its checksum");
+    }
+    (*payloads)[i] = std::move(payload);
+  }
+  return r.ExpectEnd("checkpoint container");
+}
+
+}  // namespace
+
+Status WriteCheckpointFile(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + tmp +
+                            " for writing: " + std::strerror(errno));
+  }
+  bool ok = data.empty() ||
+            std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  ok = ok && std::fflush(f) == 0;
+  // fsync before the rename: the atomic-replace guarantee is only as good
+  // as the data being on disk when the new name appears.
+  ok = ok && fsync(fileno(f)) == 0;
+  const std::string io_error = ok ? "" : std::strerror(errno);
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("failed writing " + tmp + ": " + io_error);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string rename_error = std::strerror(errno);
+    std::remove(tmp.c_str());
+    return Status::Internal("failed renaming " + tmp + " to " + path + ": " +
+                            rename_error);
+  }
+  return Status::OK();
+}
+
+Status ReadCheckpointFile(const std::string& path, std::string* data) {
+  if (data == nullptr) return Status::InvalidArgument("null output string");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open checkpoint file " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("read error on checkpoint file " + path);
+  }
+  *data = buf.str();
+  return Status::OK();
+}
+
+Status MarketEngine::SaveCheckpoint(std::string* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output string");
+  // No prebuild job may be running while we serialize the stages it reads.
+  DrainPrebuilds();
+
+  StateWriter config;
+  config.PutI32(grid_->rows());
+  config.PutI32(grid_->cols());
+  const Rect& region = grid_->region();
+  config.PutDouble(region.min_x);
+  config.PutDouble(region.min_y);
+  config.PutDouble(region.max_x);
+  config.PutDouble(region.max_y);
+  config.PutBool(options_.lifecycle.single_use);
+  config.PutDouble(options_.lifecycle.speed);
+  config.PutDouble(options_.lifecycle.reposition_prob);
+  config.PutU64(options_.lifecycle.reposition_seed);
+  config.PutString(strategy_->name());
+
+  StateWriter core;
+  core.PutI32(period_);
+  core.PutI64(rejections_.duplicate_tasks);
+  core.PutI64(rejections_.unknown_worker_removals);
+  core.PutI64(rejections_.busy_worker_removals);
+  core.PutI64(rejections_.orphan_acceptances);
+
+  StateWriter workers;
+  workers.PutU64(workers_.size());
+  for (const WorkerRecord& rec : workers_) {
+    workers.PutI64(rec.base.id);
+    workers.PutI32(rec.base.period);
+    workers.PutDouble(rec.base.location.x);
+    workers.PutDouble(rec.base.location.y);
+    workers.PutDouble(rec.base.radius);
+    workers.PutI32(rec.base.duration);
+    workers.PutI32(rec.base.grid);
+    workers.PutI32(rec.next_free);
+    workers.PutI32(rec.retire_at);
+    workers.PutBool(rec.consumed);
+  }
+  workers.PutU64(idle_.size());
+  for (int idx : idle_) workers.PutI32(idx);
+  // The busy heap is drained in its deterministic pop order — ascending
+  // (next_free, index) — which is the only property ClosePeriod observes;
+  // the restore re-pushes the entries.
+  auto busy_copy = busy_;
+  workers.PutU64(busy_copy.size());
+  while (!busy_copy.empty()) {
+    workers.PutI32(busy_copy.top().first);
+    workers.PutI32(busy_copy.top().second);
+    busy_copy.pop();
+  }
+
+  StateWriter stage_w;
+  for (const Stage& stage : stages_) {
+    stage_w.PutBool(stage.sealed);
+    stage_w.PutU64(stage.tasks.size());
+    for (const Task& task : stage.tasks) {
+      stage_w.PutI64(task.id);
+      stage_w.PutI32(task.period);
+      stage_w.PutDouble(task.origin.x);
+      stage_w.PutDouble(task.origin.y);
+      stage_w.PutDouble(task.destination.x);
+      stage_w.PutDouble(task.destination.y);
+      stage_w.PutDouble(task.distance);
+      stage_w.PutI32(task.grid);
+    }
+    // Aligned with tasks by the SubmitTask/StageNextPeriodTasks contract.
+    for (double v : stage.valuations) stage_w.PutDouble(v);
+  }
+
+  StateWriter pending;
+  std::vector<std::pair<TaskId, bool>> bits(pending_accept_.begin(),
+                                            pending_accept_.end());
+  std::sort(bits.begin(), bits.end());  // map order is not deterministic
+  pending.PutU64(bits.size());
+  for (const auto& [task, accepted] : bits) {
+    pending.PutI64(task);
+    pending.PutBool(accepted);
+  }
+
+  StateWriter rng;
+  for (uint64_t word : reposition_rng_.SaveState()) rng.PutU64(word);
+
+  StateWriter strategy;
+  MAPS_RETURN_NOT_OK(strategy_->SaveState(&strategy));
+
+  StateWriter blob;
+  blob.PutBytes(kCheckpointMagic, sizeof(kCheckpointMagic));
+  blob.PutU32(kCheckpointFormatVersion);
+  blob.PutU32(kNumSections);
+  AppendSection(kSectionConfig, config.data(), &blob);
+  AppendSection(kSectionCore, core.data(), &blob);
+  AppendSection(kSectionWorkers, workers.data(), &blob);
+  AppendSection(kSectionStages, stage_w.data(), &blob);
+  AppendSection(kSectionPending, pending.data(), &blob);
+  AppendSection(kSectionRng, rng.data(), &blob);
+  AppendSection(kSectionStrategy, strategy.data(), &blob);
+  *out = blob.data();
+  return Status::OK();
+}
+
+Status MarketEngine::RestoreFromCheckpoint(const std::string& data) {
+  DrainPrebuilds();
+  std::vector<std::string> sections;
+  MAPS_RETURN_NOT_OK(ParseContainer(data, &sections));
+
+  // Every section is decoded and validated into temporaries first; the
+  // engine commits only after all of them (and the strategy) succeeded, so
+  // a corrupt tail can never leave this engine half-restored.
+
+  {  // Config fingerprint: the target must be configured like the saver.
+    StateReader r(sections[kSectionConfig - 1]);
+    int32_t rows, cols;
+    double min_x, min_y, max_x, max_y;
+    MAPS_RETURN_NOT_OK(r.GetI32(&rows, "grid rows"));
+    MAPS_RETURN_NOT_OK(r.GetI32(&cols, "grid cols"));
+    MAPS_RETURN_NOT_OK(r.GetDouble(&min_x, "region min_x"));
+    MAPS_RETURN_NOT_OK(r.GetDouble(&min_y, "region min_y"));
+    MAPS_RETURN_NOT_OK(r.GetDouble(&max_x, "region max_x"));
+    MAPS_RETURN_NOT_OK(r.GetDouble(&max_y, "region max_y"));
+    const Rect& region = grid_->region();
+    if (rows != grid_->rows() || cols != grid_->cols() ||
+        min_x != region.min_x || min_y != region.min_y ||
+        max_x != region.max_x || max_y != region.max_y) {
+      return Status::FailedPrecondition(
+          "checkpoint grid fingerprint (" + std::to_string(rows) + "x" +
+          std::to_string(cols) + ") does not match this engine's partition (" +
+          std::to_string(grid_->rows()) + "x" + std::to_string(grid_->cols()) +
+          ")");
+    }
+    bool single_use;
+    double speed, reposition_prob;
+    uint64_t reposition_seed;
+    MAPS_RETURN_NOT_OK(r.GetBool(&single_use, "lifecycle single_use"));
+    MAPS_RETURN_NOT_OK(r.GetDouble(&speed, "lifecycle speed"));
+    MAPS_RETURN_NOT_OK(
+        r.GetDouble(&reposition_prob, "lifecycle reposition_prob"));
+    MAPS_RETURN_NOT_OK(
+        r.GetU64(&reposition_seed, "lifecycle reposition_seed"));
+    const WorkerLifecycle& lc = options_.lifecycle;
+    if (single_use != lc.single_use || speed != lc.speed ||
+        reposition_prob != lc.reposition_prob ||
+        reposition_seed != lc.reposition_seed) {
+      return Status::FailedPrecondition(
+          "checkpoint worker-lifecycle fingerprint does not match this "
+          "engine's options");
+    }
+    std::string name;
+    MAPS_RETURN_NOT_OK(r.GetString(&name, "strategy name"));
+    if (name != strategy_->name()) {
+      return Status::FailedPrecondition(
+          "checkpoint was saved with strategy '" + name +
+          "', this engine prices with '" + strategy_->name() + "'");
+    }
+    MAPS_RETURN_NOT_OK(r.ExpectEnd("config section"));
+  }
+
+  int32_t period;
+  EngineRejectionCounters rej;
+  {  // Engine core.
+    StateReader r(sections[kSectionCore - 1]);
+    MAPS_RETURN_NOT_OK(r.GetI32(&period, "period counter"));
+    MAPS_RETURN_NOT_OK(r.GetI64(&rej.duplicate_tasks, "duplicate_tasks"));
+    MAPS_RETURN_NOT_OK(
+        r.GetI64(&rej.unknown_worker_removals, "unknown_worker_removals"));
+    MAPS_RETURN_NOT_OK(
+        r.GetI64(&rej.busy_worker_removals, "busy_worker_removals"));
+    MAPS_RETURN_NOT_OK(
+        r.GetI64(&rej.orphan_acceptances, "orphan_acceptances"));
+    if (period < 0 || rej.duplicate_tasks < 0 ||
+        rej.unknown_worker_removals < 0 || rej.busy_worker_removals < 0 ||
+        rej.orphan_acceptances < 0) {
+      return Status::InvalidArgument(
+          "engine core section has negative counters");
+    }
+    MAPS_RETURN_NOT_OK(r.ExpectEnd("engine core section"));
+  }
+
+  std::vector<WorkerRecord> workers;
+  std::unordered_map<WorkerId, int> worker_index;
+  std::vector<int> idle;
+  std::vector<BusyEntry> busy_entries;
+  {  // Worker lifecycle table.
+    StateReader r(sections[kSectionWorkers - 1]);
+    uint64_t n;
+    MAPS_RETURN_NOT_OK(r.GetU64(&n, "worker count"));
+    // One record is 53 encoded bytes; a count beyond that is corruption.
+    MAPS_RETURN_NOT_OK(CheckDecodedCount(r, n, 53, "worker records"));
+    workers.resize(static_cast<size_t>(n));
+    worker_index.reserve(workers.size());
+    for (size_t i = 0; i < workers.size(); ++i) {
+      WorkerRecord& rec = workers[i];
+      MAPS_RETURN_NOT_OK(r.GetI64(&rec.base.id, "worker id"));
+      MAPS_RETURN_NOT_OK(r.GetI32(&rec.base.period, "worker period"));
+      MAPS_RETURN_NOT_OK(r.GetDouble(&rec.base.location.x, "worker x"));
+      MAPS_RETURN_NOT_OK(r.GetDouble(&rec.base.location.y, "worker y"));
+      MAPS_RETURN_NOT_OK(r.GetDouble(&rec.base.radius, "worker radius"));
+      MAPS_RETURN_NOT_OK(r.GetI32(&rec.base.duration, "worker duration"));
+      MAPS_RETURN_NOT_OK(r.GetI32(&rec.base.grid, "worker grid"));
+      MAPS_RETURN_NOT_OK(r.GetI32(&rec.next_free, "worker next_free"));
+      MAPS_RETURN_NOT_OK(r.GetI32(&rec.retire_at, "worker retire_at"));
+      MAPS_RETURN_NOT_OK(r.GetBool(&rec.consumed, "worker consumed"));
+      if (rec.base.grid < 0 || rec.base.grid >= grid_->num_cells()) {
+        return Status::InvalidArgument(
+            "worker record " + std::to_string(i) + " has grid " +
+            std::to_string(rec.base.grid) + " outside the partition");
+      }
+      if (!worker_index.emplace(rec.base.id, static_cast<int>(i)).second) {
+        return Status::InvalidArgument(
+            "worker id " + std::to_string(rec.base.id) +
+            " appears twice in the checkpoint");
+      }
+    }
+    uint64_t idle_n;
+    MAPS_RETURN_NOT_OK(r.GetU64(&idle_n, "idle count"));
+    MAPS_RETURN_NOT_OK(CheckDecodedCount(r, idle_n, 4, "idle indices"));
+    idle.resize(static_cast<size_t>(idle_n));
+    std::vector<char> in_idle(workers.size(), 0);
+    for (auto& idx : idle) {
+      MAPS_RETURN_NOT_OK(r.GetI32(&idx, "idle index"));
+      if (idx < 0 || static_cast<size_t>(idx) >= workers.size()) {
+        return Status::InvalidArgument("idle index " + std::to_string(idx) +
+                                       " out of range");
+      }
+      if (in_idle[idx]) {
+        return Status::InvalidArgument("idle index " + std::to_string(idx) +
+                                       " appears twice");
+      }
+      in_idle[idx] = 1;
+    }
+    uint64_t busy_n;
+    MAPS_RETURN_NOT_OK(r.GetU64(&busy_n, "busy count"));
+    MAPS_RETURN_NOT_OK(CheckDecodedCount(r, busy_n, 8, "busy entries"));
+    busy_entries.resize(static_cast<size_t>(busy_n));
+    for (auto& entry : busy_entries) {
+      MAPS_RETURN_NOT_OK(r.GetI32(&entry.first, "busy next_free"));
+      MAPS_RETURN_NOT_OK(r.GetI32(&entry.second, "busy index"));
+      if (entry.second < 0 ||
+          static_cast<size_t>(entry.second) >= workers.size()) {
+        return Status::InvalidArgument(
+            "busy index " + std::to_string(entry.second) + " out of range");
+      }
+    }
+    MAPS_RETURN_NOT_OK(r.ExpectEnd("worker section"));
+  }
+
+  Stage stages[2];
+  {  // Staged task sets.
+    StateReader r(sections[kSectionStages - 1]);
+    for (Stage& stage : stages) {
+      MAPS_RETURN_NOT_OK(r.GetBool(&stage.sealed, "stage sealed"));
+      uint64_t n;
+      MAPS_RETURN_NOT_OK(r.GetU64(&n, "staged task count"));
+      // One task is 56 encoded bytes (plus its valuation after the list).
+      MAPS_RETURN_NOT_OK(CheckDecodedCount(r, n, 56, "staged tasks"));
+      stage.tasks.resize(static_cast<size_t>(n));
+      stage.ids.reserve(stage.tasks.size());
+      for (Task& task : stage.tasks) {
+        MAPS_RETURN_NOT_OK(r.GetI64(&task.id, "task id"));
+        MAPS_RETURN_NOT_OK(r.GetI32(&task.period, "task period"));
+        MAPS_RETURN_NOT_OK(r.GetDouble(&task.origin.x, "task origin x"));
+        MAPS_RETURN_NOT_OK(r.GetDouble(&task.origin.y, "task origin y"));
+        MAPS_RETURN_NOT_OK(
+            r.GetDouble(&task.destination.x, "task destination x"));
+        MAPS_RETURN_NOT_OK(
+            r.GetDouble(&task.destination.y, "task destination y"));
+        MAPS_RETURN_NOT_OK(r.GetDouble(&task.distance, "task distance"));
+        MAPS_RETURN_NOT_OK(r.GetI32(&task.grid, "task grid"));
+        if (task.grid < 0 || task.grid >= grid_->num_cells()) {
+          return Status::InvalidArgument(
+              "staged task " + std::to_string(task.id) + " has grid " +
+              std::to_string(task.grid) + " outside the partition");
+        }
+        if (!stage.ids.insert(task.id).second) {
+          return Status::InvalidArgument(
+              "staged task id " + std::to_string(task.id) +
+              " appears twice in one period");
+        }
+      }
+      stage.valuations.resize(stage.tasks.size());
+      for (double& v : stage.valuations) {
+        MAPS_RETURN_NOT_OK(r.GetDouble(&v, "staged valuation"));
+      }
+    }
+    MAPS_RETURN_NOT_OK(r.ExpectEnd("stage section"));
+  }
+
+  std::unordered_map<TaskId, bool> pending;
+  {  // Pending acceptance bits.
+    StateReader r(sections[kSectionPending - 1]);
+    uint64_t n;
+    MAPS_RETURN_NOT_OK(r.GetU64(&n, "pending bit count"));
+    MAPS_RETURN_NOT_OK(CheckDecodedCount(r, n, 9, "pending bits"));
+    pending.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      TaskId task;
+      bool accepted;
+      MAPS_RETURN_NOT_OK(r.GetI64(&task, "pending task id"));
+      MAPS_RETURN_NOT_OK(r.GetBool(&accepted, "pending accepted bit"));
+      if (!pending.emplace(task, accepted).second) {
+        return Status::InvalidArgument(
+            "pending bit for task " + std::to_string(task) +
+            " appears twice");
+      }
+    }
+    MAPS_RETURN_NOT_OK(r.ExpectEnd("pending section"));
+  }
+
+  std::array<uint64_t, 4> rng_state;
+  {  // Repositioning RNG position.
+    StateReader r(sections[kSectionRng - 1]);
+    for (auto& word : rng_state) {
+      MAPS_RETURN_NOT_OK(r.GetU64(&word, "rng state word"));
+    }
+    MAPS_RETURN_NOT_OK(r.ExpectEnd("rng section"));
+  }
+
+  {  // Strategy learned state. This is the last fallible step and the only
+    // one that mutates anything: per-strategy LoadState is itself
+    // all-or-nothing, so on failure neither the strategy nor the engine
+    // changed. (A trailing-bytes failure below leaves the strategy holding
+    // the — fully decoded, self-consistent — checkpoint state while the
+    // engine is untouched and reports the error.)
+    StateReader r(sections[kSectionStrategy - 1]);
+    MAPS_RETURN_NOT_OK(strategy_->LoadState(&r));
+    MAPS_RETURN_NOT_OK(r.ExpectEnd("strategy section"));
+  }
+
+  // Commit. Nothing below can fail.
+  period_ = period;
+  rejections_ = rej;
+  workers_ = std::move(workers);
+  worker_index_ = std::move(worker_index);
+  idle_ = std::move(idle);
+  busy_ = decltype(busy_)();
+  for (const BusyEntry& entry : busy_entries) busy_.push(entry);
+  matched_flag_.assign(workers_.size(), 0);
+  stages_[0] = std::move(stages[0]);
+  stages_[1] = std::move(stages[1]);
+  pending_accept_ = std::move(pending);
+  reposition_rng_.LoadState(rng_state);
+  // The snapshot slots are derived state: ClosePeriod rebuilds the task
+  // side (no prebuild latch is pending — drained above) and re-sets the
+  // worker side every close, so stale slot contents are never observed.
+  slot_bytes_[0] = slot_bytes_[1] = 0;
+  // Wall-clock and footprint diagnostics describe this process, not the
+  // run; they restart at zero (documented in DESIGN.md §12).
+  strategy_seconds_ = 0.0;
+  peak_platform_bytes_ = 0;
+  peak_strategy_bytes_ = 0;
+  return Status::OK();
+}
+
+}  // namespace maps

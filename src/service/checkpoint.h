@@ -1,0 +1,48 @@
+// Checkpoint container format and file helpers for MarketEngine
+// (DESIGN.md §12; field-by-field spec in docs/checkpoint_format.md).
+//
+// A checkpoint is a self-describing binary blob:
+//
+//   magic "MAPSCKPT" (8 bytes)
+//   u32 format version
+//   u32 section count
+//   section*: u32 section id, u64 payload length, u32 CRC-32(payload),
+//             payload bytes
+//
+// Sections appear in ascending id order, each exactly once; payloads are
+// the little-endian StateWriter encodings of util/serial.h. Readers verify
+// the magic, version, section structure, and every CRC before decoding a
+// single field, and every decode failure carries a byte offset — corrupt
+// or truncated files are rejected with a Status, never undefined behavior.
+// MarketEngine::SaveCheckpoint / RestoreFromCheckpoint (implemented here,
+// declared in market_engine.h) produce and consume this format; the
+// restore commits all-or-nothing.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace maps {
+
+/// First bytes of every checkpoint file.
+inline constexpr char kCheckpointMagic[8] = {'M', 'A', 'P', 'S',
+                                             'C', 'K', 'P', 'T'};
+
+/// Container format version produced by SaveCheckpoint. Readers reject
+/// other versions (no cross-version migration yet; see DESIGN.md §12 for
+/// the compatibility policy).
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+
+/// \brief Atomically replaces `path` with `data`: writes `path`.tmp,
+/// flushes and fsyncs it, then renames over `path`. A crash mid-write
+/// leaves either the previous checkpoint or a stray .tmp — never a
+/// half-written file under the final name.
+Status WriteCheckpointFile(const std::string& path, const std::string& data);
+
+/// \brief Reads the whole file at `path` into `data`.
+Status ReadCheckpointFile(const std::string& path, std::string* data);
+
+}  // namespace maps

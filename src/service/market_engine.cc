@@ -65,6 +65,12 @@ Status MarketEngine::SubmitTask(const Task& task, double valuation) {
         " was staged in bulk; SubmitTask is closed for it");
   }
   MAPS_RETURN_NOT_OK(CheckTaskGrids(&task, &task + 1));
+  if (!stage.ids.insert(task.id).second) {
+    ++rejections_.duplicate_tasks;
+    return Status::AlreadyExists("task id " + std::to_string(task.id) +
+                                 " already submitted for period " +
+                                 std::to_string(period_));
+  }
   stage.tasks.push_back(task);
   stage.valuations.push_back(valuation);
   return Status::OK();
@@ -78,6 +84,16 @@ Status MarketEngine::StageNextPeriodTasks(const Task* begin, const Task* end,
         "period " + std::to_string(period_ + 1) + " already has staged tasks");
   }
   MAPS_RETURN_NOT_OK(CheckTaskGrids(begin, end));
+  stage.ids.clear();
+  for (const Task* task = begin; task != end; ++task) {
+    if (!stage.ids.insert(task->id).second) {
+      stage.ids.clear();
+      ++rejections_.duplicate_tasks;
+      return Status::InvalidArgument(
+          "staged batch repeats task id " + std::to_string(task->id) +
+          " for period " + std::to_string(period_ + 1));
+    }
+  }
   stage.tasks.assign(begin, end);
   if (valuations != nullptr) {
     stage.valuations.assign(valuations, valuations + (end - begin));
@@ -131,14 +147,19 @@ Status MarketEngine::AddWorker(const Worker& worker) {
 Status MarketEngine::RemoveWorker(WorkerId id) {
   auto it = worker_index_.find(id);
   if (it == worker_index_.end()) {
+    ++rejections_.unknown_worker_removals;
     return Status::NotFound("worker id " + std::to_string(id) +
                             " was never added");
   }
   // Retiring as of the open period drops an idle worker at the next
   // availability scan; a busy worker finishes its ride and is dropped on
-  // return. Removal is idempotent.
-  workers_[it->second].retire_at =
-      std::min(workers_[it->second].retire_at, period_);
+  // return. Removal is idempotent. Busy removals are honored but counted:
+  // callers often believe they are removing an idle worker.
+  WorkerRecord& rec = workers_[it->second];
+  if (!rec.consumed && rec.next_free > period_ && period_ < rec.retire_at) {
+    ++rejections_.busy_worker_removals;
+  }
+  rec.retire_at = std::min(rec.retire_at, period_);
   return Status::OK();
 }
 
@@ -210,6 +231,10 @@ Status MarketEngine::ClosePeriod(PeriodOutcome* out) {
   // Dead period: nothing to price or match; the strategy is not consulted.
   if (stage.tasks.empty() && period_workers_.empty()) {
     out->skipped = true;
+    // No tasks were in the period, so every reported bit is an orphan.
+    rejections_.orphan_acceptances +=
+        static_cast<int64_t>(pending_accept_.size());
+    out->rejections = rejections_;
     pending_accept_.clear();
     stage.Clear();
     ++period_;
@@ -234,19 +259,28 @@ Status MarketEngine::ClosePeriod(PeriodOutcome* out) {
   // map lookup is skipped entirely when no bit was observed (the replay
   // path), keeping this loop as cheap as the retired batch loop's.
   const bool has_observed_bits = !pending_accept_.empty();
+  size_t consumed_bits = 0;
   accepted_.assign(snapshot.tasks().size(), false);
   for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
     const Task& task = snapshot.tasks()[i];
     bool accepted = stage.valuations[i] >= prices_[task.grid];
     if (has_observed_bits) {
       const auto it = pending_accept_.find(task.id);
-      if (it != pending_accept_.end()) accepted = it->second;
+      if (it != pending_accept_.end()) {
+        accepted = it->second;
+        ++consumed_bits;
+      }
     }
     accepted_[i] = accepted;
     if (accepted) out->accepted.push_back(task.id);
   }
   strategy_->ObserveFeedback(snapshot, prices_, accepted_);
   strategy_seconds_ += Seconds(price_start, Clock::now());
+  // Bits that matched no task of the period are orphans (task ids are
+  // unique within a period, so each consumed bit was counted once).
+  rejections_.orphan_acceptances +=
+      static_cast<int64_t>(pending_accept_.size() - consumed_bits);
+  out->rejections = rejections_;
   pending_accept_.clear();
   out->prices.assign(prices_.begin(), prices_.end());
 

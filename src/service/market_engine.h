@@ -35,7 +35,9 @@
 #include <limits>
 #include <memory>
 #include <queue>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -87,6 +89,34 @@ struct EngineOptions {
   ThreadPool* pool = nullptr;
 };
 
+/// \brief Cumulative counts of rejected or ignored events since engine
+/// construction (restored from checkpoints). Surfaced in every
+/// PeriodOutcome so operators can monitor malformed traffic; a live
+/// deployment alerting on these catches duplicate submissions or stale
+/// acceptance reports without failing the period.
+struct EngineRejectionCounters {
+  /// SubmitTask / StageNextPeriodTasks calls rejected because a task id
+  /// was already submitted for the same period.
+  int64_t duplicate_tasks = 0;
+  /// RemoveWorker calls rejected because the id was never admitted.
+  int64_t unknown_worker_removals = 0;
+  /// RemoveWorker calls that targeted a worker currently on a ride. These
+  /// are honored (the worker finishes the ride and never returns to the
+  /// pool) but counted, since callers often expect removal of an idle
+  /// worker.
+  int64_t busy_worker_removals = 0;
+  /// ObserveAcceptance bits whose task id was not part of the period at
+  /// its close (discarded there).
+  int64_t orphan_acceptances = 0;
+
+  bool operator==(const EngineRejectionCounters& o) const {
+    return duplicate_tasks == o.duplicate_tasks &&
+           unknown_worker_removals == o.unknown_worker_removals &&
+           busy_worker_removals == o.busy_worker_removals &&
+           orphan_acceptances == o.orphan_acceptances;
+  }
+};
+
 /// \brief One task-to-worker assignment of a closed period.
 struct MatchRecord {
   TaskId task = -1;
@@ -114,6 +144,8 @@ struct PeriodOutcome {
   double mc_expected_revenue = 0.0;
   int32_t num_tasks = 0;
   int32_t num_available_workers = 0;
+  /// Engine-cumulative rejection/ignore counters as of this close.
+  EngineRejectionCounters rejections;
 };
 
 /// \brief Stateful online market engine; see the file comment for the event
@@ -142,6 +174,8 @@ class MarketEngine {
   /// hidden v_r when the caller knows it (replay / simulation); online
   /// deployments leave it unset and report the decision via
   /// ObserveAcceptance(). Fails if the open period was sealed in bulk.
+  /// Task ids must be unique within a period: a duplicate id is rejected
+  /// with AlreadyExists and counted (ids may repeat across periods).
   Status SubmitTask(const Task& task, double valuation = kNoValuation);
 
   /// Seals the NEXT period's task set in bulk (tasks are copied).
@@ -159,12 +193,15 @@ class MarketEngine {
 
   /// Removes a worker from the open period onward: an idle worker stops
   /// being offered to the matcher; a busy one finishes its ride but never
-  /// returns to the pool. NotFound for ids never added.
+  /// returns to the pool (counted in rejections().busy_worker_removals).
+  /// NotFound for ids never added (counted). Idempotent for known ids.
   Status RemoveWorker(WorkerId id);
 
   /// Records an externally observed accept/reject decision for a task of
-  /// the open period, overriding any hidden valuation. Decisions for ids
-  /// not in the period are discarded at the close.
+  /// the open period, overriding any hidden valuation. Always OK — the
+  /// task may legitimately be submitted later within the same period;
+  /// decisions for ids not in the period at the close are discarded there
+  /// and counted in rejections().orphan_acceptances.
   Status ObserveAcceptance(TaskId task, bool accepted);
 
   /// Closes the open period: builds the snapshot, prices it (PriceRound),
@@ -172,6 +209,32 @@ class MarketEngine {
   /// workers by max-weight matching, applies the worker lifecycle, and
   /// advances to the next period. `out`'s storage is reused across calls.
   Status ClosePeriod(PeriodOutcome* out);
+
+  /// Serializes the full resumable engine state — period counter, worker
+  /// lifecycle table (idle order, busy heap, retire state), staged task
+  /// sets and seal flags, pending acceptance bits, repositioning RNG
+  /// position, rejection counters, a configuration fingerprint, and the
+  /// strategy's learned state (PricingStrategy::SaveState) — into the
+  /// versioned binary checkpoint format (DESIGN.md §12,
+  /// docs/checkpoint_format.md). Waits for in-flight snapshot prebuilds
+  /// first. Call between events; period boundaries (right after a
+  /// ClosePeriod) are the natural place and what the recovery harness
+  /// exercises.
+  Status SaveCheckpoint(std::string* out);
+
+  /// Rebuilds engine state from SaveCheckpoint bytes. The engine must be
+  /// configured identically to the saver (same grid partition, worker
+  /// lifecycle, and strategy type/config — fingerprint-checked); the
+  /// strategy does NOT need Warmup, its learned state is restored. The
+  /// restore is all-or-nothing: corrupt, truncated, or version-mismatched
+  /// input fails with an offset-bearing Status and leaves the engine
+  /// unchanged. Diagnostics (strategy_seconds, peak bytes) restart at
+  /// zero — they describe this process, not the run.
+  Status RestoreFromCheckpoint(const std::string& data);
+
+  /// Cumulative rejected/ignored event counters (also in every
+  /// PeriodOutcome).
+  const EngineRejectionCounters& rejections() const { return rejections_; }
 
   /// The open (not yet closed) period index; starts at 0.
   int32_t current_period() const { return period_; }
@@ -201,10 +264,14 @@ class MarketEngine {
     std::vector<Task> tasks;
     std::vector<double> valuations;  // aligned; kNoValuation when unknown
     bool sealed = false;             // bulk-staged, SubmitTask rejected
+    /// Ids already staged for this period (duplicate-submission guard);
+    /// derived from `tasks`, rebuilt — not serialized — on restore.
+    std::unordered_set<TaskId> ids;
     void Clear() {
       tasks.clear();
       valuations.clear();
       sealed = false;
+      ids.clear();
     }
   };
 
@@ -238,6 +305,9 @@ class MarketEngine {
 
   // Acceptance bits reported for the open period.
   std::unordered_map<TaskId, bool> pending_accept_;
+
+  // Cumulative rejected/ignored event counts (checkpointed).
+  EngineRejectionCounters rejections_;
 
   // Round scratch, pooled across periods (PR 1 workspace contract).
   std::vector<double> prices_;

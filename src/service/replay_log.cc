@@ -1,9 +1,15 @@
 #include "service/replay_log.h"
 
 #include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace maps {
 
@@ -86,31 +92,101 @@ Result<std::map<std::string, std::string>> ParseFlatJson(
 
 using Fields = std::map<std::string, std::string>;
 
-bool GetNum(const Fields& f, const std::string& key, double* out) {
-  const auto it = f.find(key);
-  if (it == f.end() || it->second.empty()) return false;
+/// Tri-state field decode: distinguishes an absent (or null) key from a
+/// present but malformed value so errors can name what went wrong.
+enum class Field { kOk, kMissing, kBad };
+
+/// Full-string strtod that additionally rejects NaN and infinity (both
+/// literal "nan"/"inf" spellings and overflowing decimals like 1e999).
+bool ParseFiniteDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
   char* end = nullptr;
-  *out = std::strtod(it->second.c_str(), &end);
-  return end != nullptr && *end == '\0';
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
 }
 
-bool GetBool(const Fields& f, const std::string& key, bool* out) {
+/// Full-string strtoll: rejects non-integral values ("1.5", "2e3"),
+/// overflow beyond int64, and any trailing junk. Never routes through a
+/// double, so large ids keep every bit.
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+Field GetFiniteDouble(const Fields& f, const std::string& key, double* out) {
   const auto it = f.find(key);
-  if (it == f.end()) return false;
+  if (it == f.end() || it->second.empty()) return Field::kMissing;
+  return ParseFiniteDouble(it->second, out) ? Field::kOk : Field::kBad;
+}
+
+Field GetInt64(const Fields& f, const std::string& key, int64_t* out) {
+  const auto it = f.find(key);
+  if (it == f.end() || it->second.empty()) return Field::kMissing;
+  return ParseInt64(it->second, out) ? Field::kOk : Field::kBad;
+}
+
+Field GetInt32(const Fields& f, const std::string& key, int32_t* out) {
+  int64_t v = 0;
+  const Field r = GetInt64(f, key, &v);
+  if (r != Field::kOk) return r;
+  if (v < std::numeric_limits<int32_t>::min() ||
+      v > std::numeric_limits<int32_t>::max()) {
+    return Field::kBad;
+  }
+  *out = static_cast<int32_t>(v);
+  return Field::kOk;
+}
+
+Field GetBool(const Fields& f, const std::string& key, bool* out) {
+  const auto it = f.find(key);
+  if (it == f.end() || it->second.empty()) return Field::kMissing;
   if (it->second == "true" || it->second == "1") {
     *out = true;
-    return true;
+    return Field::kOk;
   }
   if (it->second == "false" || it->second == "0") {
     *out = false;
-    return true;
+    return Field::kOk;
   }
-  return false;
+  return Field::kBad;
 }
 
-Status MissingField(const std::string& event, const std::string& key) {
-  return Status::InvalidArgument(event + " event needs numeric '" + key +
-                                 "'");
+Status BadField(const Fields& f, const std::string& event,
+                const std::string& key, const char* expect) {
+  return Status::InvalidArgument(event + " event field '" + key +
+                                 "' must be " + expect + ", got '" +
+                                 f.at(key) + "'");
+}
+
+/// Maps a required field's decode result to OK or an error naming the
+/// event, the field, and (for malformed values) the rejected text.
+Status RequireField(Field r, const Fields& f, const std::string& event,
+                    const std::string& key, const char* expect) {
+  if (r == Field::kOk) return Status::OK();
+  if (r == Field::kMissing) {
+    return Status::InvalidArgument(event + " event is missing required field '" +
+                                   key + "' (" + expect + ")");
+  }
+  return BadField(f, event, key, expect);
+}
+
+/// Like RequireField but tolerates an absent key; `present` reports
+/// whether the value was decoded. A present-but-malformed value still
+/// fails — optional fields are not a license for garbage.
+Status OptionalField(Field r, bool* present, const Fields& f,
+                     const std::string& event, const std::string& key,
+                     const char* expect) {
+  *present = r == Field::kOk;
+  if (r == Field::kBad) return BadField(f, event, key, expect);
+  return Status::OK();
 }
 
 }  // namespace
@@ -125,23 +201,35 @@ Result<ReplayEvent> ParseReplayEventLine(const std::string& line) {
     return Status::InvalidArgument("missing \"event\" field: " + line);
   }
   const std::string& kind = kind_it->second;
+  constexpr const char* kInt = "a 64-bit integer";
+  constexpr const char* kInt32 = "a 32-bit integer";
+  constexpr const char* kNum = "a finite number";
   ReplayEvent ev;
   double num = 0.0;
+  bool present = false;
 
   if (kind == "submit_task") {
     ev.kind = ReplayEvent::Kind::kSubmitTask;
-    if (!GetNum(f, "id", &num)) return MissingField(kind, "id");
-    ev.task.id = static_cast<TaskId>(num);
-    if (!GetNum(f, "ox", &ev.task.origin.x)) return MissingField(kind, "ox");
-    if (!GetNum(f, "oy", &ev.task.origin.y)) return MissingField(kind, "oy");
-    if (!GetNum(f, "dx", &ev.task.destination.x)) {
-      return MissingField(kind, "dx");
-    }
-    if (!GetNum(f, "dy", &ev.task.destination.y)) {
-      return MissingField(kind, "dy");
-    }
-    if (GetNum(f, "distance", &num)) ev.task.distance = num;
-    if (GetNum(f, "valuation", &num)) {
+    int64_t id = 0;
+    MAPS_RETURN_NOT_OK(RequireField(GetInt64(f, "id", &id), f, kind, "id",
+                                    kInt));
+    ev.task.id = id;
+    MAPS_RETURN_NOT_OK(RequireField(GetFiniteDouble(f, "ox", &ev.task.origin.x),
+                                    f, kind, "ox", kNum));
+    MAPS_RETURN_NOT_OK(RequireField(GetFiniteDouble(f, "oy", &ev.task.origin.y),
+                                    f, kind, "oy", kNum));
+    MAPS_RETURN_NOT_OK(
+        RequireField(GetFiniteDouble(f, "dx", &ev.task.destination.x), f, kind,
+                     "dx", kNum));
+    MAPS_RETURN_NOT_OK(
+        RequireField(GetFiniteDouble(f, "dy", &ev.task.destination.y), f, kind,
+                     "dy", kNum));
+    MAPS_RETURN_NOT_OK(OptionalField(GetFiniteDouble(f, "distance", &num),
+                                     &present, f, kind, "distance", kNum));
+    if (present) ev.task.distance = num;
+    MAPS_RETURN_NOT_OK(OptionalField(GetFiniteDouble(f, "valuation", &num),
+                                     &present, f, kind, "valuation", kNum));
+    if (present) {
       ev.valuation = num;
       ev.has_valuation = true;
     }
@@ -149,32 +237,37 @@ Result<ReplayEvent> ParseReplayEventLine(const std::string& line) {
   }
   if (kind == "add_worker") {
     ev.kind = ReplayEvent::Kind::kAddWorker;
-    if (!GetNum(f, "id", &num)) return MissingField(kind, "id");
-    ev.worker.id = static_cast<WorkerId>(num);
-    if (!GetNum(f, "x", &ev.worker.location.x)) return MissingField(kind, "x");
-    if (!GetNum(f, "y", &ev.worker.location.y)) return MissingField(kind, "y");
-    if (!GetNum(f, "radius", &ev.worker.radius)) {
-      return MissingField(kind, "radius");
-    }
-    if (GetNum(f, "duration", &num)) {
-      ev.worker.duration = static_cast<int32_t>(num);
-    }
+    int64_t id = 0;
+    MAPS_RETURN_NOT_OK(RequireField(GetInt64(f, "id", &id), f, kind, "id",
+                                    kInt));
+    ev.worker.id = id;
+    MAPS_RETURN_NOT_OK(
+        RequireField(GetFiniteDouble(f, "x", &ev.worker.location.x), f, kind,
+                     "x", kNum));
+    MAPS_RETURN_NOT_OK(
+        RequireField(GetFiniteDouble(f, "y", &ev.worker.location.y), f, kind,
+                     "y", kNum));
+    MAPS_RETURN_NOT_OK(RequireField(GetFiniteDouble(f, "radius",
+                                                    &ev.worker.radius),
+                                    f, kind, "radius", kNum));
+    int32_t duration = 0;
+    MAPS_RETURN_NOT_OK(OptionalField(GetInt32(f, "duration", &duration),
+                                     &present, f, kind, "duration", kInt32));
+    if (present) ev.worker.duration = duration;
     return ev;
   }
   if (kind == "remove_worker") {
     ev.kind = ReplayEvent::Kind::kRemoveWorker;
-    if (!GetNum(f, "id", &num)) return MissingField(kind, "id");
-    ev.id = static_cast<int64_t>(num);
+    MAPS_RETURN_NOT_OK(RequireField(GetInt64(f, "id", &ev.id), f, kind, "id",
+                                    kInt));
     return ev;
   }
   if (kind == "observe_acceptance") {
     ev.kind = ReplayEvent::Kind::kObserveAcceptance;
-    if (!GetNum(f, "task", &num)) return MissingField(kind, "task");
-    ev.id = static_cast<int64_t>(num);
-    if (!GetBool(f, "accepted", &ev.accepted)) {
-      return Status::InvalidArgument(
-          "observe_acceptance event needs boolean 'accepted'");
-    }
+    MAPS_RETURN_NOT_OK(RequireField(GetInt64(f, "task", &ev.id), f, kind,
+                                    "task", kInt));
+    MAPS_RETURN_NOT_OK(RequireField(GetBool(f, "accepted", &ev.accepted), f,
+                                    kind, "accepted", "a boolean"));
     return ev;
   }
   if (kind == "close_period") {
@@ -184,8 +277,11 @@ Result<ReplayEvent> ParseReplayEventLine(const std::string& line) {
   return Status::InvalidArgument("unknown event kind '" + kind + "'");
 }
 
-Result<std::vector<ReplayEvent>> LoadReplayLog(std::istream& in) {
+Result<std::vector<ReplayEvent>> LoadReplayLog(
+    std::istream& in, const ReplayLoadOptions& options,
+    ReplayLoadStats* stats) {
   std::vector<ReplayEvent> events;
+  ReplayLoadStats local;
   std::string line;
   int lineno = 0;
   while (std::getline(in, line)) {
@@ -198,12 +294,29 @@ Result<std::vector<ReplayEvent>> LoadReplayLog(std::istream& in) {
     if (first == line.size() || line[first] == '#') continue;
     auto ev = ParseReplayEventLine(line);
     if (!ev.ok()) {
+      if (options.skip_bad_events) {
+        ++local.lines_skipped;
+        MAPS_LOG(Warning) << "replay log line " << lineno
+                          << " skipped: " << ev.status().message();
+        continue;
+      }
       return Status::InvalidArgument("line " + std::to_string(lineno) + ": " +
                                      ev.status().message());
     }
+    ++local.events_loaded;
     events.push_back(std::move(ev).ValueOrDie());
   }
+  if (local.lines_skipped > 0) {
+    MAPS_LOG(Warning) << "replay log: skipped " << local.lines_skipped
+                      << " malformed line(s), loaded " << local.events_loaded
+                      << " event(s)";
+  }
+  if (stats != nullptr) *stats = local;
   return events;
+}
+
+Result<std::vector<ReplayEvent>> LoadReplayLog(std::istream& in) {
+  return LoadReplayLog(in, ReplayLoadOptions{}, nullptr);
 }
 
 }  // namespace maps

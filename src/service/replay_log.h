@@ -51,10 +51,36 @@ struct ReplayEvent {
 };
 
 /// \brief Parses one JSONL event line (must not be blank or a comment).
+///
+/// Numeric fields are validated before use: integer fields (ids, duration)
+/// must parse fully as in-range integers — non-integral, overflowing, NaN,
+/// or infinite values are rejected, never cast — and coordinate/valuation
+/// fields must be finite. Every rejection names the offending field.
 Result<ReplayEvent> ParseReplayEventLine(const std::string& line);
 
+/// \brief Tuning knobs for LoadReplayLog.
+struct ReplayLoadOptions {
+  /// When true, a malformed line is logged at Warning, counted in
+  /// ReplayLoadStats::lines_skipped, and dropped instead of failing the
+  /// whole load. Structural damage (an unreadable stream) still fails.
+  bool skip_bad_events = false;
+};
+
+/// \brief Counters reported by LoadReplayLog.
+struct ReplayLoadStats {
+  /// Malformed lines dropped because of ReplayLoadOptions::skip_bad_events.
+  int64_t lines_skipped = 0;
+  /// Lines parsed into events (excludes blanks, comments, skipped lines).
+  int64_t events_loaded = 0;
+};
+
 /// \brief Reads a whole event log, skipping blanks and '#' comments.
-/// Errors carry the 1-based line number.
+/// Errors carry the 1-based line number and the offending field.
+Result<std::vector<ReplayEvent>> LoadReplayLog(std::istream& in,
+                                               const ReplayLoadOptions& options,
+                                               ReplayLoadStats* stats = nullptr);
+
+/// \brief Strict load: any malformed line fails with its line number.
 Result<std::vector<ReplayEvent>> LoadReplayLog(std::istream& in);
 
 }  // namespace maps

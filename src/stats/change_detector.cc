@@ -45,4 +45,41 @@ void ChangeDetector::Reset() {
   reference_rate_ = 0.0;
 }
 
+void ChangeDetector::Save(StateWriter* w) const {
+  w->PutI32(window_size_);
+  w->PutI32(in_window_);
+  w->PutI32(accepts_);
+  w->PutBool(has_reference_);
+  w->PutDouble(reference_rate_);
+}
+
+Status ChangeDetector::Load(StateReader* r) {
+  int32_t window_size, in_window, accepts;
+  bool has_reference;
+  double reference_rate;
+  MAPS_RETURN_NOT_OK(r->GetI32(&window_size, "detector window_size"));
+  MAPS_RETURN_NOT_OK(r->GetI32(&in_window, "detector in_window"));
+  MAPS_RETURN_NOT_OK(r->GetI32(&accepts, "detector accepts"));
+  MAPS_RETURN_NOT_OK(r->GetBool(&has_reference, "detector has_reference"));
+  MAPS_RETURN_NOT_OK(r->GetDouble(&reference_rate, "detector reference_rate"));
+  if (window_size != window_size_) {
+    return Status::InvalidArgument(
+        "detector window_size mismatch: checkpoint has " +
+        std::to_string(window_size) + ", configured " +
+        std::to_string(window_size_));
+  }
+  if (in_window < 0 || in_window >= window_size || accepts < 0 ||
+      accepts > in_window) {
+    return Status::InvalidArgument(
+        "detector window state inconsistent (in_window " +
+        std::to_string(in_window) + ", accepts " + std::to_string(accepts) +
+        ")");
+  }
+  in_window_ = in_window;
+  accepts_ = accepts;
+  has_reference_ = has_reference;
+  reference_rate_ = reference_rate;
+  return Status::OK();
+}
+
 }  // namespace maps

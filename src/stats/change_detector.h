@@ -11,6 +11,9 @@
 
 #include <cstdint>
 
+#include "util/serial.h"
+#include "util/status.h"
+
 namespace maps {
 
 /// \brief Windowed binomial deviation test for one (grid, price) stream.
@@ -30,6 +33,12 @@ class ChangeDetector {
   int window_size() const { return window_size_; }
 
   void Reset();
+
+  /// Serializes the window-in-progress and reference rate for
+  /// checkpointing. window_size is configuration: Load verifies it matches
+  /// and fails otherwise, leaving the detector unchanged.
+  void Save(StateWriter* w) const;
+  Status Load(StateReader* r);
 
  private:
   bool WindowDeviates() const;

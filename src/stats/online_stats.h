@@ -5,6 +5,9 @@
 #include <cmath>
 #include <cstdint>
 
+#include "util/serial.h"
+#include "util/status.h"
+
 namespace maps {
 
 /// \brief Welford's online mean/variance accumulator.
@@ -28,6 +31,25 @@ class OnlineMeanVar {
     n_ = 0;
     mean_ = 0.0;
     m2_ = 0.0;
+  }
+
+  void Save(StateWriter* w) const {
+    w->PutI64(n_);
+    w->PutDouble(mean_);
+    w->PutDouble(m2_);
+  }
+
+  Status Load(StateReader* r) {
+    int64_t n;
+    double mean, m2;
+    MAPS_RETURN_NOT_OK(r->GetI64(&n, "meanvar n"));
+    MAPS_RETURN_NOT_OK(r->GetDouble(&mean, "meanvar mean"));
+    MAPS_RETURN_NOT_OK(r->GetDouble(&m2, "meanvar m2"));
+    if (n < 0) return Status::InvalidArgument("meanvar count is negative");
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+    return Status::OK();
   }
 
  private:
@@ -55,6 +77,25 @@ class BernoulliCounter {
   void Reset() {
     trials_ = 0;
     successes_ = 0;
+  }
+
+  void Save(StateWriter* w) const {
+    w->PutI64(trials_);
+    w->PutI64(successes_);
+  }
+
+  Status Load(StateReader* r) {
+    int64_t trials, successes;
+    MAPS_RETURN_NOT_OK(r->GetI64(&trials, "bernoulli trials"));
+    MAPS_RETURN_NOT_OK(r->GetI64(&successes, "bernoulli successes"));
+    if (trials < 0 || successes < 0 || successes > trials) {
+      return Status::InvalidArgument(
+          "bernoulli counter inconsistent (" + std::to_string(successes) +
+          "/" + std::to_string(trials) + ")");
+    }
+    trials_ = trials;
+    successes_ = successes;
+    return Status::OK();
   }
 
  private:

@@ -71,4 +71,40 @@ void UcbEstimator::Reset() {
   total_ = 0;
 }
 
+void UcbEstimator::Save(StateWriter* w) const {
+  w->PutU64(count_.size());
+  for (int64_t c : count_) w->PutI64(c);
+  for (int64_t a : accepts_) w->PutI64(a);
+  w->PutI64(total_);
+}
+
+Status UcbEstimator::Load(StateReader* r) {
+  uint64_t rungs;
+  MAPS_RETURN_NOT_OK(r->GetU64(&rungs, "ucb rung count"));
+  if (rungs != count_.size()) {
+    return Status::InvalidArgument(
+        "ucb rung count mismatch: checkpoint has " + std::to_string(rungs) +
+        ", ladder has " + std::to_string(count_.size()));
+  }
+  std::vector<int64_t> count(count_.size()), accepts(accepts_.size());
+  int64_t total = 0;
+  for (auto& c : count) MAPS_RETURN_NOT_OK(r->GetI64(&c, "ucb count"));
+  for (auto& a : accepts) MAPS_RETURN_NOT_OK(r->GetI64(&a, "ucb accepts"));
+  MAPS_RETURN_NOT_OK(r->GetI64(&total, "ucb total"));
+  for (size_t i = 0; i < count.size(); ++i) {
+    if (count[i] < 0 || accepts[i] < 0 || accepts[i] > count[i]) {
+      return Status::InvalidArgument(
+          "ucb rung " + std::to_string(i) + " has inconsistent counts (" +
+          std::to_string(accepts[i]) + "/" + std::to_string(count[i]) + ")");
+    }
+  }
+  if (total < 0) {
+    return Status::InvalidArgument("ucb total is negative");
+  }
+  count_ = std::move(count);
+  accepts_ = std::move(accepts);
+  total_ = total;
+  return Status::OK();
+}
+
 }  // namespace maps

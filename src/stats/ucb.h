@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "stats/price_ladder.h"
+#include "util/serial.h"
+#include "util/status.h"
 
 namespace maps {
 
@@ -54,6 +56,13 @@ class UcbEstimator {
   void ResetRung(int idx);
 
   const PriceLadder& ladder() const { return *ladder_; }
+
+  /// Serializes the learned statistics (counts, accepts, total) for
+  /// checkpointing. The ladder itself is configuration, not state: Load
+  /// verifies the rung count matches and fails otherwise. On failure the
+  /// estimator is left unchanged.
+  void Save(StateWriter* w) const;
+  Status Load(StateReader* r);
 
   size_t FootprintBytes() const {
     return count_.capacity() * sizeof(int64_t) +

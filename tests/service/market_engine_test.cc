@@ -341,6 +341,81 @@ TEST(MarketEngineTest, StagingAndSubmissionGuards) {
   EXPECT_FALSE(engine.SubmitTask(outside).ok());
 }
 
+/// Hardened event semantics: malformed traffic gets a defined Status and a
+/// cumulative counter surfaced in every PeriodOutcome, never silence or UB.
+TEST(MarketEngineTest, RejectionCountersTrackMalformedTraffic) {
+  const GridPartition grid = OneCellGrid();
+  FixedPriceStrategy fixed(1.0);
+  EngineOptions options;
+  options.lifecycle.single_use = false;
+  options.lifecycle.speed = 0.1;  // long rides keep workers busy
+  MarketEngine engine(&grid, &fixed, options);
+
+  // Duplicate task id within the open period: AlreadyExists, counted, and
+  // the original submission (with its valuation) survives.
+  ASSERT_TRUE(engine.SubmitTask(MakeTask(grid, 0, {5, 5}, 2.0, 0), 9.0).ok());
+  EXPECT_EQ(engine.SubmitTask(MakeTask(grid, 0, {6, 6}, 3.0, 0), 0.0).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(engine.rejections().duplicate_tasks, 1);
+
+  // Unknown worker removal: NotFound + counted.
+  EXPECT_TRUE(engine.RemoveWorker(77).IsNotFound());
+  EXPECT_EQ(engine.rejections().unknown_worker_removals, 1);
+
+  // Acceptance for a task never submitted: accepted now (the submission
+  // may still arrive), discarded and counted at the close.
+  ASSERT_TRUE(engine.ObserveAcceptance(424242, true).ok());
+
+  Worker worker = MakeWorker(grid, 0, {5, 5}, 5.0, 0);
+  worker.duration = 100;
+  ASSERT_TRUE(engine.AddWorker(worker).ok());
+  PeriodOutcome outcome;
+  ASSERT_TRUE(engine.ClosePeriod(&outcome).ok());
+  ASSERT_EQ(outcome.matches.size(), 1u);  // the original task matched
+  EXPECT_EQ(outcome.rejections.duplicate_tasks, 1);
+  EXPECT_EQ(outcome.rejections.unknown_worker_removals, 1);
+  EXPECT_EQ(outcome.rejections.orphan_acceptances, 1);
+  EXPECT_EQ(outcome.rejections.busy_worker_removals, 0);
+
+  // Removing the worker mid-ride is honored but counted.
+  ASSERT_TRUE(engine.RemoveWorker(0).ok());
+  EXPECT_EQ(engine.rejections().busy_worker_removals, 1);
+
+  // Counters are cumulative and ride along every later outcome, including
+  // a dead period's (whose pending bits are all orphans).
+  ASSERT_TRUE(engine.ObserveAcceptance(5, true).ok());
+  ASSERT_TRUE(engine.ObserveAcceptance(6, false).ok());
+  ASSERT_TRUE(engine.ClosePeriod(&outcome).ok());
+  EXPECT_TRUE(outcome.skipped);
+  EXPECT_EQ(outcome.rejections.orphan_acceptances, 3);
+  EXPECT_EQ(outcome.rejections.duplicate_tasks, 1);
+  EXPECT_EQ(outcome.rejections.busy_worker_removals, 1);
+
+  // A consumed acceptance bit is not an orphan; task ids may repeat across
+  // periods without tripping the duplicate counter.
+  ASSERT_TRUE(engine.SubmitTask(MakeTask(grid, 0, {5, 5}, 2.0, 2)).ok());
+  ASSERT_TRUE(engine.ObserveAcceptance(0, true).ok());
+  ASSERT_TRUE(engine.ClosePeriod(&outcome).ok());
+  EXPECT_EQ(outcome.rejections.orphan_acceptances, 3);
+  EXPECT_EQ(outcome.rejections.duplicate_tasks, 1);
+  ASSERT_EQ(outcome.accepted.size(), 1u);
+}
+
+TEST(MarketEngineTest, StagedBatchWithRepeatedIdsIsRejected) {
+  const GridPartition grid = OneCellGrid();
+  FixedPriceStrategy fixed(1.0);
+  MarketEngine engine(&grid, &fixed, EngineOptions{});
+  const Task dup[2] = {MakeTask(grid, 3, {5, 5}, 2.0, 1),
+                       MakeTask(grid, 3, {6, 6}, 3.0, 1)};
+  EXPECT_TRUE(
+      engine.StageNextPeriodTasks(dup, dup + 2, nullptr).IsInvalidArgument());
+  EXPECT_EQ(engine.rejections().duplicate_tasks, 1);
+  // The rejected batch did not seal the next period: a clean batch works.
+  const Task ok_task = MakeTask(grid, 3, {5, 5}, 2.0, 1);
+  EXPECT_TRUE(engine.StageNextPeriodTasks(&ok_task, &ok_task + 1, nullptr)
+                  .ok());
+}
+
 TEST(MarketEngineTest, NullOutcomeAndWrongPriceVectorAreErrors) {
   const GridPartition grid = OneCellGrid();
   FixedPriceStrategy fixed(1.0);

@@ -106,5 +106,107 @@ TEST(ReplayLogTest, LoadSkipsBlanksAndCommentsAndNumbersErrors) {
   EXPECT_NE(err.status().message().find("line 3"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Hardened numeric validation: malformed values are rejected with the
+// offending field named, never cast through undefined behavior.
+// ---------------------------------------------------------------------------
+
+TEST(ReplayLogTest, RejectsNonFiniteAndNonIntegralNumbers) {
+  // Literal "nan"/"inf" die in the scanner (not a JSON value at all);
+  // signed spellings and overflow-to-infinity decimals reach the field
+  // validator, which must reject them naming the field.
+  for (const char* value : {"nan", "inf"}) {
+    EXPECT_FALSE(ParseReplayEventLine(
+                     std::string(R"({"event":"submit_task","id":1,"ox":)") +
+                     value + R"(,"oy":0,"dx":1,"dy":1})")
+                     .ok())
+        << value;
+  }
+  for (const char* value : {"-nan", "-inf", "1e999", "-1e999"}) {
+    const std::string line =
+        std::string(R"({"event":"submit_task","id":1,"ox":)") + value +
+        R"(,"oy":0,"dx":1,"dy":1})";
+    auto st = ParseReplayEventLine(line).status();
+    ASSERT_FALSE(st.ok()) << value;
+    EXPECT_NE(st.message().find("'ox'"), std::string::npos) << st.message();
+  }
+  // Optional numeric fields validate too — optional is not a license for
+  // garbage.
+  EXPECT_FALSE(ParseReplayEventLine(
+                   R"({"event":"submit_task","id":1,"ox":0,"oy":0,)"
+                   R"("dx":1,"dy":1,"valuation":1e999})")
+                   .ok());
+
+  // Integer fields: non-integral, overflowing, or junk-suffixed values.
+  for (const char* value : {"1.5", "2e3", "9223372036854775808",
+                            "-9223372036854775809", "7x"}) {
+    const std::string line =
+        std::string(R"({"event":"remove_worker","id":)") + value + "}";
+    auto st = ParseReplayEventLine(line).status();
+    ASSERT_FALSE(st.ok()) << value;
+    EXPECT_NE(st.message().find("'id'"), std::string::npos) << st.message();
+  }
+  // int64 boundaries themselves parse exactly (no double rounding).
+  auto max_id = ParseReplayEventLine(
+                    R"({"event":"remove_worker","id":9223372036854775807})")
+                    .ValueOrDie();
+  EXPECT_EQ(max_id.id, 9223372036854775807LL);
+
+  // duration is 32-bit: out-of-range values are rejected with the field
+  // named, not truncated.
+  auto st = ParseReplayEventLine(
+                R"({"event":"add_worker","id":1,"x":0,"y":0,"radius":2,)"
+                R"("duration":4294967296})")
+                .status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("'duration'"), std::string::npos);
+
+  // Missing-field errors also name the field.
+  st = ParseReplayEventLine(R"({"event":"submit_task","id":1,"ox":0})")
+           .status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("'oy'"), std::string::npos);
+}
+
+TEST(ReplayLogTest, SkipBadEventsDropsAndCountsMalformedLines) {
+  const std::string corpus =
+      "# broken-log corpus\n"
+      R"({"event":"add_worker","id":1,"x":0,"y":0,"radius":3})"
+      "\n"
+      "{broken json\n"                                          // bad: syntax
+      R"({"event":"submit_task","id":nan,"ox":0,"oy":0,"dx":1,"dy":1})"
+      "\n"                                                      // bad: value
+      R"({"event":"warp_drive"})"
+      "\n"                                                      // bad: kind
+      R"({"event":"close_period"})"
+      "\n";
+
+  // Strict load fails on the first bad line, with its number.
+  std::istringstream strict(corpus);
+  auto err = LoadReplayLog(strict);
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("line 3"), std::string::npos);
+
+  // Opt-in skipping loads the good events and counts the bad lines.
+  std::istringstream lax(corpus);
+  ReplayLoadOptions options;
+  options.skip_bad_events = true;
+  ReplayLoadStats stats;
+  auto events = LoadReplayLog(lax, options, &stats).ValueOrDie();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, ReplayEvent::Kind::kAddWorker);
+  EXPECT_EQ(events[1].kind, ReplayEvent::Kind::kClosePeriod);
+  EXPECT_EQ(stats.lines_skipped, 3);
+  EXPECT_EQ(stats.events_loaded, 2);
+
+  // skip_bad_events defaults off, and a clean log reports zero skips.
+  std::istringstream clean(R"({"event":"close_period"})");
+  ReplayLoadStats clean_stats;
+  ASSERT_TRUE(
+      LoadReplayLog(clean, ReplayLoadOptions{}, &clean_stats).ok());
+  EXPECT_EQ(clean_stats.lines_skipped, 0);
+  EXPECT_EQ(clean_stats.events_loaded, 1);
+}
+
 }  // namespace
 }  // namespace maps

@@ -32,6 +32,8 @@ DEFAULT_KEYS = [
     "mc_expected_revenue",
     "simulator_periods",
     "engine_period",
+    "checkpoint_save",
+    "checkpoint_restore",
 ]
 
 

@@ -11,7 +11,9 @@
 //                      [--grid=4 --extent=100 --strategy=MAPS
 //                       --single-use=true --speed=1 --reposition=0
 //                       --threads=0 --mc_worlds=0
-//                       --demand-mu=2 --demand-sigma=1 --oracle-seed=17]
+//                       --demand-mu=2 --demand-sigma=1 --oracle-seed=17
+//                       --checkpoint_every=0 --checkpoint_dir=.
+//                       --restore_from=<file.ckpt> --skip_bad_events=false]
 //
 // `replay` drives the online MarketEngine from a JSONL event file (see
 // src/service/replay_log.h for the schema): task submissions, worker
@@ -21,6 +23,14 @@
 // up against a truncated-normal demand oracle built from --demand-mu /
 // --demand-sigma over [pmin, pmax]; --mc_worlds>0 also reports each
 // period's expected revenue under that assumed demand.
+//
+// Checkpointing: --checkpoint_every=N saves the engine (and learned
+// strategy state) to --checkpoint_dir every N closed periods;
+// --restore_from=<file> resumes a previous run — warm-up is skipped, the
+// events already consumed before the checkpointed period boundary are
+// skipped, and the resumed run is bit-identical to the uninterrupted one
+// (DESIGN.md §12). --skip_bad_events=true drops malformed event lines
+// with a warning instead of aborting.
 //
 // Common flags:
 //   --strategy=MAPS|BaseP|SDR|SDE|CappedUCB|all   (default all; replay
@@ -40,6 +50,7 @@
 
 #include "market/demand_model.h"
 #include "pricing/price_postprocess.h"
+#include "service/checkpoint.h"
 #include "service/market_engine.h"
 #include "service/replay_log.h"
 #include "sim/beijing.h"
@@ -125,6 +136,11 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
       static_cast<uint64_t>(flags.GetInt("oracle-seed", 17));
   const int threads = static_cast<int>(flags.GetInt("threads", 0));
   const int mc_worlds = static_cast<int>(flags.GetInt("mc_worlds", 0));
+  const int64_t checkpoint_every = flags.GetInt("checkpoint_every", 0);
+  const std::string checkpoint_dir = flags.GetString("checkpoint_dir", ".");
+  const std::string restore_from = flags.GetString("restore_from", "");
+  ReplayLoadOptions load_options;
+  load_options.skip_bad_events = flags.GetBool("skip_bad_events", false);
 
   EngineOptions engine_options;
   engine_options.lifecycle.single_use = flags.GetBool("single-use", true);
@@ -137,7 +153,8 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
 
   std::ifstream in(events_path);
   if (!in) return Fail("cannot open " + events_path);
-  auto events_or = LoadReplayLog(in);
+  ReplayLoadStats load_stats;
+  auto events_or = LoadReplayLog(in, load_options, &load_stats);
   if (!events_or.ok()) {
     return Fail(events_path + ": " + events_or.status().ToString());
   }
@@ -177,9 +194,26 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
   if (mc_worlds > 0) engine_options.mc_oracle = &oracle;
   MarketEngine engine(&grid, strategy.get(), engine_options);
 
-  if (Status st = strategy->Warmup(grid, &oracle); !st.ok()) {
-    return Fail(which + " warmup: " + st.ToString());
+  // A restored engine carries the checkpointed learned state, so warm-up
+  // runs only on a fresh start.
+  if (restore_from.empty()) {
+    if (Status st = strategy->Warmup(grid, &oracle); !st.ok()) {
+      return Fail(which + " warmup: " + st.ToString());
+    }
+  } else {
+    std::string blob;
+    if (Status st = ReadCheckpointFile(restore_from, &blob); !st.ok()) {
+      return Fail(restore_from + ": " + st.ToString());
+    }
+    if (Status st = engine.RestoreFromCheckpoint(blob); !st.ok()) {
+      return Fail(restore_from + ": " + st.ToString());
+    }
+    std::cout << "restored " << restore_from << " at period "
+              << engine.current_period() << "\n";
   }
+  // Replay the feed from the checkpointed boundary: everything up to and
+  // including the current_period()-th close_period was already consumed.
+  int64_t skip_closes = engine.current_period();
 
   Table table({"period", "tasks", "workers", "accepted", "matched",
                "revenue", "mc_revenue"});
@@ -188,6 +222,10 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
   int64_t total_accepted = 0;
   int64_t total_matched = 0;
   for (const ReplayEvent& ev : events) {
+    if (skip_closes > 0) {
+      if (ev.kind == ReplayEvent::Kind::kClosePeriod) --skip_closes;
+      continue;
+    }
     Status st = Status::OK();
     switch (ev.kind) {
       case ReplayEvent::Kind::kSubmitTask: {
@@ -227,14 +265,30 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
           total_accepted += static_cast<int64_t>(outcome.accepted.size());
           total_matched += static_cast<int64_t>(outcome.matches.size());
         }
+        if (st.ok() && checkpoint_every > 0 &&
+            engine.current_period() % checkpoint_every == 0) {
+          std::string blob;
+          st = engine.SaveCheckpoint(&blob);
+          if (st.ok()) {
+            const std::string path =
+                checkpoint_dir + "/checkpoint_" +
+                std::to_string(engine.current_period()) + ".ckpt";
+            st = WriteCheckpointFile(path, blob);
+            if (st.ok()) std::cout << "checkpoint: " << path << "\n";
+          }
+        }
         break;
       }
     }
     if (!st.ok()) return Fail("event replay: " + st.ToString());
   }
 
-  std::cout << "replayed " << events.size() << " events, "
-            << engine.current_period() << " periods closed ("
+  std::cout << "replayed " << events.size() << " events";
+  if (load_stats.lines_skipped > 0) {
+    std::cout << " (" << load_stats.lines_skipped << " malformed line(s)"
+              << " skipped)";
+  }
+  std::cout << ", " << engine.current_period() << " periods closed ("
             << which << ")\n\n"
             << table.ToText() << "\ntotal revenue " << total_revenue << ", "
             << total_accepted << " accepted, " << total_matched
