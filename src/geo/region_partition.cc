@@ -1,0 +1,59 @@
+#include "geo/region_partition.h"
+
+#include <string>
+
+namespace maps {
+
+Result<RegionPartition> RegionPartition::Make(const GridPartition& grid,
+                                              int num_regions) {
+  const int rows = grid.rows();
+  const int cols = grid.cols();
+  if (num_regions < 1) {
+    return Status::InvalidArgument("num_regions must be >= 1, got " +
+                                   std::to_string(num_regions));
+  }
+  if (num_regions > rows) {
+    return Status::InvalidArgument(
+        "num_regions " + std::to_string(num_regions) + " exceeds the " +
+        std::to_string(rows) + " grid row(s); every region needs a full row");
+  }
+
+  RegionPartition p;
+  p.num_regions_ = num_regions;
+  p.rows_ = rows;
+  p.cols_ = cols;
+
+  // Even contiguous split: the first rows % K bands get one extra row. Same
+  // scheme as SplitRange (util/thread_pool.h) so band sizes differ by at
+  // most one row.
+  p.row_begin_.resize(num_regions + 1);
+  const int base = rows / num_regions;
+  const int extra = rows % num_regions;
+  int row = 0;
+  for (int k = 0; k < num_regions; ++k) {
+    p.row_begin_[k] = row;
+    row += base + (k < extra ? 1 : 0);
+  }
+  p.row_begin_[num_regions] = rows;
+
+  p.region_of_row_.resize(rows);
+  p.boundary_row_.assign(rows, 0);
+  for (int k = 0; k < num_regions; ++k) {
+    for (int r = p.row_begin_[k]; r < p.row_begin_[k + 1]; ++r) {
+      p.region_of_row_[r] = k;
+    }
+    // A band's edge rows face the neighboring bands.
+    if (k > 0) p.boundary_row_[p.row_begin_[k]] = 1;
+    if (k + 1 < num_regions) p.boundary_row_[p.row_begin_[k + 1] - 1] = 1;
+  }
+
+  for (int r = 0; r < rows; ++r) {
+    if (!p.boundary_row_[r]) continue;
+    for (int c = 0; c < cols; ++c) {
+      p.boundary_grids_.push_back(static_cast<GridId>(r) * cols + c);
+    }
+  }
+  return p;
+}
+
+}  // namespace maps

@@ -1,0 +1,71 @@
+// RegionPartition: the sharding layer between the city grid and the
+// per-region serving engines (DESIGN.md §13). The G = rows x cols cells of a
+// GridPartition are split into K contiguous horizontal bands of whole rows
+// ("regions"), each owned by one MarketEngine shard. The split is a pure
+// function of (rows, K) — no RNG, no configuration file — so two processes
+// given the same grid and K always agree on ownership, which is what the
+// checkpoint fingerprint and the boundary-stitch determinism argument rely
+// on.
+//
+// A cell is a BOUNDARY cell when its row touches an adjacent band: the last
+// row of every band but the highest, and the first row of every band but the
+// lowest. Only workers standing in boundary cells can have a reach disc that
+// crosses into a foreign band, so the stitch pass after a sharded close only
+// ever inspects these cells.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/grid.h"
+#include "util/result.h"
+
+namespace maps {
+
+/// \brief Contiguous row-band partition of a grid into K regions.
+class RegionPartition {
+ public:
+  /// \param grid the city partition being sharded (only rows/cols are read).
+  /// \param num_regions K; must satisfy 1 <= K <= grid.rows() so every
+  ///        region owns at least one full row.
+  static Result<RegionPartition> Make(const GridPartition& grid,
+                                      int num_regions);
+
+  int num_regions() const { return num_regions_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Region owning the given cell. `grid` must be a valid cell id.
+  int RegionOfGrid(GridId grid) const {
+    return region_of_row_[static_cast<int>(grid) / cols_];
+  }
+  int RegionOfRow(int row) const { return region_of_row_[row]; }
+
+  /// First row of region k (rows are assigned to regions in ascending,
+  /// contiguous blocks; region k owns rows [row_begin(k), row_end(k))).
+  int row_begin(int k) const { return row_begin_[k]; }
+  int row_end(int k) const { return row_begin_[k + 1]; }
+
+  /// True when the cell's row is adjacent to a different region's band.
+  /// With K == 1 no cell is a boundary cell.
+  bool IsBoundaryGrid(GridId grid) const {
+    return boundary_row_[static_cast<int>(grid) / cols_] != 0;
+  }
+
+  /// All boundary cell ids, ascending.
+  const std::vector<GridId>& boundary_grids() const { return boundary_grids_; }
+
+ private:
+  RegionPartition() = default;
+
+  int num_regions_ = 1;
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> row_begin_;      // size K + 1; row_begin_[K] == rows
+  std::vector<int> region_of_row_;  // size rows
+  std::vector<char> boundary_row_;  // size rows; 1 = touches another band
+  std::vector<GridId> boundary_grids_;
+};
+
+}  // namespace maps

@@ -35,43 +35,48 @@ enum SectionId : uint32_t {
   kSectionRng = 6,       // repositioning RNG position
   kSectionStrategy = 7,  // PricingStrategy::SaveState payload
 };
-constexpr uint32_t kNumSections = 7;
 
-void AppendSection(uint32_t id, const std::string& payload, StateWriter* out) {
+
+}  // namespace
+
+namespace internal {
+
+void AppendCheckpointSection(uint32_t id, const std::string& payload,
+                             StateWriter* out) {
   out->PutU32(id);
   out->PutU64(payload.size());
   out->PutU32(Crc32(payload.data(), payload.size()));
   out->PutBytes(payload.data(), payload.size());
 }
 
-/// Validates the container structure (magic, version, section order,
-/// lengths, CRCs) and extracts every payload. No payload field is decoded
-/// here; structural corruption is caught before any interpretation.
-Status ParseContainer(const std::string& data,
-                      std::vector<std::string>* payloads) {
+Status ParseCheckpointContainer(const std::string& data, const char* magic,
+                                uint32_t version, uint32_t num_sections,
+                                const char* what,
+                                std::vector<std::string>* payloads) {
+  const std::string name(what);
   StateReader r(data);
-  char magic[sizeof(kCheckpointMagic)];
-  MAPS_RETURN_NOT_OK(r.GetBytes(magic, sizeof(magic), "checkpoint magic"));
-  if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
-    return Status::InvalidArgument(
-        "bad magic at offset 0: not a MAPS checkpoint");
+  char got_magic[8];
+  MAPS_RETURN_NOT_OK(
+      r.GetBytes(got_magic, sizeof(got_magic), "checkpoint magic"));
+  if (std::memcmp(got_magic, magic, sizeof(got_magic)) != 0) {
+    return Status::InvalidArgument("bad magic at offset 0: not a " + name);
   }
-  uint32_t version;
-  MAPS_RETURN_NOT_OK(r.GetU32(&version, "checkpoint format version"));
-  if (version != kCheckpointFormatVersion) {
+  uint32_t got_version;
+  MAPS_RETURN_NOT_OK(r.GetU32(&got_version, "checkpoint format version"));
+  if (got_version != version) {
     return Status::InvalidArgument(
-        "unsupported checkpoint format version " + std::to_string(version) +
-        " (this build reads version " +
-        std::to_string(kCheckpointFormatVersion) + ")");
+        "unsupported " + name + " format version " +
+        std::to_string(got_version) + " (this build reads version " +
+        std::to_string(version) + ")");
   }
   uint32_t count;
   MAPS_RETURN_NOT_OK(r.GetU32(&count, "checkpoint section count"));
-  if (count != kNumSections) {
+  if (count != num_sections) {
     return Status::InvalidArgument(
-        "checkpoint has " + std::to_string(count) + " sections, expected " +
-        std::to_string(kNumSections));
+        name + " has " + std::to_string(count) + " sections, expected " +
+        std::to_string(num_sections));
   }
-  payloads->assign(kNumSections, std::string());
+  payloads->assign(num_sections, std::string());
   for (uint32_t i = 0; i < count; ++i) {
     const size_t header_at = r.offset();
     uint32_t id, crc;
@@ -103,10 +108,10 @@ Status ParseContainer(const std::string& data,
     }
     (*payloads)[i] = std::move(payload);
   }
-  return r.ExpectEnd("checkpoint container");
+  return r.ExpectEnd((name + " container").c_str());
 }
 
-}  // namespace
+}  // namespace internal
 
 Status WriteCheckpointFile(const std::string& path, const std::string& data) {
   const std::string tmp = path + ".tmp";
@@ -179,7 +184,8 @@ Status MarketEngine::SaveCheckpoint(std::string* out) {
 
   StateWriter workers;
   workers.PutU64(workers_.size());
-  for (const WorkerRecord& rec : workers_) {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const WorkerRecord& rec = workers_[i];
     workers.PutI64(rec.base.id);
     workers.PutI32(rec.base.period);
     workers.PutDouble(rec.base.location.x);
@@ -190,6 +196,12 @@ Status MarketEngine::SaveCheckpoint(std::string* out) {
     workers.PutI32(rec.next_free);
     workers.PutI32(rec.retire_at);
     workers.PutBool(rec.consumed);
+    // indexed: the id still resolves to this record. False only for the
+    // tombstones ExtractIdleWorker leaves behind (the id may meanwhile
+    // belong to a newer record of this same engine).
+    const auto idx_it = worker_index_.find(rec.base.id);
+    workers.PutBool(idx_it != worker_index_.end() &&
+                    idx_it->second == static_cast<int>(i));
   }
   workers.PutU64(idle_.size());
   for (int idx : idle_) workers.PutI32(idx);
@@ -241,14 +253,14 @@ Status MarketEngine::SaveCheckpoint(std::string* out) {
   StateWriter blob;
   blob.PutBytes(kCheckpointMagic, sizeof(kCheckpointMagic));
   blob.PutU32(kCheckpointFormatVersion);
-  blob.PutU32(kNumSections);
-  AppendSection(kSectionConfig, config.data(), &blob);
-  AppendSection(kSectionCore, core.data(), &blob);
-  AppendSection(kSectionWorkers, workers.data(), &blob);
-  AppendSection(kSectionStages, stage_w.data(), &blob);
-  AppendSection(kSectionPending, pending.data(), &blob);
-  AppendSection(kSectionRng, rng.data(), &blob);
-  AppendSection(kSectionStrategy, strategy.data(), &blob);
+  blob.PutU32(kCheckpointNumSections);
+  internal::AppendCheckpointSection(kSectionConfig, config.data(), &blob);
+  internal::AppendCheckpointSection(kSectionCore, core.data(), &blob);
+  internal::AppendCheckpointSection(kSectionWorkers, workers.data(), &blob);
+  internal::AppendCheckpointSection(kSectionStages, stage_w.data(), &blob);
+  internal::AppendCheckpointSection(kSectionPending, pending.data(), &blob);
+  internal::AppendCheckpointSection(kSectionRng, rng.data(), &blob);
+  internal::AppendCheckpointSection(kSectionStrategy, strategy.data(), &blob);
   *out = blob.data();
   return Status::OK();
 }
@@ -256,7 +268,9 @@ Status MarketEngine::SaveCheckpoint(std::string* out) {
 Status MarketEngine::RestoreFromCheckpoint(const std::string& data) {
   DrainPrebuilds();
   std::vector<std::string> sections;
-  MAPS_RETURN_NOT_OK(ParseContainer(data, &sections));
+  MAPS_RETURN_NOT_OK(internal::ParseCheckpointContainer(
+      data, kCheckpointMagic, kCheckpointFormatVersion, kCheckpointNumSections,
+      "MAPS checkpoint", &sections));
 
   // Every section is decoded and validated into temporaries first; the
   // engine commits only after all of them (and the strategy) succeeded, so
@@ -338,8 +352,8 @@ Status MarketEngine::RestoreFromCheckpoint(const std::string& data) {
     StateReader r(sections[kSectionWorkers - 1]);
     uint64_t n;
     MAPS_RETURN_NOT_OK(r.GetU64(&n, "worker count"));
-    // One record is 53 encoded bytes; a count beyond that is corruption.
-    MAPS_RETURN_NOT_OK(CheckDecodedCount(r, n, 53, "worker records"));
+    // One record is 54 encoded bytes; a count beyond that is corruption.
+    MAPS_RETURN_NOT_OK(CheckDecodedCount(r, n, 54, "worker records"));
     workers.resize(static_cast<size_t>(n));
     worker_index.reserve(workers.size());
     for (size_t i = 0; i < workers.size(); ++i) {
@@ -354,12 +368,22 @@ Status MarketEngine::RestoreFromCheckpoint(const std::string& data) {
       MAPS_RETURN_NOT_OK(r.GetI32(&rec.next_free, "worker next_free"));
       MAPS_RETURN_NOT_OK(r.GetI32(&rec.retire_at, "worker retire_at"));
       MAPS_RETURN_NOT_OK(r.GetBool(&rec.consumed, "worker consumed"));
+      bool indexed;
+      MAPS_RETURN_NOT_OK(r.GetBool(&indexed, "worker indexed"));
       if (rec.base.grid < 0 || rec.base.grid >= grid_->num_cells()) {
         return Status::InvalidArgument(
             "worker record " + std::to_string(i) + " has grid " +
             std::to_string(rec.base.grid) + " outside the partition");
       }
-      if (!worker_index.emplace(rec.base.id, static_cast<int>(i)).second) {
+      // Only extraction tombstones lose their index entry, and they are
+      // always consumed; a live-but-unindexed record is corruption.
+      if (!indexed && !rec.consumed) {
+        return Status::InvalidArgument(
+            "worker record " + std::to_string(i) +
+            " is unindexed but not consumed");
+      }
+      if (indexed &&
+          !worker_index.emplace(rec.base.id, static_cast<int>(i)).second) {
         return Status::InvalidArgument(
             "worker id " + std::to_string(rec.base.id) +
             " appears twice in the checkpoint");

@@ -22,19 +22,54 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "util/serial.h"
 #include "util/status.h"
 
 namespace maps {
 
-/// First bytes of every checkpoint file.
+/// First bytes of every single-engine checkpoint file.
 inline constexpr char kCheckpointMagic[8] = {'M', 'A', 'P', 'S',
                                              'C', 'K', 'P', 'T'};
 
 /// Container format version produced by SaveCheckpoint. Readers reject
 /// other versions (no cross-version migration yet; see DESIGN.md §12 for
-/// the compatibility policy).
-inline constexpr uint32_t kCheckpointFormatVersion = 1;
+/// the compatibility policy). Version 2 added the per-worker-record
+/// `indexed` flag (sharded extraction tombstones).
+inline constexpr uint32_t kCheckpointFormatVersion = 2;
+
+/// Number of sections in a single-engine checkpoint container (config,
+/// core counters, workers, staged tasks, pending bits, RNG, strategy).
+inline constexpr uint32_t kCheckpointNumSections = 7;
+
+/// First bytes of a ShardedMarketEngine checkpoint file (its container
+/// embeds one kCheckpointMagic blob per region; see
+/// docs/checkpoint_format.md).
+inline constexpr char kShardedCheckpointMagic[8] = {'M', 'A', 'P', 'S',
+                                                    'S', 'H', 'R', 'D'};
+
+/// Container format version produced by ShardedMarketEngine::SaveCheckpoint.
+inline constexpr uint32_t kShardedCheckpointFormatVersion = 1;
+
+namespace internal {
+
+/// Appends one container section — u32 id, u64 payload length, u32
+/// CRC-32(payload), payload bytes — to a blob under construction.
+void AppendCheckpointSection(uint32_t id, const std::string& payload,
+                             StateWriter* out);
+
+/// Validates a container's structure — `magic` (8 bytes), `version`,
+/// exactly `num_sections` sections in ascending id order 1..N, every
+/// length and CRC — and extracts the payloads. No payload field is decoded
+/// here, so structural corruption is caught (with a byte offset) before any
+/// interpretation. `what` names the container in error messages.
+Status ParseCheckpointContainer(const std::string& data, const char* magic,
+                                uint32_t version, uint32_t num_sections,
+                                const char* what,
+                                std::vector<std::string>* payloads);
+
+}  // namespace internal
 
 /// \brief Atomically replaces `path` with `data`: writes `path`.tmp,
 /// flushes and fsyncs it, then renames over `path`. A crash mid-write

@@ -168,6 +168,132 @@ Status MarketEngine::ObserveAcceptance(TaskId task, bool accepted) {
   return Status::OK();
 }
 
+// --- Sharded-serving hooks (DESIGN.md §13) -------------------------------
+// Eligibility for all of them: the worker was offered at the most recently
+// closed period and went unmatched — i.e. it sits on the idle list, is not
+// consumed or retired, and became free before the now-open period
+// (next_free < period_). Workers added during the open period or still on a
+// ride fail the next_free test; before the first close nothing qualifies.
+
+namespace {
+
+Status NotStitchable(WorkerId id, const char* why) {
+  return Status::FailedPrecondition("worker id " + std::to_string(id) + " " +
+                                    why);
+}
+
+}  // namespace
+
+void MarketEngine::CollectIdleWorkers(std::vector<Worker>* out) const {
+  for (int idx : idle_) {
+    const WorkerRecord& rec = workers_[idx];
+    if (rec.consumed || rec.retire_at < period_ || rec.next_free >= period_) {
+      continue;
+    }
+    out->push_back(rec.base);
+  }
+}
+
+Status MarketEngine::ConsumeIdleWorker(WorkerId id) {
+  auto it = worker_index_.find(id);
+  if (it == worker_index_.end()) {
+    return Status::NotFound("worker id " + std::to_string(id) +
+                            " is unknown to this engine");
+  }
+  WorkerRecord& rec = workers_[it->second];
+  if (rec.consumed) return NotStitchable(id, "was already consumed");
+  if (rec.retire_at < period_) return NotStitchable(id, "has retired");
+  if (rec.next_free >= period_) {
+    return NotStitchable(id, "was not idle at the last close");
+  }
+  // The idle list drops consumed records at the next availability scan.
+  rec.consumed = true;
+  return Status::OK();
+}
+
+Status MarketEngine::DispatchIdleWorker(WorkerId id, const Point& destination,
+                                        int32_t next_free) {
+  auto it = worker_index_.find(id);
+  if (it == worker_index_.end()) {
+    return Status::NotFound("worker id " + std::to_string(id) +
+                            " is unknown to this engine");
+  }
+  if (next_free < period_) {
+    return Status::InvalidArgument(
+        "dispatch of worker " + std::to_string(id) + " ends at period " +
+        std::to_string(next_free) + ", before the open period " +
+        std::to_string(period_));
+  }
+  const int idx = it->second;
+  WorkerRecord& rec = workers_[idx];
+  if (rec.consumed) return NotStitchable(id, "was already consumed");
+  if (rec.retire_at < period_) return NotStitchable(id, "has retired");
+  if (rec.next_free >= period_) {
+    return NotStitchable(id, "was not idle at the last close");
+  }
+  idle_.erase(std::find(idle_.begin(), idle_.end(), idx));
+  rec.base.location = destination;
+  rec.base.grid = grid_->CellOf(destination);
+  rec.next_free = next_free;
+  busy_.push({next_free, idx});
+  return Status::OK();
+}
+
+Status MarketEngine::ExtractIdleWorker(WorkerId id, Worker* base,
+                                       int32_t* retire_at) {
+  auto it = worker_index_.find(id);
+  if (it == worker_index_.end()) {
+    return Status::NotFound("worker id " + std::to_string(id) +
+                            " is unknown to this engine");
+  }
+  const int idx = it->second;
+  WorkerRecord& rec = workers_[idx];
+  if (rec.consumed) return NotStitchable(id, "was already consumed");
+  if (rec.retire_at < period_) return NotStitchable(id, "has retired");
+  if (rec.next_free >= period_) {
+    return NotStitchable(id, "was not idle at the last close");
+  }
+  *base = rec.base;
+  *retire_at = rec.retire_at;
+  // Tombstone: the record stays (indices into workers_ are stable) but the
+  // id is forgotten, so the worker can be adopted elsewhere — or even
+  // re-adopted here later under the same id.
+  rec.consumed = true;
+  idle_.erase(std::find(idle_.begin(), idle_.end(), idx));
+  worker_index_.erase(it);
+  return Status::OK();
+}
+
+Status MarketEngine::AdoptWorker(const Worker& base, int32_t next_free,
+                                 int32_t retire_at) {
+  if (worker_index_.count(base.id) > 0) {
+    return Status::AlreadyExists("worker id " + std::to_string(base.id) +
+                                 " already admitted");
+  }
+  WorkerRecord rec;
+  rec.base = base;
+  if (rec.base.grid < 0) rec.base.grid = grid_->CellOf(rec.base.location);
+  if (rec.base.grid < 0 || rec.base.grid >= grid_->num_cells()) {
+    return Status::InvalidArgument("worker " + std::to_string(base.id) +
+                                   " outside the partition");
+  }
+  rec.next_free = next_free;
+  rec.retire_at = retire_at;
+  const int idx = static_cast<int>(workers_.size());
+  workers_.push_back(rec);
+  matched_flag_.push_back(0);
+  // Still riding (or freed exactly at the open period): the busy heap
+  // returns it at the close of period next_free; already free: offer it at
+  // the open period's close.
+  if (next_free >= period_) {
+    busy_.push({next_free, idx});
+  } else {
+    idle_.push_back(idx);
+  }
+  worker_index_[base.id] = idx;
+  return Status::OK();
+}
+
 int64_t MarketEngine::num_live_workers() const {
   int64_t live = 0;
   for (const WorkerRecord& rec : workers_) {

@@ -232,6 +232,43 @@ class MarketEngine {
   /// zero — they describe this process, not the run.
   Status RestoreFromCheckpoint(const std::string& data);
 
+  // --- Sharded-serving hooks (DESIGN.md §13) -----------------------------
+  // ShardedMarketEngine's boundary stitch runs right after a close and
+  // reconciles matches the per-region matchings could not see. Each hook
+  // addresses a worker that is IDLE now — known, not consumed, not retired,
+  // not mid-ride — and fails with NotFound / FailedPrecondition otherwise.
+  // Single-engine deployments never call them.
+
+  /// Appends the Worker base of every idle worker, in idle (admission)
+  /// order — the candidate set the boundary stitch scans after a close.
+  void CollectIdleWorkers(std::vector<Worker>* out) const;
+
+  /// Consumes an idle worker in place (a single-use stitch match): the
+  /// worker is never offered again but its id stays known, like any
+  /// consumed single-use worker.
+  Status ConsumeIdleWorker(WorkerId id);
+
+  /// Sends an idle worker on a ride ending at `destination` (a turnaround
+  /// stitch match whose destination stays in this engine's own region):
+  /// the worker leaves the idle list and returns at period `next_free`
+  /// from the destination, exactly as if the period matching had assigned
+  /// it.
+  Status DispatchIdleWorker(WorkerId id, const Point& destination,
+                            int32_t next_free);
+
+  /// Removes an idle worker from this engine entirely, handing back its
+  /// current base state and retirement period so another engine can adopt
+  /// it (cross-region migration). The id becomes unknown to this engine.
+  Status ExtractIdleWorker(WorkerId id, Worker* base, int32_t* retire_at);
+
+  /// Admits a worker mid-lifecycle — the receiving half of a migration.
+  /// Unlike AddWorker, the caller supplies next_free/retire_at verbatim
+  /// (they are absolute periods from the source engine; both engines close
+  /// in lockstep, so periods agree). A worker still riding (next_free >
+  /// open period) goes straight onto the busy heap.
+  Status AdoptWorker(const Worker& base, int32_t next_free,
+                     int32_t retire_at);
+
   /// Cumulative rejected/ignored event counters (also in every
   /// PeriodOutcome).
   const EngineRejectionCounters& rejections() const { return rejections_; }

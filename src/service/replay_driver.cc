@@ -1,0 +1,100 @@
+#include "service/replay_driver.h"
+
+#include <string>
+#include <utility>
+
+#include "geo/point.h"
+
+namespace maps {
+
+namespace {
+
+Status AtLine(int64_t lineno, const Status& st) {
+  if (st.ok()) return st;
+  return Status(st.code(),
+                "line " + std::to_string(lineno) + ": " + st.message());
+}
+
+/// The one replay loop, engine-agnostic: MarketEngine and
+/// ShardedMarketEngine expose the same event surface.
+template <typename Engine>
+Result<ReplayStreamSummary> Drive(ReplayEventStream* stream,
+                                  const GridPartition& grid, Engine* engine,
+                                  const ReplayStreamOptions& options) {
+  ReplayStreamSummary summary;
+  int64_t skip_closes = options.skip_closes;
+  ReplayEvent ev;
+  PeriodOutcome outcome;
+  while (true) {
+    auto more = stream->Next(&ev);
+    MAPS_RETURN_NOT_OK(more.status());
+    if (!more.ValueOrDie()) break;
+    if (skip_closes > 0) {
+      if (ev.kind == ReplayEvent::Kind::kClosePeriod) --skip_closes;
+      continue;
+    }
+    Status st = Status::OK();
+    switch (ev.kind) {
+      case ReplayEvent::Kind::kSubmitTask: {
+        Task task = ev.task;
+        task.grid = grid.CellOf(task.origin);
+        task.period = engine->current_period();
+        if (task.distance <= 0.0) {
+          task.distance = EuclideanDistance(task.origin, task.destination);
+        }
+        st = engine->SubmitTask(task, ev.has_valuation
+                                          ? ev.valuation
+                                          : MarketEngine::kNoValuation);
+        break;
+      }
+      case ReplayEvent::Kind::kAddWorker: {
+        Worker worker = ev.worker;
+        worker.grid = grid.CellOf(worker.location);
+        worker.period = engine->current_period();
+        st = engine->AddWorker(worker);
+        break;
+      }
+      case ReplayEvent::Kind::kRemoveWorker:
+        st = engine->RemoveWorker(ev.id);
+        break;
+      case ReplayEvent::Kind::kObserveAcceptance:
+        st = engine->ObserveAcceptance(ev.id, ev.accepted);
+        break;
+      case ReplayEvent::Kind::kClosePeriod: {
+        st = engine->ClosePeriod(&outcome);
+        if (st.ok()) {
+          ++summary.periods_closed;
+          summary.total_revenue += outcome.revenue;
+          summary.total_accepted +=
+              static_cast<int64_t>(outcome.accepted.size());
+          summary.total_matched +=
+              static_cast<int64_t>(outcome.matches.size());
+          if (options.on_close) {
+            st = AtLine(stream->line_number(), options.on_close(outcome));
+            if (!st.ok()) return st;
+          }
+        }
+        break;
+      }
+    }
+    if (!st.ok()) return AtLine(stream->line_number(), st);
+    ++summary.events_applied;
+  }
+  return summary;
+}
+
+}  // namespace
+
+Result<ReplayStreamSummary> ReplayEventsThroughEngine(
+    ReplayEventStream* stream, const GridPartition& grid, MarketEngine* engine,
+    const ReplayStreamOptions& options) {
+  return Drive(stream, grid, engine, options);
+}
+
+Result<ReplayStreamSummary> ReplayEventsThroughEngine(
+    ReplayEventStream* stream, const GridPartition& grid,
+    ShardedMarketEngine* engine, const ReplayStreamOptions& options) {
+  return Drive(stream, grid, engine, options);
+}
+
+}  // namespace maps

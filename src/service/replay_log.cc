@@ -277,41 +277,59 @@ Result<ReplayEvent> ParseReplayEventLine(const std::string& line) {
   return Status::InvalidArgument("unknown event kind '" + kind + "'");
 }
 
+ReplayEventStream::ReplayEventStream(std::istream& in,
+                                     const ReplayLoadOptions& options)
+    : in_(in), options_(options) {}
+
+Result<bool> ReplayEventStream::Next(ReplayEvent* out) {
+  if (done_) return false;
+  while (std::getline(in_, line_)) {
+    ++lineno_;
+    size_t first = 0;
+    while (first < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[first]))) {
+      ++first;
+    }
+    if (first == line_.size() || line_[first] == '#') continue;
+    auto ev = ParseReplayEventLine(line_);
+    if (!ev.ok()) {
+      if (options_.skip_bad_events) {
+        ++stats_.lines_skipped;
+        MAPS_LOG(Warning) << "replay log line " << lineno_
+                          << " skipped: " << ev.status().message();
+        continue;
+      }
+      done_ = true;
+      return Status::InvalidArgument("line " + std::to_string(lineno_) + ": " +
+                                     ev.status().message());
+    }
+    ++stats_.events_loaded;
+    *out = std::move(ev).ValueOrDie();
+    return true;
+  }
+  done_ = true;
+  return false;
+}
+
 Result<std::vector<ReplayEvent>> LoadReplayLog(
     std::istream& in, const ReplayLoadOptions& options,
     ReplayLoadStats* stats) {
   std::vector<ReplayEvent> events;
-  ReplayLoadStats local;
-  std::string line;
-  int lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    size_t first = 0;
-    while (first < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[first]))) {
-      ++first;
-    }
-    if (first == line.size() || line[first] == '#') continue;
-    auto ev = ParseReplayEventLine(line);
-    if (!ev.ok()) {
-      if (options.skip_bad_events) {
-        ++local.lines_skipped;
-        MAPS_LOG(Warning) << "replay log line " << lineno
-                          << " skipped: " << ev.status().message();
-        continue;
-      }
-      return Status::InvalidArgument("line " + std::to_string(lineno) + ": " +
-                                     ev.status().message());
-    }
-    ++local.events_loaded;
-    events.push_back(std::move(ev).ValueOrDie());
+  ReplayEventStream stream(in, options);
+  ReplayEvent ev;
+  while (true) {
+    auto more = stream.Next(&ev);
+    MAPS_RETURN_NOT_OK(more.status());
+    if (!more.ValueOrDie()) break;
+    events.push_back(std::move(ev));
   }
-  if (local.lines_skipped > 0) {
-    MAPS_LOG(Warning) << "replay log: skipped " << local.lines_skipped
-                      << " malformed line(s), loaded " << local.events_loaded
-                      << " event(s)";
+  if (stream.stats().lines_skipped > 0) {
+    MAPS_LOG(Warning) << "replay log: skipped "
+                      << stream.stats().lines_skipped
+                      << " malformed line(s), loaded "
+                      << stream.stats().events_loaded << " event(s)";
   }
-  if (stats != nullptr) *stats = local;
+  if (stats != nullptr) *stats = stream.stats();
   return events;
 }
 

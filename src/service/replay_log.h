@@ -74,8 +74,51 @@ struct ReplayLoadStats {
   int64_t events_loaded = 0;
 };
 
-/// \brief Reads a whole event log, skipping blanks and '#' comments.
-/// Errors carry the 1-based line number and the offending field.
+/// \brief Streaming, line-at-a-time view of an event log: one ReplayEvent
+/// in memory at a time, never the whole log. This is the ingestion path a
+/// multi-million-event file goes through (`maps_cli replay`, the replay
+/// driver) — peak footprint is one line buffer, independent of log length.
+///
+/// Blank lines and '#' comments are skipped transparently. With
+/// skip_bad_events, malformed lines are warned about, counted in stats(),
+/// and dropped; otherwise the first malformed line fails Next() with its
+/// 1-based line number. The stream must outlive the reader.
+class ReplayEventStream {
+ public:
+  explicit ReplayEventStream(std::istream& in,
+                             const ReplayLoadOptions& options = {});
+
+  ReplayEventStream(const ReplayEventStream&) = delete;
+  ReplayEventStream& operator=(const ReplayEventStream&) = delete;
+
+  /// Advances to the next event. Returns true and fills `out`, or false at
+  /// end of input. Errors (malformed line in strict mode) carry the line
+  /// number; the stream is unusable afterwards.
+  Result<bool> Next(ReplayEvent* out);
+
+  /// Skip/load counters so far (final after Next() returned false).
+  const ReplayLoadStats& stats() const { return stats_; }
+
+  /// 1-based number of the last line read (0 before the first read).
+  int64_t line_number() const { return lineno_; }
+
+  /// Heap footprint of the reader itself — the line buffer — demonstrating
+  /// O(1) ingestion memory.
+  size_t FootprintBytes() const { return line_.capacity(); }
+
+ private:
+  std::istream& in_;
+  ReplayLoadOptions options_;
+  ReplayLoadStats stats_;
+  std::string line_;
+  int64_t lineno_ = 0;
+  bool done_ = false;
+};
+
+/// \brief Reads a whole event log into memory, skipping blanks and '#'
+/// comments. Errors carry the 1-based line number and the offending field.
+/// Prefer ReplayEventStream for logs of unbounded size — this materializes
+/// every event.
 Result<std::vector<ReplayEvent>> LoadReplayLog(std::istream& in,
                                                const ReplayLoadOptions& options,
                                                ReplayLoadStats* stats = nullptr);

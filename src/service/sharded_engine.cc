@@ -1,0 +1,781 @@
+#include "service/sharded_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "service/checkpoint.h"
+#include "util/logging.h"
+#include "util/serial.h"
+
+namespace maps {
+
+namespace {
+
+/// Per-region repositioning seed: region 0 keeps the base seed (so a K=1
+/// deployment is bit-identical to the monolith even with repositioning on);
+/// the others get decorrelated streams derived from it.
+uint64_t RegionRepositionSeed(uint64_t base, int k) {
+  if (k == 0) return base;
+  return base ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(k));
+}
+
+// Sharded container sections (magic kShardedCheckpointMagic, version 1).
+enum ShardedSectionId : uint32_t {
+  kShardedSectionPartition = 1,  // grid + band-layout + lifecycle fingerprint
+  kShardedSectionRouting = 2,    // this layer's period/routing/cache state
+  kShardedSectionRegions = 3,    // K embedded single-engine checkpoints
+};
+constexpr uint32_t kNumShardedSections = 3;
+
+}  // namespace
+
+ShardedMarketEngine::ShardedMarketEngine(
+    const GridPartition* grid, const RegionPartition* partition,
+    std::vector<PricingStrategy*> strategies, const EngineOptions& options)
+    : grid_(grid), partition_(partition), options_(options) {
+  MAPS_CHECK(grid_ != nullptr);
+  MAPS_CHECK(partition_ != nullptr);
+  MAPS_CHECK(partition_->rows() == grid_->rows());
+  MAPS_CHECK(partition_->cols() == grid_->cols());
+  MAPS_CHECK(static_cast<int>(strategies.size()) ==
+             partition_->num_regions());
+  pool_ = options_.pool;
+
+  const int num_regions = partition_->num_regions();
+  regions_.reserve(num_regions);
+  for (int k = 0; k < num_regions; ++k) {
+    MAPS_CHECK(strategies[k] != nullptr);
+    // Region engines run serially inside: the lent pool parallelizes
+    // ACROSS regions only, which keeps every region close bit-identical to
+    // its serial self and the whole close trivially race-free.
+    EngineOptions region_options = options_;
+    region_options.pool = nullptr;
+    region_options.pipeline_periods = false;
+    region_options.lifecycle.reposition_seed = RegionRepositionSeed(
+        options_.lifecycle.reposition_seed, k);
+    regions_.push_back(std::make_unique<MarketEngine>(grid_, strategies[k],
+                                                      region_options));
+  }
+
+  owner_of_cell_.resize(grid_->num_cells());
+  for (GridId g = 0; g < grid_->num_cells(); ++g) {
+    owner_of_cell_[g] = partition_->RegionOfGrid(g);
+  }
+  region_prices_.assign(num_regions,
+                        std::vector<double>(grid_->num_cells(), 0.0));
+  region_outcomes_.resize(num_regions);
+  region_status_.resize(num_regions);
+}
+
+Status ShardedMarketEngine::SubmitTask(const Task& task, double valuation) {
+  if (task.grid < 0 || task.grid >= grid_->num_cells()) {
+    return Status::InvalidArgument(
+        "task " + std::to_string(task.id) + " grid " +
+        std::to_string(task.grid) + " outside the partition");
+  }
+  auto [it, inserted] = task_route_.try_emplace(task.id);
+  if (!inserted) {
+    ++local_rejections_.duplicate_tasks;
+    return Status::AlreadyExists("task id " + std::to_string(task.id) +
+                                 " already submitted for period " +
+                                 std::to_string(period_));
+  }
+  const int region = owner_of_cell_[task.grid];
+  const Status forwarded = regions_[region]->SubmitTask(task, valuation);
+  if (!forwarded.ok()) {
+    task_route_.erase(it);
+    return forwarded;
+  }
+  it->second.region = region;
+  it->second.seq = next_seq_++;
+  it->second.task = task;
+  return Status::OK();
+}
+
+Status ShardedMarketEngine::AddWorker(const Worker& worker) {
+  if (worker_region_.count(worker.id) > 0) {
+    return Status::AlreadyExists("worker id " + std::to_string(worker.id) +
+                                 " already admitted");
+  }
+  Worker w = worker;
+  if (w.grid < 0) w.grid = grid_->CellOf(w.location);
+  if (w.grid < 0 || w.grid >= grid_->num_cells()) {
+    return Status::InvalidArgument("worker " + std::to_string(worker.id) +
+                                   " outside the partition");
+  }
+  const int region = owner_of_cell_[w.grid];
+  MAPS_RETURN_NOT_OK(regions_[region]->AddWorker(w));
+  worker_region_[w.id] = region;
+  return Status::OK();
+}
+
+Status ShardedMarketEngine::RemoveWorker(WorkerId id) {
+  const auto it = worker_region_.find(id);
+  if (it == worker_region_.end()) {
+    ++local_rejections_.unknown_worker_removals;
+    return Status::NotFound("worker id " + std::to_string(id) +
+                            " was never added");
+  }
+  return regions_[it->second]->RemoveWorker(id);
+}
+
+Status ShardedMarketEngine::ObserveAcceptance(TaskId task, bool accepted) {
+  pending_accept_[task] = accepted;
+  return Status::OK();
+}
+
+Status ShardedMarketEngine::CloseAllRegions(int32_t t) {
+  const int num_regions = static_cast<int>(regions_.size());
+  if (pool_ != nullptr && num_regions > 1) {
+    internal::Latch latch(num_regions);
+    for (int k = 0; k < num_regions; ++k) {
+      pool_->Submit([this, k, &latch](int /*worker*/) {
+        region_status_[k] = regions_[k]->ClosePeriod(&region_outcomes_[k]);
+        latch.Done();
+      });
+    }
+    latch.Wait();
+  } else {
+    for (int k = 0; k < num_regions; ++k) {
+      region_status_[k] = regions_[k]->ClosePeriod(&region_outcomes_[k]);
+    }
+  }
+  for (int k = 0; k < num_regions; ++k) {
+    MAPS_RETURN_NOT_OK(region_status_[k]);
+    // Regions close in lockstep with this layer; anything else is a bug.
+    MAPS_CHECK(region_outcomes_[k].period == t);
+  }
+  return Status::OK();
+}
+
+void ShardedMarketEngine::MergeOutcomes(int32_t t, PeriodOutcome* out) {
+  const int num_regions = static_cast<int>(regions_.size());
+  out->period = t;
+  out->skipped = true;
+  out->prices.clear();
+  out->accepted.clear();
+  out->matches.clear();
+  out->revenue = 0.0;
+  out->mc_expected_revenue = 0.0;
+  out->num_tasks = 0;
+  out->num_available_workers = 0;
+  merge_matches_.clear();
+  merge_accepted_.clear();
+
+  for (const PeriodOutcome& o : region_outcomes_) {
+    out->skipped = out->skipped && o.skipped;
+    out->num_tasks += o.num_tasks;
+    out->num_available_workers += o.num_available_workers;
+    out->mc_expected_revenue += o.mc_expected_revenue;
+  }
+  if (out->skipped) return;
+
+  // Quotes: each region's fresh prices for the cells it owns; a region that
+  // skipped this period re-posts its cached last quotes (zeros before its
+  // first priced period) — a monolith would have consulted its strategy
+  // instead, one of the documented §13 divergences.
+  for (int k = 0; k < num_regions; ++k) {
+    if (!region_outcomes_[k].skipped) {
+      region_prices_[k] = region_outcomes_[k].prices;
+    }
+  }
+  out->prices.resize(owner_of_cell_.size());
+  for (size_t g = 0; g < owner_of_cell_.size(); ++g) {
+    out->prices[g] = region_prices_[owner_of_cell_[g]][g];
+  }
+
+  // Accepted ids and matches, re-ordered by global submission sequence so
+  // the merged outcome (including the FP revenue fold, done after the
+  // stitch) reads exactly like a monolithic close of the same events.
+  for (const PeriodOutcome& o : region_outcomes_) {
+    for (TaskId id : o.accepted) {
+      const auto it = task_route_.find(id);
+      MAPS_CHECK(it != task_route_.end());
+      merge_accepted_.push_back({it->second.seq, id});
+    }
+    for (const MatchRecord& m : o.matches) {
+      merge_matches_.push_back({task_route_.find(m.task)->second.seq, m});
+    }
+  }
+  std::sort(merge_accepted_.begin(), merge_accepted_.end());
+  out->accepted.reserve(merge_accepted_.size());
+  for (const auto& [seq, id] : merge_accepted_) out->accepted.push_back(id);
+}
+
+Status ShardedMarketEngine::StitchBoundary(int32_t t, PeriodOutcome* out) {
+  if (partition_->num_regions() < 2 || out->skipped) return Status::OK();
+  const int num_regions = static_cast<int>(regions_.size());
+
+  // Candidate tasks: accepted but unmatched, origin in a boundary cell.
+  // (Within one region such a task has no idle worker in range — the
+  // max-weight matching would have augmented otherwise — so only the seams
+  // can still hold one.)
+  struct CandTask {
+    int64_t seq;
+    const Task* task;  // into task_route_, stable during the close
+    double price;
+    int region;
+  };
+  std::vector<CandTask> cand_tasks;
+  std::unordered_set<TaskId> matched_ids;
+  matched_ids.reserve(merge_matches_.size());
+  for (const auto& [seq, m] : merge_matches_) matched_ids.insert(m.task);
+  for (TaskId id : out->accepted) {
+    if (matched_ids.count(id) > 0) continue;
+    const TaskRoute& route = task_route_.find(id)->second;
+    if (!partition_->IsBoundaryGrid(route.task.grid)) continue;
+    cand_tasks.push_back({route.seq, &route.task,
+                          out->prices[route.task.grid], route.region});
+  }
+  if (cand_tasks.empty()) return Status::OK();
+
+  // Candidate workers: idle and unmatched after the close, standing in a
+  // boundary cell, reach disc crossing into a foreign band.
+  struct CandWorker {
+    Worker w;
+    int home;
+  };
+  std::vector<CandWorker> cand_workers;
+  for (int k = 0; k < num_regions; ++k) {
+    idle_scratch_.clear();
+    regions_[k]->CollectIdleWorkers(&idle_scratch_);
+    for (const Worker& w : idle_scratch_) {
+      if (!partition_->IsBoundaryGrid(w.grid)) continue;
+      grid_->CellsIntersectingDisc(w.location, w.radius, &cell_scratch_);
+      for (GridId c : cell_scratch_) {
+        if (owner_of_cell_[c] != k) {
+          cand_workers.push_back({w, k});
+          break;
+        }
+      }
+    }
+  }
+  if (cand_workers.empty()) return Status::OK();
+
+  // Eligible cross-region pairs under the matching graph's exact edge
+  // predicate (squared distance — bipartite_graph.cc), greedily assigned
+  // heaviest-first with submission order breaking weight ties. One
+  // augmentation round: a task gets at most one worker and vice versa.
+  struct CandPair {
+    double weight;
+    int ti;
+    int wi;
+  };
+  std::vector<CandPair> pairs;
+  for (int ti = 0; ti < static_cast<int>(cand_tasks.size()); ++ti) {
+    const CandTask& ct = cand_tasks[ti];
+    for (int wi = 0; wi < static_cast<int>(cand_workers.size()); ++wi) {
+      const CandWorker& cw = cand_workers[wi];
+      if (cw.home == ct.region) continue;
+      const double dx = ct.task->origin.x - cw.w.location.x;
+      const double dy = ct.task->origin.y - cw.w.location.y;
+      if (dx * dx + dy * dy > cw.w.radius * cw.w.radius) continue;
+      pairs.push_back({ct.task->distance * ct.price, ti, wi});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [&](const CandPair& a, const CandPair& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (cand_tasks[a.ti].seq != cand_tasks[b.ti].seq) {
+                return cand_tasks[a.ti].seq < cand_tasks[b.ti].seq;
+              }
+              return cand_workers[a.wi].w.id < cand_workers[b.wi].w.id;
+            });
+  std::vector<char> task_done(cand_tasks.size(), 0);
+  std::vector<char> worker_done(cand_workers.size(), 0);
+  std::vector<std::pair<int, int>> assigned;  // (ti, wi)
+  for (const CandPair& p : pairs) {
+    if (task_done[p.ti] || worker_done[p.wi]) continue;
+    task_done[p.ti] = 1;
+    worker_done[p.wi] = 1;
+    assigned.push_back({p.ti, p.wi});
+  }
+  if (assigned.empty()) return Status::OK();
+
+  // Apply in task submission order: emit the stitched matches and drive the
+  // worker lifecycle across engines.
+  std::sort(assigned.begin(), assigned.end(),
+            [&](const std::pair<int, int>& a, const std::pair<int, int>& b) {
+              return cand_tasks[a.first].seq < cand_tasks[b.first].seq;
+            });
+  const bool single_use = options_.lifecycle.single_use;
+  const double speed = options_.lifecycle.speed;
+  for (const auto& [ti, wi] : assigned) {
+    const CandTask& ct = cand_tasks[ti];
+    const CandWorker& cw = cand_workers[wi];
+    const double revenue = ct.task->distance * ct.price;
+    merge_matches_.push_back(
+        {ct.seq, MatchRecord{ct.task->id, cw.w.id, revenue}});
+    if (single_use) {
+      MAPS_RETURN_NOT_OK(regions_[cw.home]->ConsumeIdleWorker(cw.w.id));
+      continue;
+    }
+    const int32_t ride = std::max(
+        1, static_cast<int32_t>(std::ceil(ct.task->distance / speed)));
+    const int32_t next_free = t + ride;
+    const GridId dest_grid = grid_->CellOf(ct.task->destination);
+    const int dest_region = owner_of_cell_[dest_grid];
+    if (dest_region == cw.home) {
+      MAPS_RETURN_NOT_OK(regions_[cw.home]->DispatchIdleWorker(
+          cw.w.id, ct.task->destination, next_free));
+    } else {
+      // The ride ends in a foreign band: ownership migrates with it.
+      Worker base;
+      int32_t retire_at = 0;
+      MAPS_RETURN_NOT_OK(
+          regions_[cw.home]->ExtractIdleWorker(cw.w.id, &base, &retire_at));
+      base.location = ct.task->destination;
+      base.grid = dest_grid;
+      MAPS_RETURN_NOT_OK(
+          regions_[dest_region]->AdoptWorker(base, next_free, retire_at));
+      worker_region_[cw.w.id] = dest_region;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedMarketEngine::RepatriateIdleWorkers(int32_t t) {
+  // Home-until-reconciled (§13): a turnaround worker parked in a cell some
+  // other region owns — cross-band ride destinations, repositioning drift —
+  // is transferred to the owning region here, after every close, in a fixed
+  // region-then-idle order. Until this sweep runs, the admitting region
+  // keeps serving it.
+  const int num_regions = static_cast<int>(regions_.size());
+  for (int k = 0; k < num_regions; ++k) {
+    idle_scratch_.clear();
+    regions_[k]->CollectIdleWorkers(&idle_scratch_);
+    for (const Worker& w : idle_scratch_) {
+      const int owner = owner_of_cell_[w.grid];
+      if (owner == k) continue;
+      Worker base;
+      int32_t retire_at = 0;
+      MAPS_RETURN_NOT_OK(
+          regions_[k]->ExtractIdleWorker(w.id, &base, &retire_at));
+      // Already free (next_free <= t): the owner offers it from the next
+      // close on, exactly when the old region would have.
+      MAPS_RETURN_NOT_OK(regions_[owner]->AdoptWorker(base, t, retire_at));
+      worker_region_[w.id] = owner;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedMarketEngine::ClosePeriod(PeriodOutcome* out) {
+  if (out == nullptr) return Status::InvalidArgument("null outcome");
+  const int32_t t = period_;
+
+  // Resolve this layer's acceptance buffer: bits for routed tasks go to the
+  // submitting region (its close consumes them); bits for tasks nobody
+  // submitted are orphans, counted here at the close like the monolith
+  // counts its own.
+  for (const auto& [task, accepted] : pending_accept_) {
+    const auto it = task_route_.find(task);
+    if (it == task_route_.end()) {
+      ++local_rejections_.orphan_acceptances;
+      continue;
+    }
+    MAPS_RETURN_NOT_OK(
+        regions_[it->second.region]->ObserveAcceptance(task, accepted));
+  }
+  pending_accept_.clear();
+
+  MAPS_RETURN_NOT_OK(CloseAllRegions(t));
+  MergeOutcomes(t, out);
+  MAPS_RETURN_NOT_OK(StitchBoundary(t, out));
+
+  // Final merged matches + the revenue fold, in global submission order —
+  // the same order (and therefore the same FP rounding) as a monolithic
+  // close; a sum of per-region sums would not be.
+  std::sort(merge_matches_.begin(), merge_matches_.end(),
+            [](const std::pair<int64_t, MatchRecord>& a,
+               const std::pair<int64_t, MatchRecord>& b) {
+              return a.first < b.first;
+            });
+  for (const auto& [seq, m] : merge_matches_) {
+    out->matches.push_back(m);
+    out->revenue += m.revenue;
+  }
+  out->rejections = rejections();
+
+  if (!out->skipped && !options_.lifecycle.single_use) {
+    MAPS_RETURN_NOT_OK(RepatriateIdleWorkers(t));
+  }
+
+  task_route_.clear();
+  ++period_;
+  return Status::OK();
+}
+
+EngineRejectionCounters ShardedMarketEngine::rejections() const {
+  EngineRejectionCounters total = local_rejections_;
+  for (const auto& region : regions_) {
+    const EngineRejectionCounters& r = region->rejections();
+    total.duplicate_tasks += r.duplicate_tasks;
+    total.unknown_worker_removals += r.unknown_worker_removals;
+    total.busy_worker_removals += r.busy_worker_removals;
+    total.orphan_acceptances += r.orphan_acceptances;
+  }
+  return total;
+}
+
+int64_t ShardedMarketEngine::num_live_workers() const {
+  int64_t total = 0;
+  for (const auto& region : regions_) total += region->num_live_workers();
+  return total;
+}
+
+double ShardedMarketEngine::strategy_seconds() const {
+  double total = 0.0;
+  for (const auto& region : regions_) total += region->strategy_seconds();
+  return total;
+}
+
+size_t ShardedMarketEngine::peak_platform_bytes() const {
+  size_t total = 0;
+  for (const auto& region : regions_) total += region->peak_platform_bytes();
+  return total;
+}
+
+size_t ShardedMarketEngine::peak_strategy_bytes() const {
+  size_t total = 0;
+  for (const auto& region : regions_) total += region->peak_strategy_bytes();
+  return total;
+}
+
+Status ShardedMarketEngine::SaveCheckpoint(std::string* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output string");
+  const int num_regions = static_cast<int>(regions_.size());
+
+  StateWriter part;
+  part.PutI32(grid_->rows());
+  part.PutI32(grid_->cols());
+  const Rect& region_rect = grid_->region();
+  part.PutDouble(region_rect.min_x);
+  part.PutDouble(region_rect.min_y);
+  part.PutDouble(region_rect.max_x);
+  part.PutDouble(region_rect.max_y);
+  part.PutI32(num_regions);
+  for (int k = 0; k < num_regions; ++k) {
+    part.PutI32(partition_->row_begin(k));
+  }
+  part.PutBool(options_.lifecycle.single_use);
+  part.PutDouble(options_.lifecycle.speed);
+  part.PutDouble(options_.lifecycle.reposition_prob);
+  part.PutU64(options_.lifecycle.reposition_seed);
+
+  StateWriter routing;
+  routing.PutI32(period_);
+  routing.PutI64(local_rejections_.duplicate_tasks);
+  routing.PutI64(local_rejections_.unknown_worker_removals);
+  routing.PutI64(local_rejections_.busy_worker_removals);
+  routing.PutI64(local_rejections_.orphan_acceptances);
+  routing.PutI64(next_seq_);
+  {
+    std::vector<std::pair<WorkerId, int>> owners(worker_region_.begin(),
+                                                 worker_region_.end());
+    std::sort(owners.begin(), owners.end());  // map order is not stable
+    routing.PutU64(owners.size());
+    for (const auto& [id, k] : owners) {
+      routing.PutI64(id);
+      routing.PutI32(k);
+    }
+  }
+  {
+    std::vector<const TaskRoute*> routes;
+    routes.reserve(task_route_.size());
+    for (const auto& [id, route] : task_route_) routes.push_back(&route);
+    std::sort(routes.begin(), routes.end(),
+              [](const TaskRoute* a, const TaskRoute* b) {
+                return a->seq < b->seq;
+              });
+    routing.PutU64(routes.size());
+    for (const TaskRoute* route : routes) {
+      routing.PutI64(route->seq);
+      routing.PutI32(route->region);
+      routing.PutI64(route->task.id);
+      routing.PutI32(route->task.period);
+      routing.PutDouble(route->task.origin.x);
+      routing.PutDouble(route->task.origin.y);
+      routing.PutDouble(route->task.destination.x);
+      routing.PutDouble(route->task.destination.y);
+      routing.PutDouble(route->task.distance);
+      routing.PutI32(route->task.grid);
+    }
+  }
+  {
+    std::vector<std::pair<TaskId, bool>> bits(pending_accept_.begin(),
+                                              pending_accept_.end());
+    std::sort(bits.begin(), bits.end());
+    routing.PutU64(bits.size());
+    for (const auto& [task, accepted] : bits) {
+      routing.PutI64(task);
+      routing.PutBool(accepted);
+    }
+  }
+  for (const std::vector<double>& prices : region_prices_) {
+    routing.PutU64(prices.size());
+    for (double p : prices) routing.PutDouble(p);
+  }
+
+  StateWriter regions;
+  regions.PutU32(static_cast<uint32_t>(num_regions));
+  for (const auto& region : regions_) {
+    std::string blob;
+    MAPS_RETURN_NOT_OK(region->SaveCheckpoint(&blob));
+    regions.PutString(blob);
+  }
+
+  StateWriter blob;
+  blob.PutBytes(kShardedCheckpointMagic, sizeof(kShardedCheckpointMagic));
+  blob.PutU32(kShardedCheckpointFormatVersion);
+  blob.PutU32(kNumShardedSections);
+  internal::AppendCheckpointSection(kShardedSectionPartition, part.data(),
+                                    &blob);
+  internal::AppendCheckpointSection(kShardedSectionRouting, routing.data(),
+                                    &blob);
+  internal::AppendCheckpointSection(kShardedSectionRegions, regions.data(),
+                                    &blob);
+  *out = blob.data();
+  return Status::OK();
+}
+
+Status ShardedMarketEngine::RestoreFromCheckpoint(const std::string& data) {
+  const int num_regions = static_cast<int>(regions_.size());
+  std::vector<std::string> sections;
+  MAPS_RETURN_NOT_OK(internal::ParseCheckpointContainer(
+      data, kShardedCheckpointMagic, kShardedCheckpointFormatVersion,
+      kNumShardedSections, "MAPS sharded checkpoint", &sections));
+
+  {  // Partition fingerprint: grid, band layout, K, lifecycle.
+    StateReader r(sections[kShardedSectionPartition - 1]);
+    int32_t rows, cols;
+    double min_x, min_y, max_x, max_y;
+    MAPS_RETURN_NOT_OK(r.GetI32(&rows, "grid rows"));
+    MAPS_RETURN_NOT_OK(r.GetI32(&cols, "grid cols"));
+    MAPS_RETURN_NOT_OK(r.GetDouble(&min_x, "region min_x"));
+    MAPS_RETURN_NOT_OK(r.GetDouble(&min_y, "region min_y"));
+    MAPS_RETURN_NOT_OK(r.GetDouble(&max_x, "region max_x"));
+    MAPS_RETURN_NOT_OK(r.GetDouble(&max_y, "region max_y"));
+    const Rect& rect = grid_->region();
+    if (rows != grid_->rows() || cols != grid_->cols() ||
+        min_x != rect.min_x || min_y != rect.min_y || max_x != rect.max_x ||
+        max_y != rect.max_y) {
+      return Status::FailedPrecondition(
+          "checkpoint grid fingerprint (" + std::to_string(rows) + "x" +
+          std::to_string(cols) + ") does not match this engine's partition (" +
+          std::to_string(grid_->rows()) + "x" + std::to_string(grid_->cols()) +
+          ")");
+    }
+    int32_t k_saved;
+    MAPS_RETURN_NOT_OK(r.GetI32(&k_saved, "region count"));
+    if (k_saved != num_regions) {
+      return Status::FailedPrecondition(
+          "checkpoint was saved with " + std::to_string(k_saved) +
+          " region(s), this engine shards into " +
+          std::to_string(num_regions));
+    }
+    for (int k = 0; k < num_regions; ++k) {
+      int32_t row_begin;
+      MAPS_RETURN_NOT_OK(r.GetI32(&row_begin, "region row_begin"));
+      if (row_begin != partition_->row_begin(k)) {
+        return Status::FailedPrecondition(
+            "checkpoint region " + std::to_string(k) + " starts at row " +
+            std::to_string(row_begin) + ", this engine's partition at row " +
+            std::to_string(partition_->row_begin(k)));
+      }
+    }
+    bool single_use;
+    double speed, reposition_prob;
+    uint64_t reposition_seed;
+    MAPS_RETURN_NOT_OK(r.GetBool(&single_use, "lifecycle single_use"));
+    MAPS_RETURN_NOT_OK(r.GetDouble(&speed, "lifecycle speed"));
+    MAPS_RETURN_NOT_OK(
+        r.GetDouble(&reposition_prob, "lifecycle reposition_prob"));
+    MAPS_RETURN_NOT_OK(
+        r.GetU64(&reposition_seed, "lifecycle reposition_seed"));
+    const WorkerLifecycle& lc = options_.lifecycle;
+    if (single_use != lc.single_use || speed != lc.speed ||
+        reposition_prob != lc.reposition_prob ||
+        reposition_seed != lc.reposition_seed) {
+      return Status::FailedPrecondition(
+          "checkpoint worker-lifecycle fingerprint does not match this "
+          "engine's options");
+    }
+    MAPS_RETURN_NOT_OK(r.ExpectEnd("sharded partition section"));
+  }
+
+  int32_t period;
+  EngineRejectionCounters rej;
+  int64_t next_seq;
+  std::unordered_map<WorkerId, int> worker_region;
+  std::unordered_map<TaskId, TaskRoute> task_route;
+  std::unordered_map<TaskId, bool> pending;
+  std::vector<std::vector<double>> region_prices;
+  {  // Routing state.
+    StateReader r(sections[kShardedSectionRouting - 1]);
+    MAPS_RETURN_NOT_OK(r.GetI32(&period, "period counter"));
+    MAPS_RETURN_NOT_OK(r.GetI64(&rej.duplicate_tasks, "duplicate_tasks"));
+    MAPS_RETURN_NOT_OK(
+        r.GetI64(&rej.unknown_worker_removals, "unknown_worker_removals"));
+    MAPS_RETURN_NOT_OK(
+        r.GetI64(&rej.busy_worker_removals, "busy_worker_removals"));
+    MAPS_RETURN_NOT_OK(
+        r.GetI64(&rej.orphan_acceptances, "orphan_acceptances"));
+    MAPS_RETURN_NOT_OK(r.GetI64(&next_seq, "next submission seq"));
+    if (period < 0 || rej.duplicate_tasks < 0 ||
+        rej.unknown_worker_removals < 0 || rej.busy_worker_removals < 0 ||
+        rej.orphan_acceptances < 0 || next_seq < 0) {
+      return Status::InvalidArgument(
+          "sharded routing section has negative counters");
+    }
+    uint64_t n;
+    MAPS_RETURN_NOT_OK(r.GetU64(&n, "worker owner count"));
+    MAPS_RETURN_NOT_OK(CheckDecodedCount(r, n, 12, "worker owners"));
+    worker_region.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      WorkerId id;
+      int32_t k;
+      MAPS_RETURN_NOT_OK(r.GetI64(&id, "worker owner id"));
+      MAPS_RETURN_NOT_OK(r.GetI32(&k, "worker owner region"));
+      if (k < 0 || k >= num_regions) {
+        return Status::InvalidArgument("worker " + std::to_string(id) +
+                                       " owned by out-of-range region " +
+                                       std::to_string(k));
+      }
+      if (!worker_region.emplace(id, k).second) {
+        return Status::InvalidArgument("worker id " + std::to_string(id) +
+                                       " appears twice in the owner table");
+      }
+    }
+    MAPS_RETURN_NOT_OK(r.GetU64(&n, "task route count"));
+    MAPS_RETURN_NOT_OK(CheckDecodedCount(r, n, 68, "task routes"));
+    task_route.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      TaskRoute route;
+      MAPS_RETURN_NOT_OK(r.GetI64(&route.seq, "route seq"));
+      MAPS_RETURN_NOT_OK(r.GetI32(&route.region, "route region"));
+      MAPS_RETURN_NOT_OK(r.GetI64(&route.task.id, "route task id"));
+      MAPS_RETURN_NOT_OK(r.GetI32(&route.task.period, "route task period"));
+      MAPS_RETURN_NOT_OK(r.GetDouble(&route.task.origin.x, "route origin x"));
+      MAPS_RETURN_NOT_OK(r.GetDouble(&route.task.origin.y, "route origin y"));
+      MAPS_RETURN_NOT_OK(
+          r.GetDouble(&route.task.destination.x, "route destination x"));
+      MAPS_RETURN_NOT_OK(
+          r.GetDouble(&route.task.destination.y, "route destination y"));
+      MAPS_RETURN_NOT_OK(r.GetDouble(&route.task.distance, "route distance"));
+      MAPS_RETURN_NOT_OK(r.GetI32(&route.task.grid, "route task grid"));
+      if (route.region < 0 || route.region >= num_regions) {
+        return Status::InvalidArgument(
+            "task " + std::to_string(route.task.id) +
+            " routed to out-of-range region " + std::to_string(route.region));
+      }
+      if (route.task.grid < 0 || route.task.grid >= grid_->num_cells()) {
+        return Status::InvalidArgument(
+            "routed task " + std::to_string(route.task.id) + " has grid " +
+            std::to_string(route.task.grid) + " outside the partition");
+      }
+      if (route.seq < 0 || route.seq >= next_seq) {
+        return Status::InvalidArgument(
+            "routed task " + std::to_string(route.task.id) +
+            " has sequence " + std::to_string(route.seq) +
+            " outside [0, " + std::to_string(next_seq) + ")");
+      }
+      const TaskId id = route.task.id;
+      if (!task_route.emplace(id, std::move(route)).second) {
+        return Status::InvalidArgument("task id " + std::to_string(id) +
+                                       " appears twice in the route table");
+      }
+    }
+    MAPS_RETURN_NOT_OK(r.GetU64(&n, "pending bit count"));
+    MAPS_RETURN_NOT_OK(CheckDecodedCount(r, n, 9, "pending bits"));
+    pending.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      TaskId task;
+      bool accepted;
+      MAPS_RETURN_NOT_OK(r.GetI64(&task, "pending task id"));
+      MAPS_RETURN_NOT_OK(r.GetBool(&accepted, "pending accepted bit"));
+      if (!pending.emplace(task, accepted).second) {
+        return Status::InvalidArgument("pending bit for task " +
+                                       std::to_string(task) +
+                                       " appears twice");
+      }
+    }
+    region_prices.resize(num_regions);
+    for (int k = 0; k < num_regions; ++k) {
+      MAPS_RETURN_NOT_OK(r.GetU64(&n, "cached price count"));
+      if (n != static_cast<uint64_t>(grid_->num_cells())) {
+        return Status::InvalidArgument(
+            "region " + std::to_string(k) + " caches " + std::to_string(n) +
+            " price(s), the grid has " + std::to_string(grid_->num_cells()) +
+            " cell(s)");
+      }
+      region_prices[k].resize(static_cast<size_t>(n));
+      for (double& p : region_prices[k]) {
+        MAPS_RETURN_NOT_OK(r.GetDouble(&p, "cached price"));
+      }
+    }
+    MAPS_RETURN_NOT_OK(r.ExpectEnd("sharded routing section"));
+  }
+
+  std::vector<std::string> region_blobs(num_regions);
+  {  // Embedded per-region checkpoints.
+    StateReader r(sections[kShardedSectionRegions - 1]);
+    uint32_t count;
+    MAPS_RETURN_NOT_OK(r.GetU32(&count, "embedded region count"));
+    if (count != static_cast<uint32_t>(num_regions)) {
+      return Status::InvalidArgument(
+          "regions section embeds " + std::to_string(count) +
+          " checkpoint(s), expected " + std::to_string(num_regions));
+    }
+    for (int k = 0; k < num_regions; ++k) {
+      MAPS_RETURN_NOT_OK(r.GetString(&region_blobs[k], "region checkpoint"));
+    }
+    MAPS_RETURN_NOT_OK(r.ExpectEnd("sharded regions section"));
+    // Structural pre-validation of every embedded blob (magic, version,
+    // section CRCs) before ANY region engine is mutated: corruption — the
+    // common failure — can then never leave the deployment half-restored.
+    // A semantic mismatch inside region k's restore (below) still can;
+    // same caveat class as the monolith's strategy-section note (§12).
+    for (int k = 0; k < num_regions; ++k) {
+      std::vector<std::string> probe;
+      const Status s = internal::ParseCheckpointContainer(
+          region_blobs[k], kCheckpointMagic, kCheckpointFormatVersion,
+          kCheckpointNumSections, "MAPS checkpoint", &probe);
+      if (!s.ok()) {
+        return Status::InvalidArgument("embedded checkpoint of region " +
+                                       std::to_string(k) + ": " +
+                                       s.message());
+      }
+    }
+  }
+
+  for (int k = 0; k < num_regions; ++k) {
+    const Status s = regions_[k]->RestoreFromCheckpoint(region_blobs[k]);
+    if (!s.ok()) {
+      return Status::InvalidArgument("restoring region " + std::to_string(k) +
+                                     ": " + s.message());
+    }
+    if (regions_[k]->current_period() != period) {
+      return Status::InvalidArgument(
+          "region " + std::to_string(k) + " restored at period " +
+          std::to_string(regions_[k]->current_period()) +
+          ", the sharded layer at " + std::to_string(period));
+    }
+  }
+
+  // Commit this layer. Nothing below can fail.
+  period_ = period;
+  next_seq_ = next_seq;
+  local_rejections_ = rej;
+  worker_region_ = std::move(worker_region);
+  task_route_ = std::move(task_route);
+  pending_accept_ = std::move(pending);
+  region_prices_ = std::move(region_prices);
+  return Status::OK();
+}
+
+}  // namespace maps

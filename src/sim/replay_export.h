@@ -1,0 +1,23 @@
+// Emits a materialized Workload as a JSONL replay event log in the
+// service/replay_log.h schema — the bridge from the batch generators
+// (synthetic, Beijing) to the streaming serving path: generate once, write
+// the log, then replay it through `maps_cli replay` (monolithic or
+// --regions=K sharded) without ever materializing the workload again.
+
+#pragma once
+
+#include <ostream>
+
+#include "sim/workload.h"
+#include "util/status.h"
+
+namespace maps {
+
+/// \brief Writes one event line per worker arrival, task submission (with
+/// its hidden valuation), and period close, in period order. Doubles are
+/// printed with 17 significant digits so a parse of the emitted log
+/// round-trips bit-identically. Workers with unlimited duration omit the
+/// "duration" field.
+Status WriteReplayLog(const Workload& workload, std::ostream& out);
+
+}  // namespace maps

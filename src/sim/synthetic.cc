@@ -5,6 +5,7 @@
 
 #include <optional>
 
+#include "geo/region_partition.h"
 #include "geo/road_network.h"
 #include "rng/distributions.h"
 #include "util/logging.h"
@@ -47,11 +48,43 @@ Result<Workload> GenerateSynthetic(const SyntheticConfig& cfg) {
   if (cfg.v_lo >= cfg.v_hi) {
     return Status::InvalidArgument("valuation interval empty");
   }
+  if (cfg.sharded_regions < 1) {
+    return Status::InvalidArgument("sharded_regions must be >= 1");
+  }
+  if (cfg.boundary_worker_frac < 0.0 || cfg.boundary_worker_frac > 1.0) {
+    return Status::InvalidArgument("boundary_worker_frac outside [0, 1]");
+  }
+  if (cfg.region_skew < 0.0) {
+    return Status::InvalidArgument("region_skew must be >= 0");
+  }
 
   Rect region{0.0, 0.0, cfg.region_size, cfg.region_size};
   MAPS_ASSIGN_OR_RETURN(GridPartition grid,
                         GridPartition::Make(region, cfg.grid_rows,
                                             cfg.grid_cols));
+
+  // Multi-region shaping: band y-ranges with geometrically skewed demand
+  // weights, and the internal boundary lines workers crowd around.
+  struct Band {
+    double y_lo, y_hi;
+  };
+  std::vector<Band> bands;
+  std::vector<double> band_cum;  // cumulative band weights
+  std::vector<double> boundary_lines;
+  if (cfg.sharded_regions > 1) {
+    MAPS_ASSIGN_OR_RETURN(RegionPartition part,
+                          RegionPartition::Make(grid, cfg.sharded_regions));
+    const double cell_h = cfg.region_size / cfg.grid_rows;
+    double total = 0.0;
+    double weight = 1.0;
+    for (int k = 0; k < part.num_regions(); ++k) {
+      bands.push_back({part.row_begin(k) * cell_h, part.row_end(k) * cell_h});
+      total += weight;
+      band_cum.push_back(total);
+      weight *= 1.0 + cfg.region_skew;
+      if (k > 0) boundary_lines.push_back(part.row_begin(k) * cell_h);
+    }
+  }
 
   Rng master(cfg.seed);
   Rng grid_rng = master.Fork(1);
@@ -119,9 +152,23 @@ Result<Workload> GenerateSynthetic(const SyntheticConfig& cfg) {
     Task t;
     t.period = SampledPeriod(task_rng, cfg.temporal_mu * cfg.num_periods,
                              temporal_sigma, cfg.num_periods);
-    t.origin =
-        SampleGaussianPoint(task_rng, region, cfg.spatial_mean,
-                            cfg.spatial_sigma);
+    if (!bands.empty()) {
+      // Band-first draw: region k is (1+region_skew)^k times as likely as
+      // region 0, y uniform within the band, x the usual Gaussian.
+      const double u = task_rng.NextDouble(0.0, band_cum.back());
+      size_t k = static_cast<size_t>(
+          std::lower_bound(band_cum.begin(), band_cum.end(), u) -
+          band_cum.begin());
+      if (k >= bands.size()) k = bands.size() - 1;
+      const Point raw{SampleNormal(task_rng,
+                                   cfg.spatial_mean * cfg.region_size,
+                                   cfg.spatial_sigma),
+                      task_rng.NextDouble(bands[k].y_lo, bands[k].y_hi)};
+      t.origin = region.Clamp(raw);
+    } else {
+      t.origin = SampleGaussianPoint(task_rng, region, cfg.spatial_mean,
+                                     cfg.spatial_sigma);
+    }
     t.destination = Point{task_rng.NextDouble(0.0, cfg.region_size),
                           task_rng.NextDouble(0.0, cfg.region_size)};
     t.distance = travel_distance(t.origin, t.destination);
@@ -145,9 +192,22 @@ Result<Workload> GenerateSynthetic(const SyntheticConfig& cfg) {
     ww.period =
         SampledPeriod(worker_rng, cfg.worker_temporal_mu * cfg.num_periods,
                       temporal_sigma, cfg.num_periods);
-    ww.location = SampleGaussianPoint(worker_rng, region,
-                                      cfg.worker_spatial_mean,
-                                      cfg.spatial_sigma);
+    if (!boundary_lines.empty() &&
+        worker_rng.NextDouble(0.0, 1.0) < cfg.boundary_worker_frac) {
+      // Boundary-heavy placement: within half a cell of an internal band
+      // boundary, so the worker's reach disc straddles two regions.
+      const size_t b = static_cast<size_t>(worker_rng.NextUint64() %
+                                           boundary_lines.size());
+      const double margin = 0.5 * (cfg.region_size / cfg.grid_rows);
+      const Point raw{worker_rng.NextDouble(0.0, cfg.region_size),
+                      boundary_lines[b] +
+                          worker_rng.NextDouble(-margin, margin)};
+      ww.location = region.Clamp(raw);
+    } else {
+      ww.location = SampleGaussianPoint(worker_rng, region,
+                                        cfg.worker_spatial_mean,
+                                        cfg.spatial_sigma);
+    }
     ww.radius = cfg.worker_radius;
     ww.duration = Worker::kUnlimitedDuration;
     ww.grid = w.grid.CellOf(ww.location);

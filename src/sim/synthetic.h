@@ -61,6 +61,20 @@ struct SyntheticConfig {
   double worker_radius = 15.0;  ///< a_w
   double region_size = 100.0;
 
+  /// Multi-region workload shaping (exercises the sharded engine,
+  /// DESIGN.md §13). With sharded_regions > 1 the grid is split into that
+  /// many contiguous row bands (the RegionPartition layout) and:
+  ///   * task origins are drawn band-first with geometrically skewed band
+  ///     weights (band k is ~(1+region_skew)^k as likely as band 0), so
+  ///     demand is region-skewed;
+  ///   * a boundary_worker_frac share of workers is placed within half a
+  ///     cell of an internal band boundary line — the population the
+  ///     boundary stitch exists for.
+  /// sharded_regions == 1 leaves the paper's Table-3 shape untouched.
+  int sharded_regions = 1;
+  double region_skew = 0.0;
+  double boundary_worker_frac = 0.0;
+
   uint64_t seed = 42;
 };
 

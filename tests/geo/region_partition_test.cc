@@ -1,0 +1,106 @@
+#include "geo/region_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace maps {
+namespace {
+
+GridPartition MakeGrid(int rows, int cols, double extent = 100.0) {
+  return GridPartition::Make(Rect{0, 0, extent, extent}, rows, cols)
+      .ValueOrDie();
+}
+
+TEST(RegionPartitionTest, RejectsBadRegionCounts) {
+  const GridPartition grid = MakeGrid(4, 4);
+  EXPECT_FALSE(RegionPartition::Make(grid, 0).ok());
+  EXPECT_FALSE(RegionPartition::Make(grid, -1).ok());
+  EXPECT_FALSE(RegionPartition::Make(grid, 5).ok());  // more regions than rows
+  EXPECT_TRUE(RegionPartition::Make(grid, 1).ok());
+  EXPECT_TRUE(RegionPartition::Make(grid, 4).ok());
+}
+
+TEST(RegionPartitionTest, SingleRegionHasNoBoundary) {
+  const GridPartition grid = MakeGrid(4, 4);
+  const RegionPartition part = RegionPartition::Make(grid, 1).ValueOrDie();
+  EXPECT_EQ(part.num_regions(), 1);
+  EXPECT_TRUE(part.boundary_grids().empty());
+  for (GridId g = 0; g < grid.num_cells(); ++g) {
+    EXPECT_EQ(part.RegionOfGrid(g), 0);
+    EXPECT_FALSE(part.IsBoundaryGrid(g));
+  }
+  EXPECT_EQ(part.row_begin(0), 0);
+  EXPECT_EQ(part.row_end(0), 4);
+}
+
+TEST(RegionPartitionTest, EvenSplitAssignsContiguousBands) {
+  const GridPartition grid = MakeGrid(8, 3);
+  const RegionPartition part = RegionPartition::Make(grid, 4).ValueOrDie();
+  ASSERT_EQ(part.num_regions(), 4);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(part.row_begin(k), 2 * k);
+    EXPECT_EQ(part.row_end(k), 2 * k + 2);
+    for (int r = part.row_begin(k); r < part.row_end(k); ++r) {
+      EXPECT_EQ(part.RegionOfRow(r), k);
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_EQ(part.RegionOfGrid(r * 3 + c), k);
+      }
+    }
+  }
+}
+
+TEST(RegionPartitionTest, UnevenSplitGivesExtraRowsToFirstBands) {
+  // 7 rows over 3 regions: 3 + 2 + 2.
+  const GridPartition grid = MakeGrid(7, 2);
+  const RegionPartition part = RegionPartition::Make(grid, 3).ValueOrDie();
+  EXPECT_EQ(part.row_begin(0), 0);
+  EXPECT_EQ(part.row_end(0), 3);
+  EXPECT_EQ(part.row_begin(1), 3);
+  EXPECT_EQ(part.row_end(1), 5);
+  EXPECT_EQ(part.row_begin(2), 5);
+  EXPECT_EQ(part.row_end(2), 7);
+  // Every row is owned by exactly one region and the bands are ascending.
+  for (int r = 0; r < 7; ++r) {
+    const int k = part.RegionOfRow(r);
+    EXPECT_GE(r, part.row_begin(k));
+    EXPECT_LT(r, part.row_end(k));
+  }
+}
+
+TEST(RegionPartitionTest, BoundaryGridsAreTheBandEdgeRows) {
+  // 4 rows, 2 regions: rows 1 (top of region 0) and 2 (bottom of region 1)
+  // are boundary rows; rows 0 and 3 are interior.
+  const GridPartition grid = MakeGrid(4, 4);
+  const RegionPartition part = RegionPartition::Make(grid, 2).ValueOrDie();
+  std::set<GridId> expected;
+  for (int c = 0; c < 4; ++c) {
+    expected.insert(1 * 4 + c);
+    expected.insert(2 * 4 + c);
+  }
+  std::set<GridId> actual(part.boundary_grids().begin(),
+                          part.boundary_grids().end());
+  EXPECT_EQ(actual, expected);
+  for (GridId g = 0; g < grid.num_cells(); ++g) {
+    EXPECT_EQ(part.IsBoundaryGrid(g), expected.count(g) > 0) << "grid " << g;
+  }
+  // Ascending order (the stitch relies on a deterministic scan order).
+  for (size_t i = 1; i < part.boundary_grids().size(); ++i) {
+    EXPECT_LT(part.boundary_grids()[i - 1], part.boundary_grids()[i]);
+  }
+}
+
+TEST(RegionPartitionTest, EveryRegionBandIsNonEmpty) {
+  const GridPartition grid = MakeGrid(5, 5);
+  for (int k = 1; k <= 5; ++k) {
+    const RegionPartition part = RegionPartition::Make(grid, k).ValueOrDie();
+    for (int r = 0; r < k; ++r) {
+      EXPECT_LT(part.row_begin(r), part.row_end(r)) << "K=" << k;
+    }
+    EXPECT_EQ(part.row_begin(0), 0);
+    EXPECT_EQ(part.row_end(k - 1), 5);
+  }
+}
+
+}  // namespace
+}  // namespace maps

@@ -1,0 +1,333 @@
+// Kill/restore drills for the sharded deployment: one MAPSSHRD container
+// must bring back all K regions plus the routing layer bit-identically, and
+// anything that does not describe THIS deployment — different K, a
+// monolithic blob, corrupted bytes — must be rejected before any region
+// engine is touched.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../test_util.h"
+#include "geo/region_partition.h"
+#include "rng/random.h"
+#include "service/checkpoint.h"
+#include "service/sharded_engine.h"
+#include "sharded_test_util.h"
+
+namespace maps {
+namespace {
+
+using testing_util::CellLocalStrategy;
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+
+// The engine keeps non-owning pointers into the deployment, so everything
+// it points at is heap-allocated (moving the struct must not invalidate
+// them).
+struct Deployment {
+  std::unique_ptr<GridPartition> grid;
+  std::unique_ptr<RegionPartition> partition;
+  std::vector<std::unique_ptr<CellLocalStrategy>> strategies;
+  std::unique_ptr<ShardedMarketEngine> engine;
+};
+
+EngineOptions TurnaroundOptions() {
+  EngineOptions options;
+  options.lifecycle.single_use = false;
+  options.lifecycle.speed = 40.0;
+  return options;
+}
+
+Deployment MakeDeployment(int rows, int k, const EngineOptions& options) {
+  Deployment d;
+  d.grid = std::make_unique<GridPartition>(
+      GridPartition::Make(Rect{0, 0, 100, 100}, rows, rows).ValueOrDie());
+  d.partition = std::make_unique<RegionPartition>(
+      RegionPartition::Make(*d.grid, k).ValueOrDie());
+  std::vector<PricingStrategy*> raw;
+  for (int i = 0; i < k; ++i) {
+    d.strategies.push_back(std::make_unique<CellLocalStrategy>());
+    raw.push_back(d.strategies.back().get());
+  }
+  d.engine = std::make_unique<ShardedMarketEngine>(
+      d.grid.get(), d.partition.get(), std::move(raw), options);
+  return d;
+}
+
+/// Drives one scripted period of churn across the seam of a 4x4 K=2
+/// deployment: region-skewed tasks, boundary workers, periodic explicit
+/// bits. Deterministic in (engine state, t) so a restored engine replaying
+/// the same tail sees identical events.
+Status DriveScriptedPeriod(const GridPartition& grid,
+                           ShardedMarketEngine* engine, int32_t t,
+                           PeriodOutcome* out) {
+  Rng rng(8000 + static_cast<uint64_t>(t));
+  if (t % 3 == 0) {
+    const Point loc{rng.NextDouble(5.0, 95.0), rng.NextDouble(40.0, 60.0)};
+    MAPS_RETURN_NOT_OK(
+        engine->AddWorker(MakeWorker(grid, 100 + t, loc, 30.0)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    Task task = MakeTask(grid, t * 100 + i,
+                         Point{rng.NextDouble(0.0, 100.0),
+                               rng.NextDouble(0.0, 100.0)},
+                         rng.NextDouble(1.0, 4.0), t);
+    task.destination = Point{rng.NextDouble(0.0, 100.0),
+                             rng.NextDouble(0.0, 100.0)};
+    MAPS_RETURN_NOT_OK(engine->SubmitTask(task, rng.NextDouble(1.0, 6.0)));
+  }
+  MAPS_RETURN_NOT_OK(engine->ObserveAcceptance(t * 100 + 1, t % 2 == 0));
+  return engine->ClosePeriod(out);
+}
+
+void ExpectSamePeriod(const PeriodOutcome& a, const PeriodOutcome& b) {
+  EXPECT_EQ(a.period, b.period);
+  EXPECT_EQ(a.skipped, b.skipped);
+  EXPECT_EQ(a.prices, b.prices);
+  EXPECT_EQ(a.accepted, b.accepted);
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].task, b.matches[i].task);
+    EXPECT_EQ(a.matches[i].worker, b.matches[i].worker);
+    EXPECT_EQ(a.matches[i].revenue, b.matches[i].revenue);
+  }
+  EXPECT_EQ(a.revenue, b.revenue);
+  EXPECT_TRUE(a.rejections == b.rejections);
+}
+
+TEST(ShardedRecoveryTest, KillAndRestoreContinuesBitIdentically) {
+  const EngineOptions options = TurnaroundOptions();
+  Deployment original = MakeDeployment(4, 2, options);
+
+  PeriodOutcome out;
+  for (int32_t t = 0; t < 6; ++t) {
+    ASSERT_TRUE(DriveScriptedPeriod(*original.grid, original.engine.get(), t,
+                                    &out)
+                    .ok());
+  }
+  std::string checkpoint;
+  ASSERT_TRUE(original.engine->SaveCheckpoint(&checkpoint).ok());
+
+  // The uninterrupted run is the reference for the tail.
+  std::vector<PeriodOutcome> reference;
+  for (int32_t t = 6; t < 12; ++t) {
+    ASSERT_TRUE(DriveScriptedPeriod(*original.grid, original.engine.get(), t,
+                                    &out)
+                    .ok());
+    reference.push_back(out);
+  }
+
+  // "Crash": a brand-new process restores the container and replays the
+  // same tail of events.
+  Deployment restored = MakeDeployment(4, 2, options);
+  const Status restore = restored.engine->RestoreFromCheckpoint(checkpoint);
+  ASSERT_TRUE(restore.ok()) << restore.ToString();
+  EXPECT_EQ(restored.engine->current_period(), 6);
+  for (int32_t t = 6; t < 12; ++t) {
+    ASSERT_TRUE(DriveScriptedPeriod(*restored.grid, restored.engine.get(), t,
+                                    &out)
+                    .ok());
+    SCOPED_TRACE("period " + std::to_string(t));
+    ExpectSamePeriod(reference[t - 6], out);
+  }
+}
+
+TEST(ShardedRecoveryTest, MidPeriodStateRoundTrips) {
+  // Save with an open period in flight: routed tasks, buffered bits, and
+  // the submission sequence must all come back.
+  const EngineOptions options = TurnaroundOptions();
+  Deployment original = MakeDeployment(4, 2, options);
+  ShardedMarketEngine& engine = *original.engine;
+
+  ASSERT_TRUE(engine.AddWorker(MakeWorker(*original.grid, 1, {20, 20}, 30)).ok());
+  ASSERT_TRUE(engine.AddWorker(MakeWorker(*original.grid, 2, {80, 80}, 30)).ok());
+  ASSERT_TRUE(
+      engine.SubmitTask(MakeTask(*original.grid, 10, {25, 25}, 2.0), 100.0)
+          .ok());
+  ASSERT_TRUE(
+      engine.SubmitTask(MakeTask(*original.grid, 11, {75, 75}, 2.0), 0.01)
+          .ok());
+  ASSERT_TRUE(engine.ObserveAcceptance(11, true).ok());  // overrides the 0.01
+
+  std::string checkpoint;
+  ASSERT_TRUE(engine.SaveCheckpoint(&checkpoint).ok());
+
+  PeriodOutcome expected;
+  ASSERT_TRUE(engine.ClosePeriod(&expected).ok());
+
+  Deployment restored = MakeDeployment(4, 2, options);
+  ASSERT_TRUE(restored.engine->RestoreFromCheckpoint(checkpoint).ok());
+  // A duplicate of an in-flight task is still rejected after the restore.
+  EXPECT_EQ(restored.engine
+                ->SubmitTask(MakeTask(*restored.grid, 10, {25, 25}, 2.0), 1.0)
+                .code(),
+            StatusCode::kAlreadyExists);
+  PeriodOutcome got;
+  ASSERT_TRUE(restored.engine->ClosePeriod(&got).ok());
+  // The duplicate rejection above is the one allowed counter difference.
+  EXPECT_EQ(got.rejections.duplicate_tasks,
+            expected.rejections.duplicate_tasks + 1);
+  got.rejections = expected.rejections;
+  ExpectSamePeriod(expected, got);
+}
+
+TEST(ShardedRecoveryTest, DifferentRegionCountIsFailedPrecondition) {
+  const EngineOptions options = TurnaroundOptions();
+  Deployment original = MakeDeployment(4, 2, options);
+  PeriodOutcome out;
+  for (int32_t t = 0; t < 3; ++t) {
+    ASSERT_TRUE(DriveScriptedPeriod(*original.grid, original.engine.get(), t,
+                                    &out)
+                    .ok());
+  }
+  std::string checkpoint;
+  ASSERT_TRUE(original.engine->SaveCheckpoint(&checkpoint).ok());
+
+  Deployment wrong_k = MakeDeployment(4, 4, options);
+  const Status restore = wrong_k.engine->RestoreFromCheckpoint(checkpoint);
+  EXPECT_EQ(restore.code(), StatusCode::kFailedPrecondition);
+  // Untouched: still the fresh deployment.
+  EXPECT_EQ(wrong_k.engine->current_period(), 0);
+  EXPECT_EQ(wrong_k.engine->num_live_workers(), 0);
+}
+
+TEST(ShardedRecoveryTest, DifferentLifecycleIsFailedPrecondition) {
+  Deployment original = MakeDeployment(4, 2, TurnaroundOptions());
+  std::string checkpoint;
+  ASSERT_TRUE(original.engine->SaveCheckpoint(&checkpoint).ok());
+
+  EngineOptions single_use;
+  single_use.lifecycle.single_use = true;
+  Deployment other = MakeDeployment(4, 2, single_use);
+  EXPECT_EQ(other.engine->RestoreFromCheckpoint(checkpoint).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardedRecoveryTest, MonolithicCheckpointIsRejected) {
+  const GridPartition grid =
+      GridPartition::Make(Rect{0, 0, 100, 100}, 4, 4).ValueOrDie();
+  CellLocalStrategy strategy;
+  EngineOptions options = TurnaroundOptions();
+  MarketEngine monolith(&grid, &strategy, options);
+  std::string monolith_blob;
+  ASSERT_TRUE(monolith.SaveCheckpoint(&monolith_blob).ok());
+
+  Deployment sharded = MakeDeployment(4, 2, options);
+  const Status restore = sharded.engine->RestoreFromCheckpoint(monolith_blob);
+  EXPECT_FALSE(restore.ok());  // wrong magic: not a MAPSSHRD container
+  EXPECT_EQ(sharded.engine->current_period(), 0);
+}
+
+TEST(ShardedRecoveryTest, CorruptionIsRejectedWithoutTouchingRegions) {
+  const EngineOptions options = TurnaroundOptions();
+  Deployment original = MakeDeployment(4, 2, options);
+  PeriodOutcome out;
+  for (int32_t t = 0; t < 3; ++t) {
+    ASSERT_TRUE(DriveScriptedPeriod(*original.grid, original.engine.get(), t,
+                                    &out)
+                    .ok());
+  }
+  std::string checkpoint;
+  ASSERT_TRUE(original.engine->SaveCheckpoint(&checkpoint).ok());
+
+  // Flip one byte deep inside the container (in the embedded region blobs'
+  // territory) and at a few other offsets; every variant must be rejected
+  // and must leave the engine fully usable.
+  for (size_t offset :
+       {checkpoint.size() / 2, checkpoint.size() - 9, size_t{20}}) {
+    std::string corrupt = checkpoint;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x5a);
+    Deployment target = MakeDeployment(4, 2, options);
+    EXPECT_FALSE(target.engine->RestoreFromCheckpoint(corrupt).ok())
+        << "offset " << offset;
+    EXPECT_EQ(target.engine->current_period(), 0);
+    // The rejected restore left a working engine behind.
+    ASSERT_TRUE(
+        DriveScriptedPeriod(*target.grid, target.engine.get(), 0, &out).ok());
+  }
+
+  // Truncations anywhere are rejected too.
+  for (size_t len : {size_t{0}, size_t{4}, checkpoint.size() / 3,
+                     checkpoint.size() - 1}) {
+    Deployment target = MakeDeployment(4, 2, options);
+    EXPECT_FALSE(
+        target.engine->RestoreFromCheckpoint(checkpoint.substr(0, len)).ok())
+        << "len " << len;
+    EXPECT_EQ(target.engine->current_period(), 0);
+  }
+}
+
+TEST(ShardedRecoveryTest, MigratedAndReturnedWorkerRoundTrips) {
+  // A worker that migrates region 0 -> 1 and later back to 0 leaves an
+  // extracted (tombstoned) record with ITS OWN id behind in each engine it
+  // left, alongside the re-adopted live record. The v2 worker-record format
+  // tags records as indexed/non-indexed, so the checkpoint still
+  // round-trips.
+  EngineOptions options;
+  options.lifecycle.single_use = false;
+  options.lifecycle.speed = 1000.0;  // one-period rides
+  Deployment original = MakeDeployment(4, 2, options);
+  ShardedMarketEngine& engine = *original.engine;
+  const GridPartition& grid = *original.grid;
+
+  // Home: region 0, on the boundary row just below the y = 50 seam.
+  ASSERT_TRUE(engine.AddWorker(MakeWorker(grid, 7, {50, 45}, 20)).ok());
+
+  auto stitch_ride = [&](TaskId id, Point origin, Point dest) {
+    Task task;
+    task.id = id;
+    task.origin = origin;
+    task.destination = dest;
+    task.distance = 10.0;
+    task.grid = grid.CellOf(origin);
+    ASSERT_TRUE(engine.SubmitTask(task, 100.0).ok());
+    PeriodOutcome out;
+    ASSERT_TRUE(engine.ClosePeriod(&out).ok());
+    ASSERT_EQ(out.matches.size(), 1u);
+    ASSERT_EQ(out.matches[0].worker, 7);
+  };
+
+  // Ride A (t=0): task across the seam, ride ending just above it — the
+  // worker migrates 0 -> 1 and parks on region 1's boundary row.
+  stitch_ride(10, {50, 55}, {50, 55});
+  EXPECT_EQ(engine.region_engine(1)->num_live_workers(), 1);
+  EXPECT_EQ(engine.region_engine(0)->num_live_workers(), 0);
+
+  // t=1: an idle tick so the worker is offerable to the next stitch.
+  PeriodOutcome out;
+  ASSERT_TRUE(engine.ClosePeriod(&out).ok());
+
+  // Ride B (t=2): stitched back across the seam, ride ending deep in
+  // region 0 — the worker migrates home, and region 0 now holds both its
+  // old tombstone and the re-adopted live record under the same id.
+  stitch_ride(11, {50, 45}, {50, 20});
+  EXPECT_EQ(engine.region_engine(0)->num_live_workers(), 1);
+  EXPECT_EQ(engine.region_engine(1)->num_live_workers(), 0);
+
+  std::string checkpoint;
+  ASSERT_TRUE(engine.SaveCheckpoint(&checkpoint).ok());
+
+  Deployment restored = MakeDeployment(4, 2, options);
+  const Status restore = restored.engine->RestoreFromCheckpoint(checkpoint);
+  ASSERT_TRUE(restore.ok()) << restore.ToString();
+  EXPECT_EQ(restored.engine->num_live_workers(), 1);
+
+  // Both twins keep serving identically after the round trip.
+  PeriodOutcome expected, got;
+  ASSERT_TRUE(
+      engine.SubmitTask(MakeTask(grid, 12, {50, 20}, 2.0), 100.0).ok());
+  ASSERT_TRUE(engine.ClosePeriod(&expected).ok());
+  ASSERT_TRUE(restored.engine
+                  ->SubmitTask(MakeTask(*restored.grid, 12, {50, 20}, 2.0),
+                               100.0)
+                  .ok());
+  ASSERT_TRUE(restored.engine->ClosePeriod(&got).ok());
+  ExpectSamePeriod(expected, got);
+}
+
+}  // namespace
+}  // namespace maps

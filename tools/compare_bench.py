@@ -34,6 +34,14 @@ DEFAULT_KEYS = [
     "engine_period",
     "checkpoint_save",
     "checkpoint_restore",
+    # Sharded serving closes. k1 is serial (router + one region). k2/k4 run
+    # the regions over a pool but are gated anyway: the close is dominated
+    # by the matching core, whose work-split across bands (not the host's
+    # core count) sets the trajectory, and a regression here is exactly the
+    # kind the sharded tier exists to catch.
+    "sharded_engine_period_k1",
+    "sharded_engine_period_k2",
+    "sharded_engine_period_k4",
 ]
 
 

@@ -4,13 +4,15 @@
 //                       --grid=10 --radius=15 --temporal-mu=0.5
 //                       --spatial-mean=0.5 --demand-mu=2 --demand-sigma=1
 //                       --demand=normal|exponential --metric=euclidean|
-//                       manhattan|road --seed=42]
+//                       manhattan|road --seed=42
+//                       --sharded-regions=1 --region-skew=0
+//                       --boundary-frac=0 --emit-replay=<out.jsonl>]
 //   maps_cli beijing   [--window=peak|night --duration=15 --scale=0.1
 //                       --seed=2016]
 //   maps_cli replay    --events=events.jsonl
 //                      [--grid=4 --extent=100 --strategy=MAPS
 //                       --single-use=true --speed=1 --reposition=0
-//                       --threads=0 --mc_worlds=0
+//                       --threads=0 --mc_worlds=0 --regions=1
 //                       --demand-mu=2 --demand-sigma=1 --oracle-seed=17
 //                       --checkpoint_every=0 --checkpoint_dir=.
 //                       --restore_from=<file.ckpt> --skip_bad_events=false]
@@ -23,6 +25,13 @@
 // up against a truncated-normal demand oracle built from --demand-mu /
 // --demand-sigma over [pmin, pmax]; --mc_worlds>0 also reports each
 // period's expected revenue under that assumed demand.
+//
+// The event file is streamed line-at-a-time — a multi-million-event log
+// never resides in memory. --regions=K shards the grid into K contiguous
+// row bands, each served by its own engine + strategy instance, closed
+// concurrently (with --threads) and reconciled by the deterministic
+// boundary-stitch pass (DESIGN.md §13); checkpoints then cover all K
+// regions in one container.
 //
 // Checkpointing: --checkpoint_every=N saves the engine (and learned
 // strategy state) to --checkpoint_dir every N closed periods;
@@ -48,13 +57,17 @@
 #include <memory>
 #include <optional>
 
+#include "geo/region_partition.h"
 #include "market/demand_model.h"
 #include "pricing/price_postprocess.h"
 #include "service/checkpoint.h"
 #include "service/market_engine.h"
+#include "service/replay_driver.h"
 #include "service/replay_log.h"
+#include "service/sharded_engine.h"
 #include "sim/beijing.h"
 #include "sim/metrics.h"
+#include "sim/replay_export.h"
 #include "sim/synthetic.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -83,6 +96,10 @@ Result<Workload> BuildWorkload(const std::string& kind, const FlagSet& flags) {
     cfg.demand_sigma = flags.GetDouble("demand-sigma", 1.0);
     cfg.demand_rate = flags.GetDouble("demand-rate", 1.0);
     cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    cfg.sharded_regions =
+        static_cast<int>(flags.GetInt("sharded-regions", 1));
+    cfg.region_skew = flags.GetDouble("region-skew", 0.0);
+    cfg.boundary_worker_frac = flags.GetDouble("boundary-frac", 0.0);
     const std::string family = flags.GetString("demand", "normal");
     if (family == "exponential") {
       cfg.demand_family = SyntheticConfig::DemandFamily::kExponential;
@@ -116,6 +133,67 @@ Result<Workload> BuildWorkload(const std::string& kind, const FlagSet& flags) {
       "unknown workload '" + kind + "' (expected synthetic|beijing|replay)");
 }
 
+/// The engine-agnostic tail of `maps_cli replay`: streams the event file
+/// through `engine` (monolithic or sharded) with per-close table rows and
+/// optional periodic checkpoints, then prints the run summary.
+template <typename Engine>
+int DriveReplayAndReport(Engine* engine, ReplayEventStream* stream,
+                         const GridPartition& grid, const std::string& which,
+                         const std::string& csv, int64_t checkpoint_every,
+                         const std::string& checkpoint_dir) {
+  Table table({"period", "tasks", "workers", "accepted", "matched",
+               "revenue", "mc_revenue"});
+  ReplayStreamOptions drive;
+  // Resume from the checkpointed boundary: everything up to and including
+  // the current_period()-th close_period was already consumed.
+  drive.skip_closes = engine->current_period();
+  drive.on_close = [&](const PeriodOutcome& outcome) {
+    if (!outcome.skipped) {
+      table.AddRow(outcome.period, outcome.num_tasks,
+                   outcome.num_available_workers,
+                   static_cast<int64_t>(outcome.accepted.size()),
+                   static_cast<int64_t>(outcome.matches.size()),
+                   outcome.revenue, outcome.mc_expected_revenue);
+    }
+    if (checkpoint_every > 0 &&
+        engine->current_period() % checkpoint_every == 0) {
+      std::string blob;
+      MAPS_RETURN_NOT_OK(engine->SaveCheckpoint(&blob));
+      const std::string path = checkpoint_dir + "/checkpoint_" +
+                               std::to_string(engine->current_period()) +
+                               ".ckpt";
+      MAPS_RETURN_NOT_OK(WriteCheckpointFile(path, blob));
+      std::cout << "checkpoint: " << path << "\n";
+    }
+    return Status::OK();
+  };
+
+  auto summary_or = ReplayEventsThroughEngine(stream, grid, engine, drive);
+  if (!summary_or.ok()) {
+    return Fail("event replay: " + summary_or.status().ToString());
+  }
+  const ReplayStreamSummary& summary = summary_or.ValueOrDie();
+
+  std::cout << "replayed " << stream->stats().events_loaded << " events";
+  if (stream->stats().lines_skipped > 0) {
+    std::cout << " (" << stream->stats().lines_skipped
+              << " malformed line(s) skipped)";
+  }
+  std::cout << ", " << engine->current_period() << " periods closed ("
+            << which << ")\n\n"
+            << table.ToText() << "\ntotal revenue " << summary.total_revenue
+            << ", " << summary.total_accepted << " accepted, "
+            << summary.total_matched << " matched, "
+            << engine->strategy_seconds() << " s in the strategy\n";
+  if (!csv.empty()) {
+    if (Status st = table.WriteCsv(csv); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::cout << "wrote " << csv << "\n";
+  }
+  return 0;
+}
+
 /// Drives the online engine from a JSONL event file.
 int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
   // The common flags (see the file comment) apply here too.
@@ -136,6 +214,7 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
       static_cast<uint64_t>(flags.GetInt("oracle-seed", 17));
   const int threads = static_cast<int>(flags.GetInt("threads", 0));
   const int mc_worlds = static_cast<int>(flags.GetInt("mc_worlds", 0));
+  const int num_regions = static_cast<int>(flags.GetInt("regions", 1));
   const int64_t checkpoint_every = flags.GetInt("checkpoint_every", 0);
   const std::string checkpoint_dir = flags.GetString("checkpoint_dir", ".");
   const std::string restore_from = flags.GetString("restore_from", "");
@@ -150,15 +229,14 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
 
   if (Status st = flags.RejectUnread(); !st.ok()) return Fail(st.ToString());
   if (events_path.empty()) return Fail("replay needs --events=<file.jsonl>");
+  if (num_regions < 1) return Fail("--regions must be >= 1");
 
+  // The event file is STREAMED, not loaded: one line in memory at a time,
+  // so multi-million-event logs replay under a constant ingestion
+  // footprint (service/replay_log.h).
   std::ifstream in(events_path);
   if (!in) return Fail("cannot open " + events_path);
-  ReplayLoadStats load_stats;
-  auto events_or = LoadReplayLog(in, load_options, &load_stats);
-  if (!events_or.ok()) {
-    return Fail(events_path + ": " + events_or.status().ToString());
-  }
-  const std::vector<ReplayEvent>& events = events_or.ValueOrDie();
+  ReplayEventStream stream(in, load_options);
 
   auto grid_or =
       GridPartition::Make(Rect{0, 0, extent, extent}, grid_side, grid_side);
@@ -174,16 +252,24 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
   if (!oracle_or.ok()) return Fail(oracle_or.status().ToString());
   DemandOracle& oracle = oracle_or.ValueOrDie();
 
-  std::unique_ptr<PricingStrategy> strategy;
-  for (const StrategyFactory& factory : DefaultStrategies(pricing)) {
-    if (factory.name == which) strategy = factory.make();
+  // One strategy instance per region (the monolith is the K=1 case), all
+  // built from the same factory and all warmed against the SAME oracle so
+  // their learned state is identical (probing is read-only on the oracle).
+  const std::vector<StrategyFactory> factories = DefaultStrategies(pricing);
+  const StrategyFactory* factory = nullptr;
+  for (const StrategyFactory& f : factories) {
+    if (f.name == which) factory = &f;
   }
-  if (strategy == nullptr) {
+  if (factory == nullptr) {
     return Fail("replay takes one --strategy name, got " + which);
   }
-  if (postprocess) {
-    strategy =
-        std::make_unique<PostprocessedStrategy>(std::move(strategy), post);
+  std::vector<std::unique_ptr<PricingStrategy>> strategies;
+  for (int k = 0; k < num_regions; ++k) {
+    std::unique_ptr<PricingStrategy> s = factory->make();
+    if (postprocess) {
+      s = std::make_unique<PostprocessedStrategy>(std::move(s), post);
+    }
+    strategies.push_back(std::move(s));
   }
 
   std::optional<ThreadPool> pool;
@@ -192,115 +278,47 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
     engine_options.pool = &*pool;
   }
   if (mc_worlds > 0) engine_options.mc_oracle = &oracle;
-  MarketEngine engine(&grid, strategy.get(), engine_options);
 
   // A restored engine carries the checkpointed learned state, so warm-up
   // runs only on a fresh start.
-  if (restore_from.empty()) {
-    if (Status st = strategy->Warmup(grid, &oracle); !st.ok()) {
-      return Fail(which + " warmup: " + st.ToString());
+  const auto warm_or_restore = [&](auto* engine) -> int {
+    if (restore_from.empty()) {
+      for (const auto& s : strategies) {
+        if (Status st = s->Warmup(grid, &oracle); !st.ok()) {
+          return Fail(which + " warmup: " + st.ToString());
+        }
+      }
+      return 0;
     }
-  } else {
     std::string blob;
     if (Status st = ReadCheckpointFile(restore_from, &blob); !st.ok()) {
       return Fail(restore_from + ": " + st.ToString());
     }
-    if (Status st = engine.RestoreFromCheckpoint(blob); !st.ok()) {
+    if (Status st = engine->RestoreFromCheckpoint(blob); !st.ok()) {
       return Fail(restore_from + ": " + st.ToString());
     }
     std::cout << "restored " << restore_from << " at period "
-              << engine.current_period() << "\n";
-  }
-  // Replay the feed from the checkpointed boundary: everything up to and
-  // including the current_period()-th close_period was already consumed.
-  int64_t skip_closes = engine.current_period();
+              << engine->current_period() << "\n";
+    return 0;
+  };
 
-  Table table({"period", "tasks", "workers", "accepted", "matched",
-               "revenue", "mc_revenue"});
-  PeriodOutcome outcome;
-  double total_revenue = 0.0;
-  int64_t total_accepted = 0;
-  int64_t total_matched = 0;
-  for (const ReplayEvent& ev : events) {
-    if (skip_closes > 0) {
-      if (ev.kind == ReplayEvent::Kind::kClosePeriod) --skip_closes;
-      continue;
-    }
-    Status st = Status::OK();
-    switch (ev.kind) {
-      case ReplayEvent::Kind::kSubmitTask: {
-        Task task = ev.task;
-        task.grid = grid.CellOf(task.origin);
-        task.period = engine.current_period();
-        if (task.distance <= 0.0) {
-          task.distance = EuclideanDistance(task.origin, task.destination);
-        }
-        st = engine.SubmitTask(task, ev.has_valuation
-                                         ? ev.valuation
-                                         : MarketEngine::kNoValuation);
-        break;
-      }
-      case ReplayEvent::Kind::kAddWorker: {
-        Worker worker = ev.worker;
-        worker.grid = grid.CellOf(worker.location);
-        worker.period = engine.current_period();
-        st = engine.AddWorker(worker);
-        break;
-      }
-      case ReplayEvent::Kind::kRemoveWorker:
-        st = engine.RemoveWorker(ev.id);
-        break;
-      case ReplayEvent::Kind::kObserveAcceptance:
-        st = engine.ObserveAcceptance(ev.id, ev.accepted);
-        break;
-      case ReplayEvent::Kind::kClosePeriod: {
-        st = engine.ClosePeriod(&outcome);
-        if (st.ok() && !outcome.skipped) {
-          table.AddRow(outcome.period, outcome.num_tasks,
-                       outcome.num_available_workers,
-                       static_cast<int64_t>(outcome.accepted.size()),
-                       static_cast<int64_t>(outcome.matches.size()),
-                       outcome.revenue, outcome.mc_expected_revenue);
-          total_revenue += outcome.revenue;
-          total_accepted += static_cast<int64_t>(outcome.accepted.size());
-          total_matched += static_cast<int64_t>(outcome.matches.size());
-        }
-        if (st.ok() && checkpoint_every > 0 &&
-            engine.current_period() % checkpoint_every == 0) {
-          std::string blob;
-          st = engine.SaveCheckpoint(&blob);
-          if (st.ok()) {
-            const std::string path =
-                checkpoint_dir + "/checkpoint_" +
-                std::to_string(engine.current_period()) + ".ckpt";
-            st = WriteCheckpointFile(path, blob);
-            if (st.ok()) std::cout << "checkpoint: " << path << "\n";
-          }
-        }
-        break;
-      }
-    }
-    if (!st.ok()) return Fail("event replay: " + st.ToString());
+  if (num_regions == 1) {
+    MarketEngine engine(&grid, strategies[0].get(), engine_options);
+    if (int rc = warm_or_restore(&engine); rc != 0) return rc;
+    return DriveReplayAndReport(&engine, &stream, grid, which, csv,
+                                checkpoint_every, checkpoint_dir);
   }
 
-  std::cout << "replayed " << events.size() << " events";
-  if (load_stats.lines_skipped > 0) {
-    std::cout << " (" << load_stats.lines_skipped << " malformed line(s)"
-              << " skipped)";
-  }
-  std::cout << ", " << engine.current_period() << " periods closed ("
-            << which << ")\n\n"
-            << table.ToText() << "\ntotal revenue " << total_revenue << ", "
-            << total_accepted << " accepted, " << total_matched
-            << " matched, " << engine.strategy_seconds()
-            << " s in the strategy\n";
-  if (!csv.empty()) {
-    if (Status st = table.WriteCsv(csv); !st.ok()) {
-      return Fail(st.ToString());
-    }
-    std::cout << "wrote " << csv << "\n";
-  }
-  return 0;
+  auto partition_or = RegionPartition::Make(grid, num_regions);
+  if (!partition_or.ok()) return Fail(partition_or.status().ToString());
+  const RegionPartition& partition = partition_or.ValueOrDie();
+  std::vector<PricingStrategy*> region_strategies;
+  for (const auto& s : strategies) region_strategies.push_back(s.get());
+  ShardedMarketEngine engine(&grid, &partition, region_strategies,
+                             engine_options);
+  if (int rc = warm_or_restore(&engine); rc != 0) return rc;
+  return DriveReplayAndReport(&engine, &stream, grid, which, csv,
+                              checkpoint_every, checkpoint_dir);
 }
 
 }  // namespace
@@ -332,6 +350,7 @@ int main(int argc, char** argv) {
   const std::string which = flags.GetString("strategy", "all");
   const double reposition = flags.GetDouble("reposition", 0.0);
   const std::string csv = flags.GetString("csv", "");
+  const std::string emit_replay = flags.GetString("emit-replay", "");
 
   auto workload_or = BuildWorkload(flags.positional()[0], flags);
 
@@ -339,6 +358,20 @@ int main(int argc, char** argv) {
   if (!workload_or.ok()) return Fail(workload_or.status().ToString());
   Workload& workload = workload_or.ValueOrDie();
   workload.lifecycle.reposition_prob = reposition;
+
+  // --emit-replay=<path>: write the workload as a JSONL event log for the
+  // streaming replay path (maps_cli replay [--regions=K]) and stop.
+  if (!emit_replay.empty()) {
+    std::ofstream log(emit_replay);
+    if (!log) return Fail("cannot open " + emit_replay);
+    if (Status st = WriteReplayLog(workload, log); !st.ok()) {
+      return Fail(emit_replay + ": " + st.ToString());
+    }
+    std::cout << "wrote " << emit_replay << ": " << workload.tasks.size()
+              << " tasks, " << workload.workers.size() << " workers, "
+              << workload.num_periods << " periods\n";
+    return 0;
+  }
 
   std::cout << "workload: " << workload.name << " — "
             << workload.tasks.size() << " tasks, " << workload.workers.size()
