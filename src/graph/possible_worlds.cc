@@ -172,4 +172,43 @@ double MonteCarloExpectedRevenue(
   return total / samples;
 }
 
+WorldMomentSums MonteCarloRevenueMoments(
+    const BipartiteGraph& graph, const std::vector<PricedTask>& tasks,
+    uint64_t seed, int64_t first_world, int64_t num_worlds, ThreadPool* pool,
+    std::vector<PossibleWorldsWorkspace>* workspaces) {
+  MAPS_CHECK_GT(num_worlds, 0);
+  MAPS_CHECK_GE(first_world, 0);
+  const int n = static_cast<int>(tasks.size());
+  MAPS_CHECK_EQ(n, graph.num_left());
+  const int num_workers = pool == nullptr ? 1 : pool->num_threads();
+  workspaces->resize(num_workers);
+  for (auto& ws : *workspaces) PrepareWorkspace(tasks, &ws);
+  // Shard layout depends on num_worlds only; `first_world` merely offsets
+  // the ranges, so a batch's boundaries never depend on earlier batches.
+  const auto shards = SplitRange(num_worlds, kMonteCarloShards);
+  return ParallelReduce<WorldMomentSums>(
+      pool, shards, WorldMomentSums{},
+      [&](int /*shard*/, const IndexRange& range, int worker) {
+        PossibleWorldsWorkspace* ws = &(*workspaces)[worker];
+        WorldMomentSums m;
+        for (int64_t s = range.begin; s < range.end; ++s) {
+          const uint64_t world = static_cast<uint64_t>(first_world + s);
+          CounterRng rng(seed, world);
+          for (int i = 0; i < n; ++i) {
+            ws->accepted[i] =
+                static_cast<char>(rng.NextBernoulli(tasks[i].accept_prob));
+          }
+          const double revenue = WorldRevenue(graph, ws);
+          m.sum += revenue;
+          m.sum_squares += revenue * revenue;
+        }
+        return m;
+      },
+      [](WorldMomentSums acc, WorldMomentSums partial) {
+        acc.sum += partial.sum;
+        acc.sum_squares += partial.sum_squares;
+        return acc;
+      });
+}
+
 }  // namespace maps

@@ -100,4 +100,25 @@ double MonteCarloExpectedRevenue(const BipartiteGraph& graph,
                                  uint64_t seed, int samples, ThreadPool* pool,
                                  std::vector<PossibleWorldsWorkspace>* workspaces);
 
+/// \brief First two power sums of sampled world revenues — the raw material
+/// of a confidence interval (mean = sum / n, variance from sum_squares).
+struct WorldMomentSums {
+  double sum = 0.0;          ///< Σ revenue(world)
+  double sum_squares = 0.0;  ///< Σ revenue(world)^2
+};
+
+/// \brief Moments of worlds [first_world, first_world + num_worlds): world w
+/// draws its acceptance vector from CounterRng stream (seed, w), exactly like
+/// the counter-based MonteCarloExpectedRevenue overload, so batches taken at
+/// [0, B), [B, 2B), ... concatenate into the same world sequence a single
+/// [0, n*B) call would sample. The batch is split into a FIXED number of
+/// contiguous shards (a function of num_worlds only) whose partial
+/// (sum, sum_squares) pairs fold in shard order — bit-identical for ANY
+/// thread count, including `pool == nullptr`. This is the primitive behind
+/// the CI stopping rule in pricing/oracle_exact.h.
+WorldMomentSums MonteCarloRevenueMoments(
+    const BipartiteGraph& graph, const std::vector<PricedTask>& tasks,
+    uint64_t seed, int64_t first_world, int64_t num_worlds, ThreadPool* pool,
+    std::vector<PossibleWorldsWorkspace>* workspaces);
+
 }  // namespace maps

@@ -1,0 +1,133 @@
+#include "service/outcome_invariants.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace maps {
+
+namespace {
+
+Status Violation(const PeriodOutcome& outcome, const std::string& what) {
+  std::ostringstream msg;
+  msg << "period " << outcome.period << " invariant violated: " << what;
+  return Status::InvalidArgument(msg.str());
+}
+
+}  // namespace
+
+Status CheckPeriodOutcomeInvariants(const PeriodOutcome& outcome,
+                                    const InvariantContext& context) {
+  if (outcome.skipped) {
+    if (!outcome.prices.empty() || !outcome.accepted.empty() ||
+        !outcome.matches.empty() || outcome.revenue != 0.0 ||
+        outcome.mc_expected_revenue != 0.0) {
+      return Violation(outcome, "skipped period carries market output");
+    }
+  }
+
+  std::unordered_set<TaskId> accepted(outcome.accepted.begin(),
+                                      outcome.accepted.end());
+  if (accepted.size() != outcome.accepted.size()) {
+    return Violation(outcome, "duplicate accepted task id");
+  }
+  if (outcome.accepted.size() > static_cast<size_t>(outcome.num_tasks)) {
+    std::ostringstream what;
+    what << outcome.accepted.size() << " accepted of " << outcome.num_tasks
+         << " tasks";
+    return Violation(outcome, what.str());
+  }
+
+  std::unordered_set<TaskId> matched_tasks;
+  std::unordered_set<WorkerId> matched_workers;
+  double folded = 0.0;
+  for (const MatchRecord& m : outcome.matches) {
+    if (!matched_tasks.insert(m.task).second) {
+      return Violation(outcome,
+                       "task " + std::to_string(m.task) + " matched twice");
+    }
+    if (!matched_workers.insert(m.worker).second) {
+      return Violation(outcome, "worker " + std::to_string(m.worker) +
+                                    " assigned twice");
+    }
+    if (accepted.count(m.task) == 0) {
+      return Violation(outcome, "matched task " + std::to_string(m.task) +
+                                    " was never accepted");
+    }
+    if (!(m.revenue >= 0.0)) {  // also catches NaN
+      return Violation(outcome, "match of task " + std::to_string(m.task) +
+                                    " has negative or NaN revenue");
+    }
+    folded += m.revenue;
+  }
+  // Both engines accumulate period revenue as the fold-left sum over the
+  // final match list, so this equality is bitwise, not approximate.
+  if (folded != outcome.revenue) {
+    std::ostringstream what;
+    what.precision(17);
+    what << "revenue " << outcome.revenue << " != fold of match revenues "
+         << folded;
+    return Violation(outcome, what.str());
+  }
+  if (outcome.matches.size() >
+      static_cast<size_t>(outcome.num_available_workers)) {
+    std::ostringstream what;
+    what << outcome.matches.size() << " matches with only "
+         << outcome.num_available_workers << " available workers";
+    return Violation(outcome, what.str());
+  }
+  if (std::isnan(outcome.mc_expected_revenue) ||
+      outcome.mc_expected_revenue < 0.0) {
+    return Violation(outcome, "negative or NaN mc_expected_revenue");
+  }
+
+  if (context.previous_rejections != nullptr) {
+    const EngineRejectionCounters& prev = *context.previous_rejections;
+    const EngineRejectionCounters& cur = outcome.rejections;
+    if (cur.duplicate_tasks < prev.duplicate_tasks ||
+        cur.unknown_worker_removals < prev.unknown_worker_removals ||
+        cur.busy_worker_removals < prev.busy_worker_removals ||
+        cur.orphan_acceptances < prev.orphan_acceptances) {
+      return Violation(outcome, "rejection counters decreased");
+    }
+  }
+
+  if (context.period_tasks != nullptr && !outcome.skipped) {
+    std::unordered_map<TaskId, const Task*> by_id;
+    by_id.reserve(context.period_tasks->size());
+    for (const Task& t : *context.period_tasks) by_id.emplace(t.id, &t);
+    for (TaskId id : outcome.accepted) {
+      if (by_id.count(id) == 0) {
+        return Violation(outcome, "accepted task " + std::to_string(id) +
+                                      " was never submitted");
+      }
+    }
+    for (const MatchRecord& m : outcome.matches) {
+      const auto it = by_id.find(m.task);
+      if (it == by_id.end()) {
+        return Violation(outcome, "matched task " + std::to_string(m.task) +
+                                      " was never submitted");
+      }
+      const Task& t = *it->second;
+      if (t.grid < 0 || static_cast<size_t>(t.grid) >= outcome.prices.size()) {
+        return Violation(outcome, "matched task " + std::to_string(m.task) +
+                                      " has out-of-range grid");
+      }
+      // revenue = d_r * p_{g(r)} is a single multiply in both engines, so
+      // the reconstruction must agree bitwise.
+      const double expect = t.distance * outcome.prices[t.grid];
+      if (m.revenue != expect) {
+        std::ostringstream what;
+        what.precision(17);
+        what << "match of task " << m.task << " pays " << m.revenue
+             << ", expected distance * price = " << expect;
+        return Violation(outcome, what.str());
+      }
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace maps

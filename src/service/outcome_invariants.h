@@ -1,0 +1,46 @@
+// Conservation invariants every PeriodOutcome must satisfy — monolithic or
+// sharded, any strategy, any thread count. The gtest suites wrap this in
+// tests/invariants.h and assert it after EVERY ClosePeriod; the robustness
+// matrix (tools/robustness_matrix.cc) counts violations per scenario and
+// fails CI on any.
+//
+// Checked invariants:
+//   * a skipped period is empty: no prices, no accepted ids, no matches,
+//     zero revenue;
+//   * accepted ids are unique, and every matched task is accepted
+//     (accepted ⊇ matched);
+//   * no worker is assigned twice, no task matched twice;
+//   * revenue equals the fold-left sum of the match revenues BITWISE —
+//     both engines accumulate it in exactly that order, so any deviation
+//     means the fold was reordered or a match was dropped;
+//   * matches never outnumber accepted tasks or available workers;
+//   * rejection counters are cumulative, hence monotone between closes;
+//   * with the period's task table: accepted ids exist, every match's
+//     revenue reconstructs as distance * prices[grid] bitwise, and match
+//     revenues are non-negative.
+
+#pragma once
+
+#include <vector>
+
+#include "market/task.h"
+#include "service/market_engine.h"
+#include "util/status.h"
+
+namespace maps {
+
+/// \brief Optional cross-period / cross-event context for the checks.
+struct InvariantContext {
+  /// The tasks submitted to the closed period (any order); enables the
+  /// per-match revenue reconstruction and accepted-id existence checks.
+  const std::vector<Task>* period_tasks = nullptr;
+  /// The previous close's counters; enables the monotonicity check.
+  const EngineRejectionCounters* previous_rejections = nullptr;
+};
+
+/// \brief OK when every invariant holds; otherwise InvalidArgument naming
+/// the first violated invariant and the offending ids/values.
+Status CheckPeriodOutcomeInvariants(const PeriodOutcome& outcome,
+                                    const InvariantContext& context = {});
+
+}  // namespace maps

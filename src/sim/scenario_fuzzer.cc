@@ -1,0 +1,428 @@
+#include "sim/scenario_fuzzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "geo/region_partition.h"
+#include "rng/counter_rng.h"
+#include "sim/replay_export.h"
+
+namespace maps {
+
+namespace {
+
+/// Purpose keys of the CounterRng streams: every draw category has its own
+/// stream of `seed`, so adding a draw to one category never shifts another
+/// (the reproducibility contract is per-field, not just per-file).
+enum Stream : uint64_t {
+  kCountStream = 1,
+  kWorkerPosStream = 2,
+  kWorkerAttrStream = 3,
+  kTaskPosStream = 4,
+  kTaskDestStream = 5,
+  kValuationStream = 6,
+  kOracleProbeStream = 7,
+};
+
+/// Deterministic +/-25% jitter around `base`, at least 1.
+int JitteredCount(int base, CounterRng* rng) {
+  const double factor = 0.75 + 0.5 * rng->NextDouble();
+  return std::max(1, static_cast<int>(std::lround(base * factor)));
+}
+
+/// Uniform point in the scenario's square region.
+Point UniformPoint(const ScenarioSpec& spec, CounterRng* rng) {
+  return Point{rng->NextDouble(0.0, spec.extent),
+               rng->NextDouble(0.0, spec.extent)};
+}
+
+/// Uniform point inside one grid cell (used for boundary-heavy placement).
+Point PointInCell(const GridPartition& grid, GridId cell, CounterRng* rng) {
+  const Rect r = grid.CellRect(cell);
+  return Point{rng->NextDouble(r.min_x, r.max_x),
+               rng->NextDouble(r.min_y, r.max_y)};
+}
+
+/// Number of tasks arriving at period t (surge window applied).
+int TasksAt(const ScenarioSpec& spec, int32_t t, CounterRng* rng) {
+  int base = spec.tasks_per_period;
+  if (spec.family == ScenarioSpec::Family::kFlashSurge &&
+      t >= spec.surge_begin && t < spec.surge_begin + spec.surge_len) {
+    base = static_cast<int>(std::lround(base * spec.surge_multiplier));
+  }
+  return JitteredCount(base, rng);
+}
+
+/// Number of workers arriving at period t (storms double the inflow to
+/// compensate for the short lifetimes).
+int WorkersAt(const ScenarioSpec& spec, int32_t t, CounterRng* rng) {
+  int base = spec.workers_per_period;
+  if (spec.family == ScenarioSpec::Family::kChurnStorm) base *= 2;
+  if (t == 0) base += spec.initial_workers;
+  return JitteredCount(base, rng);
+}
+
+}  // namespace
+
+const char* ScenarioFamilyName(ScenarioSpec::Family family) {
+  switch (family) {
+    case ScenarioSpec::Family::kBaseline:
+      return "baseline";
+    case ScenarioSpec::Family::kDemandDrift:
+      return "demand_drift";
+    case ScenarioSpec::Family::kFlashSurge:
+      return "flash_surge";
+    case ScenarioSpec::Family::kRegionChurn:
+      return "region_churn";
+    case ScenarioSpec::Family::kBoundaryHeavy:
+      return "boundary_heavy";
+    case ScenarioSpec::Family::kChurnStorm:
+      return "churn_storm";
+  }
+  return "unknown";
+}
+
+Status ValidateScenarioSpec(const ScenarioSpec& spec) {
+  const auto fail = [&](const std::string& what) {
+    return Status::InvalidArgument("scenario '" + spec.name + "': " + what);
+  };
+  if (spec.name.empty()) return Status::InvalidArgument("scenario needs a name");
+  if (spec.num_periods <= 0) return fail("num_periods must be positive");
+  if (spec.grid_rows <= 0 || spec.grid_cols <= 0) {
+    return fail("grid dimensions must be positive");
+  }
+  if (spec.extent <= 0.0) return fail("extent must be positive");
+  if (spec.tasks_per_period <= 0 || spec.workers_per_period <= 0) {
+    return fail("arrival volumes must be positive");
+  }
+  if (spec.initial_workers < 0) return fail("initial_workers must be >= 0");
+  if (spec.worker_radius_lo <= 0.0 ||
+      spec.worker_radius_hi < spec.worker_radius_lo) {
+    return fail("worker radius range must be positive and ordered");
+  }
+  if (spec.worker_duration <= 0) return fail("worker_duration must be positive");
+  if (spec.worker_speed <= 0.0) return fail("worker_speed must be positive");
+  if (spec.demand_sigma <= 0.0) return fail("demand_sigma must be positive");
+  if (spec.v_hi <= spec.v_lo) return fail("valuation range must be ordered");
+  if (spec.regret_budget_frac <= 0.0) {
+    return fail("regret_budget_frac must be positive");
+  }
+  switch (spec.family) {
+    case ScenarioSpec::Family::kBaseline:
+      break;
+    case ScenarioSpec::Family::kDemandDrift:
+      if (spec.drift_period <= 0 || spec.drift_period >= spec.num_periods) {
+        return fail("drift_period must fall inside the horizon");
+      }
+      break;
+    case ScenarioSpec::Family::kFlashSurge:
+      if (spec.surge_begin < 0 || spec.surge_len <= 0 ||
+          spec.surge_begin + spec.surge_len > spec.num_periods) {
+        return fail("surge window must fall inside the horizon");
+      }
+      if (spec.surge_multiplier <= 1.0) {
+        return fail("surge_multiplier must exceed 1");
+      }
+      break;
+    case ScenarioSpec::Family::kRegionChurn:
+      if (spec.churn_region_rows <= 0 ||
+          spec.churn_region_rows >= spec.grid_rows) {
+        return fail("churn band must cover some but not all rows");
+      }
+      if (spec.churn_period <= 0 || spec.churn_period >= spec.num_periods) {
+        return fail("churn_period must fall inside the horizon");
+      }
+      if (spec.churn_band_bias < 0.0 || spec.churn_band_bias > 1.0) {
+        return fail("churn_band_bias must be in [0, 1]");
+      }
+      break;
+    case ScenarioSpec::Family::kBoundaryHeavy:
+      if (spec.boundary_frac < 0.0 || spec.boundary_frac > 1.0) {
+        return fail("boundary_frac must be in [0, 1]");
+      }
+      if (spec.num_regions < 2 || spec.num_regions > spec.grid_rows) {
+        return fail("num_regions must be in [2, grid_rows]");
+      }
+      break;
+    case ScenarioSpec::Family::kChurnStorm:
+      if (spec.churn_storm_duration <= 0) {
+        return fail("churn_storm_duration must be positive");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<DemandModel> TrueDemandAt(const ScenarioSpec& spec,
+                                          int32_t period) {
+  double mu = spec.demand_mu;
+  if (spec.family == ScenarioSpec::Family::kDemandDrift &&
+      period >= spec.drift_period) {
+    mu += spec.drift_mu_delta;
+  }
+  return std::make_unique<TruncatedNormalDemand>(mu, spec.demand_sigma,
+                                                 spec.v_lo, spec.v_hi);
+}
+
+Result<Workload> BuildScenarioWorkload(const ScenarioSpec& spec,
+                                       uint64_t seed) {
+  MAPS_RETURN_NOT_OK(ValidateScenarioSpec(spec));
+
+  const Rect region{0.0, 0.0, spec.extent, spec.extent};
+  MAPS_ASSIGN_OR_RETURN(
+      GridPartition grid,
+      GridPartition::Make(region, spec.grid_rows, spec.grid_cols));
+
+  // Boundary-heavy placement targets the seam cells of the row-band
+  // partition the sharded deployment will use.
+  std::vector<GridId> boundary_cells;
+  if (spec.family == ScenarioSpec::Family::kBoundaryHeavy) {
+    MAPS_ASSIGN_OR_RETURN(RegionPartition partition,
+                          RegionPartition::Make(grid, spec.num_regions));
+    boundary_cells = partition.boundary_grids();
+  }
+
+  // The warm-up oracle carries the PRE-drift demand: under kDemandDrift the
+  // strategy trains on a world that stops existing mid-horizon.
+  MAPS_ASSIGN_OR_RETURN(
+      DemandOracle oracle,
+      DemandOracle::Make(
+          ReplicateDemand(*TrueDemandAt(spec, 0), grid.num_cells()),
+          seed ^ kOracleProbeStream));
+
+  Workload w(std::move(grid), std::move(oracle));
+  {
+    std::ostringstream name;
+    name << "fuzz:" << spec.name << ":family=" << ScenarioFamilyName(spec.family)
+         << ":seed=" << seed;
+    w.name = name.str();
+  }
+  w.num_periods = spec.num_periods;
+  w.lifecycle.single_use = false;
+  w.lifecycle.speed = spec.worker_speed;
+  w.lifecycle.reposition_prob = 0.0;
+
+  CounterRng count_rng(seed, kCountStream);
+  CounterRng worker_pos_rng(seed, kWorkerPosStream);
+  CounterRng worker_attr_rng(seed, kWorkerAttrStream);
+  CounterRng task_pos_rng(seed, kTaskPosStream);
+  CounterRng task_dest_rng(seed, kTaskDestStream);
+  CounterRng valuation_rng(seed, kValuationStream);
+
+  const double band_top =
+      spec.extent * static_cast<double>(spec.churn_region_rows) /
+      static_cast<double>(spec.grid_rows);
+
+  WorkerId next_worker_id = 0;
+  for (int32_t t = 0; t < spec.num_periods; ++t) {
+    const std::unique_ptr<DemandModel> demand = TrueDemandAt(spec, t);
+
+    const int num_workers = WorkersAt(spec, t, &count_rng);
+    for (int i = 0; i < num_workers; ++i) {
+      Worker worker;
+      worker.id = next_worker_id++;
+      worker.period = t;
+      switch (spec.family) {
+        case ScenarioSpec::Family::kBoundaryHeavy:
+          if (worker_pos_rng.NextDouble() < spec.boundary_frac) {
+            const size_t pick =
+                worker_pos_rng.NextBounded(boundary_cells.size());
+            worker.location =
+                PointInCell(w.grid, boundary_cells[pick], &worker_pos_rng);
+          } else {
+            worker.location = UniformPoint(spec, &worker_pos_rng);
+          }
+          break;
+        case ScenarioSpec::Family::kRegionChurn:
+          // Over-supply the churn band until the churn hits, then place
+          // uniformly — the band starves right when its workers vanish.
+          if (t < spec.churn_period &&
+              worker_pos_rng.NextDouble() < spec.churn_band_bias) {
+            worker.location = Point{worker_pos_rng.NextDouble(0.0, spec.extent),
+                                    worker_pos_rng.NextDouble(0.0, band_top)};
+          } else {
+            worker.location = UniformPoint(spec, &worker_pos_rng);
+          }
+          break;
+        default:
+          worker.location = UniformPoint(spec, &worker_pos_rng);
+          break;
+      }
+      worker.radius = worker_attr_rng.NextDouble(spec.worker_radius_lo,
+                                                 spec.worker_radius_hi);
+      worker.duration = spec.worker_duration;
+      if (spec.family == ScenarioSpec::Family::kChurnStorm) {
+        worker.duration = spec.churn_storm_duration;
+      } else if (spec.family == ScenarioSpec::Family::kRegionChurn &&
+                 t < spec.churn_period && worker.location.y < band_top) {
+        // Every band worker retires exactly at the churn period.
+        worker.duration = spec.churn_period - t;
+      }
+      worker.grid = w.grid.CellOf(worker.location);
+      w.workers.push_back(worker);
+    }
+
+    const int num_tasks = TasksAt(spec, t, &count_rng);
+    for (int i = 0; i < num_tasks; ++i) {
+      Task task;
+      task.id = static_cast<TaskId>(w.tasks.size());
+      task.period = t;
+      if (spec.family == ScenarioSpec::Family::kBoundaryHeavy &&
+          task_pos_rng.NextDouble() < spec.boundary_frac) {
+        const size_t pick = task_pos_rng.NextBounded(boundary_cells.size());
+        task.origin = PointInCell(w.grid, boundary_cells[pick], &task_pos_rng);
+      } else {
+        task.origin = UniformPoint(spec, &task_pos_rng);
+      }
+      task.destination = UniformPoint(spec, &task_dest_rng);
+      task.distance = EuclideanDistance(task.origin, task.destination);
+      task.grid = w.grid.CellOf(task.origin);
+      w.tasks.push_back(task);
+      w.valuations.push_back(demand->Sample(valuation_rng));
+    }
+  }
+
+  MAPS_RETURN_NOT_OK(ValidateWorkload(w));
+  return w;
+}
+
+Status WriteScenarioLog(const ScenarioSpec& spec, uint64_t seed,
+                        std::ostream& out, int inject_malformed_every) {
+  MAPS_ASSIGN_OR_RETURN(Workload workload, BuildScenarioWorkload(spec, seed));
+  if (inject_malformed_every <= 0) return WriteReplayLog(workload, out);
+
+  // Corruption mode: write the clean log, then re-emit it with corpus lines
+  // spliced in after every N-th event line.
+  std::ostringstream clean;
+  MAPS_RETURN_NOT_OK(WriteReplayLog(workload, clean));
+  const auto& corpus = MalformedReplayLineCorpus();
+  std::istringstream in(clean.str());
+  std::string line;
+  int64_t events = 0;
+  size_t next_bad = 0;
+  while (std::getline(in, line)) {
+    out << line << "\n";
+    if (line.empty() || line[0] == '#') continue;
+    ++events;
+    if (events % inject_malformed_every == 0) {
+      out << corpus[next_bad % corpus.size()].line << "\n";
+      ++next_bad;
+    }
+  }
+  if (!out) return Status::Internal("scenario log write failed");
+  return Status::OK();
+}
+
+const std::vector<ScenarioSpec>& DefaultScenarioMatrix() {
+  static const std::vector<ScenarioSpec>* matrix = [] {
+    auto* specs = new std::vector<ScenarioSpec>;
+    {
+      ScenarioSpec s;
+      s.name = "baseline";
+      s.family = ScenarioSpec::Family::kBaseline;
+      specs->push_back(s);
+    }
+    {
+      ScenarioSpec s;
+      s.name = "demand_drift_down";
+      s.family = ScenarioSpec::Family::kDemandDrift;
+      s.drift_mu_delta = -1.2;
+      s.drift_period = 20;
+      specs->push_back(s);
+    }
+    {
+      ScenarioSpec s;
+      s.name = "flash_surge_x6";
+      s.family = ScenarioSpec::Family::kFlashSurge;
+      s.surge_begin = 18;
+      s.surge_len = 4;
+      s.surge_multiplier = 6.0;
+      specs->push_back(s);
+    }
+    {
+      ScenarioSpec s;
+      s.name = "region_churn_south";
+      s.family = ScenarioSpec::Family::kRegionChurn;
+      s.churn_region_rows = 2;
+      s.churn_period = 20;
+      specs->push_back(s);
+    }
+    {
+      ScenarioSpec s;
+      s.name = "boundary_heavy_k2";
+      s.family = ScenarioSpec::Family::kBoundaryHeavy;
+      s.boundary_frac = 0.85;
+      s.num_regions = 2;
+      specs->push_back(s);
+    }
+    {
+      ScenarioSpec s;
+      s.name = "churn_storm";
+      s.family = ScenarioSpec::Family::kChurnStorm;
+      s.churn_storm_duration = 2;
+      specs->push_back(s);
+    }
+    return specs;
+  }();
+  return *matrix;
+}
+
+const std::vector<MalformedReplayLine>& MalformedReplayLineCorpus() {
+  static const std::vector<MalformedReplayLine>* corpus =
+      new std::vector<MalformedReplayLine>{
+          {"syntax-no-object", nullptr, "{broken", "expected key"},
+          {"trailing-garbage", nullptr, "{\"event\":\"close_period\"} x",
+           "trailing characters"},
+          {"unterminated-string", nullptr, "{\"event\":\"submit_task\",\"id\":\"",
+           "unterminated string"},
+          {"missing-colon", nullptr, "{\"event\" \"close_period\"}",
+           "expected ':'"},
+          {"empty-value", nullptr, "{\"event\":}", "expected value"},
+          {"duplicate-key", nullptr,
+           "{\"event\":\"close_period\",\"event\":\"close_period\"}",
+           "duplicate key 'event'"},
+          {"nested-value", nullptr, "{\"event\":\"close_period\",\"extra\":{}}",
+           "unsupported value '{'"},
+          {"nan-literal", nullptr,
+           "{\"event\":\"submit_task\",\"id\":1,\"ox\":nan,\"oy\":1,\"dx\":2,"
+           "\"dy\":3}",
+           "unsupported value 'nan'"},
+          {"missing-event", nullptr, "{\"id\":7}", "missing \"event\" field"},
+          {"unknown-event", nullptr, "{\"event\":\"warp_drive\"}",
+           "unknown event kind 'warp_drive'"},
+          {"missing-required-double", "oy",
+           "{\"event\":\"submit_task\",\"id\":3,\"ox\":1,\"dx\":2,\"dy\":3}",
+           "missing required field 'oy'"},
+          {"missing-required-int", "id",
+           "{\"event\":\"add_worker\",\"x\":1,\"y\":2,\"radius\":3}",
+           "missing required field 'id'"},
+          {"overflow-double", "x",
+           "{\"event\":\"add_worker\",\"id\":1,\"x\":1e999,\"y\":2,"
+           "\"radius\":3}",
+           "field 'x' must be a finite number"},
+          {"non-integral-int", "id", "{\"event\":\"remove_worker\",\"id\":1.5}",
+           "field 'id' must be a 64-bit integer"},
+          {"overflow-int64", "id",
+           "{\"event\":\"remove_worker\",\"id\":9223372036854775808}",
+           "field 'id' must be a 64-bit integer"},
+          {"junk-suffix-int", "task",
+           "{\"event\":\"observe_acceptance\",\"task\":7x,\"accepted\":true}",
+           "field 'task' must be a 64-bit integer"},
+          {"overflow-int32", "duration",
+           "{\"event\":\"add_worker\",\"id\":1,\"x\":1,\"y\":2,\"radius\":3,"
+           "\"duration\":4294967296}",
+           "field 'duration' must be a 32-bit integer"},
+          {"bad-bool", "accepted",
+           "{\"event\":\"observe_acceptance\",\"task\":1,\"accepted\":2}",
+           "field 'accepted' must be a boolean"},
+          {"malformed-optional", "valuation",
+           "{\"event\":\"submit_task\",\"id\":1,\"ox\":1,\"oy\":1,\"dx\":2,"
+           "\"dy\":3,\"valuation\":1e999}",
+           "field 'valuation' must be a finite number"},
+      };
+  return *corpus;
+}
+
+}  // namespace maps

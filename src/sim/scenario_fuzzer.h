@@ -1,0 +1,146 @@
+// Seeded adversarial scenario fuzzer: declarative specs -> reproducible
+// JSONL replay logs.
+//
+// Each ScenarioSpec names one adversarial family — demand drift
+// mid-horizon, flash surges, region-correlated worker churn, boundary-heavy
+// placement, churn storms — plus the knobs that shape it. BuildScenarioWorkload
+// materializes the spec into a Workload using purpose-keyed CounterRng
+// streams, so the workload (and therefore the replay_export JSONL) is a pure
+// function of (spec, seed): same inputs, byte-identical log, forever. The
+// robustness matrix (tools/robustness_matrix.cc) sweeps strategies over
+// DefaultScenarioMatrix() and gates regret/invariants per scenario.
+//
+// The fuzzer also owns the corpus of malformed replay lines it can emit in
+// corruption mode (WriteScenarioLog with inject_malformed_every > 0) — the
+// same corpus replay_log_test.cc asserts line-precise errors for, so the
+// parser's error paths and the fuzzer's corruption vocabulary cannot drift
+// apart.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "market/demand_model.h"
+#include "sim/workload.h"
+#include "util/result.h"
+
+namespace maps {
+
+/// \brief One adversarial scenario: a family plus its shaping knobs.
+struct ScenarioSpec {
+  enum class Family {
+    kBaseline,       ///< stationary demand, uniform placement (control)
+    kDemandDrift,    ///< valuation mean shifts at drift_period
+    kFlashSurge,     ///< task volume multiplies inside a short window
+    kRegionChurn,    ///< one row band's workers all retire at churn_period
+    kBoundaryHeavy,  ///< placement concentrated on region-seam cells
+    kChurnStorm,     ///< every worker lives only churn_storm_duration periods
+  };
+
+  std::string name;  ///< unique label (report keys, file names)
+  Family family = Family::kBaseline;
+
+  // Horizon and geometry.
+  int num_periods = 40;
+  int grid_rows = 4;
+  int grid_cols = 4;
+  double extent = 100.0;  ///< square region [0, extent)^2
+
+  // Arrival volume. Per-period counts get a deterministic +/-25% jitter
+  // drawn from the count stream, so period sizes vary but reproducibly.
+  int tasks_per_period = 12;
+  int workers_per_period = 4;
+  int initial_workers = 12;  ///< extra workers seeded at period 0
+
+  // Worker shape.
+  double worker_radius_lo = 15.0;
+  double worker_radius_hi = 40.0;
+  int32_t worker_duration = 20;  ///< periods of membership (turnaround mode)
+  double worker_speed = 50.0;    ///< lifecycle speed (ride turnaround)
+
+  // Demand: valuations ~ TruncatedNormal(mu, sigma) on [v_lo, v_hi].
+  double demand_mu = 2.5;
+  double demand_sigma = 1.0;
+  double v_lo = 1.0;
+  double v_hi = 5.0;
+
+  // kDemandDrift: mu becomes demand_mu + drift_mu_delta at drift_period.
+  double drift_mu_delta = -1.0;
+  int drift_period = 20;
+
+  // kFlashSurge: tasks multiply by surge_multiplier in
+  // [surge_begin, surge_begin + surge_len).
+  int surge_begin = 18;
+  int surge_len = 4;
+  double surge_multiplier = 6.0;
+
+  // kRegionChurn: workers in rows [0, churn_region_rows) are over-supplied
+  // before churn_period and ALL retire exactly at churn_period.
+  int churn_region_rows = 2;
+  int churn_period = 20;
+  double churn_band_bias = 0.7;  ///< pre-churn share of workers in the band
+
+  // kBoundaryHeavy: this share of tasks AND workers lands in boundary cells
+  // of the K-region row-band partition.
+  double boundary_frac = 0.85;
+  int num_regions = 2;
+
+  // kChurnStorm: every worker's lifetime; arrivals double to compensate.
+  int32_t churn_storm_duration = 2;
+
+  // Robustness-matrix gate: mean per-period regret must stay below this
+  // fraction of the oracle value (see docs/robustness_matrix.md).
+  double regret_budget_frac = 0.9;
+};
+
+const char* ScenarioFamilyName(ScenarioSpec::Family family);
+
+/// \brief Rejects specs the generator cannot honor (empty name, non-positive
+/// horizon/geometry/volume, fractions outside [0, 1], windows outside the
+/// horizon, more regions than rows, ...).
+Status ValidateScenarioSpec(const ScenarioSpec& spec);
+
+/// \brief Materializes the spec into a validated Workload. Pure function of
+/// (spec, seed): every random draw comes from a purpose-keyed CounterRng
+/// stream of `seed`, so two calls agree field for field. The workload's
+/// oracle carries the PRE-drift demand — warm-up sees the world as it was,
+/// which is exactly what makes kDemandDrift adversarial; per-period truth is
+/// available via TrueDemandAt.
+Result<Workload> BuildScenarioWorkload(const ScenarioSpec& spec,
+                                       uint64_t seed);
+
+/// \brief The demand model actually generating valuations at `period`
+/// (differs from the workload oracle only for kDemandDrift after the drift).
+std::unique_ptr<DemandModel> TrueDemandAt(const ScenarioSpec& spec,
+                                          int32_t period);
+
+/// \brief Builds the workload and emits it through replay_export. Byte
+/// identical for identical (spec, seed). With inject_malformed_every = N > 0,
+/// every N-th event line is followed by the next MalformedReplayLineCorpus()
+/// entry (cyclically) — a corrupted-but-recoverable log for exercising
+/// skip_bad_events at scale.
+Status WriteScenarioLog(const ScenarioSpec& spec, uint64_t seed,
+                        std::ostream& out, int inject_malformed_every = 0);
+
+/// \brief The seeded CI matrix slice: one spec per adversarial family (six
+/// total, >= 5 non-baseline), each tuned to finish in seconds.
+const std::vector<ScenarioSpec>& DefaultScenarioMatrix();
+
+/// \brief One malformed replay line the fuzzer can emit, labeled with its
+/// error class and (when the damage is a single field) the offending field.
+struct MalformedReplayLine {
+  const char* label;   ///< error class, e.g. "overflow-int"
+  const char* field;   ///< offending field name, or nullptr for structural
+  const char* line;    ///< the raw JSONL line
+  const char* expect;  ///< fragment the parser's error message must contain
+};
+
+/// \brief Every malformed-line class the fuzzer's corruption mode emits.
+/// replay_log_test.cc asserts a line-precise strict-mode error for each.
+const std::vector<MalformedReplayLine>& MalformedReplayLineCorpus();
+
+}  // namespace maps

@@ -1,0 +1,49 @@
+// Shared invariant-checker helper for the engine test suites: wrap every
+// ClosePeriod in InvariantTracker::Check and the conservation invariants of
+// service/outcome_invariants.h are asserted after each close, including the
+// cross-period rejection-counter monotonicity.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "market/task.h"
+#include "service/market_engine.h"
+#include "service/outcome_invariants.h"
+
+namespace maps {
+namespace testing_util {
+
+/// \brief Per-engine invariant tracker. One instance per engine run (it
+/// remembers the previous close's rejection counters); call Check after
+/// every ClosePeriod, with the period's submitted tasks when the driver
+/// knows them.
+class InvariantTracker {
+ public:
+  explicit InvariantTracker(std::string label = "") : label_(std::move(label)) {}
+
+  void Check(const PeriodOutcome& outcome,
+             const std::vector<Task>* period_tasks = nullptr) {
+    InvariantContext context;
+    context.period_tasks = period_tasks;
+    if (has_previous_) context.previous_rejections = &previous_;
+    const Status status = CheckPeriodOutcomeInvariants(outcome, context);
+    EXPECT_TRUE(status.ok())
+        << (label_.empty() ? std::string() : label_ + ": ")
+        << status.ToString();
+    previous_ = outcome.rejections;
+    has_previous_ = true;
+  }
+
+ private:
+  std::string label_;
+  EngineRejectionCounters previous_;
+  bool has_previous_ = false;
+};
+
+}  // namespace testing_util
+}  // namespace maps

@@ -1,0 +1,263 @@
+#include "pricing/oracle_exact.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "pricing/oracle_search.h"
+#include "pricing/strategy.h"
+#include "sim/metrics.h"
+
+namespace maps {
+namespace {
+
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+using testing_util::RandomSnapshot;
+using testing_util::TableOneOracle;
+
+/// A <=25-task random market the exact enumerator can still score.
+MarketSnapshot SmallMarket(const GridPartition& grid, uint64_t seed,
+                           int num_tasks = 12, int num_workers = 6) {
+  Rng rng(seed);
+  return RandomSnapshot(grid, rng, num_tasks, num_workers, 8.0, 30.0);
+}
+
+TEST(OracleExactTest, McCiEstimateCoversExactValue) {
+  // The headline acceptance test: on a <=25-task instance the CI-bounded
+  // Monte-Carlo estimate must land inside its own stated interval around
+  // the exact possible-world expectation — for the posted prices of every
+  // one of the paper's five strategies.
+  auto grid = GridPartition::Make(Rect{0, 0, 40, 40}, 2, 2).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(grid.num_cells());
+  const MarketSnapshot snap = SmallMarket(grid, 7);
+
+  McCiOptions mc;
+  mc.max_worlds = 1 << 16;
+  for (const StrategyFactory& factory : DefaultStrategies(PricingConfig{})) {
+    SCOPED_TRACE(factory.name);
+    auto strategy = factory.make();
+    DemandOracle history = oracle.Fork(11);
+    ASSERT_TRUE(strategy->Warmup(grid, &history).ok());
+    std::vector<double> prices;
+    ASSERT_TRUE(strategy->PriceRound(snap, &prices).ok());
+
+    const double exact = ExpectedRevenueOfPrices(snap, oracle, prices);
+    const McCiEstimate est =
+        MonteCarloRevenueOfPricesWithCI(snap, oracle, prices, mc);
+    ASSERT_GT(est.worlds, 0);
+    EXPECT_LE(std::abs(est.mean - exact), est.half_width)
+        << "mean " << est.mean << " vs exact " << exact << " half width "
+        << est.half_width << " after " << est.worlds << " worlds";
+  }
+}
+
+TEST(OracleExactTest, McCiBitIdenticalAcrossThreadCounts) {
+  // The whole estimate — mean, half width, world count, convergence — is a
+  // pure function of (seed, options); the pool only changes who folds the
+  // fixed shards.
+  auto grid = GridPartition::Make(Rect{0, 0, 40, 40}, 2, 2).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(grid.num_cells());
+  const MarketSnapshot snap = SmallMarket(grid, 13, 20, 8);
+  const std::vector<double> prices(grid.num_cells(), 2.0);
+
+  McCiOptions mc;
+  mc.rel_half_width = 0.005;  // force several batches before stopping
+  const McCiEstimate serial =
+      MonteCarloRevenueOfPricesWithCI(snap, oracle, prices, mc, nullptr);
+  ASSERT_GT(serial.worlds, mc.batch_worlds);  // the rule actually iterated
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const McCiEstimate parallel =
+        MonteCarloRevenueOfPricesWithCI(snap, oracle, prices, mc, &pool);
+    EXPECT_EQ(parallel.mean, serial.mean) << threads << " threads";
+    EXPECT_EQ(parallel.half_width, serial.half_width) << threads << " threads";
+    EXPECT_EQ(parallel.worlds, serial.worlds) << threads << " threads";
+    EXPECT_EQ(parallel.converged, serial.converged) << threads << " threads";
+  }
+}
+
+TEST(OracleExactTest, McCiStopsAtFirstBatchWhenVarianceIsZero) {
+  // Acceptance probability 1 everywhere: every world is the all-accept
+  // world, the variance is exactly zero, and the rule stops after one batch.
+  auto grid = GridPartition::Make(Rect{0, 0, 10, 10}, 1, 1).ValueOrDie();
+  TabulatedDemand sure({1.0}, {1.0});
+  DemandOracle oracle =
+      DemandOracle::Make(ReplicateDemand(sure, 1), 1).ValueOrDie();
+  std::vector<Task> tasks = {MakeTask(grid, 0, {5, 5}, 2.0)};
+  std::vector<Worker> workers = {MakeWorker(grid, 0, {5, 5}, 5.0)};
+  MarketSnapshot snap(&grid, 0, std::move(tasks), std::move(workers));
+
+  const McCiEstimate est =
+      MonteCarloRevenueOfPricesWithCI(snap, oracle, {1.0}, McCiOptions{});
+  EXPECT_TRUE(est.converged);
+  EXPECT_EQ(est.worlds, McCiOptions{}.batch_worlds);
+  EXPECT_DOUBLE_EQ(est.mean, 2.0);  // d * p with certain acceptance
+  EXPECT_EQ(est.half_width, 0.0);
+}
+
+TEST(OracleExactTest, McCiReportsNonConvergenceAtMaxWorlds) {
+  auto grid = GridPartition::Make(Rect{0, 0, 40, 40}, 2, 2).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(grid.num_cells());
+  const MarketSnapshot snap = SmallMarket(grid, 17);
+
+  McCiOptions mc;
+  mc.rel_half_width = 1e-9;  // unreachable tolerance
+  mc.abs_half_width = 1e-12;
+  mc.max_worlds = 4096;
+  const McCiEstimate est = MonteCarloRevenueOfPricesWithCI(
+      snap, oracle, std::vector<double>(grid.num_cells(), 2.0), mc);
+  EXPECT_FALSE(est.converged);
+  EXPECT_EQ(est.worlds, 4096);
+  EXPECT_GT(est.half_width, 0.0);
+}
+
+TEST(OracleExactTest, RegretExactPerGridMatchesOracleSearch) {
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 10}, 1, 2).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(2);
+  std::vector<Task> tasks = {MakeTask(grid, 0, {2, 5}, 1.5),
+                             MakeTask(grid, 1, {12, 5}, 3.0),
+                             MakeTask(grid, 2, {4, 5}, 2.0)};
+  std::vector<Worker> workers = {MakeWorker(grid, 0, {5, 5}, 20.0),
+                                 MakeWorker(grid, 1, {15, 5}, 6.0)};
+  MarketSnapshot snap(&grid, 0, std::move(tasks), std::move(workers));
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0, 3.0}).ValueOrDie();
+  const std::vector<double> posted = {1.0, 3.0};
+
+  const PeriodRegret r =
+      EvaluatePeriodRegret(snap, oracle, ladder, posted).ValueOrDie();
+  EXPECT_EQ(r.oracle_mode, OracleMode::kExactPerGrid);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.mc_worlds, 0);
+  EXPECT_EQ(r.oracle_half_width, 0.0);
+  EXPECT_EQ(r.posted_half_width, 0.0);
+
+  const auto best = OracleSearch(snap, oracle, ladder).ValueOrDie();
+  EXPECT_EQ(r.oracle_value, best.expected_revenue);  // same code path
+  EXPECT_EQ(r.oracle_prices, best.grid_prices);
+  // The posted side goes through the sharded enumerator, the reference
+  // through the serial one; they may differ by shard-boundary association.
+  EXPECT_NEAR(r.posted_value, ExpectedRevenueOfPrices(snap, oracle, posted),
+              1e-9);
+  EXPECT_DOUBLE_EQ(r.regret, r.oracle_value - r.posted_value);
+  EXPECT_GE(r.regret, -1e-9);  // posted came off the ladder
+
+  // Posting the oracle's own prices zeroes the regret (up to the same
+  // association slack).
+  const PeriodRegret zero =
+      EvaluatePeriodRegret(snap, oracle, ladder, r.oracle_prices).ValueOrDie();
+  EXPECT_NEAR(zero.regret, 0.0, 1e-9);
+}
+
+TEST(OracleExactTest, RegretFallsBackToExactUniformWhenCombosExplode) {
+  auto grid = GridPartition::Make(Rect{0, 0, 40, 40}, 2, 2).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(grid.num_cells());
+  const MarketSnapshot snap = SmallMarket(grid, 23);
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0, 3.0}).ValueOrDie();
+
+  RegretOptions options;
+  options.max_exact_combinations = 2;  // every multi-grid odometer refused
+  const PeriodRegret r = EvaluatePeriodRegret(
+                             snap, oracle, ladder,
+                             std::vector<double>(grid.num_cells(), 2.0),
+                             options)
+                             .ValueOrDie();
+  EXPECT_EQ(r.oracle_mode, OracleMode::kExactUniform);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.mc_worlds, 0);
+  // The posted uniform 2.0 is itself a candidate scored by the same code,
+  // so the best candidate dominates it exactly.
+  EXPECT_GE(r.regret, 0.0);
+  // And it must match the best of the three manually scored candidates (up
+  // to serial-vs-sharded enumeration association).
+  double best = 0.0;
+  for (double p : ladder.prices()) {
+    best = std::max(best, ExpectedRevenueOfPrices(
+                              snap, oracle,
+                              std::vector<double>(grid.num_cells(), p)));
+  }
+  EXPECT_NEAR(r.oracle_value, best, 1e-9);
+}
+
+TEST(OracleExactTest, RegretSwitchesToMonteCarloBeyondExactTasks) {
+  auto grid = GridPartition::Make(Rect{0, 0, 40, 40}, 2, 2).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(grid.num_cells());
+  const MarketSnapshot snap = SmallMarket(grid, 29);
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0, 3.0}).ValueOrDie();
+
+  RegretOptions options;
+  options.max_exact_tasks = 4;  // the 12-task instance exceeds this
+  const PeriodRegret r = EvaluatePeriodRegret(
+                             snap, oracle, ladder,
+                             std::vector<double>(grid.num_cells(), 2.0),
+                             options)
+                             .ValueOrDie();
+  EXPECT_EQ(r.oracle_mode, OracleMode::kMcUniform);
+  EXPECT_FALSE(r.exact);
+  EXPECT_GT(r.mc_worlds, 0);
+  EXPECT_GT(r.oracle_half_width, 0.0);
+  EXPECT_GT(r.posted_half_width, 0.0);
+  // MC scoring of the posted uniform price must sit within its half width
+  // of the exact value (the instance is still small enough to check).
+  const double exact_posted = ExpectedRevenueOfPrices(
+      snap, oracle, std::vector<double>(grid.num_cells(), 2.0));
+  EXPECT_LE(std::abs(r.posted_value - exact_posted), r.posted_half_width);
+}
+
+TEST(OracleExactTest, RegretIsDeterministicAcrossThreadCounts) {
+  auto grid = GridPartition::Make(Rect{0, 0, 40, 40}, 2, 2).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(grid.num_cells());
+  const MarketSnapshot snap = SmallMarket(grid, 31, 18, 8);
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0, 3.0}).ValueOrDie();
+  const std::vector<double> posted(grid.num_cells(), 2.0);
+
+  RegretOptions options;
+  options.max_exact_tasks = 4;  // force the MC regime, the racy one
+  const PeriodRegret serial =
+      EvaluatePeriodRegret(snap, oracle, ladder, posted, options).ValueOrDie();
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    options.pool = &pool;
+    const PeriodRegret parallel =
+        EvaluatePeriodRegret(snap, oracle, ladder, posted, options)
+            .ValueOrDie();
+    EXPECT_EQ(parallel.oracle_value, serial.oracle_value) << threads;
+    EXPECT_EQ(parallel.posted_value, serial.posted_value) << threads;
+    EXPECT_EQ(parallel.regret, serial.regret) << threads;
+    EXPECT_EQ(parallel.mc_worlds, serial.mc_worlds) << threads;
+    EXPECT_EQ(parallel.oracle_prices, serial.oracle_prices) << threads;
+  }
+}
+
+TEST(OracleExactTest, RegretOfEmptyPeriodIsZero) {
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 10}, 1, 2).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(2);
+  MarketSnapshot snap(&grid, 0, {}, {});
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0}).ValueOrDie();
+
+  const PeriodRegret r =
+      EvaluatePeriodRegret(snap, oracle, ladder, {1.0, 2.0}).ValueOrDie();
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.regret, 0.0);
+  EXPECT_EQ(r.oracle_value, 0.0);
+  EXPECT_EQ(r.posted_value, 0.0);
+  ASSERT_EQ(r.oracle_prices.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.oracle_prices[0], 1.0);  // ladder minimum
+}
+
+TEST(OracleExactTest, RegretRejectsMalformedPostedPrices) {
+  auto grid = GridPartition::Make(Rect{0, 0, 20, 10}, 1, 2).ValueOrDie();
+  DemandOracle oracle = TableOneOracle(2);
+  std::vector<Task> tasks = {MakeTask(grid, 0, {2, 5}, 1.5)};
+  MarketSnapshot snap(&grid, 0, std::move(tasks), {});
+  auto ladder = PriceLadder::FromPrices({1.0, 2.0}).ValueOrDie();
+
+  // One price for two grids.
+  EXPECT_FALSE(EvaluatePeriodRegret(snap, oracle, ladder, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace maps

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "../invariants.h"
 #include "../test_util.h"
 #include "pricing/maps.h"
 #include "sim/beijing.h"
@@ -125,6 +126,7 @@ Trace EngineTrace(const Workload& w, ThreadPool* pool, bool stage_next) {
   Trace trace;
   size_t next_entry = 0;
   PeriodOutcome outcome;
+  testing_util::InvariantTracker invariants("EngineTrace");
   submit_period(0);
   for (int32_t t = 0; t < w.num_periods; ++t) {
     if (stage_next && t + 1 < w.num_periods) {
@@ -141,6 +143,12 @@ Trace EngineTrace(const Workload& w, ThreadPool* pool, bool stage_next) {
       ++next_entry;
     }
     EXPECT_TRUE(engine.ClosePeriod(&outcome).ok());
+    {
+      const std::vector<Task> period_tasks(
+          w.tasks.begin() + static_cast<ptrdiff_t>(range[t].first),
+          w.tasks.begin() + static_cast<ptrdiff_t>(range[t].second));
+      invariants.Check(outcome, &period_tasks);
+    }
     if (!stage_next && t + 1 < w.num_periods) submit_period(t + 1);
     if (outcome.skipped) continue;
     trace.periods.push_back(outcome.period);

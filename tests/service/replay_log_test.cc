@@ -4,6 +4,9 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
+
+#include "sim/scenario_fuzzer.h"
 
 namespace maps {
 namespace {
@@ -206,6 +209,69 @@ TEST(ReplayLogTest, SkipBadEventsDropsAndCountsMalformedLines) {
       LoadReplayLog(clean, ReplayLoadOptions{}, &clean_stats).ok());
   EXPECT_EQ(clean_stats.lines_skipped, 0);
   EXPECT_EQ(clean_stats.events_loaded, 1);
+}
+
+TEST(ReplayLogTest, StrictStreamFailsAtTheExactLineForEveryCorpusEntry) {
+  // Every malformed-line class the scenario fuzzer's corruption mode can
+  // emit must fail a strict streamed read with (a) the 1-based number of
+  // the injected line, (b) the advertised message fragment, and (c) the
+  // offending field's name when the damage is field-level. The corpus lives
+  // with the fuzzer so the two cannot drift apart.
+  const std::string good_worker =
+      R"({"event":"add_worker","id":1,"x":0,"y":0,"radius":3})";
+  for (const MalformedReplayLine& bad : MalformedReplayLineCorpus()) {
+    SCOPED_TRACE(bad.label);
+    // Comment, two good lines, the bad line at line 4, one good trailer.
+    std::ostringstream log;
+    log << "# corpus\n"
+        << good_worker << "\n"
+        << good_worker << "\n"
+        << bad.line << "\n"
+        << R"({"event":"close_period"})" << "\n";
+    std::istringstream in(log.str());
+    ReplayEventStream stream(in);
+    ReplayEvent event;
+    Status error = Status::OK();
+    while (true) {
+      auto next = stream.Next(&event);
+      if (!next.ok()) {
+        error = next.status();
+        break;
+      }
+      if (!next.ValueOrDie()) break;
+    }
+    ASSERT_FALSE(error.ok()) << "corpus line parsed cleanly: " << bad.line;
+    EXPECT_NE(error.message().find("line 4"), std::string::npos)
+        << "error was: " << error.ToString();
+    EXPECT_EQ(stream.line_number(), 4);
+    EXPECT_NE(error.message().find(bad.expect), std::string::npos)
+        << "error was: " << error.ToString();
+    if (bad.field != nullptr) {
+      std::string quoted_field = "'";
+      quoted_field += bad.field;
+      quoted_field += "'";
+      EXPECT_NE(error.message().find(quoted_field), std::string::npos)
+          << "error was: " << error.ToString();
+    }
+  }
+}
+
+TEST(ReplayLogTest, SkipBadEventsRecoversEveryCorpusEntry) {
+  // The same corpus, all injected into one log: skipping mode must drop
+  // each bad line exactly once and keep every good event.
+  const auto& corpus = MalformedReplayLineCorpus();
+  std::ostringstream log;
+  for (const MalformedReplayLine& bad : corpus) {
+    log << R"({"event":"close_period"})" << "\n" << bad.line << "\n";
+  }
+  std::istringstream in(log.str());
+  ReplayLoadOptions options;
+  options.skip_bad_events = true;
+  ReplayLoadStats stats;
+  const auto events = LoadReplayLog(in, options, &stats).ValueOrDie();
+  EXPECT_EQ(events.size(), corpus.size());
+  EXPECT_EQ(stats.lines_skipped, static_cast<int64_t>(corpus.size()));
+  EXPECT_EQ(stats.events_loaded, static_cast<int64_t>(corpus.size()));
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "../invariants.h"
 #include "../test_util.h"
 #include "geo/region_partition.h"
 #include "rng/random.h"
@@ -39,6 +40,7 @@ std::vector<PeriodOutcome> Drive(const std::vector<PeriodScript>& script,
                                  Engine* engine) {
   std::vector<PeriodOutcome> outs;
   PeriodOutcome out;
+  testing_util::InvariantTracker invariants("Drive");
   for (const PeriodScript& p : script) {
     for (const Worker& w : p.workers) {
       const Status s = engine->AddWorker(w);
@@ -57,6 +59,7 @@ std::vector<PeriodOutcome> Drive(const std::vector<PeriodScript>& script,
     }
     const Status s = engine->ClosePeriod(&out);
     EXPECT_TRUE(s.ok()) << s.ToString();
+    invariants.Check(out, &p.tasks);
     outs.push_back(out);
   }
   return outs;

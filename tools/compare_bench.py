@@ -83,7 +83,12 @@ def main():
             print(f"{key:32} {old[key]['ns_per_op']:>14.0f} {'-':>14} "
                   f"{'retired':>8}")
             continue
-        o, n = old[key]["ns_per_op"], new[key]["ns_per_op"]
+        o, n = old[key].get("ns_per_op"), new[key].get("ns_per_op")
+        if o is None or n is None:
+            # A bench entry without a timing (e.g. a crashed run's partial
+            # JSON) cannot gate; report it rather than crash the comparison.
+            print(f"{key:32} {'?':>14} {'?':>14} {'no-data':>8}")
+            continue
         ratio = n / o if o > 0 else float("inf")
         flag = ""
         if ratio > 1.0 + args.threshold:

@@ -1,0 +1,488 @@
+// robustness_matrix: strategies x fuzzed adversarial scenarios, gated.
+//
+// For every (scenario, strategy) cell the runner materializes the scenario
+// workload from (spec, --seed), streams it through a monolithic MarketEngine
+// behind a snapshot-recording strategy wrapper, checks the conservation
+// invariants of service/outcome_invariants.h after every close, and scores
+// the posted prices of each recorded period against the hindsight oracle of
+// pricing/oracle_exact.h (exact where the instance allows, CI-bounded Monte
+// Carlo elsewhere). The result is one machine-readable ROBUSTNESS.json; the
+// exit status is non-zero when any cell violated an invariant or exceeded
+// its scenario's regret budget — which is what the CI robustness job gates
+// on.
+//
+// Usage:
+//   robustness_matrix --out=ROBUSTNESS.json [--scenarios=a,b]
+//     [--strategies=MAPS,BaseP] [--seed=1] [--periods=16] [--threads=2]
+//     [--regret_every=1] [--mc_batch=1024] [--mc_max_worlds=65536]
+//     [--mc_rel=0.02] [--mc_abs=0.001] [--regret_budget=0]
+//
+//   # Emit one fuzzed scenario as a JSONL replay log and exit (the CI
+//   # differential sharded-vs-monolith step feeds these to maps_cli):
+//   robustness_matrix --emit_scenario=boundary_heavy_k2 --seed=1
+//     --emit_out=boundary.jsonl [--inject_malformed_every=0]
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pricing/oracle_exact.h"
+#include "pricing/strategy.h"
+#include "service/market_engine.h"
+#include "service/outcome_invariants.h"
+#include "sim/metrics.h"
+#include "sim/scenario_fuzzer.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+
+namespace maps {
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "robustness_matrix: " << message << "\n";
+  return 1;
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Rescales a spec to a shorter CI horizon, keeping every adversarial
+/// window inside it (drift and churn land mid-horizon, the surge straddles
+/// the middle).
+ScenarioSpec WithHorizon(ScenarioSpec spec, int periods) {
+  if (periods <= 0 || periods == spec.num_periods) return spec;
+  spec.num_periods = periods;
+  spec.drift_period = std::max(1, periods / 2);
+  spec.churn_period = std::max(1, periods / 2);
+  spec.surge_len = std::min(spec.surge_len, std::max(1, periods / 4));
+  spec.surge_begin = std::max(0, periods / 2 - spec.surge_len / 2);
+  return spec;
+}
+
+/// Pass-through strategy that records, per priced round, the snapshot
+/// contents (tasks, workers) and the quotes the inner strategy posted —
+/// exactly what EvaluatePeriodRegret needs to rebuild the period later.
+class RegretProbe : public PricingStrategy {
+ public:
+  struct Round {
+    int32_t period = 0;
+    std::vector<Task> tasks;
+    std::vector<Worker> workers;
+    std::vector<double> prices;
+  };
+
+  explicit RegretProbe(PricingStrategy* inner) : inner_(inner) {}
+
+  std::string name() const override { return inner_->name(); }
+
+  Status Warmup(const GridPartition& grid, DemandOracle* history) override {
+    return inner_->Warmup(grid, history);
+  }
+
+  void LendPool(ThreadPool* pool) override { inner_->LendPool(pool); }
+
+  Status PriceRound(const MarketSnapshot& snapshot,
+                    std::vector<double>* grid_prices) override {
+    MAPS_RETURN_NOT_OK(inner_->PriceRound(snapshot, grid_prices));
+    Round round;
+    round.period = snapshot.period();
+    round.tasks = snapshot.tasks();
+    round.workers = snapshot.workers();
+    round.prices = *grid_prices;
+    rounds_.push_back(std::move(round));
+    return Status::OK();
+  }
+
+  void ObserveFeedback(const MarketSnapshot& snapshot,
+                       const std::vector<double>& grid_prices,
+                       const std::vector<bool>& accepted) override {
+    inner_->ObserveFeedback(snapshot, grid_prices, accepted);
+  }
+
+  size_t MemoryFootprintBytes() const override {
+    return inner_->MemoryFootprintBytes();
+  }
+
+  const std::vector<Round>& rounds() const { return rounds_; }
+
+ private:
+  PricingStrategy* inner_;
+  std::vector<Round> rounds_;
+};
+
+/// Aggregated regret of one (scenario, strategy) cell.
+struct RegretSummary {
+  int64_t evaluated_periods = 0;
+  std::map<std::string, int64_t> oracle_modes;
+  double sum_oracle = 0.0;
+  double sum_posted = 0.0;
+  double sum_regret = 0.0;          // raw, can go negative (uniform regimes)
+  double sum_regret_clipped = 0.0;  // per-period max(regret, 0)
+  double max_period_regret_frac = 0.0;
+  int64_t mc_worlds = 0;
+  int64_t mc_converged = 0;
+  /// sum_regret_clipped / sum_oracle (0 when the oracle earned nothing).
+  double regret_frac = 0.0;
+};
+
+/// One (scenario, strategy) cell of the matrix.
+struct CellReport {
+  std::string strategy;
+  int closed_periods = 0;
+  int skipped_periods = 0;
+  int64_t invariant_violations = 0;
+  std::string first_violation;
+  double total_revenue = 0.0;
+  RegretSummary regret;
+  bool pass = true;
+  std::string fail_reason;
+};
+
+struct MatrixConfig {
+  uint64_t seed = 1;
+  int periods = 0;
+  int regret_every = 1;
+  double regret_budget_override = 0.0;
+  RegretOptions regret;
+};
+
+Result<CellReport> RunCell(const ScenarioSpec& spec, const Workload& workload,
+                           const StrategyFactory& factory, size_t strategy_idx,
+                           const MatrixConfig& config, ThreadPool* pool) {
+  CellReport cell;
+  cell.strategy = factory.name;
+
+  const std::unique_ptr<PricingStrategy> inner = factory.make();
+  RegretProbe probe(inner.get());
+
+  EngineOptions options;
+  options.lifecycle = workload.lifecycle;
+  options.pool = pool;
+  MarketEngine engine(&workload.grid, &probe, options);
+
+  DemandOracle history = workload.oracle.Fork(101 + strategy_idx);
+  MAPS_RETURN_NOT_OK(probe.Warmup(workload.grid, &history));
+
+  // Stream the workload through the event API, checking invariants at
+  // every close.
+  size_t next_task = 0;
+  size_t next_worker = 0;
+  PeriodOutcome outcome;
+  EngineRejectionCounters previous;
+  bool has_previous = false;
+  std::vector<Task> period_tasks;
+  for (int32_t t = 0; t < workload.num_periods; ++t) {
+    while (next_worker < workload.workers.size() &&
+           workload.workers[next_worker].period == t) {
+      MAPS_RETURN_NOT_OK(engine.AddWorker(workload.workers[next_worker]));
+      ++next_worker;
+    }
+    period_tasks.clear();
+    while (next_task < workload.tasks.size() &&
+           workload.tasks[next_task].period == t) {
+      const Task& task = workload.tasks[next_task];
+      MAPS_RETURN_NOT_OK(engine.SubmitTask(task, workload.valuations[next_task]));
+      period_tasks.push_back(task);
+      ++next_task;
+    }
+    MAPS_RETURN_NOT_OK(engine.ClosePeriod(&outcome));
+    InvariantContext context;
+    context.period_tasks = &period_tasks;
+    if (has_previous) context.previous_rejections = &previous;
+    const Status invariants = CheckPeriodOutcomeInvariants(outcome, context);
+    if (!invariants.ok()) {
+      ++cell.invariant_violations;
+      if (cell.first_violation.empty()) {
+        cell.first_violation = invariants.ToString();
+      }
+    }
+    previous = outcome.rejections;
+    has_previous = true;
+    ++cell.closed_periods;
+    if (outcome.skipped) ++cell.skipped_periods;
+    cell.total_revenue += outcome.revenue;
+  }
+
+  // Hindsight regret of the recorded rounds (every --regret_every-th).
+  MAPS_ASSIGN_OR_RETURN(PriceLadder ladder,
+                        MakeLadderFromConfig(PricingConfig{}));
+  for (size_t i = 0; i < probe.rounds().size();
+       i += static_cast<size_t>(config.regret_every)) {
+    const RegretProbe::Round& round = probe.rounds()[i];
+    MAPS_ASSIGN_OR_RETURN(
+        DemandOracle truth,
+        DemandOracle::Make(ReplicateDemand(*TrueDemandAt(spec, round.period),
+                                           workload.grid.num_cells()),
+                           /*seed=*/1));
+    const MarketSnapshot snapshot(&workload.grid, round.period, round.tasks,
+                                  round.workers);
+    MAPS_ASSIGN_OR_RETURN(
+        PeriodRegret r,
+        EvaluatePeriodRegret(snapshot, truth, ladder, round.prices,
+                             config.regret));
+    ++cell.regret.evaluated_periods;
+    ++cell.regret.oracle_modes[OracleModeName(r.oracle_mode)];
+    cell.regret.sum_oracle += r.oracle_value;
+    cell.regret.sum_posted += r.posted_value;
+    cell.regret.sum_regret += r.regret;
+    cell.regret.sum_regret_clipped += std::max(r.regret, 0.0);
+    if (r.oracle_value > 0.0) {
+      cell.regret.max_period_regret_frac =
+          std::max(cell.regret.max_period_regret_frac,
+                   std::max(r.regret, 0.0) / r.oracle_value);
+    }
+    cell.regret.mc_worlds += r.mc_worlds;
+    if (r.exact || r.mc_worlds > 0) ++cell.regret.mc_converged;
+  }
+  if (cell.regret.sum_oracle > 0.0) {
+    cell.regret.regret_frac =
+        cell.regret.sum_regret_clipped / cell.regret.sum_oracle;
+  }
+
+  const double budget = config.regret_budget_override > 0.0
+                            ? config.regret_budget_override
+                            : spec.regret_budget_frac;
+  if (cell.invariant_violations > 0) {
+    cell.pass = false;
+    cell.fail_reason = "invariant violation: " + cell.first_violation;
+  } else if (cell.regret.regret_frac > budget) {
+    cell.pass = false;
+    std::ostringstream reason;
+    reason << "regret fraction " << cell.regret.regret_frac
+           << " exceeds budget " << budget;
+    cell.fail_reason = reason.str();
+  }
+  return cell;
+}
+
+void WriteCellJson(std::ostream& out, const CellReport& cell,
+                   const std::string& indent) {
+  out << indent << "{\"strategy\":" << Quote(cell.strategy)
+      << ",\"closed_periods\":" << cell.closed_periods
+      << ",\"skipped_periods\":" << cell.skipped_periods
+      << ",\"invariant_violations\":" << cell.invariant_violations
+      << ",\"first_violation\":" << Quote(cell.first_violation)
+      << ",\"total_revenue\":" << Num(cell.total_revenue) << ",\n"
+      << indent << " \"regret\":{\"evaluated_periods\":"
+      << cell.regret.evaluated_periods << ",\"oracle_modes\":{";
+  bool first = true;
+  for (const auto& [mode, count] : cell.regret.oracle_modes) {
+    if (!first) out << ",";
+    first = false;
+    out << Quote(mode) << ":" << count;
+  }
+  out << "},\"sum_oracle\":" << Num(cell.regret.sum_oracle)
+      << ",\"sum_posted\":" << Num(cell.regret.sum_posted)
+      << ",\"sum_regret\":" << Num(cell.regret.sum_regret)
+      << ",\"sum_regret_clipped\":" << Num(cell.regret.sum_regret_clipped)
+      << ",\"regret_frac\":" << Num(cell.regret.regret_frac)
+      << ",\"max_period_regret_frac\":"
+      << Num(cell.regret.max_period_regret_frac)
+      << ",\"mc_worlds\":" << cell.regret.mc_worlds << "},\n"
+      << indent << " \"pass\":" << (cell.pass ? "true" : "false")
+      << ",\"fail_reason\":" << Quote(cell.fail_reason) << "}";
+}
+
+int Main(int argc, char** argv) {
+  auto flags_or = FlagSet::Parse(argc, argv);
+  if (!flags_or.ok()) return Fail(flags_or.status().ToString());
+  const FlagSet& flags = flags_or.ValueOrDie();
+
+  MatrixConfig config;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  config.periods = static_cast<int>(flags.GetInt("periods", 0));
+  config.regret_every =
+      std::max(1, static_cast<int>(flags.GetInt("regret_every", 1)));
+  config.regret_budget_override = flags.GetDouble("regret_budget", 0.0);
+  config.regret.mc.batch_worlds =
+      static_cast<int>(flags.GetInt("mc_batch", 1024));
+  config.regret.mc.max_worlds = flags.GetInt("mc_max_worlds", 65536);
+  config.regret.mc.rel_half_width = flags.GetDouble("mc_rel", 0.02);
+  config.regret.mc.abs_half_width = flags.GetDouble("mc_abs", 0.001);
+  // The per-grid odometer costs combos x 2^n exact matchings per period —
+  // viable only for genuinely tiny periods, so the matrix default is far
+  // below the library's 2e6 research guard and typical fuzzer periods score
+  // through the exact-uniform / MC-uniform regimes instead.
+  config.regret.max_exact_tasks =
+      static_cast<int>(flags.GetInt("max_exact_tasks", 16));
+  config.regret.max_exact_combinations =
+      flags.GetDouble("max_exact_combos", 4096.0);
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  const std::string scenarios_csv = flags.GetString("scenarios", "all");
+  const std::string strategies_csv = flags.GetString("strategies", "all");
+  const std::string out_path = flags.GetString("out", "ROBUSTNESS.json");
+  const std::string emit_scenario = flags.GetString("emit_scenario", "");
+  const std::string emit_out = flags.GetString("emit_out", "scenario.jsonl");
+  const int inject_malformed_every =
+      static_cast<int>(flags.GetInt("inject_malformed_every", 0));
+  if (const Status st = flags.RejectUnread(); !st.ok()) {
+    return Fail(st.ToString());
+  }
+
+  // Resolve the scenario slice.
+  std::vector<ScenarioSpec> scenarios;
+  for (const ScenarioSpec& spec : DefaultScenarioMatrix()) {
+    scenarios.push_back(WithHorizon(spec, config.periods));
+  }
+  if (!emit_scenario.empty()) {
+    for (const ScenarioSpec& spec : scenarios) {
+      if (spec.name != emit_scenario) continue;
+      std::ofstream out(emit_out);
+      if (!out) return Fail("cannot open " + emit_out);
+      const Status st = WriteScenarioLog(spec, config.seed, out,
+                                         inject_malformed_every);
+      if (!st.ok()) return Fail(st.ToString());
+      std::cout << "wrote scenario '" << emit_scenario << "' (seed "
+                << config.seed << ") to " << emit_out << "\n";
+      return 0;
+    }
+    return Fail("unknown scenario '" + emit_scenario + "'");
+  }
+  if (scenarios_csv != "all") {
+    std::vector<ScenarioSpec> picked;
+    for (const std::string& name : SplitCsv(scenarios_csv)) {
+      bool found = false;
+      for (const ScenarioSpec& spec : scenarios) {
+        if (spec.name == name) {
+          picked.push_back(spec);
+          found = true;
+          break;
+        }
+      }
+      if (!found) return Fail("unknown scenario '" + name + "'");
+    }
+    scenarios = std::move(picked);
+  }
+
+  // Resolve the strategy slice.
+  std::vector<StrategyFactory> strategies = DefaultStrategies(PricingConfig{});
+  if (strategies_csv != "all") {
+    std::vector<StrategyFactory> picked;
+    for (const std::string& name : SplitCsv(strategies_csv)) {
+      bool found = false;
+      for (const StrategyFactory& factory : strategies) {
+        if (factory.name == name) {
+          picked.push_back(factory);
+          found = true;
+          break;
+        }
+      }
+      if (!found) return Fail("unknown strategy '" + name + "'");
+    }
+    strategies = std::move(picked);
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  config.regret.pool = pool.get();
+
+  std::ofstream out(out_path);
+  if (!out) return Fail("cannot open " + out_path);
+  out << "{\"schema\":\"robustness_matrix/v1\",\"seed\":" << config.seed
+      << ",\"threads\":" << threads
+      << ",\"periods_override\":" << config.periods
+      << ",\"regret_every\":" << config.regret_every << ",\n"
+      << " \"mc\":{\"batch_worlds\":" << config.regret.mc.batch_worlds
+      << ",\"max_worlds\":" << config.regret.mc.max_worlds
+      << ",\"z\":" << Num(config.regret.mc.z)
+      << ",\"rel_half_width\":" << Num(config.regret.mc.rel_half_width)
+      << ",\"abs_half_width\":" << Num(config.regret.mc.abs_half_width)
+      << "},\n \"scenarios\":[\n";
+
+  std::vector<std::string> failures;
+  for (size_t si = 0; si < scenarios.size(); ++si) {
+    const ScenarioSpec& spec = scenarios[si];
+    auto workload_or = BuildScenarioWorkload(spec, config.seed);
+    if (!workload_or.ok()) return Fail(workload_or.status().ToString());
+    const Workload& workload = workload_or.ValueOrDie();
+    std::cout << "scenario " << spec.name << " ("
+              << ScenarioFamilyName(spec.family) << "): "
+              << workload.tasks.size() << " tasks, "
+              << workload.workers.size() << " workers, "
+              << workload.num_periods << " periods\n";
+
+    out << "  {\"name\":" << Quote(spec.name) << ",\"family\":"
+        << Quote(ScenarioFamilyName(spec.family))
+        << ",\"periods\":" << spec.num_periods
+        << ",\"tasks\":" << workload.tasks.size()
+        << ",\"workers\":" << workload.workers.size()
+        << ",\"regret_budget_frac\":" << Num(spec.regret_budget_frac)
+        << ",\n   \"runs\":[\n";
+    for (size_t ki = 0; ki < strategies.size(); ++ki) {
+      auto cell_or =
+          RunCell(spec, workload, strategies[ki], ki, config, pool.get());
+      if (!cell_or.ok()) return Fail(cell_or.status().ToString());
+      const CellReport& cell = cell_or.ValueOrDie();
+      WriteCellJson(out, cell, "    ");
+      out << (ki + 1 < strategies.size() ? ",\n" : "\n");
+      std::cout << "  " << cell.strategy << ": revenue "
+                << cell.total_revenue << ", regret_frac "
+                << cell.regret.regret_frac << " ("
+                << cell.regret.evaluated_periods << " periods scored, "
+                << cell.regret.mc_worlds << " MC worlds), invariants "
+                << (cell.invariant_violations == 0 ? "green" : "VIOLATED")
+                << (cell.pass ? "" : "  << FAIL") << "\n";
+      if (!cell.pass) {
+        failures.push_back(spec.name + "/" + cell.strategy + ": " +
+                           cell.fail_reason);
+      }
+    }
+    out << "   ]}" << (si + 1 < scenarios.size() ? ",\n" : "\n");
+  }
+  out << " ],\n \"failures\":[";
+  for (size_t i = 0; i < failures.size(); ++i) {
+    if (i > 0) out << ",";
+    out << Quote(failures[i]);
+  }
+  out << "]}\n";
+  if (!out) return Fail("write to " + out_path + " failed");
+  out.close();
+
+  if (!failures.empty()) {
+    std::cerr << "\nFAIL: " << failures.size() << " cell(s):\n";
+    for (const std::string& f : failures) std::cerr << "  " << f << "\n";
+    return 1;
+  }
+  std::cout << "\nOK: all cells passed; report at " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace maps
+
+int main(int argc, char** argv) { return maps::Main(argc, argv); }

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Regression tests for compare_bench.py (the CI bench-smoke gate).
+
+Run directly (python3 tools/test_compare_bench.py) or via ctest as
+compare_bench_py. Pure stdlib: unittest + tempfile only.
+"""
+
+import contextlib
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _load_module():
+    spec = importlib.util.spec_from_file_location(
+        "compare_bench", os.path.join(TOOLS_DIR, "compare_bench.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+compare_bench = _load_module()
+
+
+def bench_doc(ns_by_key, scale="small", drop_ns_for=()):
+    doc = {"scale": scale, "benchmarks": []}
+    for name, ns in ns_by_key.items():
+        entry = {"name": name, "ns_per_op": ns, "peak_bytes": 1024}
+        if name in drop_ns_for:
+            del entry["ns_per_op"]
+        doc["benchmarks"].append(entry)
+    return doc
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self._tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_main(self, old_doc, new_doc, extra_args=()):
+        """Runs compare_bench.main() against two docs; returns (exit, stdout)."""
+        argv = [
+            "compare_bench.py",
+            self.write("old.json", old_doc),
+            self.write("new.json", new_doc),
+        ] + list(extra_args)
+        out = io.StringIO()
+        saved_argv = sys.argv
+        sys.argv = argv
+        try:
+            with contextlib.redirect_stdout(out):
+                code = compare_bench.main()
+        finally:
+            sys.argv = saved_argv
+        return code, out.getvalue()
+
+    def test_identical_runs_pass(self):
+        doc = bench_doc({"maps_price_round": 1000.0, "engine_period": 5000.0})
+        code, out = self.run_main(doc, doc)
+        self.assertEqual(code, 0)
+        self.assertIn("OK: no tracked key regressed", out)
+
+    def test_regression_beyond_threshold_fails(self):
+        old = bench_doc({"maps_price_round": 1000.0})
+        new = bench_doc({"maps_price_round": 1300.0})  # +30% > default 25%
+        code, out = self.run_main(old, new)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("maps_price_round", out)
+
+    def test_slowdown_within_threshold_passes(self):
+        old = bench_doc({"maps_price_round": 1000.0})
+        new = bench_doc({"maps_price_round": 1200.0})  # +20% < 25%
+        code, _ = self.run_main(old, new)
+        self.assertEqual(code, 0)
+
+    def test_custom_threshold_is_honored(self):
+        old = bench_doc({"maps_price_round": 1000.0})
+        new = bench_doc({"maps_price_round": 1200.0})
+        code, _ = self.run_main(old, new, ["--threshold", "0.1"])
+        self.assertEqual(code, 1)
+
+    def test_speedup_never_fails(self):
+        old = bench_doc({"maps_price_round": 1000.0})
+        new = bench_doc({"maps_price_round": 200.0})
+        code, _ = self.run_main(old, new)
+        self.assertEqual(code, 0)
+
+    def test_scale_mismatch_skips_the_gate(self):
+        old = bench_doc({"maps_price_round": 1000.0}, scale="small")
+        # A 10x "regression" must NOT fail when scales differ.
+        new = bench_doc({"maps_price_round": 10000.0}, scale="large")
+        code, out = self.run_main(old, new)
+        self.assertEqual(code, 0)
+        self.assertIn("skipping regression gate", out)
+
+    def test_new_and_retired_keys_are_reported_not_fatal(self):
+        old = bench_doc({"maps_price_round": 1000.0, "engine_period": 2000.0})
+        new = bench_doc({"maps_price_round": 1000.0, "oracle_search": 500.0})
+        code, out = self.run_main(old, new)
+        self.assertEqual(code, 0)
+        self.assertIn("retired", out)  # engine_period left
+        self.assertIn("new", out)      # oracle_search arrived
+
+    def test_missing_ns_per_op_is_no_data_not_a_crash(self):
+        old = bench_doc({"maps_price_round": 1000.0})
+        new = bench_doc({"maps_price_round": 1000.0},
+                        drop_ns_for={"maps_price_round"})
+        code, out = self.run_main(old, new)
+        self.assertEqual(code, 0)
+        self.assertIn("no-data", out)
+
+    def test_untracked_keys_never_gate(self):
+        # engine_period_pipelined is pool-backed and ungated by default.
+        old = bench_doc({"maps_price_round": 1000.0,
+                         "engine_period_pipelined": 100.0})
+        new = bench_doc({"maps_price_round": 1000.0,
+                         "engine_period_pipelined": 9000.0})
+        code, _ = self.run_main(old, new)
+        self.assertEqual(code, 0)
+
+    def test_explicit_keys_override_the_default_set(self):
+        old = bench_doc({"engine_period_pipelined": 100.0})
+        new = bench_doc({"engine_period_pipelined": 9000.0})
+        code, _ = self.run_main(old, new,
+                                ["--keys", "engine_period_pipelined"])
+        self.assertEqual(code, 1)
+
+    def test_zero_old_time_regression_is_infinite_ratio(self):
+        old = bench_doc({"maps_price_round": 0.0})
+        new = bench_doc({"maps_price_round": 10.0})
+        code, out = self.run_main(old, new)
+        self.assertEqual(code, 1)
+        self.assertIn("inf", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
