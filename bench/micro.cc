@@ -34,6 +34,7 @@
 #include "service/sharded_engine.h"
 #include "sim/simulator.h"
 #include "sim/synthetic.h"
+#include "util/fault_injector.h"
 #include "util/thread_pool.h"
 
 namespace maps {
@@ -869,6 +870,61 @@ bool EmitTrackedJson(const std::string& path) {
       PeriodOutcome outcome;
       TrackedResult r;
       r.name = "sharded_engine_period_k" + std::to_string(num_regions);
+      r.problem_size = tasks_n;
+      r.ns_per_op = TimeOp(
+          [&] {
+            for (size_t i = 0; i < w.tasks.size(); ++i) {
+              if (!engine.SubmitTask(w.tasks[i], w.valuations[i]).ok()) {
+                std::abort();
+              }
+            }
+            if (!engine.ClosePeriod(&outcome).ok()) std::abort();
+          },
+          &r.iterations);
+      r.peak_bytes = engine.peak_platform_bytes() + engine.peak_strategy_bytes();
+      results.push_back(r);
+    }
+
+    // Degraded serving: the same K=2 burst market with failure domains on
+    // and a seeded coin-flip close failure on region 1 (~half the closes
+    // quarantine it, the other half recover and drain the deferral queue).
+    // ns_per_op averages the quarantine close (rewind + deferral sweep +
+    // cached-quote serving) and the recovery close (resubmission) — the
+    // price of staying up through a region fault, gated against the
+    // healthy sharded_engine_period_k2 trajectory.
+    {
+      const RegionPartition partition =
+          RegionPartition::Make(w.grid, 2).ValueOrDie();
+      PricingConfig pricing_config;
+      std::vector<std::unique_ptr<BasePricing>> owned;
+      std::vector<PricingStrategy*> strategies;
+      for (int k = 0; k < 2; ++k) {
+        auto strategy = std::make_unique<BasePricing>(pricing_config);
+        DemandOracle history = w.oracle.Fork(9);
+        if (!strategy->Warmup(w.grid, &history).ok()) {
+          std::cerr << "BaseP warmup failed; no tracked results\n";
+          return false;
+        }
+        strategies.push_back(strategy.get());
+        owned.push_back(std::move(strategy));
+      }
+      EngineOptions engine_options;
+      engine_options.lifecycle.single_use = false;
+      engine_options.lifecycle.speed = 1e12;
+      engine_options.pool = &pool;
+      engine_options.failure_domains.enabled = true;
+      // Never permanently fail: the bench wants the quarantine/recovery
+      // steady state, not a dead region.
+      engine_options.failure_domains.max_recovery_attempts = 1 << 20;
+      ShardedMarketEngine engine(&w.grid, &partition, strategies,
+                                 engine_options);
+      for (const Worker& worker : w.workers) {
+        if (!engine.AddWorker(worker).ok()) std::abort();
+      }
+      ScopedFaultPlan plan("seed=42;close_fail@r1~0.5");
+      PeriodOutcome outcome;
+      TrackedResult r;
+      r.name = "sharded_engine_period_degraded";
       r.problem_size = tasks_n;
       r.ns_per_op = TimeOp(
           [&] {

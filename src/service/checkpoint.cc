@@ -8,6 +8,7 @@
 #include <array>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -15,9 +16,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include <dirent.h>
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "service/market_engine.h"
+#include "util/fault_injector.h"
 #include "util/serial.h"
 
 namespace maps {
@@ -113,15 +117,37 @@ Status ParseCheckpointContainer(const std::string& data, const char* magic,
 
 }  // namespace internal
 
-Status WriteCheckpointFile(const std::string& path, const std::string& data) {
+namespace {
+
+/// One atomic-replace attempt; `attempt` and `write_call` name the fault
+/// site so a FaultPlan can fail attempt 0 of write call 2 and let the
+/// retry through.
+Status WriteCheckpointFileOnce(const std::string& path,
+                               const std::string& data, int attempt,
+                               int32_t write_call) {
+  FaultInjector& faults = FaultInjector::Global();
+  if (faults.ShouldFire(FaultRule::Kind::kCheckpointWriteError, attempt,
+                        write_call)) {
+    return Status::Internal("injected I/O error writing " + path +
+                            " (attempt " + std::to_string(attempt) + ")");
+  }
+  // A torn write models a lying disk: the write "succeeds" but only a
+  // prefix of the payload lands under the final name. Readers must reject
+  // it through the container CRCs — that is the point of the fault.
+  const size_t write_bytes =
+      faults.ShouldFire(FaultRule::Kind::kCheckpointTornWrite, attempt,
+                        write_call)
+          ? data.size() / 2
+          : data.size();
+
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal("cannot open " + tmp +
                             " for writing: " + std::strerror(errno));
   }
-  bool ok = data.empty() ||
-            std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  bool ok = write_bytes == 0 ||
+            std::fwrite(data.data(), 1, write_bytes, f) == write_bytes;
   ok = ok && std::fflush(f) == 0;
   // fsync before the rename: the atomic-replace guarantee is only as good
   // as the data being on disk when the new name appears.
@@ -138,7 +164,34 @@ Status WriteCheckpointFile(const std::string& path, const std::string& data) {
     return Status::Internal("failed renaming " + tmp + " to " + path + ": " +
                             rename_error);
   }
+  // Make the rename itself durable: fsync the containing directory so a
+  // crash right after this call cannot roll the directory entry back.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = open(dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    // Best-effort: some filesystems refuse directory fsync; the file data
+    // itself is already synced above.
+    fsync(dir_fd);
+    close(dir_fd);
+  }
   return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCheckpointFile(const std::string& path, const std::string& data) {
+  const int32_t write_call = FaultInjector::Global().NextWriteSite();
+  Status last;
+  for (int attempt = 0; attempt < kCheckpointWriteAttempts; ++attempt) {
+    last = WriteCheckpointFileOnce(path, data, attempt, write_call);
+    if (last.ok()) return last;
+  }
+  return Status::Internal("checkpoint write to " + path + " failed after " +
+                          std::to_string(kCheckpointWriteAttempts) +
+                          " attempts: " + last.message());
 }
 
 Status ReadCheckpointFile(const std::string& path, std::string* data) {
@@ -153,6 +206,58 @@ Status ReadCheckpointFile(const std::string& path, std::string* data) {
     return Status::Internal("read error on checkpoint file " + path);
   }
   *data = buf.str();
+  return Status::OK();
+}
+
+Status PruneCheckpointFiles(const std::string& dir, const std::string& prefix,
+                            int keep, std::vector<std::string>* removed) {
+  if (keep < 1) {
+    return Status::InvalidArgument("checkpoint rotation needs keep >= 1, got " +
+                                   std::to_string(keep));
+  }
+  if (removed != nullptr) removed->clear();
+
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound("cannot open checkpoint directory " + dir + ": " +
+                            std::strerror(errno));
+  }
+  const std::string suffix = ".ckpt";
+  // (sequence number, file name) for every name shaped prefix<number>.ckpt.
+  std::vector<std::pair<long long, std::string>> found;
+  while (dirent* ent = readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    const std::string middle =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    bool digits = !middle.empty();
+    for (const char c : middle) {
+      if (c < '0' || c > '9') digits = false;
+    }
+    if (!digits) continue;
+    errno = 0;
+    const long long seq = std::strtoll(middle.c_str(), nullptr, 10);
+    if (errno == ERANGE) continue;
+    found.emplace_back(seq, name);
+  }
+  closedir(d);
+
+  if (static_cast<int>(found.size()) <= keep) return Status::OK();
+  std::sort(found.begin(), found.end());
+  const size_t prune = found.size() - static_cast<size_t>(keep);
+  for (size_t i = 0; i < prune; ++i) {
+    const std::string full = dir + "/" + found[i].second;
+    if (std::remove(full.c_str()) != 0) {
+      return Status::Internal("failed pruning checkpoint " + full + ": " +
+                              std::strerror(errno));
+    }
+    if (removed != nullptr) removed->push_back(full);
+  }
   return Status::OK();
 }
 

@@ -50,7 +50,9 @@ inline constexpr char kShardedCheckpointMagic[8] = {'M', 'A', 'P', 'S',
                                                     'S', 'H', 'R', 'D'};
 
 /// Container format version produced by ShardedMarketEngine::SaveCheckpoint.
-inline constexpr uint32_t kShardedCheckpointFormatVersion = 1;
+/// Version 2 added the per-route hidden valuation and the routing layer's
+/// deferred_tasks counter (failure domains, DESIGN.md §15).
+inline constexpr uint32_t kShardedCheckpointFormatVersion = 2;
 
 namespace internal {
 
@@ -71,13 +73,34 @@ Status ParseCheckpointContainer(const std::string& data, const char* magic,
 
 }  // namespace internal
 
+/// Write attempts per WriteCheckpointFile call before giving up: transient
+/// I/O errors (and injected kCheckpointWriteError faults at specific
+/// attempts) are retried from scratch, each attempt a fresh tmp write.
+inline constexpr int kCheckpointWriteAttempts = 3;
+
 /// \brief Atomically replaces `path` with `data`: writes `path`.tmp,
-/// flushes and fsyncs it, then renames over `path`. A crash mid-write
-/// leaves either the previous checkpoint or a stray .tmp — never a
-/// half-written file under the final name.
+/// flushes and fsyncs it, renames over `path`, then fsyncs the containing
+/// directory so the rename itself is durable. A crash mid-write leaves
+/// either the previous checkpoint or a stray .tmp — never a half-written
+/// file under the final name. I/O failures are retried up to
+/// kCheckpointWriteAttempts times before the last error is returned.
+/// Honors injected faults: kCheckpointWriteError fails one attempt;
+/// kCheckpointTornWrite truncates the payload mid-write and "succeeds",
+/// modeling a lying disk — readers reject the torn file via its CRCs.
 Status WriteCheckpointFile(const std::string& path, const std::string& data);
 
 /// \brief Reads the whole file at `path` into `data`.
 Status ReadCheckpointFile(const std::string& path, std::string* data);
+
+/// \brief Keep-last-N checkpoint rotation: scans `dir` for files named
+/// `prefix<number>.ckpt`, keeps the `keep` highest-numbered ones, and
+/// removes the rest (prune AFTER the newest file was atomically renamed
+/// into place, so the retained set never passes through a state with
+/// fewer than `keep` good checkpoints). Files whose name does not parse
+/// as `prefix<number>.ckpt` are left alone. `removed`, when non-null, is
+/// cleared and receives the full paths pruned, oldest first. `keep` must
+/// be >= 1.
+Status PruneCheckpointFiles(const std::string& dir, const std::string& prefix,
+                            int keep, std::vector<std::string>* removed);
 
 }  // namespace maps

@@ -294,6 +294,22 @@ Status MarketEngine::AdoptWorker(const Worker& base, int32_t next_free,
   return Status::OK();
 }
 
+void MarketEngine::AdvanceQuietPeriod() {
+  DrainPrebuilds();
+  const int32_t t = period_;
+  // Rides that ended by now return to the idle list in heap (next_free,
+  // index) order, exactly as a real close would have returned them.
+  while (!busy_.empty() && busy_.top().first <= t) {
+    idle_.push_back(busy_.top().second);
+    busy_.pop();
+  }
+  // Drop the open period's events without accounting: the sharded layer
+  // already deferred its tasks and kept (or orphan-counted) its bits.
+  pending_accept_.clear();
+  stages_[t & 1].Clear();
+  ++period_;
+}
+
 int64_t MarketEngine::num_live_workers() const {
   int64_t live = 0;
   for (const WorkerRecord& rec : workers_) {

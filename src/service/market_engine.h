@@ -56,6 +56,21 @@
 
 namespace maps {
 
+/// \brief Per-region failure-domain knobs (DESIGN.md §15). Honored only by
+/// ShardedMarketEngine: a region whose close fails is quarantined — its
+/// cells serve cached quotes, its open tasks defer to the next period —
+/// instead of failing the whole close. MarketEngine ignores this.
+struct FailureDomainOptions {
+  /// Off by default: a region-close error fails ClosePeriod, the pre-§15
+  /// behavior. When on with no fault armed, outcomes are bit-identical to
+  /// off (the chaos harness pins this).
+  bool enabled = false;
+  /// Recovery attempts before a region is declared kFailed and serves
+  /// cached quotes permanently. Attempt n is retried after a deterministic
+  /// backoff of 2^(n-1) periods (attempt counts, never wall clock).
+  int max_recovery_attempts = 3;
+};
+
 /// \brief Online engine knobs. SimOptions composes this (one shared option
 /// surface; the simulator adds only replay-specific knobs on top).
 struct EngineOptions {
@@ -87,6 +102,8 @@ struct EngineOptions {
   /// workers call into THIS engine (nested waits can deadlock). Results are
   /// bit-identical with or without it.
   ThreadPool* pool = nullptr;
+  /// Quarantine-instead-of-fail for region closes; sharded engine only.
+  FailureDomainOptions failure_domains;
 };
 
 /// \brief Cumulative counts of rejected or ignored events since engine
@@ -108,13 +125,38 @@ struct EngineRejectionCounters {
   /// ObserveAcceptance bits whose task id was not part of the period at
   /// its close (discarded there).
   int64_t orphan_acceptances = 0;
+  /// Tasks deferred to the next period because their region was
+  /// quarantined at the close (sharded failure domains, DESIGN.md §15).
+  /// Conservation accounting: a deferred task is counted here once per
+  /// deferral and served (or rejected on its own merits) later — never
+  /// silently dropped.
+  int64_t deferred_tasks = 0;
 
   bool operator==(const EngineRejectionCounters& o) const {
     return duplicate_tasks == o.duplicate_tasks &&
            unknown_worker_removals == o.unknown_worker_removals &&
            busy_worker_removals == o.busy_worker_removals &&
-           orphan_acceptances == o.orphan_acceptances;
+           orphan_acceptances == o.orphan_acceptances &&
+           deferred_tasks == o.deferred_tasks;
   }
+};
+
+/// \brief Per-region serving health reported in a sharded PeriodOutcome
+/// when failure domains are enabled (DESIGN.md §15). Empty for the
+/// monolithic engine and when failure domains are off.
+struct RegionHealth {
+  enum class State {
+    kNormal = 0,   ///< served this close normally
+    kQuarantined,  ///< close failed; cached quotes served, tasks deferred
+    kRecovered,    ///< re-admitted this period after a quarantine
+    kFailed,       ///< recovery attempts exhausted; degraded permanently
+  };
+  int region = 0;
+  State state = State::kNormal;
+  /// Recovery attempts consumed so far (0 while normal).
+  int attempts = 0;
+  /// Period the current quarantine began; -1 when not quarantined.
+  int32_t quarantined_since = -1;
 };
 
 /// \brief One task-to-worker assignment of a closed period.
@@ -146,6 +188,9 @@ struct PeriodOutcome {
   int32_t num_available_workers = 0;
   /// Engine-cumulative rejection/ignore counters as of this close.
   EngineRejectionCounters rejections;
+  /// One entry per region, in region order, when sharded failure domains
+  /// are enabled; empty otherwise.
+  std::vector<RegionHealth> region_health;
 };
 
 /// \brief Stateful online market engine; see the file comment for the event
@@ -268,6 +313,16 @@ class MarketEngine {
   /// open period) goes straight onto the busy heap.
   Status AdoptWorker(const Worker& base, int32_t next_free,
                      int32_t retire_at);
+
+  /// Advances the open period by one WITHOUT consulting the strategy,
+  /// matching, or repositioning — the catch-up step of a quarantine
+  /// restore (DESIGN.md §15): busy workers whose rides ended return to the
+  /// idle list, the open period's staged tasks and pending bits are
+  /// dropped uncounted (the sharded layer already deferred or accounted
+  /// them), and the period counter increments. Deterministic and
+  /// RNG-free, so a restored region replayed through Q quiet periods is a
+  /// pure function of the checkpoint.
+  void AdvanceQuietPeriod();
 
   /// Cumulative rejected/ignored event counters (also in every
   /// PeriodOutcome).

@@ -9,6 +9,7 @@
 #include <map>
 #include <utility>
 
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace maps {
@@ -285,6 +286,15 @@ Result<bool> ReplayEventStream::Next(ReplayEvent* out) {
   if (done_) return false;
   while (std::getline(in_, line_)) {
     ++lineno_;
+    if (FaultInjector::Global().ShouldFire(FaultRule::Kind::kReplayReadError,
+                                           -1,
+                                           static_cast<int32_t>(lineno_))) {
+      // An injected structural read failure: the stream is broken, not the
+      // line — skip_bad_events does not paper over it.
+      done_ = true;
+      return Status::Internal("injected replay read error at line " +
+                              std::to_string(lineno_));
+    }
     size_t first = 0;
     while (first < line_.size() &&
            std::isspace(static_cast<unsigned char>(line_[first]))) {

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "service/checkpoint.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/serial.h"
 
@@ -23,7 +24,9 @@ uint64_t RegionRepositionSeed(uint64_t base, int k) {
   return base ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(k));
 }
 
-// Sharded container sections (magic kShardedCheckpointMagic, version 1).
+// Sharded container sections (magic kShardedCheckpointMagic). Version 2
+// added the per-route hidden valuation and the deferred_tasks counter to
+// the routing section (failure domains, DESIGN.md §15).
 enum ShardedSectionId : uint32_t {
   kShardedSectionPartition = 1,  // grid + band-layout + lifecycle fingerprint
   kShardedSectionRouting = 2,    // this layer's period/routing/cache state
@@ -67,8 +70,11 @@ ShardedMarketEngine::ShardedMarketEngine(
   }
   region_prices_.assign(num_regions,
                         std::vector<double>(grid_->num_cells(), 0.0));
+  domains_.resize(num_regions);
+  deferred_.resize(num_regions);
   region_outcomes_.resize(num_regions);
   region_status_.resize(num_regions);
+  region_active_.assign(num_regions, 1);
 }
 
 Status ShardedMarketEngine::SubmitTask(const Task& task, double valuation) {
@@ -77,6 +83,7 @@ Status ShardedMarketEngine::SubmitTask(const Task& task, double valuation) {
         "task " + std::to_string(task.id) + " grid " +
         std::to_string(task.grid) + " outside the partition");
   }
+  MAPS_RETURN_NOT_OK(EnsureBaseline());
   auto [it, inserted] = task_route_.try_emplace(task.id);
   if (!inserted) {
     ++local_rejections_.duplicate_tasks;
@@ -85,14 +92,21 @@ Status ShardedMarketEngine::SubmitTask(const Task& task, double valuation) {
                                  std::to_string(period_));
   }
   const int region = owner_of_cell_[task.grid];
-  const Status forwarded = regions_[region]->SubmitTask(task, valuation);
-  if (!forwarded.ok()) {
-    task_route_.erase(it);
-    return forwarded;
+  // A quarantined region's forwarding is paused: the task is routed (so
+  // duplicates and ordering behave normally) and joins the region's close
+  // attempt or deferral queue at this period's close.
+  if (!failure_domains_enabled() ||
+      domains_[region].state == RegionHealth::State::kNormal) {
+    const Status forwarded = regions_[region]->SubmitTask(task, valuation);
+    if (!forwarded.ok()) {
+      task_route_.erase(it);
+      return forwarded;
+    }
   }
   it->second.region = region;
   it->second.seq = next_seq_++;
   it->second.task = task;
+  it->second.valuation = valuation;
   return Status::OK();
 }
 
@@ -107,9 +121,17 @@ Status ShardedMarketEngine::AddWorker(const Worker& worker) {
     return Status::InvalidArgument("worker " + std::to_string(worker.id) +
                                    " outside the partition");
   }
+  MAPS_RETURN_NOT_OK(EnsureBaseline());
   const int region = owner_of_cell_[w.grid];
   MAPS_RETURN_NOT_OK(regions_[region]->AddWorker(w));
   worker_region_[w.id] = region;
+  if (failure_domains_enabled()) {
+    WorkerEvent ev;
+    ev.type = WorkerEvent::Type::kAdd;
+    ev.period = regions_[region]->current_period();
+    ev.worker = w;
+    JournalEvent(region, std::move(ev));
+  }
   return Status::OK();
 }
 
@@ -120,7 +142,17 @@ Status ShardedMarketEngine::RemoveWorker(WorkerId id) {
     return Status::NotFound("worker id " + std::to_string(id) +
                             " was never added");
   }
-  return regions_[it->second]->RemoveWorker(id);
+  MAPS_RETURN_NOT_OK(EnsureBaseline());
+  const int region = it->second;
+  MAPS_RETURN_NOT_OK(regions_[region]->RemoveWorker(id));
+  if (failure_domains_enabled()) {
+    WorkerEvent ev;
+    ev.type = WorkerEvent::Type::kRemove;
+    ev.period = regions_[region]->current_period();
+    ev.id = id;
+    JournalEvent(region, std::move(ev));
+  }
+  return Status::OK();
 }
 
 Status ShardedMarketEngine::ObserveAcceptance(TaskId task, bool accepted) {
@@ -128,26 +160,237 @@ Status ShardedMarketEngine::ObserveAcceptance(TaskId task, bool accepted) {
   return Status::OK();
 }
 
+// --- Failure-domain machinery (DESIGN.md §15) ----------------------------
+
+Status ShardedMarketEngine::EnsureBaseline() {
+  if (!failure_domains_enabled() || baseline_captured_) return Status::OK();
+  // One capture of every region before the first mutating event — after
+  // the caller's strategy warm-up, before any traffic — so a quarantine
+  // always has a restore point.
+  for (int k = 0; k < static_cast<int>(regions_.size()); ++k) {
+    MAPS_RETURN_NOT_OK(CaptureRegionBaseline(k));
+  }
+  baseline_captured_ = true;
+  return Status::OK();
+}
+
+Status ShardedMarketEngine::CaptureRegionBaseline(int k) {
+  RegionDomain& dom = domains_[k];
+  MAPS_RETURN_NOT_OK(regions_[k]->SaveCheckpoint(&dom.last_good));
+  dom.journal.clear();
+  return Status::OK();
+}
+
+void ShardedMarketEngine::JournalEvent(int k, WorkerEvent event) {
+  domains_[k].journal.push_back(std::move(event));
+}
+
+Status ShardedMarketEngine::RewindRegion(int k, int32_t t) {
+  RegionDomain& dom = domains_[k];
+  MAPS_CHECK(!dom.last_good.empty());  // EnsureBaseline preceded all traffic
+  MarketEngine* region = regions_[k].get();
+  {
+    const Status s = region->RestoreFromCheckpoint(dom.last_good);
+    if (!s.ok()) {
+      return Status::Internal("quarantine restore of region " +
+                              std::to_string(k) + ": " + s.message());
+    }
+  }
+  // Replay the worker events the restore rewound, quiet-advancing between
+  // their periods. Matches, stitch dispatches, and repositioning are NOT
+  // replayed — the quarantined region rewinds to a conservative
+  // "everyone idle at home" view of those workers (divergence list, §15).
+  for (const WorkerEvent& ev : dom.journal) {
+    while (region->current_period() < ev.period) region->AdvanceQuietPeriod();
+    Status s;
+    switch (ev.type) {
+      case WorkerEvent::Type::kAdd:
+        s = region->AddWorker(ev.worker);
+        break;
+      case WorkerEvent::Type::kRemove:
+        s = region->RemoveWorker(ev.id);
+        break;
+      case WorkerEvent::Type::kAdopt:
+        s = region->AdoptWorker(ev.worker, ev.next_free, ev.retire_at);
+        break;
+      case WorkerEvent::Type::kExtract: {
+        Worker base;
+        int32_t retire_at = 0;
+        s = region->ExtractIdleWorker(ev.id, &base, &retire_at);
+        break;
+      }
+    }
+    if (!s.ok()) {
+      return Status::Internal("journal replay in region " +
+                              std::to_string(k) + ": " + s.message());
+    }
+  }
+  // Catch up to the sharded layer: the region sits out period t and opens
+  // t + 1 in lockstep with everyone else.
+  while (region->current_period() <= t) region->AdvanceQuietPeriod();
+  return Status::OK();
+}
+
+Status ShardedMarketEngine::QuarantineRegion(int k, int32_t t) {
+  RegionDomain& dom = domains_[k];
+  region_active_[k] = 0;
+  if (dom.state == RegionHealth::State::kNormal) {
+    dom.state = RegionHealth::State::kQuarantined;
+    dom.attempts = 1;
+    dom.backoff = 1;
+    dom.next_retry = t + 1;
+    dom.quarantined_since = t;
+  } else {
+    // A recovery attempt just failed: deterministic exponential backoff in
+    // periods (attempt counts, never wall clock), then permanent
+    // degradation once the budget is spent.
+    ++dom.attempts;
+    if (dom.attempts > options_.failure_domains.max_recovery_attempts) {
+      dom.state = RegionHealth::State::kFailed;
+      dom.next_retry = -1;
+    } else {
+      dom.backoff *= 2;
+      dom.next_retry = t + dom.backoff;
+    }
+  }
+  return RewindRegion(k, t);
+}
+
+void ShardedMarketEngine::DeferRegionTasks(int k) {
+  // Sweep the open routes of an inactive region into its deferral queue in
+  // submission order; acceptance bits ride along. Existing queue entries
+  // carry strictly smaller seqs, so the queue stays seq-sorted.
+  std::vector<std::pair<int64_t, TaskId>> order;
+  for (const auto& [id, route] : task_route_) {
+    if (route.region == k) order.push_back({route.seq, id});
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [seq, id] : order) {
+    const TaskRoute& route = task_route_.find(id)->second;
+    DeferredTask d;
+    d.seq = route.seq;
+    d.task = route.task;
+    d.valuation = route.valuation;
+    const auto bit = pending_accept_.find(id);
+    if (bit != pending_accept_.end()) {
+      d.has_accept = true;
+      d.accept = bit->second;
+    }
+    deferred_[k].push_back(std::move(d));
+    task_route_.erase(id);
+    ++local_rejections_.deferred_tasks;
+  }
+}
+
+Status ShardedMarketEngine::ResubmitDeferred(int k) {
+  // Queue entries rejoin the route table under their ORIGINAL seqs; a
+  // collision with a task id submitted fresh this period is a duplicate
+  // (counted, deferred copy dropped) exactly like a same-period resubmit.
+  for (const DeferredTask& d : deferred_[k]) {
+    auto [it, inserted] = task_route_.try_emplace(d.task.id);
+    if (!inserted) {
+      ++local_rejections_.duplicate_tasks;
+      continue;
+    }
+    it->second.region = k;
+    it->second.seq = d.seq;
+    it->second.task = d.task;
+    it->second.valuation = d.valuation;
+    // An explicit bit observed THIS period wins over the deferred one.
+    if (d.has_accept) pending_accept_.try_emplace(d.task.id, d.accept);
+  }
+  deferred_[k].clear();
+  // Nothing routed to this region was forwarded while it was quarantined;
+  // forward everything now, in submission order so the region's stage
+  // reads like an uninterrupted submission stream.
+  std::vector<std::pair<int64_t, TaskId>> order;
+  for (const auto& [id, route] : task_route_) {
+    if (route.region == k) order.push_back({route.seq, id});
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [seq, id] : order) {
+    const TaskRoute& route = task_route_.find(id)->second;
+    MAPS_RETURN_NOT_OK(regions_[k]->SubmitTask(route.task, route.valuation));
+  }
+  return Status::OK();
+}
+
 Status ShardedMarketEngine::CloseAllRegions(int32_t t) {
   const int num_regions = static_cast<int>(regions_.size());
-  if (pool_ != nullptr && num_regions > 1) {
-    internal::Latch latch(num_regions);
+  const bool fd = failure_domains_enabled();
+
+  // Injected fault decisions are made serially BEFORE the dispatch: the
+  // injector is not thread-safe and firing order must be deterministic.
+  std::vector<char> inject_fail(num_regions, 0);
+  std::vector<char> inject_stall(num_regions, 0);
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.armed()) {
     for (int k = 0; k < num_regions; ++k) {
-      pool_->Submit([this, k, &latch](int /*worker*/) {
-        region_status_[k] = regions_[k]->ClosePeriod(&region_outcomes_[k]);
+      if (!region_active_[k]) continue;
+      if (injector.ShouldFire(FaultRule::Kind::kRegionCloseFail, k, t)) {
+        inject_fail[k] = 1;
+      } else if (injector.ShouldFire(FaultRule::Kind::kRegionCloseStall, k,
+                                     t)) {
+        inject_stall[k] = 1;
+      }
+    }
+  }
+
+  // A failed close never runs (the fault preempts the dispatch); a stalled
+  // close RUNS — mutating the region — and its result is discarded past
+  // the deadline, so the quarantine rewind has real work to undo.
+  auto close_one = [&](int k) {
+    if (inject_fail[k]) {
+      region_status_[k] =
+          Status::Internal("injected close failure at region " +
+                           std::to_string(k) + " period " + std::to_string(t));
+      return;
+    }
+    region_status_[k] = regions_[k]->ClosePeriod(&region_outcomes_[k]);
+    if (inject_stall[k] && region_status_[k].ok()) {
+      region_status_[k] =
+          Status::Internal("injected close stall (deadline exceeded) at "
+                           "region " +
+                           std::to_string(k) + " period " + std::to_string(t));
+    }
+  };
+
+  int num_active = 0;
+  for (int k = 0; k < num_regions; ++k) num_active += region_active_[k];
+  if (pool_ != nullptr && num_active > 1) {
+    internal::Latch latch(num_active);
+    for (int k = 0; k < num_regions; ++k) {
+      if (!region_active_[k]) continue;
+      pool_->Submit([&close_one, k, &latch](int /*worker*/) {
+        close_one(k);
         latch.Done();
       });
     }
     latch.Wait();
   } else {
     for (int k = 0; k < num_regions; ++k) {
-      region_status_[k] = regions_[k]->ClosePeriod(&region_outcomes_[k]);
+      if (region_active_[k]) close_one(k);
     }
   }
+
+  // Evaluate serially in region order (quarantine processing mutates the
+  // injector-independent domain state deterministically).
   for (int k = 0; k < num_regions; ++k) {
-    MAPS_RETURN_NOT_OK(region_status_[k]);
-    // Regions close in lockstep with this layer; anything else is a bug.
-    MAPS_CHECK(region_outcomes_[k].period == t);
+    if (!region_active_[k]) {
+      // Sitting out this close: advance quietly to stay in lockstep.
+      regions_[k]->AdvanceQuietPeriod();
+      continue;
+    }
+    if (region_status_[k].ok()) {
+      // Regions close in lockstep with this layer; anything else is a bug.
+      MAPS_CHECK(region_outcomes_[k].period == t);
+      if (fd && domains_[k].state == RegionHealth::State::kQuarantined) {
+        domains_[k].state = RegionHealth::State::kRecovered;
+      }
+      continue;
+    }
+    if (!fd) return region_status_[k];  // pre-§15: one region fails the close
+    MAPS_RETURN_NOT_OK(QuarantineRegion(k, t));
   }
   return Status::OK();
 }
@@ -166,7 +409,12 @@ void ShardedMarketEngine::MergeOutcomes(int32_t t, PeriodOutcome* out) {
   merge_matches_.clear();
   merge_accepted_.clear();
 
-  for (const PeriodOutcome& o : region_outcomes_) {
+  // Inactive (quarantined/failed) regions contributed no outcome this
+  // period: their open tasks were deferred and their cells serve cached
+  // quotes below, so every aggregation here is over ACTIVE regions only.
+  for (int k = 0; k < num_regions; ++k) {
+    if (!region_active_[k]) continue;
+    const PeriodOutcome& o = region_outcomes_[k];
     out->skipped = out->skipped && o.skipped;
     out->num_tasks += o.num_tasks;
     out->num_available_workers += o.num_available_workers;
@@ -175,11 +423,11 @@ void ShardedMarketEngine::MergeOutcomes(int32_t t, PeriodOutcome* out) {
   if (out->skipped) return;
 
   // Quotes: each region's fresh prices for the cells it owns; a region that
-  // skipped this period re-posts its cached last quotes (zeros before its
-  // first priced period) — a monolith would have consulted its strategy
-  // instead, one of the documented §13 divergences.
+  // skipped this period — or is quarantined — re-posts its cached last
+  // quotes (zeros before its first priced period) — a monolith would have
+  // consulted its strategy instead, one of the documented §13 divergences.
   for (int k = 0; k < num_regions; ++k) {
-    if (!region_outcomes_[k].skipped) {
+    if (region_active_[k] && !region_outcomes_[k].skipped) {
       region_prices_[k] = region_outcomes_[k].prices;
     }
   }
@@ -191,7 +439,9 @@ void ShardedMarketEngine::MergeOutcomes(int32_t t, PeriodOutcome* out) {
   // Accepted ids and matches, re-ordered by global submission sequence so
   // the merged outcome (including the FP revenue fold, done after the
   // stitch) reads exactly like a monolithic close of the same events.
-  for (const PeriodOutcome& o : region_outcomes_) {
+  for (int k = 0; k < num_regions; ++k) {
+    if (!region_active_[k]) continue;
+    const PeriodOutcome& o = region_outcomes_[k];
     for (TaskId id : o.accepted) {
       const auto it = task_route_.find(id);
       MAPS_CHECK(it != task_route_.end());
@@ -241,6 +491,10 @@ Status ShardedMarketEngine::StitchBoundary(int32_t t, PeriodOutcome* out) {
   };
   std::vector<CandWorker> cand_workers;
   for (int k = 0; k < num_regions; ++k) {
+    // A quarantined region's serving is frozen: its idle workers are not
+    // offered to the stitch (and its tasks were deferred, so none are
+    // candidates above).
+    if (!region_active_[k]) continue;
     idle_scratch_.clear();
     regions_[k]->CollectIdleWorkers(&idle_scratch_);
     for (const Worker& w : idle_scratch_) {
@@ -319,7 +573,11 @@ Status ShardedMarketEngine::StitchBoundary(int32_t t, PeriodOutcome* out) {
     const int32_t next_free = t + ride;
     const GridId dest_grid = grid_->CellOf(ct.task->destination);
     const int dest_region = owner_of_cell_[dest_grid];
-    if (dest_region == cw.home) {
+    if (dest_region == cw.home || !region_active_[dest_region]) {
+      // Same band — or the owning band is quarantined, in which case the
+      // worker stays with its current region until the repatriation sweep
+      // can hand it over (home-until-reconciled already covers parking in
+      // foreign cells).
       MAPS_RETURN_NOT_OK(regions_[cw.home]->DispatchIdleWorker(
           cw.w.id, ct.task->destination, next_free));
     } else {
@@ -333,6 +591,20 @@ Status ShardedMarketEngine::StitchBoundary(int32_t t, PeriodOutcome* out) {
       MAPS_RETURN_NOT_OK(
           regions_[dest_region]->AdoptWorker(base, next_free, retire_at));
       worker_region_[cw.w.id] = dest_region;
+      if (failure_domains_enabled()) {
+        WorkerEvent ex;
+        ex.type = WorkerEvent::Type::kExtract;
+        ex.period = regions_[cw.home]->current_period();
+        ex.id = cw.w.id;
+        JournalEvent(cw.home, std::move(ex));
+        WorkerEvent ad;
+        ad.type = WorkerEvent::Type::kAdopt;
+        ad.period = regions_[dest_region]->current_period();
+        ad.worker = base;
+        ad.next_free = next_free;
+        ad.retire_at = retire_at;
+        JournalEvent(dest_region, std::move(ad));
+      }
     }
   }
   return Status::OK();
@@ -346,11 +618,15 @@ Status ShardedMarketEngine::RepatriateIdleWorkers(int32_t t) {
   // keeps serving it.
   const int num_regions = static_cast<int>(regions_.size());
   for (int k = 0; k < num_regions; ++k) {
+    // Quarantined regions neither give up nor receive workers: their
+    // strays repatriate (and strays standing in their cells come home)
+    // once they serve again.
+    if (!region_active_[k]) continue;
     idle_scratch_.clear();
     regions_[k]->CollectIdleWorkers(&idle_scratch_);
     for (const Worker& w : idle_scratch_) {
       const int owner = owner_of_cell_[w.grid];
-      if (owner == k) continue;
+      if (owner == k || !region_active_[owner]) continue;
       Worker base;
       int32_t retire_at = 0;
       MAPS_RETURN_NOT_OK(
@@ -359,6 +635,20 @@ Status ShardedMarketEngine::RepatriateIdleWorkers(int32_t t) {
       // close on, exactly when the old region would have.
       MAPS_RETURN_NOT_OK(regions_[owner]->AdoptWorker(base, t, retire_at));
       worker_region_[w.id] = owner;
+      if (failure_domains_enabled()) {
+        WorkerEvent ex;
+        ex.type = WorkerEvent::Type::kExtract;
+        ex.period = regions_[k]->current_period();
+        ex.id = w.id;
+        JournalEvent(k, std::move(ex));
+        WorkerEvent ad;
+        ad.type = WorkerEvent::Type::kAdopt;
+        ad.period = regions_[owner]->current_period();
+        ad.worker = base;
+        ad.next_free = t;
+        ad.retire_at = retire_at;
+        JournalEvent(owner, std::move(ad));
+      }
     }
   }
   return Status::OK();
@@ -367,23 +657,59 @@ Status ShardedMarketEngine::RepatriateIdleWorkers(int32_t t) {
 Status ShardedMarketEngine::ClosePeriod(PeriodOutcome* out) {
   if (out == nullptr) return Status::InvalidArgument("null outcome");
   const int32_t t = period_;
+  const int num_regions = static_cast<int>(regions_.size());
+  const bool fd = failure_domains_enabled();
+
+  // No traffic ever arrived: capture baselines now so a fault on this very
+  // close still has a restore point.
+  MAPS_RETURN_NOT_OK(EnsureBaseline());
+
+  // Which regions close this period: healthy ones, plus quarantined ones
+  // whose deterministic retry came due — those get their deferred tasks
+  // back first. kFailed regions never close again.
+  region_active_.assign(num_regions, 1);
+  if (fd) {
+    for (int k = 0; k < num_regions; ++k) {
+      RegionDomain& dom = domains_[k];
+      if (dom.state == RegionHealth::State::kNormal) continue;
+      if (dom.state == RegionHealth::State::kQuarantined &&
+          dom.next_retry <= t) {
+        MAPS_RETURN_NOT_OK(ResubmitDeferred(k));
+        continue;  // active: recovery attempt
+      }
+      region_active_[k] = 0;
+    }
+  }
 
   // Resolve this layer's acceptance buffer: bits for routed tasks go to the
   // submitting region (its close consumes them); bits for tasks nobody
   // submitted are orphans, counted here at the close like the monolith
-  // counts its own.
+  // counts its own. The buffer itself is kept until deferral has run —
+  // tasks of a region that fails THIS close take their bits into the
+  // deferral queue.
   for (const auto& [task, accepted] : pending_accept_) {
     const auto it = task_route_.find(task);
     if (it == task_route_.end()) {
       ++local_rejections_.orphan_acceptances;
       continue;
     }
+    if (!region_active_[it->second.region]) continue;  // held for deferral
     MAPS_RETURN_NOT_OK(
         regions_[it->second.region]->ObserveAcceptance(task, accepted));
   }
-  pending_accept_.clear();
 
   MAPS_RETURN_NOT_OK(CloseAllRegions(t));
+
+  // Park the open tasks of every region that is not serving after the
+  // close — just-quarantined ones (their forwarded copies were rewound
+  // away) and ones still waiting out their backoff.
+  if (fd) {
+    for (int k = 0; k < num_regions; ++k) {
+      if (!region_active_[k]) DeferRegionTasks(k);
+    }
+  }
+  pending_accept_.clear();
+
   MergeOutcomes(t, out);
   MAPS_RETURN_NOT_OK(StitchBoundary(t, out));
 
@@ -405,6 +731,37 @@ Status ShardedMarketEngine::ClosePeriod(PeriodOutcome* out) {
     MAPS_RETURN_NOT_OK(RepatriateIdleWorkers(t));
   }
 
+  // Per-region health report, then post-report transitions: a region that
+  // served again is kRecovered for exactly this outcome and kNormal after.
+  out->region_health.clear();
+  if (fd) {
+    out->region_health.resize(num_regions);
+    for (int k = 0; k < num_regions; ++k) {
+      RegionDomain& dom = domains_[k];
+      RegionHealth& health = out->region_health[k];
+      health.region = k;
+      health.state = dom.state;
+      health.attempts = dom.attempts;
+      health.quarantined_since = dom.quarantined_since;
+      if (dom.state == RegionHealth::State::kRecovered) {
+        dom.state = RegionHealth::State::kNormal;
+        dom.attempts = 0;
+        dom.backoff = 0;
+        dom.next_retry = -1;
+        dom.quarantined_since = -1;
+      }
+    }
+    // Refresh the restore point of every region that closed cleanly (the
+    // stitch and repatriation above are part of the period, so the capture
+    // includes them); quarantined regions keep their last-good blob and
+    // their journal keeps accumulating.
+    for (int k = 0; k < num_regions; ++k) {
+      if (region_active_[k] && region_status_[k].ok()) {
+        MAPS_RETURN_NOT_OK(CaptureRegionBaseline(k));
+      }
+    }
+  }
+
   task_route_.clear();
   ++period_;
   return Status::OK();
@@ -418,6 +775,25 @@ EngineRejectionCounters ShardedMarketEngine::rejections() const {
     total.unknown_worker_removals += r.unknown_worker_removals;
     total.busy_worker_removals += r.busy_worker_removals;
     total.orphan_acceptances += r.orphan_acceptances;
+    total.deferred_tasks += r.deferred_tasks;
+  }
+  return total;
+}
+
+RegionHealth ShardedMarketEngine::region_health(int k) const {
+  const RegionDomain& dom = domains_[k];
+  RegionHealth health;
+  health.region = k;
+  health.state = dom.state;
+  health.attempts = dom.attempts;
+  health.quarantined_since = dom.quarantined_since;
+  return health;
+}
+
+int64_t ShardedMarketEngine::num_deferred_tasks() const {
+  int64_t total = 0;
+  for (const auto& queue : deferred_) {
+    total += static_cast<int64_t>(queue.size());
   }
   return total;
 }
@@ -450,6 +826,26 @@ Status ShardedMarketEngine::SaveCheckpoint(std::string* out) {
   if (out == nullptr) return Status::InvalidArgument("null output string");
   const int num_regions = static_cast<int>(regions_.size());
 
+  // A checkpoint must capture a fully-served deployment: while a region is
+  // quarantined (or permanently failed) its engine state is a rewound
+  // approximation and tasks sit in deferral queues that the container does
+  // not encode. Callers retry after the region recovers.
+  for (int k = 0; k < num_regions; ++k) {
+    if (domains_[k].state != RegionHealth::State::kNormal) {
+      return Status::FailedPrecondition(
+          "region " + std::to_string(k) +
+          " is not healthy (quarantined or failed); checkpoint after it "
+          "recovers");
+    }
+    if (!deferred_[k].empty()) {
+      return Status::FailedPrecondition(
+          "region " + std::to_string(k) + " has " +
+          std::to_string(deferred_[k].size()) +
+          " deferred task(s) awaiting recovery; checkpoint after the next "
+          "close");
+    }
+  }
+
   StateWriter part;
   part.PutI32(grid_->rows());
   part.PutI32(grid_->cols());
@@ -473,6 +869,7 @@ Status ShardedMarketEngine::SaveCheckpoint(std::string* out) {
   routing.PutI64(local_rejections_.unknown_worker_removals);
   routing.PutI64(local_rejections_.busy_worker_removals);
   routing.PutI64(local_rejections_.orphan_acceptances);
+  routing.PutI64(local_rejections_.deferred_tasks);  // v2
   routing.PutI64(next_seq_);
   {
     std::vector<std::pair<WorkerId, int>> owners(worker_region_.begin(),
@@ -504,6 +901,7 @@ Status ShardedMarketEngine::SaveCheckpoint(std::string* out) {
       routing.PutDouble(route->task.destination.y);
       routing.PutDouble(route->task.distance);
       routing.PutI32(route->task.grid);
+      routing.PutDouble(route->valuation);  // v2
     }
   }
   {
@@ -625,10 +1023,12 @@ Status ShardedMarketEngine::RestoreFromCheckpoint(const std::string& data) {
         r.GetI64(&rej.busy_worker_removals, "busy_worker_removals"));
     MAPS_RETURN_NOT_OK(
         r.GetI64(&rej.orphan_acceptances, "orphan_acceptances"));
+    MAPS_RETURN_NOT_OK(r.GetI64(&rej.deferred_tasks, "deferred_tasks"));
     MAPS_RETURN_NOT_OK(r.GetI64(&next_seq, "next submission seq"));
     if (period < 0 || rej.duplicate_tasks < 0 ||
         rej.unknown_worker_removals < 0 || rej.busy_worker_removals < 0 ||
-        rej.orphan_acceptances < 0 || next_seq < 0) {
+        rej.orphan_acceptances < 0 || rej.deferred_tasks < 0 ||
+        next_seq < 0) {
       return Status::InvalidArgument(
           "sharded routing section has negative counters");
     }
@@ -652,7 +1052,7 @@ Status ShardedMarketEngine::RestoreFromCheckpoint(const std::string& data) {
       }
     }
     MAPS_RETURN_NOT_OK(r.GetU64(&n, "task route count"));
-    MAPS_RETURN_NOT_OK(CheckDecodedCount(r, n, 68, "task routes"));
+    MAPS_RETURN_NOT_OK(CheckDecodedCount(r, n, 76, "task routes"));
     task_route.reserve(static_cast<size_t>(n));
     for (uint64_t i = 0; i < n; ++i) {
       TaskRoute route;
@@ -668,6 +1068,7 @@ Status ShardedMarketEngine::RestoreFromCheckpoint(const std::string& data) {
           r.GetDouble(&route.task.destination.y, "route destination y"));
       MAPS_RETURN_NOT_OK(r.GetDouble(&route.task.distance, "route distance"));
       MAPS_RETURN_NOT_OK(r.GetI32(&route.task.grid, "route task grid"));
+      MAPS_RETURN_NOT_OK(r.GetDouble(&route.valuation, "route valuation"));
       if (route.region < 0 || route.region >= num_regions) {
         return Status::InvalidArgument(
             "task " + std::to_string(route.task.id) +
@@ -775,6 +1176,13 @@ Status ShardedMarketEngine::RestoreFromCheckpoint(const std::string& data) {
   task_route_ = std::move(task_route);
   pending_accept_ = std::move(pending);
   region_prices_ = std::move(region_prices);
+  // Failure-domain state restarts clean: checkpoints are only written from
+  // fully-healthy deployments, and the restored engines ARE the new
+  // baselines (recaptured lazily before the next mutating event).
+  for (RegionDomain& dom : domains_) dom = RegionDomain{};
+  for (auto& queue : deferred_) queue.clear();
+  baseline_captured_ = false;
+  region_active_.assign(regions_.size(), 1);
   return Status::OK();
 }
 

@@ -111,6 +111,14 @@ class ShardedMarketEngine {
   /// Merged counters: this layer's routing rejections plus every region's.
   EngineRejectionCounters rejections() const;
 
+  /// Current failure-domain health of region `k` (DESIGN.md §15). Always
+  /// kNormal when failure domains are disabled.
+  RegionHealth region_health(int k) const;
+
+  /// Tasks currently parked in deferral queues awaiting a region recovery
+  /// (0 unless a region is quarantined or failed).
+  int64_t num_deferred_tasks() const;
+
   int32_t current_period() const { return period_; }
   int num_regions() const { return static_cast<int>(regions_.size()); }
   int64_t num_live_workers() const;
@@ -131,7 +139,77 @@ class ShardedMarketEngine {
     int region = 0;
     int64_t seq = 0;  // global submission order within the run
     Task task;
+    /// The hidden valuation as submitted, kept so a deferred task can be
+    /// resubmitted identically after a quarantine (DESIGN.md §15).
+    double valuation = MarketEngine::kNoValuation;
   };
+
+  // --- Failure domains (DESIGN.md §15); dormant unless
+  // options_.failure_domains.enabled. ------------------------------------
+
+  /// One worker-lifecycle event recorded since a region's last baseline
+  /// capture, replayed after a quarantine restore to bring the region's
+  /// worker table back to the present.
+  struct WorkerEvent {
+    enum class Type { kAdd, kRemove, kAdopt, kExtract };
+    Type type = Type::kAdd;
+    /// Region period at which the event originally applied; replay
+    /// quiet-advances to it before applying.
+    int32_t period = 0;
+    Worker worker;        // kAdd / kAdopt: the base as admitted
+    WorkerId id = -1;     // kRemove / kExtract
+    int32_t next_free = 0;   // kAdopt
+    int32_t retire_at = 0;   // kAdopt
+  };
+
+  /// A task parked while its region is quarantined; resubmitted with its
+  /// ORIGINAL submission sequence at the region's next close attempt, so
+  /// the merge order is a pure function of the submission history.
+  struct DeferredTask {
+    int64_t seq = 0;
+    Task task;
+    double valuation = MarketEngine::kNoValuation;
+    bool has_accept = false;
+    bool accept = false;
+  };
+
+  /// Per-region failure-domain state.
+  struct RegionDomain {
+    RegionHealth::State state = RegionHealth::State::kNormal;
+    /// Checkpoint blob captured at the region's last healthy close.
+    std::string last_good;
+    /// Worker events since last_good was captured (cleared at capture).
+    std::vector<WorkerEvent> journal;
+    int attempts = 0;          // recovery attempts consumed
+    int backoff = 0;           // periods until the next retry (doubles)
+    int32_t next_retry = -1;   // period of the next close attempt
+    int32_t quarantined_since = -1;
+  };
+
+  bool failure_domains_enabled() const {
+    return options_.failure_domains.enabled;
+  }
+  /// Captures every region's baseline once, before the first mutating
+  /// event (post-warmup, pre-traffic); re-armed by RestoreFromCheckpoint.
+  Status EnsureBaseline();
+  /// SaveCheckpoint of region k into last_good; clears its journal.
+  Status CaptureRegionBaseline(int k);
+  void JournalEvent(int k, WorkerEvent event);
+  /// Restores region k from last_good, replays its journal (quiet-advancing
+  /// between event periods), and quiet-advances to period t + 1 so the
+  /// region stays in lockstep while quarantined.
+  Status RewindRegion(int k, int32_t t);
+  /// Books a close failure of region k at period t: first failure enters
+  /// quarantine (attempt 1, retry next period); a failed retry doubles the
+  /// backoff; attempts beyond the budget turn the region kFailed. Always
+  /// rewinds the region state.
+  Status QuarantineRegion(int k, int32_t t);
+  /// Moves every open task routed to (inactive) region k into its deferral
+  /// queue, bits included, with conservation accounting.
+  void DeferRegionTasks(int k);
+  /// Re-forwards region k's deferral queue (original seqs) ahead of a
+  /// recovery close attempt.
+  Status ResubmitDeferred(int k);
 
   Status CloseAllRegions(int32_t t);
   void MergeOutcomes(int32_t t, PeriodOutcome* out);
@@ -158,9 +236,17 @@ class ShardedMarketEngine {
   /// a period re-posts its cached quotes into the merged price vector.
   std::vector<std::vector<double>> region_prices_;
 
+  // Failure-domain state (empty shells when disabled).
+  std::vector<RegionDomain> domains_;
+  std::vector<std::vector<DeferredTask>> deferred_;
+  bool baseline_captured_ = false;
+
   // Per-close scratch, pooled across periods.
   std::vector<PeriodOutcome> region_outcomes_;
   std::vector<Status> region_status_;
+  /// Region k participates in this period's close (healthy, or retrying);
+  /// quarantined/failed regions are inactive and quiet-advance instead.
+  std::vector<char> region_active_;
   std::vector<std::pair<int64_t, MatchRecord>> merge_matches_;
   std::vector<std::pair<int64_t, TaskId>> merge_accepted_;
   std::vector<Worker> idle_scratch_;

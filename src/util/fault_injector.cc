@@ -1,0 +1,261 @@
+#include "util/fault_injector.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "rng/counter_rng.h"
+#include "util/logging.h"
+
+namespace maps {
+
+namespace {
+
+/// Purpose-keyed stream id for one fault site: a splitmix-style mix of
+/// (kind, a, b) so distinct sites draw from independent CounterRng streams
+/// of the plan seed (DESIGN.md §9).
+uint64_t SiteStream(FaultRule::Kind kind, int32_t a, int32_t b) {
+  uint64_t h = 0x66616c7401ULL;  // "falt" + domain tag
+  h = (h ^ static_cast<uint64_t>(static_cast<int>(kind) + 1)) *
+      0x9E3779B97F4A7C15ULL;
+  h = (h ^ static_cast<uint64_t>(static_cast<uint32_t>(a + 1))) *
+      0xBF58476D1CE4E5B9ULL;
+  h = (h ^ static_cast<uint64_t>(static_cast<uint32_t>(b + 1))) *
+      0x94D049BB133111EBULL;
+  return h;
+}
+
+/// Draw index 0 of the site's stream mapped to [0, 1) — the site's one
+/// probabilistic decision, identical no matter when or how often asked.
+double SiteUniform(uint64_t seed, FaultRule::Kind kind, int32_t a, int32_t b) {
+  CounterRng rng(seed, SiteStream(kind, a, b));
+  return static_cast<double>(rng.NextUint64() >> 11) * 0x1.0p-53;
+}
+
+const char* const kKindNames[FaultRule::kNumKinds] = {
+    "close_fail", "close_stall", "ckpt_io", "ckpt_torn", "read_err"};
+
+bool ParseKind(const std::string& word, FaultRule::Kind* out) {
+  for (int k = 0; k < FaultRule::kNumKinds; ++k) {
+    if (word == kKindNames[k]) {
+      *out = static_cast<FaultRule::Kind>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ClauseError(const std::string& clause, const std::string& what) {
+  return Status::InvalidArgument("fault plan clause '" + clause + "': " +
+                                 what);
+}
+
+/// Full-string non-negative integer parse.
+bool ParseI32(const std::string& s, int32_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE || v < 0 ||
+      v > INT32_MAX) {
+    return false;
+  }
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultRule::Kind kind) {
+  return kKindNames[static_cast<int>(kind)];
+}
+
+Status ValidateFaultPlan(const FaultPlan& plan) {
+  for (size_t i = 0; i < plan.rules.size(); ++i) {
+    const FaultRule& rule = plan.rules[i];
+    const std::string where =
+        "fault rule " + std::to_string(i) + " (" + FaultKindName(rule.kind) +
+        ")";
+    if (static_cast<int>(rule.kind) < 0 ||
+        static_cast<int>(rule.kind) >= FaultRule::kNumKinds) {
+      return Status::InvalidArgument(where + " has an unknown kind");
+    }
+    if (rule.site_a < -1 || rule.site_b < -1) {
+      return Status::InvalidArgument(
+          where + " has a site coordinate below -1 (-1 means any)");
+    }
+    if (!(rule.probability >= 0.0 && rule.probability <= 1.0)) {
+      return Status::InvalidArgument(
+          where + " probability " + std::to_string(rule.probability) +
+          " outside [0, 1]");
+    }
+    if (rule.max_fires != -1 && rule.max_fires < 1) {
+      return Status::InvalidArgument(
+          where + " max_fires " + std::to_string(rule.max_fires) +
+          " (use -1 for unlimited, otherwise >= 1)");
+    }
+  }
+  return Status::OK();
+}
+
+Result<FaultPlan> ParseFaultPlan(const std::string& text) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t sep = text.find(';', pos);
+    if (sep == std::string::npos) sep = text.size();
+    std::string clause = text.substr(pos, sep - pos);
+    pos = sep + 1;
+    // Trim surrounding whitespace; empty clauses (trailing ';') are fine.
+    size_t b = 0, e = clause.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(clause[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(clause[e - 1])))
+      --e;
+    clause = clause.substr(b, e - b);
+    if (clause.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+
+    if (clause.rfind("seed=", 0) == 0) {
+      const std::string value = clause.substr(5);
+      if (value.empty()) return ClauseError(clause, "empty seed");
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size() || errno == ERANGE) {
+        return ClauseError(clause, "seed is not a uint64");
+      }
+      plan.seed = static_cast<uint64_t>(v);
+      continue;
+    }
+
+    FaultRule rule;
+    size_t i = 0;
+    while (i < clause.size() && clause[i] != '@' && clause[i] != '~' &&
+           clause[i] != 'x') {
+      ++i;
+    }
+    if (!ParseKind(clause.substr(0, i), &rule.kind)) {
+      return ClauseError(clause,
+                         "unknown fault kind '" + clause.substr(0, i) +
+                             "' (close_fail|close_stall|ckpt_io|ckpt_torn|"
+                             "read_err)");
+    }
+    if (i < clause.size() && clause[i] == '@') {
+      ++i;
+      bool any_coord = false;
+      while (i < clause.size() && (clause[i] == 'r' || clause[i] == 'p')) {
+        const char which = clause[i++];
+        const size_t start = i;
+        while (i < clause.size() &&
+               std::isdigit(static_cast<unsigned char>(clause[i]))) {
+          ++i;
+        }
+        int32_t value;
+        if (!ParseI32(clause.substr(start, i - start), &value)) {
+          return ClauseError(clause, std::string("selector '") + which +
+                                         "' needs a non-negative integer");
+        }
+        (which == 'r' ? rule.site_a : rule.site_b) = value;
+        any_coord = true;
+      }
+      if (!any_coord) {
+        return ClauseError(clause, "'@' needs at least one of rN / pN");
+      }
+    }
+    if (i < clause.size() && clause[i] == '~') {
+      ++i;
+      const size_t start = i;
+      while (i < clause.size() && clause[i] != 'x') ++i;
+      const std::string value = clause.substr(start, i - start);
+      char* end = nullptr;
+      rule.probability = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size()) {
+        return ClauseError(clause, "'~' needs a probability");
+      }
+    }
+    if (i < clause.size() && clause[i] == 'x') {
+      ++i;
+      int32_t value;
+      if (!ParseI32(clause.substr(i), &value) || value < 1) {
+        return ClauseError(clause, "'x' needs a positive fire budget");
+      }
+      rule.max_fires = value;
+      i = clause.size();
+    }
+    if (i != clause.size()) {
+      return ClauseError(clause, "trailing characters '" + clause.substr(i) +
+                                     "'");
+    }
+    plan.rules.push_back(rule);
+  }
+  MAPS_RETURN_NOT_OK(ValidateFaultPlan(plan));
+  return plan;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Status FaultInjector::Arm(const FaultPlan& plan) {
+  MAPS_RETURN_NOT_OK(ValidateFaultPlan(plan));
+  plan_ = plan;
+  rule_fires_.assign(plan_.rules.size(), 0);
+  for (int64_t& f : kind_fires_) f = 0;
+  next_write_site_ = 0;
+  armed_ = true;
+  return Status::OK();
+}
+
+void FaultInjector::Disarm() {
+  armed_ = false;
+  plan_ = FaultPlan();
+  rule_fires_.clear();
+  for (int64_t& f : kind_fires_) f = 0;
+  next_write_site_ = 0;
+}
+
+bool FaultInjector::ShouldFire(FaultRule::Kind kind, int32_t site_a,
+                               int32_t site_b) {
+  if (!armed_) return false;
+  for (size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (rule.kind != kind) continue;
+    if (rule.site_a != -1 && rule.site_a != site_a) continue;
+    if (rule.site_b != -1 && rule.site_b != site_b) continue;
+    if (rule.max_fires != -1 && rule_fires_[i] >= rule.max_fires) continue;
+    if (rule.probability < 1.0 &&
+        SiteUniform(plan_.seed, kind, site_a, site_b) >= rule.probability) {
+      continue;
+    }
+    ++rule_fires_[i];
+    ++kind_fires_[static_cast<int>(kind)];
+    return true;
+  }
+  return false;
+}
+
+int64_t FaultInjector::fires(FaultRule::Kind kind) const {
+  return kind_fires_[static_cast<int>(kind)];
+}
+
+int32_t FaultInjector::NextWriteSite() {
+  if (!armed_) return 0;
+  return next_write_site_++;
+}
+
+ScopedFaultPlan::ScopedFaultPlan(const FaultPlan& plan) {
+  MAPS_CHECK(FaultInjector::Global().Arm(plan).ok());
+}
+
+ScopedFaultPlan::ScopedFaultPlan(const std::string& text) {
+  auto plan_or = ParseFaultPlan(text);
+  MAPS_CHECK(plan_or.ok());
+  MAPS_CHECK(FaultInjector::Global().Arm(plan_or.ValueOrDie()).ok());
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() { FaultInjector::Global().Disarm(); }
+
+}  // namespace maps

@@ -1,0 +1,150 @@
+// Deterministic fault injection for robustness testing (DESIGN.md §15).
+//
+// A FaultPlan is a declarative list of armed fault sites — "fail region 1's
+// close at period 3", "error the 2nd checkpoint write", "tear the replay
+// stream at line 40" — parsed from a compact flag string and validated like
+// a ScenarioSpec. Instrumented production code asks the process-wide
+// FaultInjector whether a named site fires; the injector is DISARMED by
+// default, so the production path pays one branch on a bool and nothing
+// else.
+//
+// Firing is deterministic per the §9 contract: a probabilistic rule draws
+// its decision from CounterRng(plan.seed, stream = hash(kind, site)), draw
+// index 0 — a pure function of (plan, seed, site). Two runs with the same
+// plan over the same event stream inject the same faults at the same
+// sites, which is what lets the chaos harness diff a faulted run against
+// expectations bit for bit. (A rule's optional fire budget `max_fires` is
+// consumed in site-query order; the query order of a deterministic engine
+// is itself deterministic, so budgeted rules reproduce too.)
+//
+// Site coordinates per kind (a, b below; -1 in a rule means "any"):
+//   kRegionCloseFail   a = region, b = period   (sharded close dispatch)
+//   kRegionCloseStall  a = region, b = period   (close runs, result dropped)
+//   kCheckpointWriteError  a = write attempt, b = write call index
+//   kCheckpointTornWrite   a = write attempt, b = write call index
+//   kReplayReadError   a = -1,     b = 1-based line number
+//
+// The injector is NOT thread-safe; every instrumented call site queries it
+// from the serial driver thread (the sharded engine decides region faults
+// before dispatching the concurrent closes).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace maps {
+
+/// \brief One armed fault: a kind, an optional site filter, an optional
+/// firing probability, and an optional total-fire budget.
+struct FaultRule {
+  enum class Kind {
+    kRegionCloseFail = 0,   ///< region close fails before it runs
+    kRegionCloseStall,      ///< region close runs but misses its deadline
+    kCheckpointWriteError,  ///< checkpoint write attempt returns an I/O error
+    kCheckpointTornWrite,   ///< checkpoint write attempt tears mid-payload
+    kReplayReadError,       ///< replay stream read fails structurally
+  };
+  static constexpr int kNumKinds = 5;
+
+  Kind kind = Kind::kRegionCloseFail;
+  /// First site coordinate (region / write attempt); -1 matches any.
+  int32_t site_a = -1;
+  /// Second site coordinate (period / write index / line); -1 matches any.
+  int32_t site_b = -1;
+  /// Chance the rule fires at a matching site, drawn positionally from the
+  /// site's own CounterRng stream. 1.0 always fires.
+  double probability = 1.0;
+  /// Total fires this rule may produce; -1 is unlimited.
+  int32_t max_fires = -1;
+};
+
+/// \brief A full injection plan: the seed for probabilistic decisions plus
+/// the armed rules. Default-constructed (no rules) is a valid no-op plan.
+struct FaultPlan {
+  uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+  bool empty() const { return rules.empty(); }
+};
+
+/// Short stable name for a kind ("close_fail", "ckpt_io", ...); also the
+/// grammar keyword ParseFaultPlan accepts.
+const char* FaultKindName(FaultRule::Kind kind);
+
+/// \brief Rejects plans the injector cannot honor: probability outside
+/// [0, 1], max_fires < 1 (other than the -1 sentinel), site coordinates
+/// below -1.
+Status ValidateFaultPlan(const FaultPlan& plan);
+
+/// \brief Parses the compact plan grammar:
+///
+///   plan   := clause (';' clause)*            (empty string = no-op plan)
+///   clause := 'seed=' uint64
+///           | kind site? prob? budget?
+///   kind   := close_fail | close_stall | ckpt_io | ckpt_torn | read_err
+///   site   := '@' ('r' int)? ('p' int)?       ('r1p3', 'r1', 'p3')
+///   prob   := '~' double                      (firing probability)
+///   budget := 'x' int                         (max total fires)
+///
+/// Example: "seed=7;close_fail@r1p3;ckpt_io@p2~0.5x1". The result is
+/// validated before it is returned.
+Result<FaultPlan> ParseFaultPlan(const std::string& text);
+
+/// \brief The process-wide injector instrumented code queries. Disarmed by
+/// default: armed() is false and every ShouldFire returns false without
+/// touching the plan.
+class FaultInjector {
+ public:
+  /// The singleton every instrumented site consults.
+  static FaultInjector& Global();
+
+  /// Arms `plan` (validated first), resetting all fire counters and the
+  /// write-site counter. Arming an empty plan is allowed and fires nothing.
+  Status Arm(const FaultPlan& plan);
+
+  /// Returns to the no-op state.
+  void Disarm();
+
+  bool armed() const { return armed_; }
+
+  /// True when an armed rule of `kind` covers site (a, b) and its
+  /// probability draw (a pure function of plan.seed, kind, a, b) passes,
+  /// and its fire budget is not exhausted. Counts the fire.
+  bool ShouldFire(FaultRule::Kind kind, int32_t site_a, int32_t site_b);
+
+  /// Total fires of `kind` since the last Arm.
+  int64_t fires(FaultRule::Kind kind) const;
+
+  /// Monotone index of checkpoint-write calls since the last Arm — the
+  /// site_b coordinate WriteCheckpointFile passes for its faults. Always 0
+  /// while disarmed so the production path stays stateless.
+  int32_t NextWriteSite();
+
+ private:
+  FaultInjector() = default;
+
+  bool armed_ = false;
+  FaultPlan plan_;
+  std::vector<int64_t> rule_fires_;
+  int64_t kind_fires_[FaultRule::kNumKinds] = {};
+  int32_t next_write_site_ = 0;
+};
+
+/// \brief Arms the global injector for a scope (tests, CLI runs) and
+/// disarms it on destruction. The plan must validate — construction aborts
+/// on an invalid plan, which is what a test wants.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan);
+  explicit ScopedFaultPlan(const std::string& text);
+  ~ScopedFaultPlan();
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace maps

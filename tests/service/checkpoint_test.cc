@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "../test_util.h"
+#include "util/fault_injector.h"
 #include "pricing/base_pricing.h"
 #include "pricing/maps.h"
 #include "pricing/price_postprocess.h"
@@ -481,6 +485,110 @@ TEST(CheckpointFileTest, WriteThenReadRoundTripsAndLeavesNoTemp) {
 
   EXPECT_FALSE(ReadCheckpointFile("/nonexistent/dir/x.ckpt", &back).ok());
   EXPECT_FALSE(WriteCheckpointFile("/nonexistent/dir/x.ckpt", blob).ok());
+}
+
+TEST(CheckpointFileTest, InjectedWriteErrorIsRetriedAndSucceeds) {
+  const std::string path = ::testing::TempDir() + "/ckpt_retry.ckpt";
+  std::remove(path.c_str());
+  // Attempt 0 of every write call errors; the retry (attempt 1) goes
+  // through.
+  ScopedFaultPlan scope("ckpt_io@r0");
+  ASSERT_TRUE(WriteCheckpointFile(path, "payload").ok());
+  EXPECT_EQ(FaultInjector::Global().fires(
+                FaultRule::Kind::kCheckpointWriteError),
+            1);
+  std::string back;
+  ASSERT_TRUE(ReadCheckpointFile(path, &back).ok());
+  EXPECT_EQ(back, "payload");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, PersistentWriteErrorFailsAndKeepsTheOldFile) {
+  const std::string path = ::testing::TempDir() + "/ckpt_priorfile.ckpt";
+  ASSERT_TRUE(WriteCheckpointFile(path, "previous").ok());
+  {
+    // Every attempt of every write call errors: the write fails after
+    // kCheckpointWriteAttempts tries and the previous file is untouched.
+    ScopedFaultPlan scope("ckpt_io");
+    const Status s = WriteCheckpointFile(path, "next");
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("attempts"), std::string::npos);
+    EXPECT_EQ(
+        FaultInjector::Global().fires(FaultRule::Kind::kCheckpointWriteError),
+        kCheckpointWriteAttempts);
+  }
+  std::string back;
+  ASSERT_TRUE(ReadCheckpointFile(path, &back).ok());
+  EXPECT_EQ(back, "previous");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, TornWriteIsRejectedByTheRestore) {
+  EngineFixture fixture;
+  std::string blob;
+  ASSERT_TRUE(fixture.engine->SaveCheckpoint(&blob).ok());
+
+  const std::string path = ::testing::TempDir() + "/ckpt_torn.ckpt";
+  {
+    // The torn write "succeeds" — a lying disk — leaving half the payload
+    // under the final name.
+    ScopedFaultPlan scope("ckpt_torn@r0");
+    ASSERT_TRUE(WriteCheckpointFile(path, blob).ok());
+  }
+  std::string back;
+  ASSERT_TRUE(ReadCheckpointFile(path, &back).ok());
+  ASSERT_EQ(back.size(), blob.size() / 2);
+  // The reader catches the tear through the container structure/CRCs and
+  // the engine is left bit-unchanged.
+  const Status s = fixture.engine->RestoreFromCheckpoint(back);
+  EXPECT_FALSE(s.ok());
+  std::string after;
+  ASSERT_TRUE(fixture.engine->SaveCheckpoint(&after).ok());
+  EXPECT_EQ(after, blob);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRotationTest, KeepsTheNewestNByNumber) {
+  const std::string dir = ::testing::TempDir() + "/ckpt_rotation";
+  mkdir(dir.c_str(), 0755);
+  // Periods out of lexicographic order on purpose: 9 < 10 numerically.
+  for (const int period : {2, 9, 10, 11, 3}) {
+    ASSERT_TRUE(WriteCheckpointFile(
+                    dir + "/checkpoint_" + std::to_string(period) + ".ckpt",
+                    "p" + std::to_string(period))
+                    .ok());
+  }
+  // A non-matching bystander survives any pruning.
+  ASSERT_TRUE(WriteCheckpointFile(dir + "/notes.ckpt", "keep me").ok());
+
+  std::vector<std::string> removed;
+  ASSERT_TRUE(PruneCheckpointFiles(dir, "checkpoint_", 2, &removed).ok());
+  ASSERT_EQ(removed.size(), 3u);
+  // Pruned oldest first by sequence number.
+  EXPECT_NE(removed[0].find("checkpoint_2.ckpt"), std::string::npos);
+  EXPECT_NE(removed[1].find("checkpoint_3.ckpt"), std::string::npos);
+  EXPECT_NE(removed[2].find("checkpoint_9.ckpt"), std::string::npos);
+
+  std::string back;
+  EXPECT_TRUE(ReadCheckpointFile(dir + "/checkpoint_10.ckpt", &back).ok());
+  EXPECT_TRUE(ReadCheckpointFile(dir + "/checkpoint_11.ckpt", &back).ok());
+  EXPECT_FALSE(ReadCheckpointFile(dir + "/checkpoint_2.ckpt", &back).ok());
+  EXPECT_TRUE(ReadCheckpointFile(dir + "/notes.ckpt", &back).ok());
+
+  // Already within budget: a second prune removes nothing.
+  ASSERT_TRUE(PruneCheckpointFiles(dir, "checkpoint_", 2, &removed).ok());
+  EXPECT_TRUE(removed.empty());
+
+  EXPECT_FALSE(PruneCheckpointFiles(dir, "checkpoint_", 0, nullptr).ok());
+  EXPECT_FALSE(
+      PruneCheckpointFiles("/nonexistent/dir", "checkpoint_", 2, nullptr)
+          .ok());
+
+  for (const char* name : {"checkpoint_10.ckpt", "checkpoint_11.ckpt",
+                           "notes.ckpt"}) {
+    std::remove((dir + "/" + name).c_str());
+  }
+  rmdir(dir.c_str());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "sim/scenario_fuzzer.h"
+#include "util/fault_injector.h"
 
 namespace maps {
 namespace {
@@ -272,6 +273,29 @@ TEST(ReplayLogTest, SkipBadEventsRecoversEveryCorpusEntry) {
   EXPECT_EQ(events.size(), corpus.size());
   EXPECT_EQ(stats.lines_skipped, static_cast<int64_t>(corpus.size()));
   EXPECT_EQ(stats.events_loaded, static_cast<int64_t>(corpus.size()));
+}
+
+TEST(ReplayLogTest, InjectedReadErrorFailsAtTheArmedLine) {
+  const std::string log =
+      R"({"event":"close_period"})" "\n"
+      R"({"event":"close_period"})" "\n"
+      R"({"event":"close_period"})" "\n";
+
+  ScopedFaultPlan plan("read_err@p2");
+  std::istringstream in(log);
+  auto err = LoadReplayLog(in);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+  EXPECT_NE(err.status().message().find("line 2"), std::string::npos);
+
+  // A stream fault models the transport, not the payload: lenient mode
+  // (skip_bad_events) must NOT swallow it.
+  std::istringstream again(log);
+  ReplayLoadOptions options;
+  options.skip_bad_events = true;
+  EXPECT_FALSE(LoadReplayLog(again, options).ok());
+  EXPECT_EQ(FaultInjector::Global().fires(FaultRule::Kind::kReplayReadError),
+            2);
 }
 
 }  // namespace

@@ -261,6 +261,66 @@ TEST(ShardedRecoveryTest, CorruptionIsRejectedWithoutTouchingRegions) {
   }
 }
 
+/// The seeded corruption fuzzer, extended to the MAPSSHRD container: every
+/// truncation or bit flip must fail with a clean Status and leave the
+/// target deployment bit-unchanged (its own checkpoint bytes are the
+/// witness). The sharded container has more structure to damage than the
+/// monolith's — the outer section table, the routing tables, the embedded
+/// per-region MAPSCKPT blobs and their CRCs — and every layer must hold.
+TEST(ShardedRecoveryTest, FuzzedCorruptionAlwaysFailsCleanly) {
+  const EngineOptions options = TurnaroundOptions();
+  Deployment original = MakeDeployment(4, 2, options);
+  PeriodOutcome out;
+  for (int32_t t = 0; t < 4; ++t) {
+    ASSERT_TRUE(DriveScriptedPeriod(*original.grid, original.engine.get(), t,
+                                    &out)
+                    .ok());
+  }
+  std::string blob;
+  ASSERT_TRUE(original.engine->SaveCheckpoint(&blob).ok());
+
+  Deployment target = MakeDeployment(4, 2, options);
+  for (int32_t t = 0; t < 2; ++t) {  // non-trivial state of its own
+    ASSERT_TRUE(
+        DriveScriptedPeriod(*target.grid, target.engine.get(), t, &out).ok());
+  }
+  std::string reference;
+  ASSERT_TRUE(target.engine->SaveCheckpoint(&reference).ok());
+
+  Rng rng(20260808);
+  int failures = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string mutated = blob;
+    if (iter % 2 == 0) {
+      mutated.resize(rng.NextBounded(blob.size()));  // strict truncation
+    } else {
+      const int flips = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int k = 0; k < flips; ++k) {
+        const size_t pos = rng.NextBounded(mutated.size());
+        mutated[pos] =
+            static_cast<char>(mutated[pos] ^ (1u << rng.NextBounded(8)));
+      }
+    }
+    if (mutated == blob) continue;  // the flips can cancel out
+    const Status st = target.engine->RestoreFromCheckpoint(mutated);
+    if (!st.ok()) {
+      ++failures;
+      EXPECT_FALSE(st.message().empty());
+      // All-or-nothing: the failed restore left no partial mutation in any
+      // region or in the routing layer.
+      std::string after;
+      ASSERT_TRUE(target.engine->SaveCheckpoint(&after).ok());
+      ASSERT_EQ(after, reference) << "iteration " << iter;
+    } else {
+      // A mutation that still decodes must be a valid deployment state;
+      // adopt it as the new reference.
+      ASSERT_TRUE(target.engine->SaveCheckpoint(&reference).ok());
+    }
+  }
+  // Single-bit damage and truncation virtually never decode cleanly.
+  EXPECT_GT(failures, 180);
+}
+
 TEST(ShardedRecoveryTest, MigratedAndReturnedWorkerRoundTrips) {
   // A worker that migrates region 0 -> 1 and later back to 0 leaves an
   // extracted (tombstoned) record with ITS OWN id behind in each engine it

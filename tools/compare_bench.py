@@ -42,6 +42,11 @@ DEFAULT_KEYS = [
     "sharded_engine_period_k1",
     "sharded_engine_period_k2",
     "sharded_engine_period_k4",
+    # Degraded serving: K=2 with failure domains on and a seeded coin-flip
+    # close failure on region 1. Averages the quarantine close (rewind +
+    # deferral sweep) and the recovery close (resubmission) so regressions
+    # in the fault path itself are caught, not just the healthy path.
+    "sharded_engine_period_degraded",
 ]
 
 

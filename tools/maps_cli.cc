@@ -15,7 +15,9 @@
 //                       --threads=0 --mc_worlds=0 --regions=1
 //                       --demand-mu=2 --demand-sigma=1 --oracle-seed=17
 //                       --checkpoint_every=0 --checkpoint_dir=.
-//                       --restore_from=<file.ckpt> --skip_bad_events=false]
+//                       --checkpoint_keep=0
+//                       --restore_from=<file.ckpt> --skip_bad_events=false
+//                       --failure_domains=false --fault_plan=<plan>]
 //
 // `replay` drives the online MarketEngine from a JSONL event file (see
 // src/service/replay_log.h for the schema): task submissions, worker
@@ -39,7 +41,17 @@
 // events already consumed before the checkpointed period boundary are
 // skipped, and the resumed run is bit-identical to the uninterrupted one
 // (DESIGN.md §12). --skip_bad_events=true drops malformed event lines
-// with a warning instead of aborting.
+// with a warning instead of aborting. --checkpoint_keep=N rotates the
+// checkpoint directory down to the N newest checkpoint_<period>.ckpt files
+// after every save (0 keeps everything, the old behavior that filled disks
+// on long replays).
+//
+// Robustness drills: --failure_domains=true (with --regions>1) quarantines
+// a region whose close fails instead of failing the period — its cells
+// serve cached quotes and its tasks defer until the deterministic retry
+// succeeds (DESIGN.md §15). --fault_plan=<plan> arms the deterministic
+// fault injector for the run, e.g. --fault_plan='close_fail@r1p3' (grammar
+// in docs/fault_injection.md).
 //
 // Common flags:
 //   --strategy=MAPS|BaseP|SDR|SDE|CappedUCB|all   (default all; replay
@@ -69,6 +81,7 @@
 #include "sim/metrics.h"
 #include "sim/replay_export.h"
 #include "sim/synthetic.h"
+#include "util/fault_injector.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -136,11 +149,26 @@ Result<Workload> BuildWorkload(const std::string& kind, const FlagSet& flags) {
 /// The engine-agnostic tail of `maps_cli replay`: streams the event file
 /// through `engine` (monolithic or sharded) with per-close table rows and
 /// optional periodic checkpoints, then prints the run summary.
+const char* RegionStateName(RegionHealth::State state) {
+  switch (state) {
+    case RegionHealth::State::kNormal:
+      return "normal";
+    case RegionHealth::State::kQuarantined:
+      return "quarantined";
+    case RegionHealth::State::kRecovered:
+      return "recovered";
+    case RegionHealth::State::kFailed:
+      return "FAILED";
+  }
+  return "?";
+}
+
 template <typename Engine>
 int DriveReplayAndReport(Engine* engine, ReplayEventStream* stream,
                          const GridPartition& grid, const std::string& which,
                          const std::string& csv, int64_t checkpoint_every,
-                         const std::string& checkpoint_dir) {
+                         const std::string& checkpoint_dir,
+                         int64_t checkpoint_keep) {
   Table table({"period", "tasks", "workers", "accepted", "matched",
                "revenue", "mc_revenue"});
   ReplayStreamOptions drive;
@@ -155,15 +183,39 @@ int DriveReplayAndReport(Engine* engine, ReplayEventStream* stream,
                    static_cast<int64_t>(outcome.matches.size()),
                    outcome.revenue, outcome.mc_expected_revenue);
     }
+    for (const RegionHealth& h : outcome.region_health) {
+      if (h.state == RegionHealth::State::kNormal) continue;
+      std::cout << "degraded: region " << h.region << " "
+                << RegionStateName(h.state) << " (attempt " << h.attempts
+                << ", since period " << h.quarantined_since << ")\n";
+    }
     if (checkpoint_every > 0 &&
         engine->current_period() % checkpoint_every == 0) {
       std::string blob;
-      MAPS_RETURN_NOT_OK(engine->SaveCheckpoint(&blob));
+      const Status save = engine->SaveCheckpoint(&blob);
+      if (save.IsFailedPrecondition()) {
+        // A quarantined deployment has no checkpointable state yet; the
+        // next on-schedule save after recovery will cover this window.
+        std::cout << "checkpoint skipped at period "
+                  << engine->current_period() << ": " << save.message()
+                  << "\n";
+        return Status::OK();
+      }
+      MAPS_RETURN_NOT_OK(save);
       const std::string path = checkpoint_dir + "/checkpoint_" +
                                std::to_string(engine->current_period()) +
                                ".ckpt";
       MAPS_RETURN_NOT_OK(WriteCheckpointFile(path, blob));
       std::cout << "checkpoint: " << path << "\n";
+      if (checkpoint_keep > 0) {
+        std::vector<std::string> removed;
+        MAPS_RETURN_NOT_OK(PruneCheckpointFiles(
+            checkpoint_dir, "checkpoint_", static_cast<int>(checkpoint_keep),
+            &removed));
+        for (const std::string& pruned : removed) {
+          std::cout << "pruned: " << pruned << "\n";
+        }
+      }
     }
     return Status::OK();
   };
@@ -217,7 +269,9 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
   const int num_regions = static_cast<int>(flags.GetInt("regions", 1));
   const int64_t checkpoint_every = flags.GetInt("checkpoint_every", 0);
   const std::string checkpoint_dir = flags.GetString("checkpoint_dir", ".");
+  const int64_t checkpoint_keep = flags.GetInt("checkpoint_keep", 0);
   const std::string restore_from = flags.GetString("restore_from", "");
+  const std::string fault_plan_text = flags.GetString("fault_plan", "");
   ReplayLoadOptions load_options;
   load_options.skip_bad_events = flags.GetBool("skip_bad_events", false);
 
@@ -226,10 +280,27 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
   engine_options.lifecycle.speed = flags.GetDouble("speed", 1.0);
   engine_options.lifecycle.reposition_prob = flags.GetDouble("reposition", 0.0);
   engine_options.mc_worlds = mc_worlds;
+  engine_options.failure_domains.enabled =
+      flags.GetBool("failure_domains", false);
 
   if (Status st = flags.RejectUnread(); !st.ok()) return Fail(st.ToString());
   if (events_path.empty()) return Fail("replay needs --events=<file.jsonl>");
   if (num_regions < 1) return Fail("--regions must be >= 1");
+  if (checkpoint_keep < 0) return Fail("--checkpoint_keep must be >= 0");
+  if (engine_options.failure_domains.enabled && num_regions == 1) {
+    std::cout << "note: --failure_domains has no effect with --regions=1\n";
+  }
+  if (!fault_plan_text.empty()) {
+    auto plan_or = ParseFaultPlan(fault_plan_text);
+    if (!plan_or.ok()) {
+      return Fail("--fault_plan: " + plan_or.status().ToString());
+    }
+    if (Status st = FaultInjector::Global().Arm(plan_or.ValueOrDie());
+        !st.ok()) {
+      return Fail("--fault_plan: " + st.ToString());
+    }
+    std::cout << "fault plan armed: " << fault_plan_text << "\n";
+  }
 
   // The event file is STREAMED, not loaded: one line in memory at a time,
   // so multi-million-event logs replay under a constant ingestion
@@ -306,7 +377,8 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
     MarketEngine engine(&grid, strategies[0].get(), engine_options);
     if (int rc = warm_or_restore(&engine); rc != 0) return rc;
     return DriveReplayAndReport(&engine, &stream, grid, which, csv,
-                                checkpoint_every, checkpoint_dir);
+                                checkpoint_every, checkpoint_dir,
+                                checkpoint_keep);
   }
 
   auto partition_or = RegionPartition::Make(grid, num_regions);
@@ -318,7 +390,8 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
                              engine_options);
   if (int rc = warm_or_restore(&engine); rc != 0) return rc;
   return DriveReplayAndReport(&engine, &stream, grid, which, csv,
-                              checkpoint_every, checkpoint_dir);
+                              checkpoint_every, checkpoint_dir,
+                              checkpoint_keep);
 }
 
 }  // namespace

@@ -145,6 +145,16 @@ class RegretProbe : public PricingStrategy {
   std::vector<Round> rounds_;
 };
 
+/// One scored period of a cell's regret curve (schema v2): enough to plot
+/// regret-over-time and spot when a strategy starts bleeding, not just how
+/// much it bled in total.
+struct RegretCurvePoint {
+  int32_t period = 0;
+  double oracle = 0.0;
+  double posted = 0.0;
+  double regret = 0.0;  // raw, can go negative
+};
+
 /// Aggregated regret of one (scenario, strategy) cell.
 struct RegretSummary {
   int64_t evaluated_periods = 0;
@@ -158,6 +168,8 @@ struct RegretSummary {
   int64_t mc_converged = 0;
   /// sum_regret_clipped / sum_oracle (0 when the oracle earned nothing).
   double regret_frac = 0.0;
+  /// Per-period curve, one point per scored period in period order.
+  std::vector<RegretCurvePoint> curve;
 };
 
 /// One (scenario, strategy) cell of the matrix.
@@ -268,6 +280,8 @@ Result<CellReport> RunCell(const ScenarioSpec& spec, const Workload& workload,
     }
     cell.regret.mc_worlds += r.mc_worlds;
     if (r.exact || r.mc_worlds > 0) ++cell.regret.mc_converged;
+    cell.regret.curve.push_back(
+        {round.period, r.oracle_value, r.posted_value, r.regret});
   }
   if (cell.regret.sum_oracle > 0.0) {
     cell.regret.regret_frac =
@@ -313,7 +327,16 @@ void WriteCellJson(std::ostream& out, const CellReport& cell,
       << ",\"regret_frac\":" << Num(cell.regret.regret_frac)
       << ",\"max_period_regret_frac\":"
       << Num(cell.regret.max_period_regret_frac)
-      << ",\"mc_worlds\":" << cell.regret.mc_worlds << "},\n"
+      << ",\"mc_worlds\":" << cell.regret.mc_worlds << ",\n"
+      << indent << "  \"curve\":[";
+  for (size_t i = 0; i < cell.regret.curve.size(); ++i) {
+    const RegretCurvePoint& p = cell.regret.curve[i];
+    if (i > 0) out << ",";
+    out << "{\"t\":" << p.period << ",\"oracle\":" << Num(p.oracle)
+        << ",\"posted\":" << Num(p.posted)
+        << ",\"regret\":" << Num(p.regret) << "}";
+  }
+  out << "]},\n"
       << indent << " \"pass\":" << (cell.pass ? "true" : "false")
       << ",\"fail_reason\":" << Quote(cell.fail_reason) << "}";
 }
@@ -413,7 +436,7 @@ int Main(int argc, char** argv) {
 
   std::ofstream out(out_path);
   if (!out) return Fail("cannot open " + out_path);
-  out << "{\"schema\":\"robustness_matrix/v1\",\"seed\":" << config.seed
+  out << "{\"schema\":\"robustness_matrix/v2\",\"seed\":" << config.seed
       << ",\"threads\":" << threads
       << ",\"periods_override\":" << config.periods
       << ",\"regret_every\":" << config.regret_every << ",\n"
