@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 
 #include "graph/bipartite_graph.h"
@@ -24,6 +25,8 @@
 #include "graph/max_weight_matching.h"
 #include "graph/possible_worlds.h"
 #include "market/demand_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pricing/base_pricing.h"
 #include "pricing/maps.h"
 #include "pricing/oracle_search.h"
@@ -190,6 +193,31 @@ void BM_MonteCarloWorlds(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MonteCarloWorlds)->DenseRange(8, 24, 8);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  // The telemetry hot path: one bit-width + three relaxed fetch_adds. This
+  // is the unit cost every instrumented span pays when a registry is
+  // attached, so it has to stay in the few-ns range.
+  obs::Histogram h;
+  int64_t v = 1;
+  for (auto _ : state) {
+    h.Record(v);
+    v = (v * 2862933555777941757LL + 3037000493LL) & 0x7fffffffffff;
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsCounterIncrementDisabled(benchmark::State& state) {
+  // The disabled-telemetry path: a null handle is one predictable branch.
+  obs::Counter* counter = nullptr;
+  int64_t field = 0;
+  for (auto _ : state) {
+    obs::BumpMirrored(&field, counter);
+    benchmark::DoNotOptimize(field);
+  }
+}
+BENCHMARK(BM_ObsCounterIncrementDisabled);
 
 void BM_MyersonPriceScan(benchmark::State& state) {
   TruncatedNormalDemand demand(2.0, 1.0, 1.0, 5.0);
@@ -737,7 +765,9 @@ bool EmitTrackedJson(const std::string& path) {
     cfg.num_periods = std::max(10, static_cast<int>(100 * scale));
     cfg.seed = 99;
     Workload w = GenerateSynthetic(cfg).ValueOrDie();
-    constexpr int kEngineReps = 3;
+    // Reps are ~ms at smoke scales, so buy extra noise immunity there; at
+    // full scale each rep is seconds and 3 already suffices for a min.
+    const int kEngineReps = scale <= 0.1 ? 9 : 3;
 
     std::vector<std::pair<size_t, size_t>> range(w.num_periods);
     {
@@ -749,62 +779,103 @@ bool EmitTrackedJson(const std::string& path) {
       }
     }
 
-    // Mean ns per closed period, or negative on failure.
-    const auto time_engine = [&](ThreadPool* pool, bool staged,
-                                 size_t* bytes) -> double {
-      double total_sec = 0.0;
-      for (int rep = 0; rep < kEngineReps; ++rep) {
-        MapsOptions mopts;
-        Maps strategy(mopts);
-        DemandOracle history = w.oracle.Fork(9);
-        if (!strategy.Warmup(w.grid, &history).ok()) return -1.0;
-        EngineOptions engine_options;
-        engine_options.lifecycle = w.lifecycle;
-        engine_options.pool = pool;
-        const auto start = std::chrono::steady_clock::now();
-        MarketEngine engine(&w.grid, &strategy, engine_options);
-        size_t next_entry = 0;
-        PeriodOutcome outcome;
-        const auto submit = [&](int32_t t) {
-          for (size_t i = range[t].first; i < range[t].second; ++i) {
-            if (!engine.SubmitTask(w.tasks[i], w.valuations[i]).ok()) {
-              std::abort();
-            }
+    // One full replay; returns seconds for the timed region, or negative on
+    // failure. `metrics` non-null attaches a live registry + trace so the
+    // metrics-on variant measures the fully-instrumented close.
+    const auto run_once = [&](ThreadPool* pool, bool staged,
+                              obs::MetricsRegistry* metrics,
+                              obs::TraceLog* trace, size_t* bytes) -> double {
+      MapsOptions mopts;
+      Maps strategy(mopts);
+      DemandOracle history = w.oracle.Fork(9);
+      if (!strategy.Warmup(w.grid, &history).ok()) return -1.0;
+      EngineOptions engine_options;
+      engine_options.lifecycle = w.lifecycle;
+      engine_options.pool = pool;
+      engine_options.metrics = metrics;
+      engine_options.trace = trace;
+      const auto start = std::chrono::steady_clock::now();
+      MarketEngine engine(&w.grid, &strategy, engine_options);
+      size_t next_entry = 0;
+      PeriodOutcome outcome;
+      const auto submit = [&](int32_t t) {
+        for (size_t i = range[t].first; i < range[t].second; ++i) {
+          if (!engine.SubmitTask(w.tasks[i], w.valuations[i]).ok()) {
+            std::abort();
           }
-        };
-        submit(0);
-        for (int32_t t = 0; t < w.num_periods; ++t) {
-          if (staged && t + 1 < w.num_periods) {
-            const auto [begin, end] = range[t + 1];
-            if (!engine
-                     .StageNextPeriodTasks(w.tasks.data() + begin,
-                                           w.tasks.data() + end,
-                                           w.valuations.data() + begin)
-                     .ok()) {
-              std::abort();
-            }
-          }
-          while (next_entry < w.workers.size() &&
-                 w.workers[next_entry].period == t) {
-            if (!engine.AddWorker(w.workers[next_entry]).ok()) std::abort();
-            ++next_entry;
-          }
-          if (!engine.ClosePeriod(&outcome).ok()) return -1.0;
-          if (!staged && t + 1 < w.num_periods) submit(t + 1);
         }
-        total_sec += std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
-        *bytes = engine.peak_platform_bytes() + engine.peak_strategy_bytes();
+      };
+      submit(0);
+      for (int32_t t = 0; t < w.num_periods; ++t) {
+        if (staged && t + 1 < w.num_periods) {
+          const auto [begin, end] = range[t + 1];
+          if (!engine
+                   .StageNextPeriodTasks(w.tasks.data() + begin,
+                                         w.tasks.data() + end,
+                                         w.valuations.data() + begin)
+                   .ok()) {
+            std::abort();
+          }
+        }
+        while (next_entry < w.workers.size() &&
+               w.workers[next_entry].period == t) {
+          if (!engine.AddWorker(w.workers[next_entry]).ok()) std::abort();
+          ++next_entry;
+        }
+        if (!engine.ClosePeriod(&outcome).ok()) return -1.0;
+        if (!staged && t + 1 < w.num_periods) submit(t + 1);
       }
-      return total_sec * 1e9 / (kEngineReps * w.num_periods);
+      const double sec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+      *bytes = engine.peak_platform_bytes() + engine.peak_strategy_bytes();
+      return sec;
     };
 
+    // Best-of-reps ns per closed period: min (not mean) so one noisy rep
+    // cannot distort a key.
+    const auto time_engine = [&](ThreadPool* pool, bool staged,
+                                 size_t* bytes) -> double {
+      double best_sec = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < kEngineReps; ++rep) {
+        const double sec = run_once(pool, staged, nullptr, nullptr, bytes);
+        if (sec < 0.0) return -1.0;
+        best_sec = std::min(best_sec, sec);
+      }
+      return best_sec * 1e9 / w.num_periods;
+    };
+
+    // engine_period and engine_period_metrics_on are measured as an
+    // INTERLEAVED pair (bare rep, instrumented rep, bare rep, ...) so both
+    // sample the same machine conditions: the compare_bench.py overhead
+    // gate holds their ratio to 1.05, which clock drift between two
+    // separate measurement windows would otherwise swamp at small scales.
+    obs::MetricsRegistry registry;
+    obs::TraceLog trace;
     TrackedResult r;
     r.name = "engine_period";
     r.problem_size = cfg.num_periods;
     r.iterations = kEngineReps;
-    r.ns_per_op = time_engine(nullptr, false, &r.peak_bytes);
+    TrackedResult ot;
+    ot.name = "engine_period_metrics_on";
+    ot.problem_size = cfg.num_periods;
+    ot.iterations = kEngineReps;
+    {
+      double best_plain = std::numeric_limits<double>::infinity();
+      double best_on = std::numeric_limits<double>::infinity();
+      bool failed = false;
+      for (int rep = 0; rep < kEngineReps && !failed; ++rep) {
+        const double plain_sec =
+            run_once(nullptr, false, nullptr, nullptr, &r.peak_bytes);
+        const double on_sec =
+            run_once(nullptr, false, &registry, &trace, &ot.peak_bytes);
+        failed = plain_sec < 0.0 || on_sec < 0.0;
+        best_plain = std::min(best_plain, plain_sec);
+        best_on = std::min(best_on, on_sec);
+      }
+      r.ns_per_op = failed ? -1.0 : best_plain * 1e9 / w.num_periods;
+      ot.ns_per_op = failed ? -1.0 : best_on * 1e9 / w.num_periods;
+    }
 
     ThreadPool pool(ThreadPool::DefaultThreadCount());
     TrackedResult mt;
@@ -813,12 +884,39 @@ bool EmitTrackedJson(const std::string& path) {
     mt.iterations = kEngineReps;
     mt.ns_per_op = time_engine(&pool, true, &mt.peak_bytes);
 
-    if (r.ns_per_op < 0.0 || mt.ns_per_op < 0.0) {
+    if (r.ns_per_op < 0.0 || mt.ns_per_op < 0.0 || ot.ns_per_op < 0.0) {
       std::cerr << "engine replay failed; no tracked results\n";
       return false;
     }
     results.push_back(r);
     results.push_back(mt);
+    results.push_back(ot);
+  }
+
+  // Telemetry hot-path unit cost: ns per Histogram::Record (bit-width bucket
+  // index + three relaxed atomics). This is what every instrumented span
+  // pays per sample when a registry is attached; tracked so a regression in
+  // the recording path itself is visible independent of the engine keys.
+  {
+    obs::Histogram hist;
+    TrackedResult r;
+    r.name = "obs_histogram_record";
+    constexpr int kBatch = 4096;
+    r.problem_size = kBatch;
+    r.ns_per_op = TimeOp(
+                      [&]() {
+                        int64_t v = 1;
+                        for (int i = 0; i < kBatch; ++i) {
+                          hist.Record(v);
+                          v = (v * 2862933555777941757LL + 3037000493LL) &
+                              0x7fffffffffff;
+                        }
+                        return hist.count();
+                      },
+                      &r.iterations) /
+                  kBatch;
+    r.peak_bytes = sizeof(obs::Histogram);
+    results.push_back(r);
   }
 
   // Sharded close throughput: the BM_ShardedEnginePeriod burst market

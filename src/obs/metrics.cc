@@ -1,0 +1,89 @@
+#include "obs/metrics.h"
+
+#include <limits>
+
+namespace maps {
+namespace obs {
+
+int64_t Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return 0;
+  if (i >= kNumBuckets - 1) return std::numeric_limits<int64_t>::max();
+  return (int64_t{1} << i) - 1;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  const int64_t n = count();
+  if (n <= 0) return 0;
+  // Rank of the requested percentile, 1-based: ceil(p * n) clamped to
+  // [1, n]. Walk the cumulative bucket counts until the rank is covered.
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(n));
+  if (static_cast<double>(rank) < p * static_cast<double>(n)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += bucket(i);
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+namespace {
+
+template <typename T, typename MapT>
+T* FindOrCreate(std::mutex* mu, MapT* map, const std::string& name,
+                Determinism det) {
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = map->find(name);
+  if (it == map->end()) {
+    it = map->emplace(name, typename MapT::mapped_type{det,
+                                std::make_unique<T>()})
+             .first;
+  }
+  return it->second.metric.get();
+}
+
+template <typename T, typename MapT>
+std::vector<MetricsRegistry::Named<T>> Snapshot(std::mutex* mu,
+                                                const MapT& map) {
+  std::lock_guard<std::mutex> lock(*mu);
+  std::vector<MetricsRegistry::Named<T>> out;
+  out.reserve(map.size());
+  for (const auto& [name, slot] : map) {
+    out.push_back({name, slot.det, slot.metric.get()});
+  }
+  return out;  // std::map iteration: already sorted by name
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     Determinism det) {
+  return FindOrCreate<Counter>(&mu_, &counters_, name, det);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Determinism det) {
+  return FindOrCreate<Gauge>(&mu_, &gauges_, name, det);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         Determinism det) {
+  return FindOrCreate<Histogram>(&mu_, &histograms_, name, det);
+}
+
+std::vector<MetricsRegistry::Named<Counter>> MetricsRegistry::counters()
+    const {
+  return Snapshot<Counter>(&mu_, counters_);
+}
+
+std::vector<MetricsRegistry::Named<Gauge>> MetricsRegistry::gauges() const {
+  return Snapshot<Gauge>(&mu_, gauges_);
+}
+
+std::vector<MetricsRegistry::Named<Histogram>> MetricsRegistry::histograms()
+    const {
+  return Snapshot<Histogram>(&mu_, histograms_);
+}
+
+}  // namespace obs
+}  // namespace maps

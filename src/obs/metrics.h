@@ -1,0 +1,206 @@
+// Observability metrics core (DESIGN.md §16): a process-local registry of
+// named counters, gauges, and fixed-bucket latency histograms, built so the
+// serving hot paths pay almost nothing for it.
+//
+// Cost model. Instrumented sites hold RAW POINTERS to metric objects,
+// resolved once at attach time (engine construction, stream attach); when no
+// registry is attached the pointer is null and the site costs exactly one
+// predictable branch. Updates are lock-free relaxed atomics — region closes
+// run concurrently on pool workers and ThreadPool gauges update from worker
+// threads, so every hot-path mutation must be a data-race-free RMW (the Obs
+// TSan suite pins this). Registration (GetCounter/GetGauge/GetHistogram) is
+// mutex-guarded and meant for attach time only, never per event.
+//
+// Determinism contract. Telemetry NEVER changes engine outputs: metric
+// objects are write-only sinks on the engine side, and a ScopedTimer with a
+// null histogram does not even read the clock. Each metric carries a
+// Determinism class chosen at registration:
+//   * kDeterministic — pure functions of the event log (event counts,
+//     rejection counters, checkpoint byte sizes). Identical replays produce
+//     identical values at any thread count; these export into the
+//     byte-stable deterministic slice of METRICS.json (obs/export.h).
+//   * kWallClock — durations, queue depths: real measurements that vary run
+//     to run and export separately.
+// Histogram bucket bounds are powers of two: Record() is a bit-width
+// computation plus one relaxed fetch_add, branch-light and allocation-free;
+// p50/p90/p99 are derived at export time, never maintained online.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace maps {
+namespace obs {
+
+/// \brief Export class of a metric: deterministic values land in the
+/// byte-stable slice of METRICS.json, wall-clock values in the rest.
+enum class Determinism {
+  kDeterministic = 0,
+  kWallClock = 1,
+};
+
+/// \brief Monotonic event count. Thread-safe (relaxed atomic add).
+class Counter {
+ public:
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Point-in-time level with a high-water mark (queue depths, live
+/// object counts). Thread-safe; the max is maintained with a CAS loop.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    UpdateMax(v);
+  }
+  void Add(int64_t delta) {
+    UpdateMax(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void UpdateMax(int64_t v) {
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// \brief Fixed-bucket histogram over non-negative int64 values (latencies
+/// in ns, byte sizes). Bucket 0 holds v <= 0; bucket i in [1, 62] holds
+/// [2^(i-1), 2^i - 1]; bucket 63 is the overflow bucket (everything with 63
+/// significant bits). Record() is allocation-free: one bit-width, one add.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  /// Bucket index of `v` (see the class comment for the bounds).
+  static int BucketIndex(int64_t v) {
+    if (v <= 0) return 0;
+    const int width = std::bit_width(static_cast<uint64_t>(v));
+    return width < kNumBuckets ? width : kNumBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket `i` (INT64_MAX for the overflow
+  /// bucket) — the value percentiles report for ranks landing in it.
+  static int64_t BucketUpperBound(int i);
+
+  void Record(int64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Export-time percentile: the upper bound of the bucket holding the
+  /// ceil(p * count)-th smallest recorded value (0 when empty). `p` in
+  /// (0, 1].
+  int64_t Percentile(double p) const;
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+};
+
+/// \brief Process-local registry owning every metric. Lookup is sorted by
+/// name (std::map), so exports iterate deterministically. Metric objects
+/// are stable in memory for the registry's lifetime — sites cache the raw
+/// pointers. Not copyable; typically one per process (CLI run, bench rep,
+/// matrix cell).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; the Determinism class of the FIRST registration
+  /// sticks (later calls with a different class get the existing metric).
+  Counter* GetCounter(const std::string& name,
+                      Determinism det = Determinism::kDeterministic);
+  Gauge* GetGauge(const std::string& name,
+                  Determinism det = Determinism::kWallClock);
+  Histogram* GetHistogram(const std::string& name,
+                          Determinism det = Determinism::kWallClock);
+
+  /// Sorted-by-name snapshots for export; pointers valid for the
+  /// registry's lifetime.
+  template <typename T>
+  struct Named {
+    std::string name;
+    Determinism det = Determinism::kDeterministic;
+    const T* metric = nullptr;
+  };
+  std::vector<Named<Counter>> counters() const;
+  std::vector<Named<Gauge>> gauges() const;
+  std::vector<Named<Histogram>> histograms() const;
+
+ private:
+  template <typename T>
+  struct Slot {
+    Determinism det;
+    std::unique_ptr<T> metric;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Slot<Counter>> counters_;
+  std::map<std::string, Slot<Gauge>> gauges_;
+  std::map<std::string, Slot<Histogram>> histograms_;
+};
+
+/// \brief RAII wall-clock span recording elapsed nanoseconds into a
+/// histogram on destruction. A null histogram costs one branch per end and
+/// never reads the clock — the disabled-telemetry fast path.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Bumps a plain struct counter and its registry mirror together —
+/// the single-increment-site idiom that keeps EngineRejectionCounters and
+/// telemetry from ever drifting (DESIGN.md §16).
+inline void BumpMirrored(int64_t* field, Counter* mirror, int64_t n = 1) {
+  *field += n;
+  if (mirror != nullptr) mirror->Add(n);
+}
+
+}  // namespace obs
+}  // namespace maps

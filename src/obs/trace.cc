@@ -1,0 +1,77 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace maps {
+namespace obs {
+
+const char* TraceKindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kPeriodOpened:
+      return "period_opened";
+    case TraceEvent::Kind::kPeriodClosed:
+      return "period_closed";
+    case TraceEvent::Kind::kRegionHealth:
+      return "region_health";
+    case TraceEvent::Kind::kCheckpointWritten:
+      return "checkpoint_written";
+    case TraceEvent::Kind::kCheckpointRestored:
+      return "checkpoint_restored";
+    case TraceEvent::Kind::kFaultFired:
+      return "fault_fired";
+  }
+  return "?";
+}
+
+TraceLog::TraceLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+int64_t TraceLog::Append(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  const int64_t seq = event.seq;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    // Overwrite the oldest slot; head_ walks the ring.
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+  }
+  return seq;
+}
+
+int64_t TraceLog::Emit(TraceEvent::Kind kind, int64_t period, int32_t region,
+                       int64_t value, std::string detail) {
+  TraceEvent event;
+  event.kind = kind;
+  event.period = period;
+  event.region = region;
+  event.value = value;
+  event.detail = std::move(detail);
+  return Append(std::move(event));
+}
+
+std::vector<TraceEvent> TraceLog::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+int64_t TraceLog::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+int64_t TraceLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - static_cast<int64_t>(ring_.size());
+}
+
+}  // namespace obs
+}  // namespace maps

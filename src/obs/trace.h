@@ -1,0 +1,94 @@
+// Structured engine trace (DESIGN.md §16): an append-only ring of typed
+// events with deterministic sequence ids, exportable as JSONL.
+//
+// Events are PURELY LOGICAL — no wall-clock timestamps — so a trace of a
+// replay is a pure function of the event log: identical runs produce
+// byte-identical JSONL at any thread count. That only holds because every
+// append site is serial by construction (the sharded engine makes its fault
+// decisions and fills region health in serial sections; checkpoint writes
+// happen between events); the ring still takes a mutex so a mis-ordered
+// future call is a lost-determinism bug, never a data race.
+//
+// The ring keeps the most recent `capacity` events; `appended()` counts
+// every append, so exports can state how many were dropped. Sequence ids
+// are assigned at append time and never reused.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace maps {
+namespace obs {
+
+/// \brief One trace event. Field meaning by kind:
+///   kPeriodOpened     period = the newly open period
+///   kPeriodClosed     period = the closed period, value = matches emitted
+///   kRegionHealth     period/region, detail = canonical state name,
+///                     value = RegionHealth::State as int
+///   kCheckpointWritten period, value = serialized byte size
+///   kCheckpointRestored period (restored-to), value = blob bytes
+///   kFaultFired       detail = fault kind; region/period carry the fault
+///                     site arguments (region & period for close faults,
+///                     attempt & write-call for checkpoint faults)
+struct TraceEvent {
+  enum class Kind {
+    kPeriodOpened = 0,
+    kPeriodClosed,
+    kRegionHealth,
+    kCheckpointWritten,
+    kCheckpointRestored,
+    kFaultFired,
+  };
+  int64_t seq = 0;
+  Kind kind = Kind::kPeriodOpened;
+  int64_t period = -1;
+  int32_t region = -1;
+  int64_t value = 0;
+  std::string detail;
+};
+
+/// \brief Stable lowercase name for JSONL export ("period_closed", ...).
+const char* TraceKindName(TraceEvent::Kind kind);
+
+/// \brief Fixed-capacity event ring. Thread-safe appends; see the file
+/// comment for why appends must nonetheless stay serial to keep sequence
+/// order deterministic.
+class TraceLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceLog(size_t capacity = kDefaultCapacity);
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// Appends one event; assigns and returns its sequence id. `event.seq`
+  /// is overwritten. The oldest event is dropped when the ring is full.
+  int64_t Append(TraceEvent event);
+
+  /// Convenience append.
+  int64_t Emit(TraceEvent::Kind kind, int64_t period, int32_t region,
+               int64_t value, std::string detail);
+
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Total appends over the log's lifetime (>= Events().size()).
+  int64_t appended() const;
+  /// Appends that fell off the ring: appended() - retained.
+  int64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  size_t head_ = 0;  // index of the oldest retained event
+  int64_t next_seq_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+}  // namespace obs
+}  // namespace maps

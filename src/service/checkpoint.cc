@@ -20,6 +20,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/market_engine.h"
 #include "util/fault_injector.h"
 #include "util/serial.h"
@@ -263,6 +265,7 @@ Status PruneCheckpointFiles(const std::string& dir, const std::string& prefix,
 
 Status MarketEngine::SaveCheckpoint(std::string* out) {
   if (out == nullptr) return Status::InvalidArgument("null output string");
+  obs::ScopedTimer save_timer(m_ckpt_save_ns_);
   // No prebuild job may be running while we serialize the stages it reads.
   DrainPrebuilds();
 
@@ -367,10 +370,18 @@ Status MarketEngine::SaveCheckpoint(std::string* out) {
   internal::AppendCheckpointSection(kSectionRng, rng.data(), &blob);
   internal::AppendCheckpointSection(kSectionStrategy, strategy.data(), &blob);
   *out = blob.data();
+  if (m_ckpt_bytes_ != nullptr) {
+    m_ckpt_bytes_->Record(static_cast<int64_t>(out->size()));
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->Emit(obs::TraceEvent::Kind::kCheckpointWritten, period_,
+                         /*region=*/-1, static_cast<int64_t>(out->size()), "");
+  }
   return Status::OK();
 }
 
 Status MarketEngine::RestoreFromCheckpoint(const std::string& data) {
+  obs::ScopedTimer restore_timer(m_ckpt_restore_ns_);
   DrainPrebuilds();
   std::vector<std::string> sections;
   MAPS_RETURN_NOT_OK(internal::ParseCheckpointContainer(
@@ -609,7 +620,24 @@ Status MarketEngine::RestoreFromCheckpoint(const std::string& data) {
     MAPS_RETURN_NOT_OK(r.ExpectEnd("strategy section"));
   }
 
-  // Commit. Nothing below can fail.
+  // Commit. Nothing below can fail. The mirrored registry counters absorb
+  // the jump between pre-restore and checkpoint values so the registry
+  // keeps equal to the (possibly multi-engine) sum of the struct counters
+  // after a rewind (DESIGN.md §16).
+  const auto sync_mirror = [](int64_t before, int64_t after,
+                              obs::Counter* mirror) {
+    if (mirror != nullptr && after != before) mirror->Add(after - before);
+  };
+  sync_mirror(rejections_.duplicate_tasks, rej.duplicate_tasks,
+              m_reject_.duplicate_tasks);
+  sync_mirror(rejections_.unknown_worker_removals, rej.unknown_worker_removals,
+              m_reject_.unknown_worker_removals);
+  sync_mirror(rejections_.busy_worker_removals, rej.busy_worker_removals,
+              m_reject_.busy_worker_removals);
+  sync_mirror(rejections_.orphan_acceptances, rej.orphan_acceptances,
+              m_reject_.orphan_acceptances);
+  sync_mirror(rejections_.deferred_tasks, rej.deferred_tasks,
+              m_reject_.deferred_tasks);
   period_ = period;
   rejections_ = rej;
   workers_ = std::move(workers);
@@ -631,6 +659,10 @@ Status MarketEngine::RestoreFromCheckpoint(const std::string& data) {
   strategy_seconds_ = 0.0;
   peak_platform_bytes_ = 0;
   peak_strategy_bytes_ = 0;
+  if (options_.trace != nullptr) {
+    options_.trace->Emit(obs::TraceEvent::Kind::kCheckpointRestored, period_,
+                         /*region=*/-1, static_cast<int64_t>(data.size()), "");
+  }
   return Status::OK();
 }
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace maps {
@@ -17,7 +19,38 @@ double Seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+int64_t Nanos(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+}
+
 }  // namespace
+
+const char* RegionHealthStateName(RegionHealth::State state) {
+  switch (state) {
+    case RegionHealth::State::kNormal:
+      return "normal";
+    case RegionHealth::State::kQuarantined:
+      return "quarantined";
+    case RegionHealth::State::kRecovered:
+      return "recovered";
+    case RegionHealth::State::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+void RejectionCounterHandles::Resolve(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const auto det = obs::Determinism::kDeterministic;
+  duplicate_tasks = registry->GetCounter("engine.reject.duplicate_tasks", det);
+  unknown_worker_removals =
+      registry->GetCounter("engine.reject.unknown_worker_removals", det);
+  busy_worker_removals =
+      registry->GetCounter("engine.reject.busy_worker_removals", det);
+  orphan_acceptances =
+      registry->GetCounter("engine.reject.orphan_acceptances", det);
+  deferred_tasks = registry->GetCounter("engine.reject.deferred_tasks", det);
+}
 
 MarketEngine::MarketEngine(const GridPartition* grid,
                            PricingStrategy* strategy,
@@ -32,6 +65,21 @@ MarketEngine::MarketEngine(const GridPartition* grid,
   // Lent unconditionally so a pool-less engine clears any pool a previous
   // owner lent to a reused strategy (which may be destroyed by now).
   strategy_->LendPool(options_.pool);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    const auto det = obs::Determinism::kDeterministic;
+    const auto wall = obs::Determinism::kWallClock;
+    m_prebuild_ns_ = m->GetHistogram("engine.close.prebuild_ns", wall);
+    m_price_round_ns_ = m->GetHistogram("engine.close.price_round_ns", wall);
+    m_matching_ns_ = m->GetHistogram("engine.close.matching_ns", wall);
+    m_mc_diag_ns_ = m->GetHistogram("engine.close.mc_diag_ns", wall);
+    m_ckpt_save_ns_ = m->GetHistogram("checkpoint.save_ns", wall);
+    m_ckpt_restore_ns_ = m->GetHistogram("checkpoint.restore_ns", wall);
+    m_ckpt_bytes_ = m->GetHistogram("checkpoint.state_bytes", det);
+    m_periods_closed_ = m->GetCounter("engine.close.periods", det);
+    m_dead_periods_ = m->GetCounter("engine.close.dead_periods", det);
+    m_reject_.Resolve(m);
+  }
 }
 
 MarketEngine::~MarketEngine() { DrainPrebuilds(); }
@@ -66,7 +114,7 @@ Status MarketEngine::SubmitTask(const Task& task, double valuation) {
   }
   MAPS_RETURN_NOT_OK(CheckTaskGrids(&task, &task + 1));
   if (!stage.ids.insert(task.id).second) {
-    ++rejections_.duplicate_tasks;
+    obs::BumpMirrored(&rejections_.duplicate_tasks, m_reject_.duplicate_tasks);
     return Status::AlreadyExists("task id " + std::to_string(task.id) +
                                  " already submitted for period " +
                                  std::to_string(period_));
@@ -88,7 +136,8 @@ Status MarketEngine::StageNextPeriodTasks(const Task* begin, const Task* end,
   for (const Task* task = begin; task != end; ++task) {
     if (!stage.ids.insert(task->id).second) {
       stage.ids.clear();
-      ++rejections_.duplicate_tasks;
+      obs::BumpMirrored(&rejections_.duplicate_tasks,
+                        m_reject_.duplicate_tasks);
       return Status::InvalidArgument(
           "staged batch repeats task id " + std::to_string(task->id) +
           " for period " + std::to_string(period_ + 1));
@@ -147,7 +196,8 @@ Status MarketEngine::AddWorker(const Worker& worker) {
 Status MarketEngine::RemoveWorker(WorkerId id) {
   auto it = worker_index_.find(id);
   if (it == worker_index_.end()) {
-    ++rejections_.unknown_worker_removals;
+    obs::BumpMirrored(&rejections_.unknown_worker_removals,
+                      m_reject_.unknown_worker_removals);
     return Status::NotFound("worker id " + std::to_string(id) +
                             " was never added");
   }
@@ -157,7 +207,8 @@ Status MarketEngine::RemoveWorker(WorkerId id) {
   // callers often believe they are removing an idle worker.
   WorkerRecord& rec = workers_[it->second];
   if (!rec.consumed && rec.next_free > period_ && period_ < rec.retire_at) {
-    ++rejections_.busy_worker_removals;
+    obs::BumpMirrored(&rejections_.busy_worker_removals,
+                      m_reject_.busy_worker_removals);
   }
   rec.retire_at = std::min(rec.retire_at, period_);
   return Status::OK();
@@ -326,12 +377,17 @@ Status MarketEngine::ClosePeriod(PeriodOutcome* out) {
   MarketSnapshot& snapshot = slots_[slot];
 
   // Finalize the task side: adopt the prebuilt snapshot or build it now.
-  if (prebuild_latch_[slot] != nullptr) {
-    prebuild_latch_[slot]->Wait();
-    prebuild_latch_[slot].reset();
-  } else {
-    snapshot.ResetTasks(grid_, t, stage.tasks.data(),
-                        stage.tasks.data() + stage.tasks.size());
+  // The span covers the latch wait in the pipelined case so it reports the
+  // close-path cost actually paid, not the (overlapped) build cost.
+  {
+    obs::ScopedTimer prebuild_timer(m_prebuild_ns_);
+    if (prebuild_latch_[slot] != nullptr) {
+      prebuild_latch_[slot]->Wait();
+      prebuild_latch_[slot].reset();
+    } else {
+      snapshot.ResetTasks(grid_, t, stage.tasks.data(),
+                          stage.tasks.data() + stage.tasks.size());
+    }
   }
 
   out->period = t;
@@ -374,11 +430,20 @@ Status MarketEngine::ClosePeriod(PeriodOutcome* out) {
   if (stage.tasks.empty() && period_workers_.empty()) {
     out->skipped = true;
     // No tasks were in the period, so every reported bit is an orphan.
-    rejections_.orphan_acceptances +=
-        static_cast<int64_t>(pending_accept_.size());
+    obs::BumpMirrored(&rejections_.orphan_acceptances,
+                      m_reject_.orphan_acceptances,
+                      static_cast<int64_t>(pending_accept_.size()));
     out->rejections = rejections_;
     pending_accept_.clear();
     stage.Clear();
+    if (m_periods_closed_ != nullptr) m_periods_closed_->Increment();
+    if (m_dead_periods_ != nullptr) m_dead_periods_->Increment();
+    if (options_.trace != nullptr) {
+      options_.trace->Emit(obs::TraceEvent::Kind::kPeriodClosed, t,
+                           /*region=*/-1, /*value=*/0, "dead");
+      options_.trace->Emit(obs::TraceEvent::Kind::kPeriodOpened, t + 1,
+                           /*region=*/-1, /*value=*/0, "");
+    }
     ++period_;
     return Status::OK();
   }
@@ -417,19 +482,32 @@ Status MarketEngine::ClosePeriod(PeriodOutcome* out) {
     if (accepted) out->accepted.push_back(task.id);
   }
   strategy_->ObserveFeedback(snapshot, prices_, accepted_);
-  strategy_seconds_ += Seconds(price_start, Clock::now());
+  const auto price_end = Clock::now();
+  strategy_seconds_ += Seconds(price_start, price_end);
+  if (m_price_round_ns_ != nullptr) {
+    m_price_round_ns_->Record(Nanos(price_start, price_end));
+  }
   // Bits that matched no task of the period are orphans (task ids are
   // unique within a period, so each consumed bit was counted once).
-  rejections_.orphan_acceptances +=
-      static_cast<int64_t>(pending_accept_.size() - consumed_bits);
+  obs::BumpMirrored(&rejections_.orphan_acceptances,
+                    m_reject_.orphan_acceptances,
+                    static_cast<int64_t>(pending_accept_.size() - consumed_bits));
   out->rejections = rejections_;
   pending_accept_.clear();
   out->prices.assign(prices_.begin(), prices_.end());
 
   // Assignment: maximum-weight matching over accepted tasks (Def. 5).
-  // Graph and matching buffers are pooled across periods.
+  // Graph and matching buffers are pooled across periods. The matching span
+  // sums the graph build and the matching call, skipping the MC diagnostic
+  // sandwiched between them.
+  Clock::time_point match_seg_start;
+  int64_t matching_ns = 0;
+  if (m_matching_ns_ != nullptr) match_seg_start = Clock::now();
   BipartiteGraph::BuildInto(snapshot.tasks(), snapshot.workers(), *grid_,
                             &graph_ws_, &graph_);
+  if (m_matching_ns_ != nullptr) {
+    matching_ns += Nanos(match_seg_start, Clock::now());
+  }
 
   // Monte-Carlo expected-revenue diagnostic: E[U(B^t)] of the posted prices
   // under the TRUE acceptance ratios (Def. 6) — simulation-only, since it
@@ -438,6 +516,7 @@ Status MarketEngine::ClosePeriod(PeriodOutcome* out) {
   // reproducible stream.
   if (options_.mc_worlds > 0 && options_.mc_oracle != nullptr &&
       !snapshot.tasks().empty()) {
+    obs::ScopedTimer mc_timer(m_mc_diag_ns_);
     mc_priced_.clear();
     for (const Task& task : snapshot.tasks()) {
       const double p = prices_[task.grid];
@@ -449,6 +528,7 @@ Status MarketEngine::ClosePeriod(PeriodOutcome* out) {
         options_.mc_worlds, options_.pool, &mc_workspaces_);
   }
 
+  if (m_matching_ns_ != nullptr) match_seg_start = Clock::now();
   weights_.assign(snapshot.tasks().size(), -1.0);
   for (size_t i = 0; i < snapshot.tasks().size(); ++i) {
     if (!accepted_[i]) continue;
@@ -458,6 +538,10 @@ Status MarketEngine::ClosePeriod(PeriodOutcome* out) {
   // Called for the matching it leaves in match_ws_.inc; revenue needs
   // per-task attribution below, not the returned total.
   (void)MaxWeightTaskMatchingValue(graph_, weights_, &match_ws_);
+  if (m_matching_ns_ != nullptr) {
+    matching_ns += Nanos(match_seg_start, Clock::now());
+    m_matching_ns_->Record(matching_ns);
+  }
   const Matching& period_matching = match_ws_.inc.matching();
 
   // Revenue and worker lifecycle updates.
@@ -543,6 +627,13 @@ Status MarketEngine::ClosePeriod(PeriodOutcome* out) {
       std::max(peak_strategy_bytes_, strategy_->MemoryFootprintBytes());
 
   stage.Clear();
+  if (m_periods_closed_ != nullptr) m_periods_closed_->Increment();
+  if (options_.trace != nullptr) {
+    options_.trace->Emit(obs::TraceEvent::Kind::kPeriodClosed, t,
+                         /*region=*/-1, /*value=*/n_matched, "");
+    options_.trace->Emit(obs::TraceEvent::Kind::kPeriodOpened, t + 1,
+                         /*region=*/-1, /*value=*/0, "");
+  }
   ++period_;
   return Status::OK();
 }

@@ -56,6 +56,13 @@
 
 namespace maps {
 
+namespace obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+class TraceLog;
+}  // namespace obs
+
 /// \brief Per-region failure-domain knobs (DESIGN.md §15). Honored only by
 /// ShardedMarketEngine: a region whose close fails is quarantined — its
 /// cells serve cached quotes, its open tasks defer to the next period —
@@ -104,6 +111,17 @@ struct EngineOptions {
   ThreadPool* pool = nullptr;
   /// Quarantine-instead-of-fail for region closes; sharded engine only.
   FailureDomainOptions failure_domains;
+  /// Optional observability registry (DESIGN.md §16). Non-owning, like the
+  /// pool; must outlive the engine. Metric handles are resolved once at
+  /// construction, so a null registry costs one predictable branch per
+  /// instrumented site. Telemetry NEVER changes engine outputs — runs with
+  /// and without a registry are bit-identical (the Obs suites pin this).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional structured trace ring (period opens/closes, region health
+  /// transitions, fault firings). Non-owning. The sharded engine owns the
+  /// canonical trace and does NOT propagate this to its region engines —
+  /// region closes run concurrently and would interleave sequence ids.
+  obs::TraceLog* trace = nullptr;
 };
 
 /// \brief Cumulative counts of rejected or ignored events since engine
@@ -141,6 +159,24 @@ struct EngineRejectionCounters {
   }
 };
 
+/// \brief Registry mirrors of EngineRejectionCounters: every increment site
+/// bumps the struct field and (when a registry is attached) the
+/// corresponding "engine.reject.*" counter in one place
+/// (obs::BumpMirrored), so the PeriodOutcome view and telemetry can never
+/// drift. All-null when no registry is attached.
+struct RejectionCounterHandles {
+  obs::Counter* duplicate_tasks = nullptr;
+  obs::Counter* unknown_worker_removals = nullptr;
+  obs::Counter* busy_worker_removals = nullptr;
+  obs::Counter* orphan_acceptances = nullptr;
+  obs::Counter* deferred_tasks = nullptr;
+
+  /// Resolves the five counters from `registry` (no-op when null). Both
+  /// the monolithic and sharded engines resolve the SAME names, so the
+  /// registry totals match ShardedMarketEngine::rejections()'s merge.
+  void Resolve(obs::MetricsRegistry* registry);
+};
+
 /// \brief Per-region serving health reported in a sharded PeriodOutcome
 /// when failure domains are enabled (DESIGN.md §15). Empty for the
 /// monolithic engine and when failure domains are off.
@@ -158,6 +194,11 @@ struct RegionHealth {
   /// Period the current quarantine began; -1 when not quarantined.
   int32_t quarantined_since = -1;
 };
+
+/// \brief Canonical lowercase name of a RegionHealth::State ("normal",
+/// "quarantined", "recovered", "failed"). Used as the detail string of
+/// kRegionHealth trace events; stable — the nightly chaos drill parses it.
+const char* RegionHealthStateName(RegionHealth::State state);
 
 /// \brief One task-to-worker assignment of a closed period.
 struct MatchRecord {
@@ -416,6 +457,19 @@ class MarketEngine {
   double strategy_seconds_ = 0.0;
   size_t peak_platform_bytes_ = 0;
   size_t peak_strategy_bytes_ = 0;
+
+  // Observability handles (DESIGN.md §16), resolved once at construction;
+  // all null when options.metrics is null so every site is one branch.
+  obs::Histogram* m_prebuild_ns_ = nullptr;     // wall-clock
+  obs::Histogram* m_price_round_ns_ = nullptr;  // wall-clock
+  obs::Histogram* m_matching_ns_ = nullptr;     // wall-clock
+  obs::Histogram* m_mc_diag_ns_ = nullptr;      // wall-clock
+  obs::Histogram* m_ckpt_save_ns_ = nullptr;    // wall-clock
+  obs::Histogram* m_ckpt_restore_ns_ = nullptr;  // wall-clock
+  obs::Histogram* m_ckpt_bytes_ = nullptr;      // deterministic
+  obs::Counter* m_periods_closed_ = nullptr;    // deterministic
+  obs::Counter* m_dead_periods_ = nullptr;      // deterministic
+  RejectionCounterHandles m_reject_;
 };
 
 }  // namespace maps

@@ -9,6 +9,7 @@
 #include <map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 
@@ -282,10 +283,25 @@ ReplayEventStream::ReplayEventStream(std::istream& in,
                                      const ReplayLoadOptions& options)
     : in_(in), options_(options) {}
 
+void ReplayEventStream::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const auto det = obs::Determinism::kDeterministic;
+  m_lines_ = registry->GetCounter("ingest.lines", det);
+  m_bytes_ = registry->GetCounter("ingest.bytes", det);
+  m_events_ = registry->GetCounter("ingest.events", det);
+  m_skipped_ = registry->GetCounter("ingest.lines_skipped", det);
+}
+
 Result<bool> ReplayEventStream::Next(ReplayEvent* out) {
   if (done_) return false;
   while (std::getline(in_, line_)) {
     ++lineno_;
+    if (m_lines_ != nullptr) m_lines_->Increment();
+    // Payload bytes only (the stripped '\n' is not counted) — a pure
+    // function of the log content, so the counter is deterministic.
+    if (m_bytes_ != nullptr) {
+      m_bytes_->Add(static_cast<int64_t>(line_.size()));
+    }
     if (FaultInjector::Global().ShouldFire(FaultRule::Kind::kReplayReadError,
                                            -1,
                                            static_cast<int32_t>(lineno_))) {
@@ -305,6 +321,7 @@ Result<bool> ReplayEventStream::Next(ReplayEvent* out) {
     if (!ev.ok()) {
       if (options_.skip_bad_events) {
         ++stats_.lines_skipped;
+        if (m_skipped_ != nullptr) m_skipped_->Increment();
         MAPS_LOG(Warning) << "replay log line " << lineno_
                           << " skipped: " << ev.status().message();
         continue;
@@ -314,6 +331,7 @@ Result<bool> ReplayEventStream::Next(ReplayEvent* out) {
                                      ev.status().message());
     }
     ++stats_.events_loaded;
+    if (m_events_ != nullptr) m_events_->Increment();
     *out = std::move(ev).ValueOrDie();
     return true;
   }

@@ -26,6 +26,11 @@
 
 namespace maps {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 /// \brief One parsed replay event.
 struct ReplayEvent {
   enum class Kind {
@@ -106,6 +111,12 @@ class ReplayEventStream {
   /// O(1) ingestion memory.
   size_t FootprintBytes() const { return line_.capacity(); }
 
+  /// Resolves "ingest.*" counters from `registry` (no-op when null): lines
+  /// read, bytes read, events parsed, lines skipped. All deterministic —
+  /// pure functions of the log content. One null-check per counter when
+  /// detached (DESIGN.md §16).
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   std::istream& in_;
   ReplayLoadOptions options_;
@@ -113,6 +124,10 @@ class ReplayEventStream {
   std::string line_;
   int64_t lineno_ = 0;
   bool done_ = false;
+  obs::Counter* m_lines_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_events_ = nullptr;
+  obs::Counter* m_skipped_ = nullptr;
 };
 
 /// \brief Reads a whole event log into memory, skipping blanks and '#'

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/checkpoint.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
@@ -58,6 +60,9 @@ ShardedMarketEngine::ShardedMarketEngine(
     EngineOptions region_options = options_;
     region_options.pool = nullptr;
     region_options.pipeline_periods = false;
+    // Regions inherit the registry (order-independent counter sums) but
+    // never the trace: concurrent region closes would interleave seq ids.
+    region_options.trace = nullptr;
     region_options.lifecycle.reposition_seed = RegionRepositionSeed(
         options_.lifecycle.reposition_seed, k);
     regions_.push_back(std::make_unique<MarketEngine>(grid_, strategies[k],
@@ -75,6 +80,26 @@ ShardedMarketEngine::ShardedMarketEngine(
   region_outcomes_.resize(num_regions);
   region_status_.resize(num_regions);
   region_active_.assign(num_regions, 1);
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    const auto det = obs::Determinism::kDeterministic;
+    const auto wall = obs::Determinism::kWallClock;
+    m_region_close_ns_ = m->GetHistogram("sharded.region_close_ns", wall);
+    m_merge_ns_ = m->GetHistogram("sharded.merge_ns", wall);
+    m_stitch_ns_ = m->GetHistogram("sharded.stitch_ns", wall);
+    m_repatriate_ns_ = m->GetHistogram("sharded.repatriate_ns", wall);
+    m_quarantines_ = m->GetCounter("sharded.fd.quarantines", det);
+    m_rewinds_ = m->GetCounter("sharded.fd.rewinds", det);
+    m_journal_replays_ = m->GetCounter("sharded.fd.journal_events_replayed",
+                                       det);
+    m_backoff_retries_ = m->GetCounter("sharded.fd.backoff_retries", det);
+    m_permanent_failures_ = m->GetCounter("sharded.fd.permanent_failures",
+                                          det);
+    m_stitch_matches_ = m->GetCounter("sharded.stitch_matches", det);
+    m_repatriations_ = m->GetCounter("sharded.repatriations", det);
+    m_reject_.Resolve(m);
+  }
 }
 
 Status ShardedMarketEngine::SubmitTask(const Task& task, double valuation) {
@@ -86,7 +111,8 @@ Status ShardedMarketEngine::SubmitTask(const Task& task, double valuation) {
   MAPS_RETURN_NOT_OK(EnsureBaseline());
   auto [it, inserted] = task_route_.try_emplace(task.id);
   if (!inserted) {
-    ++local_rejections_.duplicate_tasks;
+    obs::BumpMirrored(&local_rejections_.duplicate_tasks,
+                      m_reject_.duplicate_tasks);
     return Status::AlreadyExists("task id " + std::to_string(task.id) +
                                  " already submitted for period " +
                                  std::to_string(period_));
@@ -138,7 +164,8 @@ Status ShardedMarketEngine::AddWorker(const Worker& worker) {
 Status ShardedMarketEngine::RemoveWorker(WorkerId id) {
   const auto it = worker_region_.find(id);
   if (it == worker_region_.end()) {
-    ++local_rejections_.unknown_worker_removals;
+    obs::BumpMirrored(&local_rejections_.unknown_worker_removals,
+                      m_reject_.unknown_worker_removals);
     return Status::NotFound("worker id " + std::to_string(id) +
                             " was never added");
   }
@@ -196,10 +223,14 @@ Status ShardedMarketEngine::RewindRegion(int k, int32_t t) {
                               std::to_string(k) + ": " + s.message());
     }
   }
+  if (m_rewinds_ != nullptr) m_rewinds_->Increment();
   // Replay the worker events the restore rewound, quiet-advancing between
   // their periods. Matches, stitch dispatches, and repositioning are NOT
   // replayed — the quarantined region rewinds to a conservative
   // "everyone idle at home" view of those workers (divergence list, §15).
+  if (m_journal_replays_ != nullptr) {
+    m_journal_replays_->Add(static_cast<int64_t>(dom.journal.size()));
+  }
   for (const WorkerEvent& ev : dom.journal) {
     while (region->current_period() < ev.period) region->AdvanceQuietPeriod();
     Status s;
@@ -240,6 +271,7 @@ Status ShardedMarketEngine::QuarantineRegion(int k, int32_t t) {
     dom.backoff = 1;
     dom.next_retry = t + 1;
     dom.quarantined_since = t;
+    if (m_quarantines_ != nullptr) m_quarantines_->Increment();
   } else {
     // A recovery attempt just failed: deterministic exponential backoff in
     // periods (attempt counts, never wall clock), then permanent
@@ -248,9 +280,11 @@ Status ShardedMarketEngine::QuarantineRegion(int k, int32_t t) {
     if (dom.attempts > options_.failure_domains.max_recovery_attempts) {
       dom.state = RegionHealth::State::kFailed;
       dom.next_retry = -1;
+      if (m_permanent_failures_ != nullptr) m_permanent_failures_->Increment();
     } else {
       dom.backoff *= 2;
       dom.next_retry = t + dom.backoff;
+      if (m_backoff_retries_ != nullptr) m_backoff_retries_->Increment();
     }
   }
   return RewindRegion(k, t);
@@ -278,7 +312,8 @@ void ShardedMarketEngine::DeferRegionTasks(int k) {
     }
     deferred_[k].push_back(std::move(d));
     task_route_.erase(id);
-    ++local_rejections_.deferred_tasks;
+    obs::BumpMirrored(&local_rejections_.deferred_tasks,
+                      m_reject_.deferred_tasks);
   }
 }
 
@@ -289,7 +324,8 @@ Status ShardedMarketEngine::ResubmitDeferred(int k) {
   for (const DeferredTask& d : deferred_[k]) {
     auto [it, inserted] = task_route_.try_emplace(d.task.id);
     if (!inserted) {
-      ++local_rejections_.duplicate_tasks;
+      obs::BumpMirrored(&local_rejections_.duplicate_tasks,
+                        m_reject_.duplicate_tasks);
       continue;
     }
     it->second.region = k;
@@ -346,7 +382,12 @@ Status ShardedMarketEngine::CloseAllRegions(int32_t t) {
                            std::to_string(k) + " period " + std::to_string(t));
       return;
     }
-    region_status_[k] = regions_[k]->ClosePeriod(&region_outcomes_[k]);
+    {
+      // Wall-clock only; Histogram::Record is atomic, so concurrent region
+      // closes may record freely.
+      obs::ScopedTimer close_timer(m_region_close_ns_);
+      region_status_[k] = regions_[k]->ClosePeriod(&region_outcomes_[k]);
+    }
     if (inject_stall[k] && region_status_[k].ok()) {
       region_status_[k] =
           Status::Internal("injected close stall (deadline exceeded) at "
@@ -549,6 +590,9 @@ Status ShardedMarketEngine::StitchBoundary(int32_t t, PeriodOutcome* out) {
     assigned.push_back({p.ti, p.wi});
   }
   if (assigned.empty()) return Status::OK();
+  if (m_stitch_matches_ != nullptr) {
+    m_stitch_matches_->Add(static_cast<int64_t>(assigned.size()));
+  }
 
   // Apply in task submission order: emit the stitched matches and drive the
   // worker lifecycle across engines.
@@ -635,6 +679,7 @@ Status ShardedMarketEngine::RepatriateIdleWorkers(int32_t t) {
       // close on, exactly when the old region would have.
       MAPS_RETURN_NOT_OK(regions_[owner]->AdoptWorker(base, t, retire_at));
       worker_region_[w.id] = owner;
+      if (m_repatriations_ != nullptr) m_repatriations_->Increment();
       if (failure_domains_enabled()) {
         WorkerEvent ex;
         ex.type = WorkerEvent::Type::kExtract;
@@ -690,7 +735,8 @@ Status ShardedMarketEngine::ClosePeriod(PeriodOutcome* out) {
   for (const auto& [task, accepted] : pending_accept_) {
     const auto it = task_route_.find(task);
     if (it == task_route_.end()) {
-      ++local_rejections_.orphan_acceptances;
+      obs::BumpMirrored(&local_rejections_.orphan_acceptances,
+                        m_reject_.orphan_acceptances);
       continue;
     }
     if (!region_active_[it->second.region]) continue;  // held for deferral
@@ -710,8 +756,14 @@ Status ShardedMarketEngine::ClosePeriod(PeriodOutcome* out) {
   }
   pending_accept_.clear();
 
-  MergeOutcomes(t, out);
-  MAPS_RETURN_NOT_OK(StitchBoundary(t, out));
+  {
+    obs::ScopedTimer merge_timer(m_merge_ns_);
+    MergeOutcomes(t, out);
+  }
+  {
+    obs::ScopedTimer stitch_timer(m_stitch_ns_);
+    MAPS_RETURN_NOT_OK(StitchBoundary(t, out));
+  }
 
   // Final merged matches + the revenue fold, in global submission order —
   // the same order (and therefore the same FP rounding) as a monolithic
@@ -728,6 +780,7 @@ Status ShardedMarketEngine::ClosePeriod(PeriodOutcome* out) {
   out->rejections = rejections();
 
   if (!out->skipped && !options_.lifecycle.single_use) {
+    obs::ScopedTimer repatriate_timer(m_repatriate_ns_);
     MAPS_RETURN_NOT_OK(RepatriateIdleWorkers(t));
   }
 
@@ -743,6 +796,15 @@ Status ShardedMarketEngine::ClosePeriod(PeriodOutcome* out) {
       health.state = dom.state;
       health.attempts = dom.attempts;
       health.quarantined_since = dom.quarantined_since;
+      // One kRegionHealth event per region per close, emitted on this
+      // serial path in region order — the nightly chaos drill replays the
+      // trace against PeriodOutcome::region_health and expects exact
+      // agreement.
+      if (options_.trace != nullptr) {
+        options_.trace->Emit(obs::TraceEvent::Kind::kRegionHealth, t, k,
+                             static_cast<int64_t>(health.state),
+                             RegionHealthStateName(health.state));
+      }
       if (dom.state == RegionHealth::State::kRecovered) {
         dom.state = RegionHealth::State::kNormal;
         dom.attempts = 0;
@@ -763,6 +825,14 @@ Status ShardedMarketEngine::ClosePeriod(PeriodOutcome* out) {
   }
 
   task_route_.clear();
+  if (options_.trace != nullptr) {
+    options_.trace->Emit(obs::TraceEvent::Kind::kPeriodClosed, t,
+                         /*region=*/-1,
+                         static_cast<int64_t>(out->matches.size()),
+                         out->skipped ? "dead" : "");
+    options_.trace->Emit(obs::TraceEvent::Kind::kPeriodOpened, t + 1,
+                         /*region=*/-1, /*value=*/0, "");
+  }
   ++period_;
   return Status::OK();
 }
@@ -938,6 +1008,10 @@ Status ShardedMarketEngine::SaveCheckpoint(std::string* out) {
   internal::AppendCheckpointSection(kShardedSectionRegions, regions.data(),
                                     &blob);
   *out = blob.data();
+  if (options_.trace != nullptr) {
+    options_.trace->Emit(obs::TraceEvent::Kind::kCheckpointWritten, period_,
+                         /*region=*/-1, static_cast<int64_t>(out->size()), "");
+  }
   return Status::OK();
 }
 
@@ -1168,7 +1242,23 @@ Status ShardedMarketEngine::RestoreFromCheckpoint(const std::string& data) {
     }
   }
 
-  // Commit this layer. Nothing below can fail.
+  // Commit this layer. Nothing below can fail. As in the monolith's
+  // restore, the mirrored registry counters absorb the jump so the registry
+  // stays equal to the summed struct counters (DESIGN.md §16).
+  const auto sync_mirror = [](int64_t before, int64_t after,
+                              obs::Counter* mirror) {
+    if (mirror != nullptr && after != before) mirror->Add(after - before);
+  };
+  sync_mirror(local_rejections_.duplicate_tasks, rej.duplicate_tasks,
+              m_reject_.duplicate_tasks);
+  sync_mirror(local_rejections_.unknown_worker_removals,
+              rej.unknown_worker_removals, m_reject_.unknown_worker_removals);
+  sync_mirror(local_rejections_.busy_worker_removals, rej.busy_worker_removals,
+              m_reject_.busy_worker_removals);
+  sync_mirror(local_rejections_.orphan_acceptances, rej.orphan_acceptances,
+              m_reject_.orphan_acceptances);
+  sync_mirror(local_rejections_.deferred_tasks, rej.deferred_tasks,
+              m_reject_.deferred_tasks);
   period_ = period;
   next_seq_ = next_seq;
   local_rejections_ = rej;
@@ -1183,6 +1273,10 @@ Status ShardedMarketEngine::RestoreFromCheckpoint(const std::string& data) {
   for (auto& queue : deferred_) queue.clear();
   baseline_captured_ = false;
   region_active_.assign(regions_.size(), 1);
+  if (options_.trace != nullptr) {
+    options_.trace->Emit(obs::TraceEvent::Kind::kCheckpointRestored, period_,
+                         /*region=*/-1, static_cast<int64_t>(data.size()), "");
+  }
   return Status::OK();
 }
 

@@ -241,6 +241,24 @@ class ShardedMarketEngine {
   std::vector<std::vector<DeferredTask>> deferred_;
   bool baseline_captured_ = false;
 
+  // Observability handles (DESIGN.md §16), resolved once at construction;
+  // all null when options.metrics is null. Region engines share the
+  // registry (their counters sum into the same names) but get no trace:
+  // region closes run concurrently and would interleave seq ids. All
+  // sharded-layer trace appends happen on the serial path of ClosePeriod.
+  obs::Histogram* m_region_close_ns_ = nullptr;   // wall-clock, per region
+  obs::Histogram* m_merge_ns_ = nullptr;          // wall-clock
+  obs::Histogram* m_stitch_ns_ = nullptr;         // wall-clock
+  obs::Histogram* m_repatriate_ns_ = nullptr;     // wall-clock
+  obs::Counter* m_quarantines_ = nullptr;         // deterministic
+  obs::Counter* m_rewinds_ = nullptr;             // deterministic
+  obs::Counter* m_journal_replays_ = nullptr;     // deterministic (events)
+  obs::Counter* m_backoff_retries_ = nullptr;     // deterministic
+  obs::Counter* m_permanent_failures_ = nullptr;  // deterministic
+  obs::Counter* m_stitch_matches_ = nullptr;      // deterministic
+  obs::Counter* m_repatriations_ = nullptr;       // deterministic
+  RejectionCounterHandles m_reject_;
+
   // Per-close scratch, pooled across periods.
   std::vector<PeriodOutcome> region_outcomes_;
   std::vector<Status> region_status_;

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "obs/trace.h"
 #include "rng/counter_rng.h"
 #include "util/logging.h"
 
@@ -232,6 +233,13 @@ bool FaultInjector::ShouldFire(FaultRule::Kind kind, int32_t site_a,
     }
     ++rule_fires_[i];
     ++kind_fires_[static_cast<int>(kind)];
+    if (trace_ != nullptr) {
+      // Site coordinates map onto the event fields as documented in the
+      // header: b is a period (close kinds) or call index, a is a region
+      // (close kinds) or write attempt.
+      trace_->Emit(obs::TraceEvent::Kind::kFaultFired, site_b, site_a,
+                   static_cast<int64_t>(i), FaultKindName(kind));
+    }
     return true;
   }
   return false;

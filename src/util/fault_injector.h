@@ -39,6 +39,10 @@
 
 namespace maps {
 
+namespace obs {
+class TraceLog;
+}  // namespace obs
+
 /// \brief One armed fault: a kind, an optional site filter, an optional
 /// firing probability, and an optional total-fire budget.
 struct FaultRule {
@@ -124,6 +128,13 @@ class FaultInjector {
   /// while disarmed so the production path stays stateless.
   int32_t NextWriteSite();
 
+  /// Attaches a trace sink (non-owning; null detaches): every fire appends
+  /// one kFaultFired event with the kind name as detail. Because the
+  /// injector is only ever queried from the serial driver thread (see the
+  /// header comment), the appends interleave deterministically with the
+  /// engine's own trace events. Survives Arm/Disarm.
+  void AttachTrace(obs::TraceLog* trace) { trace_ = trace; }
+
  private:
   FaultInjector() = default;
 
@@ -132,6 +143,7 @@ class FaultInjector {
   std::vector<int64_t> rule_fires_;
   int64_t kind_fires_[FaultRule::kNumKinds] = {};
   int32_t next_write_site_ = 0;
+  obs::TraceLog* trace_ = nullptr;
 };
 
 /// \brief Arms the global injector for a scope (tests, CLI runs) and

@@ -1,8 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace maps {
@@ -24,12 +26,24 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+void ThreadPool::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const auto wall = obs::Determinism::kWallClock;
+  m_queue_depth_ = registry->GetGauge("pool.queue_depth", wall);
+  m_tasks_ = registry->GetCounter("pool.tasks_submitted", wall);
+  m_task_run_ns_ = registry->GetHistogram("pool.task_run_ns", wall);
+}
+
 void ThreadPool::Submit(std::function<void(int)> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     MAPS_CHECK(!stop_) << "Submit on a stopped ThreadPool";
     queue_.push(std::move(fn));
+    if (m_queue_depth_ != nullptr) {
+      m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
+  if (m_tasks_ != nullptr) m_tasks_->Increment();
   cv_.notify_one();
 }
 
@@ -42,8 +56,20 @@ void ThreadPool::WorkerLoop(int worker) {
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
-    task(worker);
+    if (m_task_run_ns_ != nullptr) {
+      const auto start = std::chrono::steady_clock::now();
+      task(worker);
+      m_task_run_ns_->Record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    } else {
+      task(worker);
+    }
   }
 }
 

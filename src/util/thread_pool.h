@@ -27,6 +27,13 @@
 
 namespace maps {
 
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 /// \brief Fixed pool of worker threads consuming a FIFO task queue.
 ///
 /// The pool is reusable across invocations: ParallelFor/ParallelReduce leave
@@ -51,6 +58,13 @@ class ThreadPool {
   /// std::thread::hardware_concurrency().
   static int DefaultThreadCount();
 
+  /// Resolves "pool.*" telemetry from `registry` (no-op when null): a
+  /// queue-depth gauge (current + high-water), a submitted-task counter,
+  /// and a task execution-latency histogram — all wall-clock; scheduling
+  /// is the one place the engine is deliberately non-deterministic. Call
+  /// before the pool has work in flight.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   void WorkerLoop(int worker);
 
@@ -59,6 +73,9 @@ class ThreadPool {
   std::queue<std::function<void(int)>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  obs::Gauge* m_queue_depth_ = nullptr;    // written under mu_
+  obs::Counter* m_tasks_ = nullptr;        // wall-clock: depends on pooling
+  obs::Histogram* m_task_run_ns_ = nullptr;
 };
 
 namespace internal {

@@ -1,0 +1,167 @@
+// Unit tests for the observability metrics core (src/obs/metrics.h):
+// histogram bucket edges (zero, max, overflow), export-time percentiles,
+// gauge high-water marks, registry identity and determinism classes, and —
+// the piece the TSan job pins — concurrent hot-path updates from pool
+// workers being data-race-free.
+
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace maps {
+namespace obs {
+namespace {
+
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+
+TEST(ObsMetricsTest, CounterAddsAndIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(ObsMetricsTest, GaugeTracksHighWaterMark) {
+  Gauge g;
+  g.Set(7);
+  g.Set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 7);
+  g.Add(10);
+  EXPECT_EQ(g.value(), 13);
+  EXPECT_EQ(g.max(), 13);
+  g.Add(-13);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 13);
+}
+
+TEST(ObsMetricsTest, HistogramBucketIndexEdges) {
+  // Bucket 0: v <= 0. Bucket i in [1, 62]: [2^(i-1), 2^i - 1]. Bucket 63:
+  // overflow (63 significant bits).
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex((int64_t{1} << 62) - 1), 62);
+  EXPECT_EQ(Histogram::BucketIndex(int64_t{1} << 62), 63);
+  EXPECT_EQ(Histogram::BucketIndex(kInt64Max), 63);
+}
+
+TEST(ObsMetricsTest, HistogramBucketUpperBounds) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023);
+  EXPECT_EQ(Histogram::BucketUpperBound(63), kInt64Max);
+}
+
+TEST(ObsMetricsTest, HistogramRecordsZeroMaxAndOverflow) {
+  Histogram h;
+  h.Record(0);
+  h.Record(-1);
+  h.Record(kInt64Max);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(Histogram::kNumBuckets - 1), 1);
+  // The sum is an honest fold of recorded values, overflow bucket included.
+  EXPECT_EQ(h.sum(), kInt64Max - 1);
+}
+
+TEST(ObsMetricsTest, HistogramPercentilesReportBucketUpperBounds) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0);  // empty
+  // 90 values in bucket 1 (v=1), 10 in bucket 4 (v=8..15).
+  for (int i = 0; i < 90; ++i) h.Record(1);
+  for (int i = 0; i < 10; ++i) h.Record(9);
+  EXPECT_EQ(h.Percentile(0.50), 1);
+  EXPECT_EQ(h.Percentile(0.90), 1);    // rank 90 is still bucket 1
+  EXPECT_EQ(h.Percentile(0.99), 15);   // bucket 4 upper bound
+  EXPECT_EQ(h.Percentile(1.0), 15);
+}
+
+TEST(ObsMetricsTest, RegistryReturnsStableIdenticalPointers) {
+  MetricsRegistry r;
+  Counter* a = r.GetCounter("x", Determinism::kDeterministic);
+  Counter* b = r.GetCounter("x", Determinism::kWallClock);
+  EXPECT_EQ(a, b);  // same name, same metric; first class sticks
+  ASSERT_EQ(r.counters().size(), 1u);
+  EXPECT_EQ(r.counters()[0].det, Determinism::kDeterministic);
+}
+
+TEST(ObsMetricsTest, RegistrySnapshotsAreSortedByName) {
+  MetricsRegistry r;
+  r.GetCounter("zeta");
+  r.GetCounter("alpha");
+  r.GetCounter("mid");
+  const auto snap = r.counters();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_EQ(snap[1].name, "mid");
+  EXPECT_EQ(snap[2].name, "zeta");
+}
+
+TEST(ObsMetricsTest, ScopedTimerWithNullHistogramIsANoOp) {
+  { ScopedTimer t(nullptr); }  // must not crash or read the clock
+  Histogram h;
+  { ScopedTimer t(&h); }
+  EXPECT_EQ(h.count(), 1);
+}
+
+TEST(ObsMetricsTest, BumpMirroredKeepsStructAndRegistryInLockstep) {
+  int64_t field = 0;
+  Counter mirror;
+  BumpMirrored(&field, &mirror);
+  BumpMirrored(&field, &mirror, 4);
+  EXPECT_EQ(field, 5);
+  EXPECT_EQ(mirror.value(), 5);
+  BumpMirrored(&field, nullptr, 2);  // detached telemetry
+  EXPECT_EQ(field, 7);
+  EXPECT_EQ(mirror.value(), 5);
+}
+
+// The TSan pin: counters, gauges, and histograms take concurrent updates
+// from pool workers (region closes, ThreadPool queue telemetry) and must be
+// data-race-free with exact totals.
+TEST(ObsMetricsTest, ConcurrentUpdatesFromPoolWorkersAreRaceFree) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("obs.test.hits");
+  Gauge* gauge = registry.GetGauge("obs.test.depth");
+  Histogram* hist = registry.GetHistogram("obs.test.lat_ns");
+
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 1000;
+  ThreadPool pool(8);
+  const std::vector<IndexRange> shards = SplitRange(kTasks, kTasks);
+  ParallelFor(&pool, shards,
+              [&](int shard, const IndexRange& range, int worker) {
+                (void)range;
+                (void)worker;
+                for (int i = 0; i < kPerTask; ++i) {
+                  counter->Increment();
+                  gauge->Set(shard);
+                  hist->Record(i);
+                }
+              });
+  EXPECT_EQ(counter->value(), int64_t{kTasks} * kPerTask);
+  EXPECT_EQ(hist->count(), int64_t{kTasks} * kPerTask);
+  EXPECT_GE(gauge->max(), 0);
+  EXPECT_LT(gauge->max(), kTasks);
+  int64_t bucket_total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    bucket_total += hist->bucket(i);
+  }
+  EXPECT_EQ(bucket_total, hist->count());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace maps

@@ -1,0 +1,83 @@
+// Unit tests for the structured trace ring (src/obs/trace.h): deterministic
+// sequence ids, field passthrough, ring eviction accounting, and the
+// stability of the exported kind names (the nightly chaos drill parses
+// them).
+
+#include "obs/trace.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace maps {
+namespace obs {
+namespace {
+
+TEST(ObsTraceTest, AssignsMonotonicSequenceIds) {
+  TraceLog log;
+  EXPECT_EQ(log.Emit(TraceEvent::Kind::kPeriodOpened, 0, -1, 0, ""), 0);
+  EXPECT_EQ(log.Emit(TraceEvent::Kind::kPeriodClosed, 0, -1, 3, ""), 1);
+  EXPECT_EQ(log.Emit(TraceEvent::Kind::kPeriodOpened, 1, -1, 0, ""), 2);
+  EXPECT_EQ(log.appended(), 3);
+  EXPECT_EQ(log.dropped(), 0);
+}
+
+TEST(ObsTraceTest, EmitCarriesAllFields) {
+  TraceLog log;
+  log.Emit(TraceEvent::Kind::kRegionHealth, 7, 2, 1, "quarantined");
+  const std::vector<TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 0);
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kRegionHealth);
+  EXPECT_EQ(events[0].period, 7);
+  EXPECT_EQ(events[0].region, 2);
+  EXPECT_EQ(events[0].value, 1);
+  EXPECT_EQ(events[0].detail, "quarantined");
+}
+
+TEST(ObsTraceTest, RingDropsOldestAndCountsEvictions) {
+  TraceLog log(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    log.Emit(TraceEvent::Kind::kPeriodClosed, i, -1, 0, "");
+  }
+  EXPECT_EQ(log.appended(), 10);
+  EXPECT_EQ(log.dropped(), 6);
+  const std::vector<TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and the oldest retained is the 7th append (seq 6).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    EXPECT_EQ(events[i].period, 6 + i);
+  }
+}
+
+TEST(ObsTraceTest, KindNamesAreStable) {
+  EXPECT_STREQ(TraceKindName(TraceEvent::Kind::kPeriodOpened),
+               "period_opened");
+  EXPECT_STREQ(TraceKindName(TraceEvent::Kind::kPeriodClosed),
+               "period_closed");
+  EXPECT_STREQ(TraceKindName(TraceEvent::Kind::kRegionHealth),
+               "region_health");
+  EXPECT_STREQ(TraceKindName(TraceEvent::Kind::kCheckpointWritten),
+               "checkpoint_written");
+  EXPECT_STREQ(TraceKindName(TraceEvent::Kind::kCheckpointRestored),
+               "checkpoint_restored");
+  EXPECT_STREQ(TraceKindName(TraceEvent::Kind::kFaultFired), "fault_fired");
+}
+
+TEST(ObsTraceTest, SeqIdsSurviveEviction) {
+  TraceLog log(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(log.Emit(TraceEvent::Kind::kPeriodOpened, i, -1, 0, ""), i);
+  }
+  // Sequence ids are assigned at append time and never reused.
+  const std::vector<TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 3);
+  EXPECT_EQ(events[1].seq, 4);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace maps

@@ -1,0 +1,399 @@
+// Engine-level observability integration (DESIGN.md §16): telemetry must be
+// a pure observer. The suites pin, for the monolithic and the sharded
+// engine (with a fault plan armed),
+//
+//   * bit-identical outcomes with telemetry on vs off, at thread counts
+//     0/1/2/8,
+//   * the "engine.reject.*" registry counters staying equal to the
+//     engines' rejection-counter structs — including across a checkpoint
+//     save/restore cycle (the mirror re-sync path),
+//   * the kRegionHealth trace event sequence matching the recorded
+//     PeriodOutcome::region_health exactly (what the nightly chaos drill
+//     replays), and
+//   * the deterministic METRICS.json slice being byte-identical across
+//     two replays of the same script and across thread counts.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "geo/region_partition.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rng/random.h"
+#include "service/market_engine.h"
+#include "service/sharded_engine.h"
+#include "sharded_test_util.h"
+#include "util/fault_injector.h"
+#include "util/thread_pool.h"
+
+namespace maps {
+namespace {
+
+using testing_util::CellLocalStrategy;
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+
+constexpr int kPeriods = 8;
+
+struct PeriodScript {
+  std::vector<Worker> workers;
+  std::vector<WorkerId> removals;
+  std::vector<Task> tasks;
+  std::vector<double> valuations;
+};
+
+/// A script that exercises the mirrored rejection counters: duplicate task
+/// ids, unknown and busy worker removals, plus ordinary churn.
+std::vector<PeriodScript> MakeObsScript(const GridPartition& grid,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PeriodScript> script(kPeriods);
+  WorkerId next_worker = 1;
+  for (int i = 0; i < 20; ++i) {
+    const Point loc{rng.NextDouble(0.0, 100.0), rng.NextDouble(0.0, 100.0)};
+    script[0].workers.push_back(
+        MakeWorker(grid, next_worker++, loc, rng.NextDouble(5.0, 18.0)));
+  }
+  for (int t = 0; t < kPeriods; ++t) {
+    for (int i = 0; i < 5; ++i) {
+      const Point o{rng.NextDouble(0.0, 100.0), rng.NextDouble(0.0, 100.0)};
+      script[t].tasks.push_back(
+          MakeTask(grid, t * 100 + i, o, rng.NextDouble(0.5, 5.0)));
+      script[t].valuations.push_back(rng.NextDouble(1.0, 6.0));
+    }
+    if (t == 2) {
+      // Duplicate id within the period: rejected + counted.
+      script[t].tasks.push_back(script[t].tasks[0]);
+      script[t].valuations.push_back(3.0);
+      script[t].removals.push_back(777777);  // unknown, counted
+    }
+  }
+  return script;
+}
+
+/// Drives `engine` through the script; rejected submissions are expected
+/// (the script plants duplicates). Returns every outcome.
+template <typename Engine>
+std::vector<PeriodOutcome> DriveScript(const std::vector<PeriodScript>& script,
+                                       Engine* engine) {
+  std::vector<PeriodOutcome> outcomes;
+  PeriodOutcome out;
+  for (const PeriodScript& p : script) {
+    for (const Worker& w : p.workers) {
+      EXPECT_TRUE(engine->AddWorker(w).ok());
+    }
+    for (WorkerId id : p.removals) {
+      const Status ignored = engine->RemoveWorker(id);
+      (void)ignored;
+    }
+    for (size_t i = 0; i < p.tasks.size(); ++i) {
+      const Status ignored = engine->SubmitTask(p.tasks[i], p.valuations[i]);
+      (void)ignored;  // scripted duplicates are rejected by design
+    }
+    EXPECT_TRUE(engine->ClosePeriod(&out).ok());
+    outcomes.push_back(out);
+  }
+  return outcomes;
+}
+
+void ExpectOutcomesBitIdentical(const std::vector<PeriodOutcome>& a,
+                                const std::vector<PeriodOutcome>& b,
+                                const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t t = 0; t < a.size(); ++t) {
+    SCOPED_TRACE(label + " period " + std::to_string(t));
+    EXPECT_EQ(a[t].prices, b[t].prices);
+    EXPECT_EQ(a[t].accepted, b[t].accepted);
+    ASSERT_EQ(a[t].matches.size(), b[t].matches.size());
+    for (size_t i = 0; i < a[t].matches.size(); ++i) {
+      EXPECT_EQ(a[t].matches[i].task, b[t].matches[i].task);
+      EXPECT_EQ(a[t].matches[i].worker, b[t].matches[i].worker);
+      EXPECT_EQ(a[t].matches[i].revenue, b[t].matches[i].revenue);
+    }
+    EXPECT_EQ(a[t].revenue, b[t].revenue);
+    EXPECT_TRUE(a[t].rejections == b[t].rejections);
+    ASSERT_EQ(a[t].region_health.size(), b[t].region_health.size());
+    for (size_t k = 0; k < a[t].region_health.size(); ++k) {
+      EXPECT_EQ(a[t].region_health[k].state, b[t].region_health[k].state);
+    }
+  }
+}
+
+/// The "engine.reject.*" registry totals must equal the struct counters.
+void ExpectRegistryMatchesRejections(obs::MetricsRegistry* registry,
+                                     const EngineRejectionCounters& rej,
+                                     const std::string& label) {
+  EXPECT_EQ(registry->GetCounter("engine.reject.duplicate_tasks")->value(),
+            rej.duplicate_tasks)
+      << label;
+  EXPECT_EQ(
+      registry->GetCounter("engine.reject.unknown_worker_removals")->value(),
+      rej.unknown_worker_removals)
+      << label;
+  EXPECT_EQ(
+      registry->GetCounter("engine.reject.busy_worker_removals")->value(),
+      rej.busy_worker_removals)
+      << label;
+  EXPECT_EQ(registry->GetCounter("engine.reject.orphan_acceptances")->value(),
+            rej.orphan_acceptances)
+      << label;
+  EXPECT_EQ(registry->GetCounter("engine.reject.deferred_tasks")->value(),
+            rej.deferred_tasks)
+      << label;
+}
+
+struct ShardedRun {
+  std::unique_ptr<RegionPartition> partition;
+  std::vector<std::unique_ptr<CellLocalStrategy>> strategies;
+  std::unique_ptr<ShardedMarketEngine> engine;
+};
+
+ShardedRun MakeShardedRun(const GridPartition& grid, int k,
+                          const EngineOptions& options) {
+  ShardedRun run;
+  run.partition = std::make_unique<RegionPartition>(
+      RegionPartition::Make(grid, k).ValueOrDie());
+  std::vector<PricingStrategy*> raw;
+  for (int i = 0; i < k; ++i) {
+    run.strategies.push_back(std::make_unique<CellLocalStrategy>());
+    raw.push_back(run.strategies.back().get());
+  }
+  run.engine = std::make_unique<ShardedMarketEngine>(
+      &grid, run.partition.get(), std::move(raw), options);
+  return run;
+}
+
+EngineOptions ObsOptions(bool failure_domains) {
+  EngineOptions options;
+  options.lifecycle.single_use = false;
+  options.lifecycle.speed = 10.0;
+  options.failure_domains.enabled = failure_domains;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Monolithic engine: telemetry on vs off is bit-identical at every thread
+// count, and the registry mirrors the rejection struct.
+
+TEST(ObsIntegrationTest, MonolithTelemetryOnOffBitIdentical) {
+  const GridPartition grid =
+      GridPartition::Make(Rect{0, 0, 100, 100}, 6, 6).ValueOrDie();
+  const std::vector<PeriodScript> script = MakeObsScript(grid, 20260808);
+
+  CellLocalStrategy ref_strategy;
+  MarketEngine ref_engine(&grid, &ref_strategy, ObsOptions(false));
+  const std::vector<PeriodOutcome> ref = DriveScript(script, &ref_engine);
+
+  for (int threads : {0, 1, 2, 8}) {
+    const std::string label = "monolith threads=" + std::to_string(threads);
+    SCOPED_TRACE(label);
+    obs::MetricsRegistry registry;
+    obs::TraceLog trace;
+    std::unique_ptr<ThreadPool> pool;
+    EngineOptions options = ObsOptions(false);
+    options.metrics = &registry;
+    options.trace = &trace;
+    if (threads > 0) {
+      pool = std::make_unique<ThreadPool>(threads);
+      pool->AttachMetrics(&registry);
+      options.pool = pool.get();
+    }
+    CellLocalStrategy strategy;
+    MarketEngine engine(&grid, &strategy, options);
+    const std::vector<PeriodOutcome> got = DriveScript(script, &engine);
+    ExpectOutcomesBitIdentical(ref, got, label);
+    ExpectRegistryMatchesRejections(&registry, engine.rejections(), label);
+    EXPECT_EQ(registry.GetCounter("engine.close.periods")->value(), kPeriods);
+    // Every close emits one closed + one opened event.
+    EXPECT_EQ(trace.appended(), int64_t{2} * kPeriods);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine under a fault plan: bit-identity, mirrored counters, the
+// health trace, and deterministic-slice byte stability.
+
+TEST(ObsIntegrationTest, ShardedFaultedTelemetryOnOffBitIdentical) {
+  const GridPartition grid =
+      GridPartition::Make(Rect{0, 0, 100, 100}, 8, 8).ValueOrDie();
+  const std::vector<PeriodScript> script = MakeObsScript(grid, 20260808);
+  const std::string plan_text = "close_fail@r1p2";
+
+  std::vector<PeriodOutcome> ref;
+  {
+    ScopedFaultPlan plan(plan_text);
+    ShardedRun run = MakeShardedRun(grid, 2, ObsOptions(true));
+    ref = DriveScript(script, run.engine.get());
+  }
+
+  std::string ref_slice;
+  for (int threads : {0, 1, 2, 8}) {
+    const std::string label = "sharded threads=" + std::to_string(threads);
+    SCOPED_TRACE(label);
+    ScopedFaultPlan plan(plan_text);
+    obs::MetricsRegistry registry;
+    obs::TraceLog trace;
+    std::unique_ptr<ThreadPool> pool;
+    EngineOptions options = ObsOptions(true);
+    options.metrics = &registry;
+    options.trace = &trace;
+    if (threads > 0) {
+      pool = std::make_unique<ThreadPool>(threads);
+      options.pool = pool.get();
+    }
+    ShardedRun run = MakeShardedRun(grid, 2, options);
+    const std::vector<PeriodOutcome> got = DriveScript(script, run.engine.get());
+    ExpectOutcomesBitIdentical(ref, got, label);
+    ExpectRegistryMatchesRejections(&registry, run.engine->rejections(),
+                                    label);
+    EXPECT_EQ(registry.GetCounter("sharded.fd.quarantines")->value(), 1);
+    EXPECT_EQ(registry.GetCounter("sharded.fd.rewinds")->value(), 1);
+    EXPECT_GT(registry.GetCounter("engine.reject.deferred_tasks")->value(), 0);
+
+    // The kRegionHealth event stream IS the recorded health matrix, in
+    // (period, region) order — the nightly chaos drill diffs exactly this.
+    std::vector<obs::TraceEvent> health;
+    for (const obs::TraceEvent& ev : trace.Events()) {
+      if (ev.kind == obs::TraceEvent::Kind::kRegionHealth) {
+        health.push_back(ev);
+      }
+    }
+    size_t h = 0;
+    for (const PeriodOutcome& o : got) {
+      for (const RegionHealth& rh : o.region_health) {
+        ASSERT_LT(h, health.size());
+        EXPECT_EQ(health[h].period, o.period);
+        EXPECT_EQ(health[h].region, rh.region);
+        EXPECT_EQ(health[h].value, static_cast<int64_t>(rh.state));
+        EXPECT_EQ(health[h].detail, RegionHealthStateName(rh.state));
+        ++h;
+      }
+    }
+    EXPECT_EQ(h, health.size());
+
+    // Wall-clock pool telemetry never leaks into the deterministic slice:
+    // the slice is byte-identical across runs AND thread counts.
+    const std::string slice = obs::RenderDeterministicSlice(registry, &trace);
+    if (ref_slice.empty()) {
+      ref_slice = slice;
+    } else {
+      EXPECT_EQ(slice, ref_slice) << label;
+    }
+  }
+}
+
+TEST(ObsIntegrationTest, FaultFiringsReachAnAttachedTrace) {
+  const GridPartition grid =
+      GridPartition::Make(Rect{0, 0, 100, 100}, 8, 8).ValueOrDie();
+  const std::vector<PeriodScript> script = MakeObsScript(grid, 20260808);
+
+  ScopedFaultPlan plan("close_fail@r1p2");
+  obs::TraceLog trace;
+  FaultInjector::Global().AttachTrace(&trace);
+  ShardedRun run = MakeShardedRun(grid, 2, ObsOptions(true));
+  DriveScript(script, run.engine.get());
+  FaultInjector::Global().AttachTrace(nullptr);
+
+  bool fired = false;
+  for (const obs::TraceEvent& ev : trace.Events()) {
+    if (ev.kind == obs::TraceEvent::Kind::kFaultFired) {
+      fired = true;
+      EXPECT_EQ(ev.detail, "close_fail");
+      EXPECT_EQ(ev.region, 1);  // site_a = region
+      EXPECT_EQ(ev.period, 2);  // site_b = period
+    }
+  }
+  EXPECT_TRUE(fired);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint restore re-syncs the registry mirrors: after a rewind the
+// registry totals still equal the struct counters.
+
+TEST(ObsIntegrationTest, RestoreResyncsRejectionMirrors) {
+  const GridPartition grid =
+      GridPartition::Make(Rect{0, 0, 100, 100}, 6, 6).ValueOrDie();
+  const std::vector<PeriodScript> script = MakeObsScript(grid, 20260808);
+
+  // Run the first half with telemetry, checkpoint after the duplicate-laden
+  // period 2 so non-zero counters cross the boundary.
+  obs::MetricsRegistry saver_registry;
+  EngineOptions saver_options = ObsOptions(false);
+  saver_options.metrics = &saver_registry;
+  CellLocalStrategy saver_strategy;
+  MarketEngine saver(&grid, &saver_strategy, saver_options);
+  PeriodOutcome out;
+  for (int t = 0; t < 4; ++t) {
+    for (const Worker& w : script[t].workers) {
+      ASSERT_TRUE(saver.AddWorker(w).ok());
+    }
+    for (WorkerId id : script[t].removals) {
+      const Status ignored = saver.RemoveWorker(id);
+      (void)ignored;
+    }
+    for (size_t i = 0; i < script[t].tasks.size(); ++i) {
+      const Status ignored =
+          saver.SubmitTask(script[t].tasks[i], script[t].valuations[i]);
+      (void)ignored;
+    }
+    ASSERT_TRUE(saver.ClosePeriod(&out).ok());
+  }
+  ASSERT_GT(saver.rejections().duplicate_tasks, 0);
+  std::string blob;
+  ASSERT_TRUE(saver.SaveCheckpoint(&blob).ok());
+
+  // Restore into an engine whose registry has prior traffic — the mirror
+  // must land at (prior + restored), i.e. advance by the restored delta.
+  obs::MetricsRegistry registry;
+  registry.GetCounter("engine.reject.duplicate_tasks")->Add(5);
+  EngineOptions options = ObsOptions(false);
+  options.metrics = &registry;
+  CellLocalStrategy strategy;
+  MarketEngine engine(&grid, &strategy, options);
+  ASSERT_TRUE(engine.RestoreFromCheckpoint(blob).ok());
+  EXPECT_TRUE(engine.rejections() == saver.rejections());
+  EXPECT_EQ(registry.GetCounter("engine.reject.duplicate_tasks")->value(),
+            5 + saver.rejections().duplicate_tasks);
+
+  // Drive the rest; registry minus the pre-existing 5 still matches.
+  for (int t = 4; t < kPeriods; ++t) {
+    for (size_t i = 0; i < script[t].tasks.size(); ++i) {
+      const Status ignored =
+          engine.SubmitTask(script[t].tasks[i], script[t].valuations[i]);
+      (void)ignored;
+    }
+    ASSERT_TRUE(engine.ClosePeriod(&out).ok());
+  }
+  EXPECT_EQ(registry.GetCounter("engine.reject.duplicate_tasks")->value() - 5,
+            engine.rejections().duplicate_tasks);
+}
+
+// Telemetry attach is per-engine: two engines sharing one registry sum into
+// the same counters (the sharded engine relies on this for its regions).
+TEST(ObsIntegrationTest, ShardedRegionsShareTheRegistryCounters) {
+  const GridPartition grid =
+      GridPartition::Make(Rect{0, 0, 100, 100}, 8, 8).ValueOrDie();
+  const std::vector<PeriodScript> script = MakeObsScript(grid, 20260808);
+
+  obs::MetricsRegistry registry;
+  EngineOptions options = ObsOptions(false);
+  options.metrics = &registry;
+  ShardedRun run = MakeShardedRun(grid, 4, options);
+  DriveScript(script, run.engine.get());
+  // Every region close bumps the shared "engine.close.periods": K regions
+  // times kPeriods closes.
+  EXPECT_EQ(registry.GetCounter("engine.close.periods")->value(),
+            int64_t{4} * kPeriods);
+  ExpectRegistryMatchesRejections(&registry, run.engine->rejections(),
+                                  "shared registry");
+}
+
+}  // namespace
+}  // namespace maps

@@ -47,6 +47,20 @@ DEFAULT_KEYS = [
     # deferral sweep) and the recovery close (resubmission) so regressions
     # in the fault path itself are caught, not just the healthy path.
     "sharded_engine_period_degraded",
+    # Telemetry: the same serial close as engine_period with a live
+    # MetricsRegistry + TraceLog attached (also cross-gated against
+    # engine_period within each file — see OVERHEAD_GATES), and the unit
+    # cost of one Histogram::Record on the instrumented hot path.
+    "engine_period_metrics_on",
+    "obs_histogram_record",
+]
+
+# Same-file overhead gates: (numerator_key, baseline_key, max_ratio).
+# Checked within NEW alone (and reported for OLD), so they hold even when
+# the old/new scale mismatch skips the cross-file gate. The observability
+# contract (DESIGN.md §16) budgets instrumentation at 5% of the close.
+OVERHEAD_GATES = [
+    ("engine_period_metrics_on", "engine_period", 1.05),
 ]
 
 
@@ -54,6 +68,32 @@ def load(path):
     with open(path) as f:
         doc = json.load(f)
     return doc, {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def check_overhead(benches, gates=None, label="new"):
+    """Applies the same-file OVERHEAD_GATES to one bench map.
+
+    Returns a list of (numerator_key, baseline_key, ratio, max_ratio)
+    violations. Gates whose keys are absent or untimed are skipped (older
+    baselines predate the telemetry keys), as is a non-positive baseline.
+    """
+    failures = []
+    for num_key, base_key, max_ratio in (OVERHEAD_GATES if gates is None
+                                         else gates):
+        if num_key not in benches or base_key not in benches:
+            continue
+        num = benches[num_key].get("ns_per_op")
+        base = benches[base_key].get("ns_per_op")
+        if num is None or base is None or base <= 0:
+            continue
+        ratio = num / base
+        flag = ""
+        if ratio > max_ratio:
+            flag = "  << OVERHEAD"
+            failures.append((num_key, base_key, ratio, max_ratio))
+        print(f"[{label}] {num_key} / {base_key} = {ratio:.3f} "
+              f"(max {max_ratio:.2f}){flag}")
+    return failures
 
 
 def main():
@@ -73,6 +113,14 @@ def main():
         print(f"scale changed ({old_doc.get('scale')} -> "
               f"{new_doc.get('scale')}): per-op times not comparable, "
               "skipping regression gate")
+        # Overhead ratios are scale-free (numerator and baseline come from
+        # the same file), so that gate still applies to the new run.
+        overhead = check_overhead(new)
+        if overhead:
+            worst = ", ".join(f"{nk} {r:.2f}x vs {bk} (max {m:.2f})"
+                              for nk, bk, r, m in overhead)
+            print(f"\nFAIL: telemetry overhead gate: {worst}")
+            return 1
         return 0
 
     keys = [k for k in args.keys.split(",") if k]
@@ -101,12 +149,25 @@ def main():
             failures.append((key, ratio))
         print(f"{key:32} {o:>14.0f} {n:>14.0f} {ratio:>8.3f}{flag}")
 
-    if failures:
-        worst = ", ".join(f"{k} ({r:.2f}x)" for k, r in failures)
-        print(f"\nFAIL: {len(failures)} tracked key(s) regressed more than "
-              f"{args.threshold:.0%}: {worst}")
+    # Same-file telemetry overhead gates: the old file's ratio is printed
+    # for context; only the new file's ratio gates.
+    check_overhead(old, label="old")
+    overhead = check_overhead(new)
+
+    if failures or overhead:
+        parts = []
+        if failures:
+            worst = ", ".join(f"{k} ({r:.2f}x)" for k, r in failures)
+            parts.append(f"{len(failures)} tracked key(s) regressed more "
+                         f"than {args.threshold:.0%}: {worst}")
+        if overhead:
+            worst = ", ".join(f"{nk} {r:.2f}x vs {bk} (max {m:.2f})"
+                              for nk, bk, r, m in overhead)
+            parts.append(f"telemetry overhead gate: {worst}")
+        print(f"\nFAIL: {'; '.join(parts)}")
         return 1
-    print(f"\nOK: no tracked key regressed more than {args.threshold:.0%}")
+    print(f"\nOK: no tracked key regressed more than {args.threshold:.0%} "
+          "and telemetry overhead is within budget")
     return 0
 
 

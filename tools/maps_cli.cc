@@ -17,7 +17,9 @@
 //                       --checkpoint_every=0 --checkpoint_dir=.
 //                       --checkpoint_keep=0
 //                       --restore_from=<file.ckpt> --skip_bad_events=false
-//                       --failure_domains=false --fault_plan=<plan>]
+//                       --failure_domains=false --fault_plan=<plan>
+//                       --metrics_out=<METRICS.json>
+//                       --trace_out=<trace.jsonl>]
 //
 // `replay` drives the online MarketEngine from a JSONL event file (see
 // src/service/replay_log.h for the schema): task submissions, worker
@@ -53,6 +55,17 @@
 // fault injector for the run, e.g. --fault_plan='close_fail@r1p3' (grammar
 // in docs/fault_injection.md).
 //
+// Telemetry: --metrics_out=<path> writes an obs/v1 METRICS.json at the end
+// of the replay (docs/observability.md); --trace_out=<path> writes the
+// structured event trace as JSONL. Either flag enables the in-process
+// registry + trace; without both, engines run with telemetry disabled.
+// Telemetry never changes engine outputs (bit-identity is tested), and the
+// "deterministic" slice of METRICS.json is byte-stable across runs of the
+// same log at any thread count.
+//
+// Operator diagnostics (degraded-region, checkpoint-skip, prune lines) go
+// to stderr via util/logging so stdout stays a clean report stream.
+//
 // Common flags:
 //   --strategy=MAPS|BaseP|SDR|SDE|CappedUCB|all   (default all; replay
 //                                                  takes a single name)
@@ -71,6 +84,7 @@
 
 #include "geo/region_partition.h"
 #include "market/demand_model.h"
+#include "obs/export.h"
 #include "pricing/price_postprocess.h"
 #include "service/checkpoint.h"
 #include "service/market_engine.h"
@@ -83,6 +97,7 @@
 #include "sim/synthetic.h"
 #include "util/fault_injector.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace maps {
@@ -146,6 +161,22 @@ Result<Workload> BuildWorkload(const std::string& kind, const FlagSet& flags) {
       "unknown workload '" + kind + "' (expected synthetic|beijing|replay)");
 }
 
+/// Telemetry sinks for one replay run. Both pointers are null when neither
+/// --metrics_out nor --trace_out was given — the engines then run with
+/// telemetry fully disabled (one branch per site, DESIGN.md §16).
+struct ObsSinks {
+  obs::MetricsRegistry* registry = nullptr;
+  obs::TraceLog* trace = nullptr;
+  std::string metrics_out;
+  std::string trace_out;
+};
+
+/// Detaches the run-local TraceLog from the process-wide fault injector on
+/// every exit path of RunReplay (the injector outlives the trace).
+struct FaultTraceDetach {
+  ~FaultTraceDetach() { FaultInjector::Global().AttachTrace(nullptr); }
+};
+
 /// The engine-agnostic tail of `maps_cli replay`: streams the event file
 /// through `engine` (monolithic or sharded) with per-close table rows and
 /// optional periodic checkpoints, then prints the run summary.
@@ -168,9 +199,19 @@ int DriveReplayAndReport(Engine* engine, ReplayEventStream* stream,
                          const GridPartition& grid, const std::string& which,
                          const std::string& csv, int64_t checkpoint_every,
                          const std::string& checkpoint_dir,
-                         int64_t checkpoint_keep) {
+                         int64_t checkpoint_keep, const ObsSinks& sinks) {
   Table table({"period", "tasks", "workers", "accepted", "matched",
                "revenue", "mc_revenue"});
+  // Checkpoint file IO is timed here (not in the engine) because the engine
+  // only ever sees blobs; paths and rotation are a driver concern.
+  obs::Histogram* file_write_ns = nullptr;
+  obs::Histogram* prune_ns = nullptr;
+  if (sinks.registry != nullptr) {
+    file_write_ns = sinks.registry->GetHistogram(
+        "checkpoint.file_write_ns", obs::Determinism::kWallClock);
+    prune_ns = sinks.registry->GetHistogram("checkpoint.prune_ns",
+                                            obs::Determinism::kWallClock);
+  }
   ReplayStreamOptions drive;
   // Resume from the checkpointed boundary: everything up to and including
   // the current_period()-th close_period was already consumed.
@@ -183,11 +224,13 @@ int DriveReplayAndReport(Engine* engine, ReplayEventStream* stream,
                    static_cast<int64_t>(outcome.matches.size()),
                    outcome.revenue, outcome.mc_expected_revenue);
     }
+    // Operator diagnostics go to stderr via util/logging; stdout stays a
+    // clean report stream that scripts can parse.
     for (const RegionHealth& h : outcome.region_health) {
       if (h.state == RegionHealth::State::kNormal) continue;
-      std::cout << "degraded: region " << h.region << " "
-                << RegionStateName(h.state) << " (attempt " << h.attempts
-                << ", since period " << h.quarantined_since << ")\n";
+      MAPS_LOG(Info) << "degraded: region " << h.region << " "
+                     << RegionStateName(h.state) << " (attempt " << h.attempts
+                     << ", since period " << h.quarantined_since << ")";
     }
     if (checkpoint_every > 0 &&
         engine->current_period() % checkpoint_every == 0) {
@@ -196,24 +239,29 @@ int DriveReplayAndReport(Engine* engine, ReplayEventStream* stream,
       if (save.IsFailedPrecondition()) {
         // A quarantined deployment has no checkpointable state yet; the
         // next on-schedule save after recovery will cover this window.
-        std::cout << "checkpoint skipped at period "
-                  << engine->current_period() << ": " << save.message()
-                  << "\n";
+        MAPS_LOG(Info) << "checkpoint skipped at period "
+                       << engine->current_period() << ": " << save.message();
         return Status::OK();
       }
       MAPS_RETURN_NOT_OK(save);
       const std::string path = checkpoint_dir + "/checkpoint_" +
                                std::to_string(engine->current_period()) +
                                ".ckpt";
-      MAPS_RETURN_NOT_OK(WriteCheckpointFile(path, blob));
+      {
+        obs::ScopedTimer write_timer(file_write_ns);
+        MAPS_RETURN_NOT_OK(WriteCheckpointFile(path, blob));
+      }
       std::cout << "checkpoint: " << path << "\n";
       if (checkpoint_keep > 0) {
         std::vector<std::string> removed;
-        MAPS_RETURN_NOT_OK(PruneCheckpointFiles(
-            checkpoint_dir, "checkpoint_", static_cast<int>(checkpoint_keep),
-            &removed));
+        {
+          obs::ScopedTimer prune_timer(prune_ns);
+          MAPS_RETURN_NOT_OK(PruneCheckpointFiles(
+              checkpoint_dir, "checkpoint_",
+              static_cast<int>(checkpoint_keep), &removed));
+        }
         for (const std::string& pruned : removed) {
-          std::cout << "pruned: " << pruned << "\n";
+          MAPS_LOG(Info) << "pruned: " << pruned;
         }
       }
     }
@@ -242,6 +290,21 @@ int DriveReplayAndReport(Engine* engine, ReplayEventStream* stream,
       return Fail(st.ToString());
     }
     std::cout << "wrote " << csv << "\n";
+  }
+  if (!sinks.metrics_out.empty() && sinks.registry != nullptr) {
+    if (Status st = obs::WriteMetricsJsonFile(sinks.metrics_out,
+                                              *sinks.registry, sinks.trace);
+        !st.ok()) {
+      return Fail(sinks.metrics_out + ": " + st.ToString());
+    }
+    std::cout << "wrote " << sinks.metrics_out << "\n";
+  }
+  if (!sinks.trace_out.empty() && sinks.trace != nullptr) {
+    if (Status st = obs::WriteTraceJsonlFile(sinks.trace_out, *sinks.trace);
+        !st.ok()) {
+      return Fail(sinks.trace_out + ": " + st.ToString());
+    }
+    std::cout << "wrote " << sinks.trace_out << "\n";
   }
   return 0;
 }
@@ -272,6 +335,8 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
   const int64_t checkpoint_keep = flags.GetInt("checkpoint_keep", 0);
   const std::string restore_from = flags.GetString("restore_from", "");
   const std::string fault_plan_text = flags.GetString("fault_plan", "");
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  const std::string trace_out = flags.GetString("trace_out", "");
   ReplayLoadOptions load_options;
   load_options.skip_bad_events = flags.GetBool("skip_bad_events", false);
 
@@ -288,8 +353,28 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
   if (num_regions < 1) return Fail("--regions must be >= 1");
   if (checkpoint_keep < 0) return Fail("--checkpoint_keep must be >= 0");
   if (engine_options.failure_domains.enabled && num_regions == 1) {
-    std::cout << "note: --failure_domains has no effect with --regions=1\n";
+    MAPS_LOG(Info) << "note: --failure_domains has no effect with --regions=1";
   }
+
+  // Either telemetry flag enables both the registry and the trace; they
+  // must outlive the engines, the stream, and the pool below. Telemetry
+  // never changes engine outputs (obs_integration_test proves bit-identity).
+  std::optional<obs::MetricsRegistry> registry;
+  std::optional<obs::TraceLog> trace;
+  ObsSinks sinks;
+  FaultTraceDetach fault_trace_detach;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    registry.emplace();
+    trace.emplace();
+    sinks.registry = &*registry;
+    sinks.trace = &*trace;
+    sinks.metrics_out = metrics_out;
+    sinks.trace_out = trace_out;
+    engine_options.metrics = sinks.registry;
+    engine_options.trace = sinks.trace;
+    FaultInjector::Global().AttachTrace(sinks.trace);
+  }
+
   if (!fault_plan_text.empty()) {
     auto plan_or = ParseFaultPlan(fault_plan_text);
     if (!plan_or.ok()) {
@@ -299,7 +384,7 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
         !st.ok()) {
       return Fail("--fault_plan: " + st.ToString());
     }
-    std::cout << "fault plan armed: " << fault_plan_text << "\n";
+    MAPS_LOG(Info) << "fault plan armed: " << fault_plan_text;
   }
 
   // The event file is STREAMED, not loaded: one line in memory at a time,
@@ -308,6 +393,7 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
   std::ifstream in(events_path);
   if (!in) return Fail("cannot open " + events_path);
   ReplayEventStream stream(in, load_options);
+  stream.AttachMetrics(sinks.registry);
 
   auto grid_or =
       GridPartition::Make(Rect{0, 0, extent, extent}, grid_side, grid_side);
@@ -346,6 +432,7 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
   std::optional<ThreadPool> pool;
   if (threads > 0) {
     pool.emplace(threads);
+    pool->AttachMetrics(sinks.registry);
     engine_options.pool = &*pool;
   }
   if (mc_worlds > 0) engine_options.mc_oracle = &oracle;
@@ -378,7 +465,7 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
     if (int rc = warm_or_restore(&engine); rc != 0) return rc;
     return DriveReplayAndReport(&engine, &stream, grid, which, csv,
                                 checkpoint_every, checkpoint_dir,
-                                checkpoint_keep);
+                                checkpoint_keep, sinks);
   }
 
   auto partition_or = RegionPartition::Make(grid, num_regions);
@@ -391,7 +478,7 @@ int RunReplay(const FlagSet& flags, const PricingConfig& pricing) {
   if (int rc = warm_or_restore(&engine); rc != 0) return rc;
   return DriveReplayAndReport(&engine, &stream, grid, which, csv,
                               checkpoint_every, checkpoint_dir,
-                              checkpoint_keep);
+                              checkpoint_keep, sinks);
 }
 
 }  // namespace

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "pricing/oracle_exact.h"
 #include "pricing/strategy.h"
 #include "service/market_engine.h"
@@ -172,6 +173,17 @@ struct RegretSummary {
   std::vector<RegretCurvePoint> curve;
 };
 
+/// Wall-clock latency of one engine stage across a cell's periods, lifted
+/// from the cell's private MetricsRegistry at export time.
+struct StageLatency {
+  std::string name;  // e.g. "engine.close.matching_ns"
+  int64_t count = 0;
+  int64_t sum_ns = 0;
+  int64_t p50_ns = 0;
+  int64_t p90_ns = 0;
+  int64_t p99_ns = 0;
+};
+
 /// One (scenario, strategy) cell of the matrix.
 struct CellReport {
   std::string strategy;
@@ -181,6 +193,9 @@ struct CellReport {
   std::string first_violation;
   double total_revenue = 0.0;
   RegretSummary regret;
+  /// Per-stage close latencies (prebuild, price round, matching, MC) — the
+  /// matrix doubles as a coarse perf profile of each strategy under stress.
+  std::vector<StageLatency> stages;
   bool pass = true;
   std::string fail_reason;
 };
@@ -202,9 +217,13 @@ Result<CellReport> RunCell(const ScenarioSpec& spec, const Workload& workload,
   const std::unique_ptr<PricingStrategy> inner = factory.make();
   RegretProbe probe(inner.get());
 
+  // Each cell gets its own registry so stage latencies are attributable to
+  // one (scenario, strategy) pair; telemetry never changes engine outputs.
+  obs::MetricsRegistry registry;
   EngineOptions options;
   options.lifecycle = workload.lifecycle;
   options.pool = pool;
+  options.metrics = &registry;
   MarketEngine engine(&workload.grid, &probe, options);
 
   DemandOracle history = workload.oracle.Fork(101 + strategy_idx);
@@ -288,6 +307,19 @@ Result<CellReport> RunCell(const ScenarioSpec& spec, const Workload& workload,
         cell.regret.sum_regret_clipped / cell.regret.sum_oracle;
   }
 
+  // Lift the per-stage close timings out of the cell's registry.
+  for (const auto& named : registry.histograms()) {
+    if (named.metric->count() == 0) continue;
+    StageLatency stage;
+    stage.name = named.name;
+    stage.count = named.metric->count();
+    stage.sum_ns = named.metric->sum();
+    stage.p50_ns = named.metric->Percentile(0.50);
+    stage.p90_ns = named.metric->Percentile(0.90);
+    stage.p99_ns = named.metric->Percentile(0.99);
+    cell.stages.push_back(std::move(stage));
+  }
+
   const double budget = config.regret_budget_override > 0.0
                             ? config.regret_budget_override
                             : spec.regret_budget_frac;
@@ -337,6 +369,15 @@ void WriteCellJson(std::ostream& out, const CellReport& cell,
         << ",\"regret\":" << Num(p.regret) << "}";
   }
   out << "]},\n"
+      << indent << " \"stage_ns\":{";
+  for (size_t i = 0; i < cell.stages.size(); ++i) {
+    const StageLatency& s = cell.stages[i];
+    if (i > 0) out << ",";
+    out << Quote(s.name) << ":{\"count\":" << s.count << ",\"sum\":" << s.sum_ns
+        << ",\"p50\":" << s.p50_ns << ",\"p90\":" << s.p90_ns
+        << ",\"p99\":" << s.p99_ns << "}";
+  }
+  out << "},\n"
       << indent << " \"pass\":" << (cell.pass ? "true" : "false")
       << ",\"fail_reason\":" << Quote(cell.fail_reason) << "}";
 }

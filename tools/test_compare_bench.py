@@ -145,6 +145,61 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("inf", out)
 
+    # -- telemetry overhead gate (engine_period_metrics_on vs engine_period)
+
+    def test_overhead_within_budget_passes(self):
+        doc = bench_doc({"engine_period": 1000.0,
+                         "engine_period_metrics_on": 1040.0})  # 4% < 5%
+        code, out = self.run_main(doc, doc)
+        self.assertEqual(code, 0)
+        self.assertIn("engine_period_metrics_on / engine_period = 1.040", out)
+
+    def test_overhead_beyond_budget_fails_even_without_regression(self):
+        # Both files identical (no cross-file regression), but telemetry
+        # costs 10% in the new run: the same-file gate must fail it.
+        doc = bench_doc({"engine_period": 1000.0,
+                         "engine_period_metrics_on": 1100.0})
+        code, out = self.run_main(doc, doc)
+        self.assertEqual(code, 1)
+        self.assertIn("OVERHEAD", out)
+        self.assertIn("telemetry overhead gate", out)
+
+    def test_overhead_gate_only_fails_on_the_new_file(self):
+        # Overhead violation in OLD only (since fixed) must not fail.
+        old = bench_doc({"engine_period": 1000.0,
+                         "engine_period_metrics_on": 1500.0})
+        new = bench_doc({"engine_period": 1000.0,
+                         "engine_period_metrics_on": 1020.0})
+        code, _ = self.run_main(old, new)
+        self.assertEqual(code, 0)
+
+    def test_overhead_gate_applies_even_on_scale_mismatch(self):
+        # The cross-file gate is skipped on scale mismatch, but the ratio
+        # within the new file is scale-free and still gates.
+        old = bench_doc({"engine_period": 1000.0}, scale="small")
+        new = bench_doc({"engine_period": 1000.0,
+                         "engine_period_metrics_on": 1200.0}, scale="large")
+        code, out = self.run_main(old, new)
+        self.assertEqual(code, 1)
+        self.assertIn("skipping regression gate", out)
+        self.assertIn("telemetry overhead gate", out)
+
+    def test_overhead_gate_skips_when_keys_are_absent(self):
+        # Baselines predating the telemetry keys must not trip the gate.
+        doc = bench_doc({"engine_period": 1000.0})
+        code, _ = self.run_main(doc, doc)
+        self.assertEqual(code, 0)
+
+    def test_check_overhead_skips_untimed_entries(self):
+        benches = {"engine_period": {"name": "engine_period"},
+                   "engine_period_metrics_on":
+                       {"name": "engine_period_metrics_on",
+                        "ns_per_op": 1100.0}}
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            failures = compare_bench.check_overhead(benches)
+        self.assertEqual(failures, [])
+
 
 if __name__ == "__main__":
     unittest.main()
